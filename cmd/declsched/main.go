@@ -1,0 +1,131 @@
+// Command declsched runs the declarative middleware scheduler end to end on
+// a generated workload and prints throughput, latency and round statistics.
+//
+// Usage:
+//
+//	declsched [-protocol ss2pl|ss2pl-sql|2pl|sla|relaxed|fcfs|adaptive]
+//	          [-clients 32] [-txns 4] [-reads 20] [-writes 20]
+//	          [-objects 100000] [-zipf 0] [-trigger hybrid|time|fill]
+//	          [-passthrough] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func main() {
+	protoName := flag.String("protocol", "ss2pl", "scheduling protocol: ss2pl, ss2pl-sql, 2pl, sla, relaxed, fcfs, adaptive")
+	clients := flag.Int("clients", 32, "concurrent clients")
+	txns := flag.Int("txns", 4, "transactions per client")
+	reads := flag.Int("reads", 20, "reads per transaction")
+	writes := flag.Int("writes", 20, "writes per transaction")
+	objects := flag.Int64("objects", 100000, "table rows")
+	zipf := flag.Float64("zipf", 0, "Zipf skew parameter (>1), 0 = uniform")
+	trigName := flag.String("trigger", "hybrid", "round trigger: hybrid, time, fill")
+	passthrough := flag.Bool("passthrough", false, "non-scheduling mode (forward unscheduled)")
+	check := flag.Bool("check", false, "verify conflict serializability of the executed schedule")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var proto protocol.Protocol
+	switch *protoName {
+	case "ss2pl":
+		proto = protocol.SS2PLDatalog()
+	case "ss2pl-sql":
+		proto = protocol.SS2PLSQL()
+	case "2pl":
+		proto = protocol.TwoPLDatalog()
+	case "sla":
+		proto = protocol.SLAPriorityDatalog()
+	case "relaxed":
+		proto = protocol.RelaxedReadsDatalog()
+	case "fcfs":
+		proto = protocol.FCFS{}
+	case "adaptive":
+		proto = protocol.NewAdaptive(protocol.SS2PLDatalog(), protocol.RelaxedReadsDatalog(), *clients*2)
+	default:
+		log.Fatalf("unknown protocol %q", *protoName)
+	}
+
+	var trig scheduler.Trigger
+	switch *trigName {
+	case "hybrid":
+		trig = scheduler.HybridTrigger{Level: *clients, Every: time.Millisecond}
+	case "time":
+		trig = scheduler.TimeTrigger{Every: time.Millisecond}
+	case "fill":
+		trig = scheduler.FillTrigger{Level: *clients}
+	default:
+		log.Fatalf("unknown trigger %q", *trigName)
+	}
+
+	mode := scheduler.Scheduling
+	if *passthrough {
+		mode = scheduler.PassThrough
+	}
+	srv := storage.NewServer(storage.Config{Rows: int(*objects)})
+	engine, err := scheduler.NewEngine(scheduler.Config{
+		Protocol: proto,
+		Server:   srv,
+		Mode:     mode,
+		KeepLog:  *check,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mw := scheduler.NewMiddleware(engine, trig, metrics.NewCollector())
+	mw.Start()
+
+	cfg := workload.Config{
+		Clients: *clients, TxnsPerClient: *txns,
+		ReadsPerTxn: *reads, WritesPerTxn: *writes,
+		Objects: *objects, ZipfS: *zipf, Seed: *seed,
+	}
+	if *protoName == "sla" {
+		cfg.Classes = []workload.Class{
+			{Name: "premium", Priority: 10, Weight: 1},
+			{Name: "free", Priority: 1, Weight: 3},
+		}
+	}
+	gen, err := workload.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queues := gen.ClientQueues()
+
+	start := time.Now()
+	res, err := scheduler.RunWorkload(mw, queues, 10)
+	elapsed := time.Since(start)
+	mw.Stop()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stmts, commits, aborts := srv.Stats()
+	sum := mw.Collector().Summarise()
+	fmt.Printf("protocol=%s trigger=%s mode=%v\n", proto.Name(), trig.Name(), *protoName)
+	fmt.Printf("wall time            %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("committed txns       %d (retries %d, given up %d)\n", res.CommittedTxns, res.Retries, res.AbortedTxns)
+	fmt.Printf("server statements    %d (commits %d, aborts %d)\n", stmts, commits, aborts)
+	fmt.Printf("throughput           %.0f stmts/s\n", float64(stmts)/elapsed.Seconds())
+	fmt.Printf("scheduler            %s\n", sum)
+	lat := &mw.Collector().Latency
+	fmt.Printf("request latency      mean=%s p99<=%s max=%s\n",
+		time.Duration(lat.Mean()), time.Duration(lat.Quantile(0.99)), time.Duration(lat.Max()))
+
+	if *check {
+		if err := protocol.CheckSerializable(engine.History().Log()); err != nil {
+			log.Fatalf("serializability check FAILED: %v", err)
+		}
+		fmt.Println("serializability      OK (conflict graph acyclic)")
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|figure2|declovh|crossover|productivity]
+//	            [-scale 0.1] [-reps 5]
+//
+// scale shrinks the virtual 240 s budget of the Figure 2 simulation (1.0
+// reproduces the paper's full runs; the ratio series is budget-invariant).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, table1, table2, figure2, declovh, crossover, productivity, sensitivity")
+	scale := flag.Float64("scale", 0.25, "fraction of the paper's 240s virtual budget for simulations")
+	reps := flag.Int("reps", 3, "repetitions for timed declarative rounds")
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Println(experiments.FormatTable1())
+	}
+	if want("table2") {
+		ran = true
+		fmt.Println(experiments.FormatTable2())
+	}
+	if want("figure2") {
+		ran = true
+		points := experiments.Figure2(experiments.DefaultFigure2Clients, *scale)
+		fmt.Println(experiments.FormatFigure2(points))
+	}
+	if want("declovh") {
+		ran = true
+		cfg := experiments.DefaultDeclOverheadConfig()
+		cfg.Reps = *reps
+		points, err := experiments.DeclOverhead(cfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declovh:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatDeclOverhead(points))
+	}
+	if want("crossover") {
+		ran = true
+		cfg := experiments.DefaultDeclOverheadConfig()
+		cfg.Reps = *reps
+		points, err := experiments.Crossover([]int{100, 200, 300, 400, 500, 600}, *scale, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossover:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatCrossover(points))
+	}
+	if want("productivity") {
+		ran = true
+		fmt.Println(experiments.FormatProductivity())
+	}
+	if want("sensitivity") {
+		ran = true
+		points := experiments.Sensitivity(300, *scale)
+		fmt.Println(experiments.FormatSensitivity(points))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

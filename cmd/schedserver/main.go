@@ -1,0 +1,72 @@
+// Command schedserver runs the declarative scheduler as a network service
+// (paper Figure 1: clients connect to the scheduler, not to the server).
+// Clients speak the line protocol of internal/netproto:
+//
+//	$ schedserver -addr 127.0.0.1:7070 -protocol ss2pl &
+//	$ printf 'REQ 1 0 w 7\nREQ 1 1 c -1\nQUIT\n' | nc 127.0.0.1 7070
+//	OK 1
+//	OK 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netproto"
+	"repro/internal/protocol"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	protoName := flag.String("protocol", "ss2pl", "scheduling protocol: ss2pl, ss2pl-sql, 2pl, sla, relaxed, fcfs")
+	rows := flag.Int("rows", 100000, "server table rows")
+	fill := flag.Int("fill", 16, "trigger fill level")
+	every := flag.Duration("every", time.Millisecond, "trigger max delay")
+	flag.Parse()
+
+	var proto protocol.Protocol
+	switch *protoName {
+	case "ss2pl":
+		proto = protocol.SS2PLDatalog()
+	case "ss2pl-sql":
+		proto = protocol.SS2PLSQL()
+	case "2pl":
+		proto = protocol.TwoPLDatalog()
+	case "sla":
+		proto = protocol.SLAPriorityDatalog()
+	case "relaxed":
+		proto = protocol.RelaxedReadsDatalog()
+	case "fcfs":
+		proto = protocol.FCFS{}
+	default:
+		log.Fatalf("unknown protocol %q", *protoName)
+	}
+
+	srv := storage.NewServer(storage.Config{Rows: *rows})
+	engine, err := scheduler.NewEngine(scheduler.Config{Protocol: proto, Server: srv})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mw := scheduler.NewMiddleware(engine, scheduler.HybridTrigger{Level: *fill, Every: *every}, metrics.NewCollector())
+	mw.Start()
+	s, err := netproto.Listen(*addr, mw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("declarative scheduler (%s) listening on %s\n", proto.Name(), s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+	s.Close()
+	mw.Stop()
+	fmt.Println(mw.Collector().Summarise())
+}

@@ -1,0 +1,92 @@
+// SLA tiers: the paper's Section 1 motivation — "service-level agreements
+// (e.g. for premium vs. free customers in Web applications)" — expressed as
+// a declarative protocol. Premium and free customers contend for the same
+// hot rows; the SLA protocol resolves every conflict in favour of the
+// premium tier and orders each batch by priority, so premium latency stays
+// flat while free customers queue.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func run(proto protocol.Protocol, label string) {
+	srv := storage.NewServer(storage.Config{Rows: 64})
+	engine, err := scheduler.NewEngine(scheduler.Config{Protocol: proto, Server: srv})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mw := scheduler.NewMiddleware(engine, scheduler.HybridTrigger{Level: 8, Every: time.Millisecond}, metrics.NewCollector())
+	mw.Start()
+	defer mw.Stop()
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Clients: 12, TxnsPerClient: 6,
+		ReadsPerTxn: 2, WritesPerTxn: 2,
+		Objects: 64, Seed: 11,
+		Classes: []workload.Class{
+			{Name: "premium", Priority: 10, Weight: 1},
+			{Name: "free", Priority: 1, Weight: 2},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queues := gen.ClientQueues()
+
+	// Per-class latency accounting via per-client submission.
+	type classStat struct {
+		total time.Duration
+		n     int
+	}
+	stats := map[string]*classStat{"premium": {}, "free": {}}
+	done := make(chan struct{}, len(queues))
+	for _, q := range queues {
+		go func(txns []repro.Transaction) {
+			defer func() { done <- struct{}{} }()
+			for _, tx := range txns {
+				class := tx.Requests[0].Class
+				start := time.Now()
+				for _, r := range tx.Requests {
+					if out := mw.Submit(r); out.Err != nil {
+						return // aborted: this demo does not retry
+					}
+				}
+				st := stats[class]
+				st.total += time.Since(start)
+				st.n++
+			}
+		}(q)
+	}
+	for range queues {
+		<-done
+	}
+
+	fmt.Printf("%-22s", label)
+	for _, class := range []string{"premium", "free"} {
+		st := stats[class]
+		if st.n == 0 {
+			fmt.Printf("  %s: no commits", class)
+			continue
+		}
+		fmt.Printf("  %s: %3d txns, mean %8s", class, st.n, (st.total / time.Duration(st.n)).Round(10*time.Microsecond))
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("premium vs free customers on contended rows (12 clients, 64 rows)")
+	run(protocol.SLAPriorityDatalog(), "sla-priority protocol")
+	run(protocol.SS2PLDatalog(), "plain ss2pl (no SLA)")
+	fmt.Println("\nThe SLA protocol is ~10 Datalog rules (internal/rules.SLAPriorityDatalog);")
+	fmt.Println("changing the business policy means editing rules, not scheduler code.")
+}

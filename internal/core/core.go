@@ -1,0 +1,59 @@
+// Package core is the paper's primary contribution in its smallest form:
+// the declarative scheduling round. Requests are data; a scheduling protocol
+// is a declarative program; one round evaluates the program over the pending
+// and history relations and returns the requests qualified for execution, in
+// order. The scheduler middleware (internal/scheduler) wraps this round with
+// queues, triggers, execution and history maintenance; this package exposes
+// the round itself for embedding, experimentation (internal/experiments) and
+// protocol development (cmd/dlrun).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/request"
+)
+
+// Round is one set-at-a-time scheduling decision.
+type Round struct {
+	// Qualified are the requests safe to execute now, in execution order.
+	Qualified []request.Request
+	// Blocked are the pending requests that must wait.
+	Blocked []request.Request
+	// Victims are transactions that must abort to break waits-for cycles
+	// (empty unless the whole batch is blocked).
+	Victims []int64
+}
+
+// Decide runs one declarative scheduling round: qualify the pending batch
+// against the history under the protocol, and, if nothing qualifies while
+// requests are pending, compute the deadlock victims whose abort unblocks
+// the system.
+func Decide(p protocol.Protocol, pending, history []request.Request) (Round, error) {
+	qualified, err := p.Qualify(pending, history)
+	if err != nil {
+		return Round{}, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+	r := Round{Qualified: qualified}
+	qk := protocol.KeySet(qualified)
+	for _, req := range pending {
+		if !qk[req.Key()] {
+			r.Blocked = append(r.Blocked, req)
+		}
+	}
+	if len(qualified) == 0 && len(pending) > 0 {
+		r.Victims = protocol.DeadlockVictims(pending, history)
+	}
+	return r, nil
+}
+
+// DecideProgram is Decide for a one-off Datalog program source (compiled per
+// call; long-running schedulers should build a protocol once instead).
+func DecideProgram(datalogSrc string, pending, history []request.Request) (Round, error) {
+	p, err := protocol.NewDatalogProtocol("adhoc", datalogSrc, false, nil)
+	if err != nil {
+		return Round{}, err
+	}
+	return Decide(p, pending, history)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/request"
+	"repro/internal/rules"
+)
+
+func TestDecidePartitionsBatch(t *testing.T) {
+	history := []request.Request{{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 5}}
+	pending := []request.Request{
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Read, Object: 5}, // blocked
+		{ID: 3, TA: 3, IntraTA: 0, Op: request.Read, Object: 6}, // free
+	}
+	r, err := Decide(protocol.SS2PLDatalog(), pending, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Qualified) != 1 || r.Qualified[0].TA != 3 {
+		t.Errorf("qualified: %v", r.Qualified)
+	}
+	if len(r.Blocked) != 1 || r.Blocked[0].TA != 2 {
+		t.Errorf("blocked: %v", r.Blocked)
+	}
+	if len(r.Victims) != 0 {
+		t.Errorf("victims: %v", r.Victims)
+	}
+}
+
+func TestDecideReportsVictims(t *testing.T) {
+	history := []request.Request{
+		{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 1},
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 2},
+	}
+	pending := []request.Request{
+		{ID: 3, TA: 1, IntraTA: 1, Op: request.Write, Object: 2},
+		{ID: 4, TA: 2, IntraTA: 1, Op: request.Write, Object: 1},
+	}
+	r, err := Decide(protocol.SS2PLDatalog(), pending, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Qualified) != 0 || len(r.Victims) != 1 || r.Victims[0] != 2 {
+		t.Errorf("round: %+v", r)
+	}
+}
+
+func TestDecideProgram(t *testing.T) {
+	pending := []request.Request{{ID: 1, TA: 1, IntraTA: 0, Op: request.Read, Object: 0}}
+	r, err := DecideProgram(rules.SS2PLDatalog, pending, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Qualified) != 1 {
+		t.Errorf("qualified: %v", r.Qualified)
+	}
+	if _, err := DecideProgram("broken(", pending, nil); err == nil {
+		t.Error("bad program accepted")
+	}
+}

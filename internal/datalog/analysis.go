@@ -1,0 +1,177 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// Check validates a program: range restriction (safety), schedulability of
+// every rule body, and stratifiability of negation and aggregation. Parse
+// calls it automatically; it is exported for programmatically built programs.
+func Check(prog *Program) error {
+	for i := range prog.Rules {
+		if _, err := orderBody(prog.Rules[i]); err != nil {
+			return err
+		}
+	}
+	if _, _, err := Stratify(prog); err != nil {
+		return err
+	}
+	return nil
+}
+
+// orderBody produces an evaluation order for the rule body such that every
+// literal is schedulable when reached (negation fully bound, built-ins with
+// bound inputs), and verifies all head variables end up bound. This doubles
+// as the safety check.
+func orderBody(r Rule) ([]int, error) {
+	bound := make(map[string]bool)
+	used := make([]bool, len(r.Body))
+	var order []int
+
+	schedulable := func(l Literal) bool {
+		switch l.Kind {
+		case LitAtom:
+			if !l.Negated {
+				return true
+			}
+			for _, t := range l.Atom.Terms {
+				if t.Kind == Var && !bound[t.Name] {
+					return false
+				}
+			}
+			return true
+		case LitCmp:
+			for _, t := range []Term{l.L, l.R} {
+				if t.Kind == Var && !bound[t.Name] {
+					return false
+				}
+			}
+			return true
+		default: // LitArith
+			aOK := l.A.Kind != Var || bound[l.A.Name]
+			bOK := l.ArithOp == ArithNone || l.B.Kind != Var || bound[l.B.Name]
+			if aOK && bOK {
+				return true
+			}
+			// X = Y with X bound can bind Y.
+			if l.ArithOp == ArithNone && l.Out.Kind == Var && bound[l.Out.Name] {
+				return true
+			}
+			return false
+		}
+	}
+	bind := func(l Literal) {
+		switch l.Kind {
+		case LitAtom:
+			if !l.Negated {
+				for _, t := range l.Atom.Terms {
+					if t.Kind == Var {
+						bound[t.Name] = true
+					}
+				}
+			}
+		case LitArith:
+			if l.Out.Kind == Var {
+				bound[l.Out.Name] = true
+			}
+			if l.ArithOp == ArithNone && l.A.Kind == Var {
+				bound[l.A.Name] = true
+			}
+		}
+	}
+
+	for len(order) < len(r.Body) {
+		progress := false
+		for i, l := range r.Body {
+			if used[i] || !schedulable(l) {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			bind(l)
+			progress = true
+			break
+		}
+		if !progress {
+			for i, l := range r.Body {
+				if !used[i] {
+					return nil, fmt.Errorf("datalog: rule %s: literal %s is unsafe (unbound variables)", r, l)
+				}
+			}
+		}
+	}
+	for _, t := range r.Head.Terms {
+		switch t.Kind {
+		case Var:
+			if !bound[t.Name] {
+				return nil, fmt.Errorf("datalog: rule %s: head variable %s unbound", r, t.Name)
+			}
+		case Agg:
+			if !bound[t.Name] {
+				return nil, fmt.Errorf("datalog: rule %s: aggregate variable %s unbound", r, t.Name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Stratify computes a stratum number for every predicate such that positive
+// dependencies stay within a stratum or below and negated/aggregated
+// dependencies are strictly below. It returns the per-predicate strata, the
+// number of strata, and an error if negation (or aggregation) is cyclic.
+func Stratify(prog *Program) (map[string]int, int, error) {
+	stratum := make(map[string]int)
+	preds := make(map[string]bool)
+	for _, r := range prog.Rules {
+		preds[r.Head.Pred] = true
+		for _, l := range r.Body {
+			if l.Kind == LitAtom {
+				preds[l.Atom.Pred] = true
+			}
+		}
+	}
+	idb := prog.IDB()
+	n := len(preds)
+	// Bellman-Ford style relaxation; a stratum exceeding the predicate count
+	// implies a cycle through negation/aggregation.
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, r := range prog.Rules {
+			h := r.Head.Pred
+			agg := r.HasAggregate()
+			for _, l := range r.Body {
+				if l.Kind != LitAtom {
+					continue
+				}
+				q := l.Atom.Pred
+				if !idb[q] {
+					continue // EDB predicates are stratum 0
+				}
+				need := stratum[q]
+				if l.Negated || agg {
+					need++
+				}
+				if stratum[h] < need {
+					stratum[h] = need
+					changed = true
+					if stratum[h] > n {
+						return nil, 0, fmt.Errorf("datalog: program not stratifiable: cycle through negation/aggregation at %s", h)
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > n+1 {
+			return nil, 0, fmt.Errorf("datalog: stratification did not converge")
+		}
+	}
+	max := 0
+	for p := range preds {
+		if stratum[p] > max {
+			max = stratum[p]
+		}
+	}
+	return stratum, max + 1, nil
+}

@@ -1,0 +1,512 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Engine evaluates a Datalog program bottom-up, stratum by stratum, using
+// semi-naive evaluation within each stratum. EDB relations are supplied per
+// run; the engine may be reused across scheduler rounds (the program is
+// compiled once).
+type Engine struct {
+	prog      *Program
+	compiled  []*compiledRule
+	stratumOf map[string]int
+	numStrata int
+	rulesBy   [][]int // stratum -> rule indexes
+	idb       map[string]bool
+
+	// Naive switches off the delta optimisation; used by tests to verify the
+	// semi-naive evaluator against the textbook fixpoint.
+	Naive bool
+
+	facts map[string]*factSet
+	edb   map[string][]relation.Tuple
+
+	// Stats from the last Run.
+	Stats RunStats
+}
+
+// RunStats reports evaluation effort for one Run.
+type RunStats struct {
+	Iterations   int // total semi-naive iterations across strata
+	FactsDerived int // IDB facts derived (deduplicated)
+	RuleFirings  int // successful head emissions, pre-deduplication
+}
+
+// NewEngine compiles the program.
+func NewEngine(prog *Program) (*Engine, error) {
+	stratumOf, numStrata, err := Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		prog:      prog,
+		stratumOf: stratumOf,
+		numStrata: numStrata,
+		idb:       prog.IDB(),
+		edb:       make(map[string][]relation.Tuple),
+	}
+	e.rulesBy = make([][]int, numStrata)
+	for i, r := range prog.Rules {
+		c, err := compileRule(r)
+		if err != nil {
+			return nil, err
+		}
+		e.compiled = append(e.compiled, c)
+		s := stratumOf[r.Head.Pred]
+		e.rulesBy[s] = append(e.rulesBy[s], i)
+	}
+	return e, nil
+}
+
+// SetEDB installs the tuples of an extensional predicate for the next Run,
+// replacing any previous tuples for that predicate. The predicate must not be
+// defined by a rule, and the arity must match its uses in the program. A
+// predicate never mentioned in the program is accepted (and simply unused) so
+// that callers can bind a fixed set of scheduler relations to any protocol.
+func (e *Engine) SetEDB(pred string, rows []relation.Tuple) error {
+	if e.idb[pred] {
+		return fmt.Errorf("datalog: %s is defined by rules; cannot set as EDB", pred)
+	}
+	if want, ok := e.prog.Arities[pred]; ok {
+		for _, t := range rows {
+			if len(t) != want {
+				return fmt.Errorf("datalog: EDB %s expects arity %d, got tuple of %d", pred, want, len(t))
+			}
+		}
+	}
+	e.edb[pred] = rows
+	return nil
+}
+
+// SetEDBRelation is SetEDB from a Relation.
+func (e *Engine) SetEDBRelation(pred string, r *relation.Relation) error {
+	return e.SetEDB(pred, r.Rows())
+}
+
+// Run evaluates the program against the current EDB, replacing all derived
+// facts from any previous run.
+func (e *Engine) Run() error {
+	e.Stats = RunStats{}
+	e.facts = make(map[string]*factSet)
+	fs := func(pred string) *factSet {
+		f, ok := e.facts[pred]
+		if !ok {
+			ar, known := e.prog.Arities[pred]
+			if !known {
+				ar = 0
+			}
+			f = newFactSet(ar)
+			e.facts[pred] = f
+		}
+		return f
+	}
+	for pred, rows := range e.edb {
+		f := fs(pred)
+		if len(rows) > 0 {
+			f.arity = len(rows[0])
+		}
+		for _, t := range rows {
+			if _, err := f.add(t); err != nil {
+				return err
+			}
+		}
+	}
+	// Program facts.
+	for _, r := range e.prog.Rules {
+		if !r.IsFact() {
+			continue
+		}
+		t, err := FactTuple(r)
+		if err != nil {
+			return err
+		}
+		if _, err := fs(r.Head.Pred).add(t); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < e.numStrata; s++ {
+		if err := e.runStratum(s, fs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runStratum(s int, fs func(string) *factSet) error {
+	ruleIdx := e.rulesBy[s]
+	if len(ruleIdx) == 0 {
+		return nil
+	}
+	// Aggregate rules first: their bodies live strictly below this stratum,
+	// so a single evaluation is complete, and same-stratum rules may then
+	// consume the aggregated predicate.
+	for _, ri := range ruleIdx {
+		c := e.compiled[ri]
+		if !c.hasAgg || c.rule.IsFact() {
+			continue
+		}
+		if err := e.evalAggregate(c, fs); err != nil {
+			return err
+		}
+	}
+
+	// Semi-naive fixpoint for the remaining rules.
+	delta := make(map[string]*factSet)
+	newTuples := func(pred string) *factSet {
+		d, ok := delta[pred]
+		if !ok {
+			d = newFactSet(fs(pred).arity)
+			delta[pred] = d
+		}
+		return d
+	}
+
+	// Initial round: evaluate every non-aggregate rule in full.
+	for _, ri := range ruleIdx {
+		c := e.compiled[ri]
+		if c.hasAgg || c.rule.IsFact() {
+			continue
+		}
+		err := e.evalRule(c, fs, nil, -1, func(t relation.Tuple) error {
+			e.Stats.RuleFirings++
+			added, err := fs(c.rule.Head.Pred).add(t)
+			if err != nil {
+				return err
+			}
+			if added {
+				e.Stats.FactsDerived++
+				if _, err := newTuples(c.rule.Head.Pred).add(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	e.Stats.Iterations++
+
+	for {
+		anyDelta := false
+		for _, d := range delta {
+			if d.len() > 0 {
+				anyDelta = true
+				break
+			}
+		}
+		if !anyDelta {
+			return nil
+		}
+		next := make(map[string]*factSet)
+		nextTuples := func(pred string) *factSet {
+			d, ok := next[pred]
+			if !ok {
+				d = newFactSet(fs(pred).arity)
+				next[pred] = d
+			}
+			return d
+		}
+		for _, ri := range ruleIdx {
+			c := e.compiled[ri]
+			if c.hasAgg || c.rule.IsFact() {
+				continue
+			}
+			emit := func(t relation.Tuple) error {
+				e.Stats.RuleFirings++
+				added, err := fs(c.rule.Head.Pred).add(t)
+				if err != nil {
+					return err
+				}
+				if added {
+					e.Stats.FactsDerived++
+					if _, err := nextTuples(c.rule.Head.Pred).add(t); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if e.Naive {
+				if err := e.evalRule(c, fs, nil, -1, emit); err != nil {
+					return err
+				}
+				continue
+			}
+			// One pass per occurrence of a same-stratum predicate, with that
+			// occurrence reading only the delta. A rule with no same-stratum
+			// body atom cannot fire again and is skipped implicitly.
+			for occ, pred := range c.atomPreds {
+				if e.stratumOf[pred] != s || !e.idb[pred] {
+					continue
+				}
+				d := delta[pred]
+				if d == nil || d.len() == 0 {
+					continue
+				}
+				if err := e.evalRule(c, fs, d, occ, emit); err != nil {
+					return err
+				}
+			}
+		}
+		e.Stats.Iterations++
+		delta = next
+	}
+}
+
+// evalRule joins the body steps and emits head tuples. If deltaOcc >= 0, the
+// positive atom with that occurrence index reads from delta instead of the
+// full fact set.
+func (e *Engine) evalRule(c *compiledRule, fs func(string) *factSet, delta *factSet, deltaOcc int, emit func(relation.Tuple) error) error {
+	env := make([]relation.Value, c.nVars)
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == len(c.steps) {
+			t := make(relation.Tuple, len(c.head))
+			for i, h := range c.head {
+				if h.isConst {
+					t[i] = h.c
+				} else {
+					t[i] = env[h.varID]
+				}
+			}
+			return emit(t)
+		}
+		m := &c.steps[step]
+		switch m.lit.Kind {
+		case LitAtom:
+			var set *factSet
+			if !m.lit.Negated && m.occIndex == deltaOcc {
+				set = delta
+			} else {
+				set = fs(m.lit.Atom.Pred)
+			}
+			vals := make([]relation.Value, len(m.lookupCols))
+			for i, s := range m.lookupSrc {
+				vals[i] = s.value(env)
+			}
+			if m.lit.Negated {
+				if len(set.lookup(m.lookupCols, vals)) > 0 {
+					return nil
+				}
+				return rec(step + 1)
+			}
+			for _, pos := range set.lookup(m.lookupCols, vals) {
+				t := set.tuples[pos]
+				ok := true
+				for i, p := range m.bindPos {
+					v := t[p]
+					id := m.bindVar[i]
+					// A repeated fresh variable: the first binding in this
+					// atom wins; later occurrences must match.
+					already := false
+					for j := 0; j < i; j++ {
+						if m.bindVar[j] == id {
+							already = true
+							break
+						}
+					}
+					if already {
+						if !env[id].Equal(v) {
+							ok = false
+							break
+						}
+						continue
+					}
+					env[id] = v
+				}
+				if ok {
+					if err := rec(step + 1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		case LitCmp:
+			l := m.cmpL.value(env)
+			r := m.cmpR.value(env)
+			cv := l.Compare(r)
+			var pass bool
+			switch m.lit.Cmp {
+			case CmpEQ:
+				pass = cv == 0
+			case CmpNE:
+				pass = cv != 0
+			case CmpLT:
+				pass = cv < 0
+			case CmpLE:
+				pass = cv <= 0
+			case CmpGT:
+				pass = cv > 0
+			default:
+				pass = cv >= 0
+			}
+			if !pass {
+				return nil
+			}
+			return rec(step + 1)
+		default: // LitArith
+			a := m.aVal.value(env)
+			var out relation.Value
+			if m.lit.ArithOp == ArithNone {
+				out = a
+			} else {
+				b := m.bVal.value(env)
+				if a.Kind() != relation.KindInt || b.Kind() != relation.KindInt {
+					return nil // arithmetic on non-ints derives nothing
+				}
+				x, y := a.AsInt(), b.AsInt()
+				switch m.lit.ArithOp {
+				case ArithAdd:
+					out = relation.Int(x + y)
+				case ArithSub:
+					out = relation.Int(x - y)
+				case ArithMul:
+					out = relation.Int(x * y)
+				case ArithDiv:
+					if y == 0 {
+						return nil
+					}
+					out = relation.Int(x / y)
+				default:
+					if y == 0 {
+						return nil
+					}
+					out = relation.Int(x % y)
+				}
+			}
+			if m.outIsBound {
+				var want relation.Value
+				if m.outVar == -1 {
+					want = m.lit.Out.Val
+				} else {
+					want = env[m.outVar]
+				}
+				if !want.Equal(out) {
+					return nil
+				}
+				return rec(step + 1)
+			}
+			env[m.outVar] = out
+			return rec(step + 1)
+		}
+	}
+	return rec(0)
+}
+
+// evalAggregate evaluates an aggregate rule: the body is enumerated once
+// (its predicates are in strictly lower strata), bindings are grouped by the
+// non-aggregate head slots, and each aggregate ranges over the distinct
+// values of its variable within the group.
+func (e *Engine) evalAggregate(c *compiledRule, fs func(string) *factSet) error {
+	type group struct {
+		key  relation.Tuple
+		seen []map[string]relation.Value // per aggregate slot: distinct values
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	err := e.evalRule(c, fs, nil, -1, func(raw relation.Tuple) error {
+		e.Stats.RuleFirings++
+		key := make(relation.Tuple, len(c.groupIdx))
+		for i, gi := range c.groupIdx {
+			key[i] = raw[gi]
+		}
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key, seen: make([]map[string]relation.Value, len(c.aggIdx))}
+			for i := range g.seen {
+				g.seen[i] = make(map[string]relation.Value)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, ai := range c.aggIdx {
+			v := raw[ai]
+			g.seen[i][v.Encode()] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	out := fs(c.rule.Head.Pred)
+	for _, k := range order {
+		g := groups[k]
+		t := make(relation.Tuple, len(c.head))
+		for i, gi := range c.groupIdx {
+			t[gi] = g.key[i]
+		}
+		for i, ai := range c.aggIdx {
+			vals := make([]relation.Value, 0, len(g.seen[i]))
+			for _, v := range g.seen[i] {
+				vals = append(vals, v)
+			}
+			sort.Slice(vals, func(a, b int) bool { return vals[a].Compare(vals[b]) < 0 })
+			switch c.head[ai].agg {
+			case AggCount:
+				t[ai] = relation.Int(int64(len(vals)))
+			case AggSum:
+				var s int64
+				for _, v := range vals {
+					if v.Kind() == relation.KindInt {
+						s += v.AsInt()
+					}
+				}
+				t[ai] = relation.Int(s)
+			case AggMin:
+				if len(vals) == 0 {
+					return fmt.Errorf("datalog: min over empty group in %s", c.rule)
+				}
+				t[ai] = vals[0]
+			case AggMax:
+				if len(vals) == 0 {
+					return fmt.Errorf("datalog: max over empty group in %s", c.rule)
+				}
+				t[ai] = vals[len(vals)-1]
+			}
+		}
+		added, err := out.add(t)
+		if err != nil {
+			return err
+		}
+		if added {
+			e.Stats.FactsDerived++
+		}
+	}
+	return nil
+}
+
+// Facts returns the current tuples of a predicate (EDB or derived) as a
+// relation with a dynamically typed schema. Unknown predicates yield an
+// empty zero-arity relation.
+func (e *Engine) Facts(pred string) *relation.Relation {
+	if f, ok := e.facts[pred]; ok {
+		return f.relation()
+	}
+	ar := e.prog.Arities[pred]
+	return relation.New(anySchema(ar))
+}
+
+// Query runs the program against the given EDB and returns one predicate.
+func Query(prog *Program, edb map[string]*relation.Relation, pred string) (*relation.Relation, error) {
+	e, err := NewEngine(prog)
+	if err != nil {
+		return nil, err
+	}
+	for p, r := range edb {
+		if err := e.SetEDBRelation(p, r); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	return e.Facts(pred), nil
+}

@@ -1,0 +1,162 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestFactSetLookupPaths(t *testing.T) {
+	f := newFactSet(2)
+	for i := int64(0); i < 10; i++ {
+		added, err := f.add(relation.Tuple{relation.Int(i % 3), relation.Int(i)})
+		if err != nil || !added {
+			t.Fatalf("add %d: %v %v", i, added, err)
+		}
+	}
+	if added, _ := f.add(relation.Tuple{relation.Int(0), relation.Int(0)}); added {
+		t.Error("duplicate added")
+	}
+	// Unindexed scan.
+	if got := f.lookup(nil, nil); len(got) != 10 {
+		t.Errorf("full scan: %d", len(got))
+	}
+	// Index on column 0, then incremental maintenance.
+	if got := f.lookup([]int{0}, []relation.Value{relation.Int(0)}); len(got) != 4 {
+		t.Errorf("lookup col0=0: %d", len(got))
+	}
+	if _, err := f.add(relation.Tuple{relation.Int(0), relation.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.lookup([]int{0}, []relation.Value{relation.Int(0)}); len(got) != 5 {
+		t.Errorf("index not maintained: %d", len(got))
+	}
+	if _, err := f.add(relation.Tuple{relation.Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestEngineRejectsWrongArityEDBAtRun(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X, X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("q", []relation.Tuple{{relation.Int(1)}}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestNegationOverAggregate(t *testing.T) {
+	// Aggregation feeding negation across strata.
+	got := run(t, `
+		deg(X, count<Y>) :- edge(X, Y).
+		busy(X) :- deg(X, N), N >= 2.
+		quiet(X) :- node(X), not busy(X).
+	`, map[string][]relation.Tuple{
+		"edge": intTuples([]int64{1, 10}, []int64{1, 20}, []int64{2, 5}),
+		"node": intTuples([]int64{1}, []int64{2}, []int64{3}),
+	}, "quiet")
+	if got.Len() != 2 {
+		t.Fatalf("quiet: %s", got)
+	}
+	if got.Contains(relation.Tuple{relation.Int(1)}) {
+		t.Error("node 1 has degree 2, must be busy")
+	}
+}
+
+func TestAggregateOverEmptyGroupIsAbsent(t *testing.T) {
+	// A group with no facts simply does not appear (no empty-group min/max).
+	got := run(t, `deg(X, count<Y>) :- edge(X, Y).`,
+		map[string][]relation.Tuple{"edge": nil}, "deg")
+	if got.Len() != 0 {
+		t.Fatalf("deg over empty edges: %s", got)
+	}
+}
+
+func TestArithmeticChain(t *testing.T) {
+	// Note: '%' is the comment character in Datalog syntax, so there is no
+	// modulo operator; +, -, * and / chain through fresh variables.
+	got := run(t, `
+		r(W) :- v(X), Y = X + 1, Z = Y * 2, W = Z / 3.
+	`, map[string][]relation.Tuple{"v": intTuples([]int64{4})}, "r")
+	if got.Len() != 1 || got.Row(0)[0].AsInt() != 3 {
+		t.Fatalf("chain: %s", got)
+	}
+}
+
+func TestDivisionByZeroDerivesNothing(t *testing.T) {
+	got := run(t, `r(Y) :- v(X), Y = 1 / X.`,
+		map[string][]relation.Tuple{"v": intTuples([]int64{0}, []int64{2})}, "r")
+	if got.Len() != 1 || got.Row(0)[0].AsInt() != 0 {
+		t.Fatalf("div: %s", got)
+	}
+}
+
+func TestConstantInHeadAndBody(t *testing.T) {
+	got := run(t, `
+		tagged(1, X) :- v(X).
+		only5(X) :- v(X), X = 5.
+	`, map[string][]relation.Tuple{"v": intTuples([]int64{5}, []int64{6})}, "tagged")
+	if got.Len() != 2 {
+		t.Fatalf("tagged: %s", got)
+	}
+	for _, row := range got.Rows() {
+		if row[0].AsInt() != 1 {
+			t.Errorf("head constant: %s", row)
+		}
+	}
+}
+
+func TestStratumStatsAndFactsForUnknownPredicate(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Facts("nonexistent").Len() != 0 {
+		t.Error("unknown predicate should be empty")
+	}
+	if e.Facts("p").Len() != 0 {
+		t.Error("p should be empty with no EDB")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	prog := MustParse(`p(1). q(X) :- p(X).`)
+	s := prog.String()
+	if !strings.Contains(s, "p(1).") || !strings.Contains(s, "q(X) :- p(X).") {
+		t.Errorf("program string: %q", s)
+	}
+}
+
+func TestDeepRecursionTerminates(t *testing.T) {
+	var edges []relation.Tuple
+	for i := int64(0); i < 500; i++ {
+		edges = append(edges, relation.Tuple{relation.Int(i), relation.Int(i + 1)})
+	}
+	got := run(t, `
+		reach(Y) :- start(X), edge(X, Y).
+		reach(Z) :- reach(Y), edge(Y, Z).
+	`, map[string][]relation.Tuple{
+		"edge":  edges,
+		"start": intTuples([]int64{0}),
+	}, "reach")
+	if got.Len() != 500 {
+		t.Fatalf("reach: %d", got.Len())
+	}
+}
+
+func TestMixedTypesInPredicate(t *testing.T) {
+	// Dynamically typed predicates may mix ints and strings per column.
+	got := run(t, `out(X) :- v(X).`, map[string][]relation.Tuple{
+		"v": {{relation.Int(1)}, {relation.String("x")}},
+	}, "out")
+	if got.Len() != 2 {
+		t.Fatalf("mixed: %s", got)
+	}
+}

@@ -1,0 +1,371 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func run(t *testing.T, src string, edb map[string][]relation.Tuple, query string) *relation.Relation {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, rows := range edb {
+		if err := e.SetEDB(p, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Facts(query)
+}
+
+func intTuples(pairs ...[]int64) []relation.Tuple {
+	out := make([]relation.Tuple, len(pairs))
+	for i, p := range pairs {
+		tu := make(relation.Tuple, len(p))
+		for j, v := range p {
+			tu[j] = relation.Int(v)
+		}
+		out[i] = tu
+	}
+	return out
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	got := run(t, `
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`, map[string][]relation.Tuple{
+		"edge": intTuples([]int64{1, 2}, []int64{2, 3}, []int64{3, 4}),
+	}, "path")
+	if got.Len() != 6 {
+		t.Fatalf("path count = %d, want 6:\n%s", got.Len(), got)
+	}
+	if !got.Contains(relation.Tuple{relation.Int(1), relation.Int(4)}) {
+		t.Error("missing path(1,4)")
+	}
+}
+
+func TestCyclicGraphTerminates(t *testing.T) {
+	got := run(t, `
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`, map[string][]relation.Tuple{
+		"edge": intTuples([]int64{1, 2}, []int64{2, 1}),
+	}, "path")
+	if got.Len() != 4 {
+		t.Fatalf("cyclic closure = %d, want 4", got.Len())
+	}
+}
+
+func TestNegationStratified(t *testing.T) {
+	got := run(t, `
+		reach(X) :- source(X).
+		reach(Y) :- reach(X), edge(X, Y).
+		unreached(X) :- node(X), not reach(X).
+	`, map[string][]relation.Tuple{
+		"source": intTuples([]int64{1}),
+		"edge":   intTuples([]int64{1, 2}),
+		"node":   intTuples([]int64{1}, []int64{2}, []int64{3}),
+	}, "unreached")
+	want := intTuples([]int64{3})
+	if got.Len() != 1 || !got.Contains(want[0]) {
+		t.Fatalf("unreached = %s", got)
+	}
+}
+
+func TestBuiltinsAndArithmetic(t *testing.T) {
+	got := run(t, `
+		big(X) :- v(X), X >= 10.
+		double(Y) :- v(X), Y = X * 2.
+		offset(Z) :- v(X), Z = X - 1.
+		eqcheck(X) :- v(X), X = 5.
+	`, map[string][]relation.Tuple{
+		"v": intTuples([]int64{5}, []int64{10}, []int64{20}),
+	}, "big")
+	if got.Len() != 2 {
+		t.Errorf("big: %s", got)
+	}
+}
+
+func TestAssignmentBindsEitherDirection(t *testing.T) {
+	got := run(t, `
+		r(X, Y) :- v(X), Y = X.
+	`, map[string][]relation.Tuple{"v": intTuples([]int64{7})}, "r")
+	if got.Len() != 1 || got.Row(0)[1].AsInt() != 7 {
+		t.Fatalf("assignment: %s", got)
+	}
+}
+
+func TestStringConstants(t *testing.T) {
+	got := run(t, `
+		writes(TA, OBJ) :- history(TA, "w", OBJ).
+	`, map[string][]relation.Tuple{
+		"history": {
+			{relation.Int(1), relation.String("w"), relation.Int(9)},
+			{relation.Int(1), relation.String("r"), relation.Int(8)},
+			{relation.Int(2), relation.String("w"), relation.Int(7)},
+		},
+	}, "writes")
+	if got.Len() != 2 {
+		t.Fatalf("writes: %s", got)
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	got := run(t, `
+		touched(TA) :- history(TA, _, _).
+	`, map[string][]relation.Tuple{
+		"history": {
+			{relation.Int(1), relation.String("w"), relation.Int(9)},
+			{relation.Int(1), relation.String("r"), relation.Int(8)},
+			{relation.Int(2), relation.String("w"), relation.Int(7)},
+		},
+	}, "touched")
+	if got.Len() != 2 {
+		t.Fatalf("touched (set semantics): %s", got)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	got := run(t, `
+		selfloop(X) :- edge(X, X).
+	`, map[string][]relation.Tuple{
+		"edge": intTuples([]int64{1, 1}, []int64{1, 2}, []int64{3, 3}),
+	}, "selfloop")
+	if got.Len() != 2 {
+		t.Fatalf("selfloop: %s", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	edb := map[string][]relation.Tuple{
+		"edge": intTuples([]int64{1, 10}, []int64{1, 20}, []int64{1, 20}, []int64{2, 5}),
+	}
+	deg := run(t, `deg(X, count<Y>) :- edge(X, Y).`, edb, "deg")
+	if deg.Len() != 2 {
+		t.Fatalf("deg groups: %s", deg)
+	}
+	for _, row := range deg.Rows() {
+		x, n := row[0].AsInt(), row[1].AsInt()
+		if (x == 1 && n != 2) || (x == 2 && n != 1) {
+			t.Errorf("deg(%d) = %d", x, n)
+		}
+	}
+	sums := run(t, `s(X, sum<Y>) :- edge(X, Y).`, edb, "s")
+	for _, row := range sums.Rows() {
+		x, s := row[0].AsInt(), row[1].AsInt()
+		if (x == 1 && s != 30) || (x == 2 && s != 5) {
+			t.Errorf("sum(%d) = %d (distinct-value semantics)", x, s)
+		}
+	}
+	mm := run(t, `m(min<Y>, max<Y>) :- edge(_, Y).`, edb, "m")
+	if mm.Len() != 1 || mm.Row(0)[0].AsInt() != 5 || mm.Row(0)[1].AsInt() != 20 {
+		t.Errorf("min/max: %s", mm)
+	}
+}
+
+func TestAggregateFeedsLaterRule(t *testing.T) {
+	got := run(t, `
+		deg(X, count<Y>) :- edge(X, Y).
+		hub(X) :- deg(X, N), N >= 2.
+	`, map[string][]relation.Tuple{
+		"edge": intTuples([]int64{1, 10}, []int64{1, 20}, []int64{2, 5}),
+	}, "hub")
+	if got.Len() != 1 || got.Row(0)[0].AsInt() != 1 {
+		t.Fatalf("hub: %s", got)
+	}
+}
+
+func TestProgramFacts(t *testing.T) {
+	got := run(t, `
+		edge(1, 2).
+		edge(2, 3).
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`, nil, "path")
+	if got.Len() != 3 {
+		t.Fatalf("path from program facts: %s", got)
+	}
+}
+
+func TestSetEDBRejectsIDB(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("p", nil); err == nil {
+		t.Error("SetEDB on IDB accepted")
+	}
+	if err := e.SetEDB("q", intTuples([]int64{1, 2})); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := e.SetEDB("unrelated", intTuples([]int64{1})); err != nil {
+		t.Errorf("unknown EDB rejected: %v", err)
+	}
+}
+
+func TestEngineReusableAcrossRuns(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X), X > 1.`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("q", intTuples([]int64{1}, []int64{2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Facts("p").Len() != 1 {
+		t.Fatalf("run 1: %s", e.Facts("p"))
+	}
+	if err := e.SetEDB("q", intTuples([]int64{5}, []int64{6}, []int64{0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Facts("p").Len() != 2 {
+		t.Fatalf("run 2 (stale state?): %s", e.Facts("p"))
+	}
+}
+
+// naiveEqualsSemiNaive checks the two evaluation strategies agree on random
+// programs over random EDBs.
+func TestSemiNaiveEquivalentToNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		nNodes := 2 + rng.Intn(6)
+		var edges []relation.Tuple
+		for i := 0; i < rng.Intn(12); i++ {
+			edges = append(edges, relation.Tuple{
+				relation.Int(rng.Int63n(int64(nNodes))),
+				relation.Int(rng.Int63n(int64(nNodes))),
+			})
+		}
+		src := `
+			r(X, Y) :- edge(X, Y).
+			r(X, Z) :- r(X, Y), r(Y, Z).
+			nr(X, Y) :- node(X), node(Y), not r(X, Y).
+			loop(X) :- r(X, X).
+		`
+		var nodes []relation.Tuple
+		for i := 0; i < nNodes; i++ {
+			nodes = append(nodes, relation.Tuple{relation.Int(int64(i))})
+		}
+		edb := map[string][]relation.Tuple{"edge": edges, "node": nodes}
+
+		results := make([]*relation.Relation, 2)
+		for mode := 0; mode < 2; mode++ {
+			prog := MustParse(src)
+			e, err := NewEngine(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Naive = mode == 1
+			for p, rows := range edb {
+				if err := e.SetEDB(p, rows); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			all := relation.New(anySchema(3))
+			for _, pred := range []string{"r", "nr"} {
+				for _, tu := range e.Facts(pred).Rows() {
+					all.MustAppend(relation.Tuple{relation.String(pred), tu[0], tu[1]})
+				}
+			}
+			for _, tu := range e.Facts("loop").Rows() {
+				all.MustAppend(relation.Tuple{relation.String("loop"), tu[0], tu[0]})
+			}
+			results[mode] = all
+		}
+		if !results[0].Equal(results[1]) {
+			t.Fatalf("trial %d: semi-naive != naive\nedges: %v\nsemi:\n%s\nnaive:\n%s",
+				trial, edges, results[0], results[1])
+		}
+	}
+}
+
+func TestRunStatsPopulated(t *testing.T) {
+	prog := MustParse(`
+		p(X, Y) :- e(X, Y).
+		p(X, Z) :- p(X, Y), e(Y, Z).
+	`)
+	e, _ := NewEngine(prog)
+	if err := e.SetEDB("e", intTuples([]int64{1, 2}, []int64{2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.FactsDerived != 3 || e.Stats.Iterations < 2 {
+		t.Errorf("stats: %+v", e.Stats)
+	}
+}
+
+func TestQueryHelper(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	qrel := relation.New(anySchema(1))
+	qrel.MustAppend(relation.Tuple{relation.Int(1)})
+	got, err := Query(prog, map[string]*relation.Relation{"q": qrel}, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("query: %s", got)
+	}
+}
+
+func TestSameGenerationProgram(t *testing.T) {
+	// Classic non-linear recursion exercise for semi-naive evaluation.
+	got := run(t, `
+		sg(X, X) :- person(X).
+		sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).
+	`, map[string][]relation.Tuple{
+		"person": intTuples([]int64{1}, []int64{2}, []int64{3}, []int64{4}, []int64{5}, []int64{6}),
+		// 1,2 children of 5; 3,4 children of 6; 5,6 children of... none
+		"parent": intTuples([]int64{1, 5}, []int64{2, 5}, []int64{3, 6}, []int64{4, 6}),
+	}, "sg")
+	if !got.Contains(relation.Tuple{relation.Int(1), relation.Int(2)}) {
+		t.Error("siblings 1,2 not same generation")
+	}
+	if got.Contains(relation.Tuple{relation.Int(1), relation.Int(5)}) {
+		t.Error("parent/child wrongly same generation")
+	}
+}
+
+func ExampleQuery() {
+	prog := MustParse(`
+		qualified(TA) :- pending(TA), not blocked(TA).
+		blocked(TA) :- pending(TA), conflictswith(TA, Other), Other < TA.
+	`)
+	pending := relation.New(anySchema(1))
+	for _, ta := range []int64{1, 2} {
+		pending.MustAppend(relation.Tuple{relation.Int(ta)})
+	}
+	conflicts := relation.New(anySchema(2))
+	conflicts.MustAppend(relation.Tuple{relation.Int(2), relation.Int(1)})
+	out, err := Query(prog, map[string]*relation.Relation{
+		"pending": pending, "conflictswith": conflicts,
+	}, "qualified")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.Len(), "qualified")
+	// Output: 1 qualified
+}

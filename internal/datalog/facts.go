@@ -1,0 +1,135 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// factSet stores the tuples of one predicate with set semantics plus lazily
+// built hash indexes keyed by column subsets (the evaluator looks facts up
+// by whatever argument positions happen to be bound).
+type factSet struct {
+	arity  int
+	tuples []relation.Tuple
+	set    map[string]struct{}
+	// indexes: mask key ("0,2") -> value key -> tuple positions.
+	indexes map[string]map[string][]int
+}
+
+func newFactSet(arity int) *factSet {
+	return &factSet{
+		arity:   arity,
+		set:     make(map[string]struct{}),
+		indexes: make(map[string]map[string][]int),
+	}
+}
+
+// add inserts a tuple, returning true if it was new. Indexes are maintained
+// incrementally so they stay valid across semi-naive iterations.
+func (f *factSet) add(t relation.Tuple) (bool, error) {
+	if len(t) != f.arity {
+		return false, fmt.Errorf("datalog: arity mismatch: tuple %d vs predicate %d", len(t), f.arity)
+	}
+	k := t.Key()
+	if _, dup := f.set[k]; dup {
+		return false, nil
+	}
+	f.set[k] = struct{}{}
+	pos := len(f.tuples)
+	f.tuples = append(f.tuples, t)
+	for maskKey, idx := range f.indexes {
+		vk := valueKey(t, parseMask(maskKey))
+		idx[vk] = append(idx[vk], pos)
+	}
+	return true, nil
+}
+
+func (f *factSet) contains(t relation.Tuple) bool {
+	_, ok := f.set[t.Key()]
+	return ok
+}
+
+func (f *factSet) len() int { return len(f.tuples) }
+
+func maskKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseMask(key string) []int {
+	if key == "" {
+		return nil
+	}
+	parts := strings.Split(key, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i], _ = strconv.Atoi(p)
+	}
+	return out
+}
+
+func valueKey(t relation.Tuple, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(t[c].Encode())
+	}
+	return b.String()
+}
+
+// lookup returns positions of tuples matching the given values at the given
+// columns, building (and caching) an index on first use for that column set.
+func (f *factSet) lookup(cols []int, vals []relation.Value) []int {
+	if len(cols) == 0 {
+		all := make([]int, len(f.tuples))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	mk := maskKey(cols)
+	idx, ok := f.indexes[mk]
+	if !ok {
+		idx = make(map[string][]int, len(f.tuples))
+		for pos, t := range f.tuples {
+			vk := valueKey(t, cols)
+			idx[vk] = append(idx[vk], pos)
+		}
+		f.indexes[mk] = idx
+	}
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Encode())
+	}
+	return idx[b.String()]
+}
+
+// anySchema builds a dynamically typed schema (every column accepts any
+// kind) named arg0..argN-1.
+func anySchema(arity int) *relation.Schema {
+	cols := make([]relation.Column, arity)
+	for i := range cols {
+		cols[i] = relation.Column{Name: "arg" + strconv.Itoa(i), Kind: relation.KindNull}
+	}
+	return relation.NewSchema(cols...)
+}
+
+// relation converts the fact set to a Relation with an any-kind schema.
+func (f *factSet) relation() *relation.Relation {
+	out := relation.New(anySchema(f.arity))
+	for _, t := range f.tuples {
+		out.MustAppend(t)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package datalog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func edgesFromBytes(pairs []uint8) []relation.Tuple {
+	var out []relation.Tuple
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, relation.Tuple{
+			relation.Int(int64(pairs[i] % 6)),
+			relation.Int(int64(pairs[i+1] % 6)),
+		})
+	}
+	return out
+}
+
+// TestQuickClosureContainsEdgesAndIsTransitive: path ⊇ edge and path is
+// transitively closed, on random graphs.
+func TestQuickClosureContainsEdgesAndIsTransitive(t *testing.T) {
+	prog := MustParse(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), path(Y, Z).
+	`)
+	f := func(pairs []uint8) bool {
+		edges := edgesFromBytes(pairs)
+		e, err := NewEngine(prog)
+		if err != nil {
+			return false
+		}
+		if err := e.SetEDB("edge", edges); err != nil {
+			return false
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		path := e.Facts("path")
+		for _, tu := range edges {
+			if !path.Contains(tu) {
+				return false
+			}
+		}
+		// Transitivity: for all (a,b),(b,c) in path, (a,c) in path.
+		rows := path.Rows()
+		for _, ab := range rows {
+			for _, bc := range rows {
+				if ab[1].Equal(bc[0]) {
+					if !path.Contains(relation.Tuple{ab[0], bc[1]}) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegationPartitions: derived and negated derivations partition the
+// domain predicate, on random EDBs.
+func TestQuickNegationPartitions(t *testing.T) {
+	prog := MustParse(`
+		covered(X) :- dom(X), edge(X, _).
+		uncovered(X) :- dom(X), not covered(X).
+	`)
+	f := func(pairs []uint8) bool {
+		edges := edgesFromBytes(pairs)
+		var dom []relation.Tuple
+		for i := int64(0); i < 6; i++ {
+			dom = append(dom, relation.Tuple{relation.Int(i)})
+		}
+		e, err := NewEngine(prog)
+		if err != nil {
+			return false
+		}
+		if err := e.SetEDB("edge", edges); err != nil {
+			return false
+		}
+		if err := e.SetEDB("dom", dom); err != nil {
+			return false
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		cov, unc := e.Facts("covered"), e.Facts("uncovered")
+		if cov.Len()+unc.Len() != len(dom) {
+			return false
+		}
+		for _, tu := range cov.Rows() {
+			if unc.Contains(tu) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCountMatchesDistinctFanout: the count aggregate equals the number
+// of distinct successors, on random EDBs.
+func TestQuickCountMatchesDistinctFanout(t *testing.T) {
+	prog := MustParse(`deg(X, count<Y>) :- edge(X, Y).`)
+	f := func(pairs []uint8) bool {
+		edges := edgesFromBytes(pairs)
+		manual := map[int64]map[int64]bool{}
+		for _, tu := range edges {
+			x, y := tu[0].AsInt(), tu[1].AsInt()
+			if manual[x] == nil {
+				manual[x] = map[int64]bool{}
+			}
+			manual[x][y] = true
+		}
+		e, err := NewEngine(prog)
+		if err != nil {
+			return false
+		}
+		if err := e.SetEDB("edge", edges); err != nil {
+			return false
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		deg := e.Facts("deg")
+		if deg.Len() != len(manual) {
+			return false
+		}
+		for _, row := range deg.Rows() {
+			if int64(len(manual[row[0].AsInt()])) != row[1].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CrossoverPoint is one row of the Section 4.4 discussion: at a given client
+// count, does the native scheduler or the declarative scheduler cost less?
+type CrossoverPoint struct {
+	Clients         int
+	NativeOverheadS float64 // Figure 2: MU time − SU replay time
+	DeclRoundS      float64 // measured declarative round time
+	DeclRuns        int     // rounds needed to drain the MU workload
+	DeclTotalS      float64 // DeclRuns × DeclRoundS
+	Winner          string  // "native" or "declarative"
+}
+
+// Crossover combines the Figure 2 simulation with the measured declarative
+// round times (Section 4.3) to locate the concurrency level beyond which
+// set-at-a-time declarative scheduling beats the native lock-based scheduler
+// — the paper's headline observation ("For 500 concurrent clients, the
+// set-at-a-time approach ... is faster than a native scheduler").
+func Crossover(clients []int, scale float64, declCfg DeclOverheadConfig) ([]CrossoverPoint, error) {
+	fig2 := Figure2(clients, scale)
+	byClients := make(map[int]Figure2Point, len(fig2))
+	for _, p := range fig2 {
+		byClients[p.Clients] = p
+	}
+	declCfg.Clients = clients
+	decl, err := DeclOverhead(declCfg, func(c int) int64 {
+		// Scale the simulated statement count back up to the paper's full
+		// 240 s budget so totals are comparable across scales.
+		return int64(float64(byClients[c].Result.CommittedStatements) / scale)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []CrossoverPoint
+	for _, d := range decl {
+		if d.Engine != "datalog" {
+			continue // one engine for the headline series; SQL is reported by DeclOverhead
+		}
+		f := byClients[d.Clients]
+		nativeS := f.OverheadSeconds / scale // rescale to full budget
+		pt := CrossoverPoint{
+			Clients:         d.Clients,
+			NativeOverheadS: nativeS,
+			DeclRoundS:      d.RoundTime.Seconds(),
+			DeclRuns:        d.RunsToDrain,
+			DeclTotalS:      float64(d.RunsToDrain) * d.RoundTime.Seconds(),
+		}
+		if pt.DeclTotalS < pt.NativeOverheadS {
+			pt.Winner = "declarative"
+		} else {
+			pt.Winner = "native"
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatCrossover renders the comparison.
+func FormatCrossover(points []CrossoverPoint) string {
+	var b strings.Builder
+	b.WriteString("Section 4.4: native vs declarative total scheduling overhead\n\n")
+	fmt.Fprintf(&b, "%8s %16s %14s %10s %16s %12s\n",
+		"clients", "native ovhd (s)", "decl round", "runs", "decl total (s)", "winner")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %16.1f %14s %10d %16.1f %12s\n",
+			p.Clients, p.NativeOverheadS,
+			time.Duration(p.DeclRoundS*float64(time.Second)).Round(10*time.Microsecond),
+			p.DeclRuns, p.DeclTotalS, p.Winner)
+	}
+	b.WriteString("\npaper: native wins at 300 clients (46 s vs 1314 s);\n")
+	b.WriteString("       declarative wins at 500 clients (106 s vs 225 s)\n")
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/request"
+)
+
+// DeclPoint is one measurement of Section 4.3: the cost of one declarative
+// scheduling round at a given client count.
+type DeclPoint struct {
+	Clients     int
+	Engine      string // "sql" or "datalog"
+	RoundTime   time.Duration
+	Qualified   int
+	Pending     int
+	HistoryRows int
+	// RunsToDrain and TotalOverhead extrapolate like Section 4.3.2: how many
+	// scheduler runs the multi-user workload of this client count would
+	// need, and the total scheduling time that implies.
+	RunsToDrain   int
+	TotalOverhead time.Duration
+}
+
+// BuildMidpointInstance reconstructs the paper's measurement setup: "the
+// history table was filled with half of the requests of the corresponding
+// workload, without requests of committed transactions" — i.e. each of the
+// n concurrently active transactions has executed histPerTA of its
+// statements (none have committed), and the pending table holds each
+// transaction's next request.
+func BuildMidpointInstance(n int, objects int64, histPerTA int, seed int64) (pending, history []request.Request) {
+	rng := rand.New(rand.NewSource(seed))
+	id := int64(1)
+	nextOp := func(ta, intra int64) request.Request {
+		op := request.Read
+		if rng.Intn(2) == 0 {
+			op = request.Write
+		}
+		r := request.Request{ID: id, TA: ta, IntraTA: intra, Op: op, Object: rng.Int63n(objects)}
+		id++
+		return r
+	}
+	for ta := int64(1); ta <= int64(n); ta++ {
+		for k := 0; k < histPerTA; k++ {
+			history = append(history, nextOp(ta, int64(k)))
+		}
+	}
+	for ta := int64(1); ta <= int64(n); ta++ {
+		pending = append(pending, nextOp(ta, int64(histPerTA)))
+	}
+	return pending, history
+}
+
+// measureRound times one full declarative scheduling round, covering exactly
+// the paper's measured steps: reading the statements from the incoming
+// queue, inserting them into the pending request store, executing the
+// protocol query, deleting the qualified statements from the pending store
+// and inserting them into the history store.
+func measureRound(p protocol.Protocol, incoming, history []request.Request) (time.Duration, int, error) {
+	start := time.Now()
+	pending := make([]request.Request, len(incoming))
+	copy(pending, incoming) // incoming queue -> pending request database
+	qualified, err := p.Qualify(pending, history)
+	if err != nil {
+		return 0, 0, err
+	}
+	qk := protocol.KeySet(qualified)
+	kept := pending[:0]
+	for _, r := range pending {
+		if !qk[r.Key()] {
+			kept = append(kept, r)
+		}
+	}
+	hist := append(append([]request.Request(nil), history...), qualified...)
+	_ = hist
+	return time.Since(start), len(qualified), nil
+}
+
+// DeclOverheadConfig parameterises the Section 4.3 harness.
+type DeclOverheadConfig struct {
+	Clients []int
+	// Objects is the table size (paper: 100 000).
+	Objects int64
+	// HistPerTA is how many statements each live transaction has already
+	// executed (paper midpoint: 20 of 40).
+	HistPerTA int
+	// Reps averages the round time over repetitions.
+	Reps int
+	Seed int64
+}
+
+// DefaultDeclOverheadConfig mirrors Section 4.3.2.
+func DefaultDeclOverheadConfig() DeclOverheadConfig {
+	return DeclOverheadConfig{
+		Clients:   []int{100, 200, 300, 400, 500, 600},
+		Objects:   100000,
+		HistPerTA: 20,
+		Reps:      5,
+		Seed:      42,
+	}
+}
+
+// DeclOverhead measures the declarative SS2PL round cost for both engines
+// (the paper's SQL Listing 1 and the Datalog scheduler language) and
+// extrapolates total scheduling overhead for the corresponding multi-user
+// workloads, as Section 4.3.2 does. The totalStatements function maps a
+// client count to the statements the multi-user run executes (from the
+// Figure 2 simulation); pass nil to use the paper's own anchor arithmetic.
+func DeclOverhead(cfg DeclOverheadConfig, totalStatements func(clients int) int64) ([]DeclPoint, error) {
+	engines := []struct {
+		name string
+		p    protocol.Protocol
+	}{
+		{"sql", protocol.SS2PLSQL()},
+		{"datalog", protocol.SS2PLDatalog()},
+	}
+	var out []DeclPoint
+	for _, n := range cfg.Clients {
+		pending, history := BuildMidpointInstance(n, cfg.Objects, cfg.HistPerTA, cfg.Seed)
+		for _, eng := range engines {
+			var total time.Duration
+			var qualified int
+			for rep := 0; rep < cfg.Reps; rep++ {
+				d, q, err := measureRound(eng.p, pending, history)
+				if err != nil {
+					return nil, fmt.Errorf("declovh: %s at %d clients: %w", eng.name, n, err)
+				}
+				total += d
+				qualified = q
+			}
+			pt := DeclPoint{
+				Clients:     n,
+				Engine:      eng.name,
+				RoundTime:   total / time.Duration(cfg.Reps),
+				Qualified:   qualified,
+				Pending:     len(pending),
+				HistoryRows: len(history),
+			}
+			perRound := qualified
+			if perRound == 0 {
+				perRound = 1
+			}
+			var stmts int64
+			if totalStatements != nil {
+				stmts = totalStatements(n)
+			} else {
+				// The paper's own arithmetic: qualified ~ clients/2 and the
+				// measured multi-user statement counts at its two anchors.
+				switch {
+				case n <= 300:
+					stmts = 550055
+				default:
+					stmts = 48267
+				}
+				perRound = n / 2
+			}
+			pt.RunsToDrain = int(stmts / int64(perRound))
+			pt.TotalOverhead = time.Duration(pt.RunsToDrain) * pt.RoundTime
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// FormatDeclOverhead renders the Section 4.3.2 comparison.
+func FormatDeclOverhead(points []DeclPoint) string {
+	var b strings.Builder
+	b.WriteString("Section 4.3.2: declarative scheduling overhead (SS2PL as a query)\n\n")
+	fmt.Fprintf(&b, "%8s %9s %12s %10s %10s %10s %14s\n",
+		"clients", "engine", "round time", "pending", "history", "qualified", "total overhead")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %9s %12s %10d %10d %10d %14s\n",
+			p.Clients, p.Engine, p.RoundTime.Round(10*time.Microsecond),
+			p.Pending, p.HistoryRows, p.Qualified,
+			p.TotalOverhead.Round(time.Millisecond))
+	}
+	b.WriteString("\npaper anchors: 358 ms/round at 300 clients (extrapolated total 1314 s),\n")
+	b.WriteString("               545 ms/round at 500 clients (extrapolated total 106 s)\n")
+	return b.String()
+}

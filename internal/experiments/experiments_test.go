@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	byName := map[string]Approach{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Spot-check the paper's matrix.
+	if g := byName["Ganymed"]; !g.P || g.QoS || g.D || g.F || !g.HS {
+		t.Errorf("Ganymed row: %+v", g)
+	}
+	if w := byName["WebQoS"]; !w.P || !w.QoS || w.D || !w.F || w.HS {
+		t.Errorf("WebQoS row: %+v", w)
+	}
+	// No related approach is declarative; only ours is.
+	for _, r := range rows {
+		if r.D && !r.IsOurContribution {
+			t.Errorf("%s marked declarative", r.Name)
+		}
+	}
+	out := FormatTable1()
+	for _, name := range []string{"EQMS", "QShuffler", "Declarative"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("format missing %s", name)
+		}
+	}
+	if !strings.Contains(FormatTable2(), "INTRATA") {
+		t.Error("table 2 missing INTRATA")
+	}
+}
+
+func TestFigure2ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	points := Figure2([]int{1, 100, 300, 500, 600}, 0.1)
+	by := map[int]Figure2Point{}
+	for _, p := range points {
+		by[p.Clients] = p
+	}
+	// Shape assertions from the paper's curve:
+	// ~100% at 1 client, modest growth to 300, explosion by 500-600.
+	if r := by[1].RatioPct; r < 100 || r > 130 {
+		t.Errorf("1 client ratio %.0f%%", r)
+	}
+	if by[100].RatioPct >= by[300].RatioPct {
+		t.Errorf("ratio must grow: %.0f%% -> %.0f%%", by[100].RatioPct, by[300].RatioPct)
+	}
+	if by[500].RatioPct < 2*by[300].RatioPct {
+		t.Errorf("no explosion: 300 -> %.0f%%, 500 -> %.0f%%", by[300].RatioPct, by[500].RatioPct)
+	}
+	if by[600].RatioPct < by[500].RatioPct {
+		t.Errorf("ratio must keep growing: %.0f%% -> %.0f%%", by[500].RatioPct, by[600].RatioPct)
+	}
+	// Statement throughput collapses at high client counts, as in the paper
+	// (550055 at 300 clients vs 48267 at 500).
+	if by[500].Result.CommittedStatements*2 > by[300].Result.CommittedStatements {
+		t.Errorf("throughput collapse missing: %d vs %d",
+			by[300].Result.CommittedStatements, by[500].Result.CommittedStatements)
+	}
+	if !strings.Contains(FormatFigure2(points), "paper anchors") {
+		t.Error("format missing anchors")
+	}
+}
+
+func TestBuildMidpointInstance(t *testing.T) {
+	pending, history := BuildMidpointInstance(10, 1000, 20, 1)
+	if len(pending) != 10 || len(history) != 200 {
+		t.Fatalf("sizes: %d pending, %d history", len(pending), len(history))
+	}
+	for _, h := range history {
+		if h.Op.IsTermination() {
+			t.Fatal("history must contain no terminations (no committed txns)")
+		}
+	}
+	seen := map[int64]bool{}
+	for _, p := range pending {
+		if seen[p.TA] {
+			t.Fatalf("duplicate pending TA %d", p.TA)
+		}
+		seen[p.TA] = true
+		if p.IntraTA != 20 {
+			t.Errorf("pending intrata %d", p.IntraTA)
+		}
+	}
+}
+
+func TestDeclOverheadBothEngines(t *testing.T) {
+	cfg := DeclOverheadConfig{Clients: []int{20, 50}, Objects: 2000, HistPerTA: 5, Reps: 2, Seed: 1}
+	points, err := DeclOverhead(cfg, func(int) int64 { return 1000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points: %d", len(points))
+	}
+	var sqlQ, dlQ [2]int
+	i := map[string]*int{"sql": new(int), "datalog": new(int)}
+	_ = i
+	for _, p := range points {
+		if p.RoundTime <= 0 {
+			t.Errorf("non-positive round time: %+v", p)
+		}
+		if p.Qualified <= 0 || p.Qualified > p.Pending {
+			t.Errorf("qualified out of range: %+v", p)
+		}
+		if p.RunsToDrain <= 0 || p.TotalOverhead <= 0 {
+			t.Errorf("extrapolation: %+v", p)
+		}
+		switch {
+		case p.Engine == "sql" && p.Clients == 20:
+			sqlQ[0] = p.Qualified
+		case p.Engine == "datalog" && p.Clients == 20:
+			dlQ[0] = p.Qualified
+		case p.Engine == "sql" && p.Clients == 50:
+			sqlQ[1] = p.Qualified
+		case p.Engine == "datalog" && p.Clients == 50:
+			dlQ[1] = p.Qualified
+		}
+	}
+	if sqlQ != dlQ {
+		t.Errorf("engines disagree on qualified counts: sql %v datalog %v", sqlQ, dlQ)
+	}
+	if !strings.Contains(FormatDeclOverhead(points), "round time") {
+		t.Error("format broken")
+	}
+}
+
+func TestCrossoverOrderingMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DeclOverheadConfig{Objects: 100000, HistPerTA: 20, Reps: 2, Seed: 1}
+	points, err := Crossover([]int{100, 600}, 0.05, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points: %d", len(points))
+	}
+	// The paper's ordering: at low concurrency the native scheduler's
+	// overhead is tiny; at very high concurrency the declarative scheduler's
+	// total cost must be competitive (its per-round cost is amortised over
+	// batches while the native scheduler thrashes).
+	low, high := points[0], points[1]
+	if low.Clients != 100 || high.Clients != 600 {
+		t.Fatalf("order: %+v", points)
+	}
+	lowAdv := low.NativeOverheadS / low.DeclTotalS
+	highAdv := high.NativeOverheadS / high.DeclTotalS
+	if highAdv <= lowAdv {
+		t.Errorf("declarative must gain ground with concurrency: advantage %.3f -> %.3f", lowAdv, highAdv)
+	}
+	if !strings.Contains(FormatCrossover(points), "winner") {
+		t.Error("format broken")
+	}
+}
+
+func TestProductivityDatalogSmallest(t *testing.T) {
+	rows := Productivity()
+	var dl, sql, imp int
+	for _, r := range rows {
+		switch {
+		case strings.Contains(r.Artifact, "Datalog (rules.SS2PLDatalog)"):
+			dl = r.Lines
+		case strings.Contains(r.Artifact, "Listing 1"):
+			sql = r.Lines
+		case strings.Contains(r.Artifact, "imperative"):
+			imp = r.Lines
+		}
+	}
+	if dl == 0 || sql == 0 {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	if dl >= sql {
+		t.Errorf("Datalog (%d lines) should be more succinct than SQL (%d), the paper's future-work premise", dl, sql)
+	}
+	if imp > 0 && dl >= imp {
+		t.Errorf("Datalog (%d lines) should be smaller than imperative Go (%d)", dl, imp)
+	}
+	if !strings.Contains(FormatProductivity(), "SS2PL") {
+		t.Error("format broken")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Figure2Point is one x-position of paper Figure 2.
+type Figure2Point struct {
+	Clients  int
+	Result   sim.Result
+	RatioPct float64
+	// OverheadSeconds is the native scheduler overhead (MU time − SU replay
+	// time), the quantity the paper derives from this experiment (46 s at
+	// 300 clients, 225 s at 500).
+	OverheadSeconds float64
+}
+
+// DefaultFigure2Clients is the x-axis of the paper's plot (1 to 600).
+var DefaultFigure2Clients = []int{1, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600}
+
+// Figure2 runs the multi-user/single-user comparison for each client count.
+// scale shrinks the virtual budget (1 = the paper's full 240 s; tests and
+// benchmarks use smaller scales — the ratio is budget-invariant once enough
+// transactions complete).
+func Figure2(clients []int, scale float64) []Figure2Point {
+	if scale <= 0 {
+		scale = 1
+	}
+	out := make([]Figure2Point, 0, len(clients))
+	for _, c := range clients {
+		cfg := sim.PaperSimConfig(c)
+		cfg.BudgetTicks = int64(float64(cfg.BudgetTicks) * scale)
+		r := sim.Run(cfg)
+		out = append(out, Figure2Point{
+			Clients:         c,
+			Result:          r,
+			RatioPct:        r.RatioPct(),
+			OverheadSeconds: float64(r.OverheadTicks()) / 1e6,
+		})
+	}
+	return out
+}
+
+// FormatFigure2 renders the series as the paper's plot data (log-scale y in
+// the paper; we print the raw percentages plus the anchor quantities the
+// text reports).
+func FormatFigure2(points []Figure2Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: execution time multi-user / execution time single-user (%)\n")
+	b.WriteString("          (single-user = 100%)\n\n")
+	fmt.Fprintf(&b, "%8s %12s %10s %12s %12s %10s\n",
+		"clients", "MU stmts", "ratio %", "SU time s", "overhead s", "deadlocks")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %12d %10.0f %12.1f %12.1f %10d\n",
+			p.Clients, p.Result.CommittedStatements, p.RatioPct,
+			float64(p.Result.SUTicks)/1e6, p.OverheadSeconds, p.Result.Deadlocks)
+	}
+	b.WriteString("\npaper anchors: 300 clients -> 550055 stmts/240s, SU 194s, overhead 46s (ratio 124%)\n")
+	b.WriteString("               500 clients -> 48267 stmts/240s, SU 15s, overhead 225s (ratio 1600%)\n")
+	return b.String()
+}

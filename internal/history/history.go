@@ -1,0 +1,73 @@
+// Package history implements the scheduler's history database (paper Figure
+// 1): all relevant prior executed requests, from which "all necessary
+// information about the current database state etc. can be obtained". Under
+// SS2PL the relevant entries are exactly those of unfinished transactions —
+// committed and aborted transactions hold no locks — so garbage collection
+// drops whole transactions once terminated (the paper's experiment likewise
+// fills the history "without requests of committed transactions").
+package history
+
+import (
+	"repro/internal/request"
+)
+
+// Store holds the live history and, optionally, the full execution log.
+type Store struct {
+	live     []request.Request
+	finished map[int64]bool
+
+	keepLog bool
+	log     []request.Request
+}
+
+// New creates a store. With keepLog, every appended request is also retained
+// in an append-only log (used by tests to verify serializability; the paper's
+// scheduler would not keep it).
+func New(keepLog bool) *Store {
+	return &Store{finished: make(map[int64]bool), keepLog: keepLog}
+}
+
+// Append records executed requests in execution order.
+func (s *Store) Append(rs ...request.Request) {
+	for _, r := range rs {
+		s.live = append(s.live, r)
+		if r.Op.IsTermination() {
+			s.finished[r.TA] = true
+		}
+		if s.keepLog {
+			s.log = append(s.log, r)
+		}
+	}
+}
+
+// Live returns the live history slice. Callers must not mutate it.
+func (s *Store) Live() []request.Request { return s.live }
+
+// Log returns the full execution log (nil unless keepLog).
+func (s *Store) Log() []request.Request { return s.log }
+
+// Len returns the live history size.
+func (s *Store) Len() int { return len(s.live) }
+
+// Finished reports whether ta has terminated.
+func (s *Store) Finished(ta int64) bool { return s.finished[ta] }
+
+// GC removes every request belonging to a finished transaction and returns
+// how many were removed. The execution log is unaffected.
+func (s *Store) GC() int {
+	kept := s.live[:0]
+	removed := 0
+	for _, r := range s.live {
+		if s.finished[r.TA] {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so the backing array does not pin removed requests.
+	for i := len(kept); i < len(s.live); i++ {
+		s.live[i] = request.Request{}
+	}
+	s.live = kept
+	return removed
+}

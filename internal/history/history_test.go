@@ -1,0 +1,62 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/request"
+)
+
+func TestAppendAndGC(t *testing.T) {
+	s := New(true)
+	s.Append(
+		request.Request{ID: 1, TA: 1, Op: request.Write, Object: 3},
+		request.Request{ID: 2, TA: 2, Op: request.Read, Object: 4},
+		request.Request{ID: 3, TA: 1, Op: request.Commit, Object: request.NoObject},
+	)
+	if s.Len() != 3 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	if !s.Finished(1) || s.Finished(2) {
+		t.Error("finished tracking wrong")
+	}
+	removed := s.GC()
+	if removed != 2 || s.Len() != 1 {
+		t.Fatalf("GC removed %d, left %d", removed, s.Len())
+	}
+	if s.Live()[0].TA != 2 {
+		t.Errorf("wrong survivor: %v", s.Live())
+	}
+	if len(s.Log()) != 3 {
+		t.Errorf("log must be unaffected by GC: %d", len(s.Log()))
+	}
+}
+
+func TestGCIdempotent(t *testing.T) {
+	s := New(false)
+	s.Append(request.Request{ID: 1, TA: 1, Op: request.Write, Object: 0})
+	if n := s.GC(); n != 0 {
+		t.Fatalf("GC of live txn removed %d", n)
+	}
+	s.Append(request.Request{ID: 2, TA: 1, Op: request.Abort, Object: request.NoObject})
+	if n := s.GC(); n != 2 {
+		t.Fatalf("GC after abort removed %d", n)
+	}
+	if n := s.GC(); n != 0 {
+		t.Fatalf("second GC removed %d", n)
+	}
+	if s.Log() != nil {
+		t.Error("log kept despite keepLog=false")
+	}
+}
+
+func TestLateArrivalOfFinishedTA(t *testing.T) {
+	// A request of an already-finished TA (out-of-order arrival) is
+	// collected on the next GC.
+	s := New(false)
+	s.Append(request.Request{ID: 1, TA: 5, Op: request.Commit, Object: request.NoObject})
+	s.GC()
+	s.Append(request.Request{ID: 2, TA: 5, Op: request.Read, Object: 1})
+	if n := s.GC(); n != 1 {
+		t.Fatalf("late arrival not collected: %d", n)
+	}
+}

@@ -1,0 +1,354 @@
+// Package lock implements the native lock-based scheduler of the "server"
+// in the paper's experiments: a strict two-phase lock manager with shared
+// and exclusive modes, FIFO queuing, lock upgrades and waits-for deadlock
+// detection with youngest-victim abort. The middleware's declarative
+// scheduler competes against exactly this component (paper Section 4.2,
+// "the native, lock-based scheduler of the DBMS").
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned to a transaction chosen as deadlock victim; the
+// caller must abort the transaction (release all its locks).
+var ErrDeadlock = errors.New("lock: deadlock victim")
+
+// ErrShutdown is returned to waiters when the manager shuts down.
+var ErrShutdown = errors.New("lock: manager shut down")
+
+type waiter struct {
+	ta    int64
+	mode  Mode
+	ready chan error
+}
+
+type lockState struct {
+	holders map[int64]Mode
+	queue   []*waiter
+}
+
+// Manager is a lock table. It is safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	locks    map[int64]*lockState
+	waitsOn  map[int64]int64 // waiting ta -> object it waits for
+	held     map[int64]map[int64]bool
+	shutdown bool
+
+	// Stats are monotonic counters, read via Stats().
+	acquires  int64
+	waits     int64
+	deadlocks int64
+}
+
+// NewManager creates an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		locks:   make(map[int64]*lockState),
+		waitsOn: make(map[int64]int64),
+		held:    make(map[int64]map[int64]bool),
+	}
+}
+
+// Stats reports (acquisitions, blocking waits, deadlocks) so far.
+func (m *Manager) Stats() (acquires, waits, deadlocks int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acquires, m.waits, m.deadlocks
+}
+
+// Acquire takes the lock on object in the given mode for transaction ta,
+// blocking until granted. It returns ErrDeadlock if ta was chosen as a
+// deadlock victim while waiting (the caller must then release all of ta's
+// locks via ReleaseAll).
+func (m *Manager) Acquire(ta, object int64, mode Mode) error {
+	m.mu.Lock()
+	if m.shutdown {
+		m.mu.Unlock()
+		return ErrShutdown
+	}
+	m.acquires++
+	st := m.locks[object]
+	if st == nil {
+		st = &lockState{holders: make(map[int64]Mode)}
+		m.locks[object] = st
+	}
+	if m.grantable(st, ta, mode) {
+		m.grant(st, ta, object, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait.
+	m.waits++
+	w := &waiter{ta: ta, mode: mode, ready: make(chan error, 1)}
+	st.queue = append(st.queue, w)
+	m.waitsOn[ta] = object
+	if victim := m.detectDeadlock(ta); victim != 0 {
+		m.deadlocks++
+		m.abortWaiter(victim)
+	}
+	m.mu.Unlock()
+	err := <-w.ready
+	return err
+}
+
+// grantable reports whether ta may take the lock in mode right now. A
+// transaction already holding the lock may re-take it in the same or weaker
+// mode, and may upgrade S->X when it is the only holder. To preserve FIFO
+// fairness, a fresh request is only grantable when no incompatible waiters
+// are queued ahead (upgrades bypass the queue, as is conventional, to avoid
+// trivial upgrade deadlocks).
+func (m *Manager) grantable(st *lockState, ta int64, mode Mode) bool {
+	if cur, ok := st.holders[ta]; ok {
+		if mode == Shared || cur == Exclusive {
+			return true
+		}
+		// Upgrade S -> X: sole holder only.
+		return len(st.holders) == 1
+	}
+	if len(st.queue) > 0 {
+		return false
+	}
+	if mode == Shared {
+		for _, hm := range st.holders {
+			if hm == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	return len(st.holders) == 0
+}
+
+func (m *Manager) grant(st *lockState, ta, object int64, mode Mode) {
+	if cur, ok := st.holders[ta]; !ok || mode > cur {
+		st.holders[ta] = mode
+	}
+	if m.held[ta] == nil {
+		m.held[ta] = make(map[int64]bool)
+	}
+	m.held[ta][object] = true
+	delete(m.waitsOn, ta)
+}
+
+// ReleaseAll drops every lock held by ta and wakes eligible waiters; it also
+// removes ta from any wait queue (used when a victim aborts).
+func (m *Manager) ReleaseAll(ta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Remove from wait queues first.
+	if obj, waiting := m.waitsOn[ta]; waiting {
+		if st := m.locks[obj]; st != nil {
+			for i, w := range st.queue {
+				if w.ta == ta {
+					st.queue = append(st.queue[:i], st.queue[i+1:]...)
+					w.ready <- ErrDeadlock
+					break
+				}
+			}
+		}
+		delete(m.waitsOn, ta)
+	}
+	for obj := range m.held[ta] {
+		st := m.locks[obj]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, ta)
+		m.wake(st, obj)
+		if len(st.holders) == 0 && len(st.queue) == 0 {
+			delete(m.locks, obj)
+		}
+	}
+	delete(m.held, ta)
+}
+
+// wake grants to the longest-waiting compatible prefix of the queue.
+func (m *Manager) wake(st *lockState, object int64) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		if !m.grantableIgnoringQueue(st, w.ta, w.mode) {
+			return
+		}
+		st.queue = st.queue[1:]
+		m.grant(st, w.ta, object, w.mode)
+		w.ready <- nil
+	}
+}
+
+// grantableIgnoringQueue is grantable without the FIFO check (used when
+// popping the queue head itself).
+func (m *Manager) grantableIgnoringQueue(st *lockState, ta int64, mode Mode) bool {
+	if cur, ok := st.holders[ta]; ok {
+		if mode == Shared || cur == Exclusive {
+			return true
+		}
+		return len(st.holders) == 1
+	}
+	if mode == Shared {
+		for _, hm := range st.holders {
+			if hm == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	return len(st.holders) == 0
+}
+
+// detectDeadlock looks for a cycle through the waits-for graph reachable
+// from start and returns the victim (the youngest — largest — transaction on
+// the cycle that is currently waiting), or 0 if no cycle exists.
+func (m *Manager) detectDeadlock(start int64) int64 {
+	// Edges: waiting ta -> holders of the object it waits on, and -> waiters
+	// queued ahead of it in incompatible modes.
+	adj := func(ta int64) []int64 {
+		obj, waiting := m.waitsOn[ta]
+		if !waiting {
+			return nil
+		}
+		st := m.locks[obj]
+		if st == nil {
+			return nil
+		}
+		var out []int64
+		for h := range st.holders {
+			if h != ta {
+				out = append(out, h)
+			}
+		}
+		for _, w := range st.queue {
+			if w.ta == ta {
+				break
+			}
+			out = append(out, w.ta)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int64]int)
+	parent := make(map[int64]int64)
+	var cycle []int64
+	var dfs func(u int64) bool
+	dfs = func(u int64) bool {
+		color[u] = grey
+		for _, v := range adj(u) {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				cycle = []int64{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	if !dfs(start) {
+		return 0
+	}
+	victim := int64(0)
+	for _, ta := range cycle {
+		if _, waiting := m.waitsOn[ta]; waiting && ta > victim {
+			victim = ta
+		}
+	}
+	return victim
+}
+
+// abortWaiter removes the victim from its wait queue and signals ErrDeadlock.
+func (m *Manager) abortWaiter(ta int64) {
+	obj, waiting := m.waitsOn[ta]
+	if !waiting {
+		return
+	}
+	st := m.locks[obj]
+	if st == nil {
+		return
+	}
+	for i, w := range st.queue {
+		if w.ta == ta {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			delete(m.waitsOn, ta)
+			w.ready <- ErrDeadlock
+			// Removing a queue head may unblock compatible waiters behind it.
+			m.wake(st, obj)
+			return
+		}
+	}
+}
+
+// Shutdown fails all current and future waiters.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shutdown = true
+	for obj, st := range m.locks {
+		for _, w := range st.queue {
+			delete(m.waitsOn, w.ta)
+			w.ready <- ErrShutdown
+		}
+		st.queue = nil
+		_ = obj
+	}
+}
+
+// Holding reports the objects ta currently holds, for tests.
+func (m *Manager) Holding(ta int64) []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int64
+	for obj := range m.held[ta] {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DebugString renders the lock table (tests and diagnostics).
+func (m *Manager) DebugString() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var objs []int64
+	for obj := range m.locks {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	s := ""
+	for _, obj := range objs {
+		st := m.locks[obj]
+		s += fmt.Sprintf("obj %d: holders=%v queue=%d\n", obj, st.holders, len(st.queue))
+	}
+	return s
+}

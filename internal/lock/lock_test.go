@@ -1,0 +1,250 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestExclusiveBlocksAndFIFOWake(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int64, 2)
+	var wg sync.WaitGroup
+	for _, ta := range []int64{2, 3} {
+		wg.Add(1)
+		go func(ta int64) {
+			defer wg.Done()
+			if err := m.Acquire(ta, 10, Exclusive); err != nil {
+				t.Errorf("ta%d: %v", ta, err)
+				return
+			}
+			order <- ta
+			m.ReleaseAll(ta)
+		}(ta)
+		time.Sleep(20 * time.Millisecond) // establish queue order
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	close(order)
+	var got []int64
+	for ta := range order {
+		got = append(got, ta)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("wake order %v, want [2 3]", got)
+	}
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Sole-holder upgrade succeeds immediately.
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Holding X, re-acquiring S is a no-op.
+	if err := m.Acquire(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Holding(1); len(got) != 1 || got[0] != 10 {
+		t.Errorf("holding: %v", got)
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for _, ta := range []int64{1, 2} {
+		go func(ta int64) {
+			err := m.Acquire(ta, 10, Exclusive)
+			if errors.Is(err, ErrDeadlock) {
+				m.ReleaseAll(ta)
+			}
+			errs <- err
+		}(ta)
+		time.Sleep(20 * time.Millisecond)
+	}
+	var deadlocks, oks int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case errors.Is(err, ErrDeadlock):
+				deadlocks++
+			case err == nil:
+				oks++
+			default:
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("upgrade deadlock not resolved")
+		}
+	}
+	if deadlocks != 1 || oks != 1 {
+		t.Errorf("deadlocks=%d oks=%d, want 1/1", deadlocks, oks)
+	}
+}
+
+func TestClassicTwoObjectDeadlock(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 1, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, 2, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() {
+		err := m.Acquire(1, 2, Exclusive)
+		if errors.Is(err, ErrDeadlock) {
+			m.ReleaseAll(1)
+		}
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		err := m.Acquire(2, 1, Exclusive)
+		if errors.Is(err, ErrDeadlock) {
+			m.ReleaseAll(2)
+		}
+		errs <- err
+	}()
+	var deadlocks int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) {
+				deadlocks++
+			} else if err != nil {
+				t.Fatalf("unexpected: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock never resolved")
+		}
+	}
+	if deadlocks != 1 {
+		t.Errorf("deadlocks = %d, want exactly 1 victim", deadlocks)
+	}
+	_, _, dl := m.Stats()
+	if dl != 1 {
+		t.Errorf("stats deadlocks = %d", dl)
+	}
+}
+
+func TestReleaseAllRemovesWaiter(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, 10, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(2) // external abort of the waiter
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Errorf("waiter got %v, want ErrDeadlock", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not released")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestShutdownFailsWaiters(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, 10, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Shutdown()
+	if err := <-done; !errors.Is(err, ErrShutdown) {
+		t.Errorf("got %v", err)
+	}
+	if err := m.Acquire(3, 11, Shared); !errors.Is(err, ErrShutdown) {
+		t.Errorf("post-shutdown acquire: %v", err)
+	}
+}
+
+// TestConcurrentStress runs many goroutines over few objects and checks the
+// manager never grants incompatible locks and never wedges.
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager()
+	const goroutines = 32
+	const objects = 4
+	var exclusiveHolders [objects]atomic.Int64
+	var sharedHolders [objects]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(ta int64) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				obj := (ta + int64(iter)) % objects
+				mode := Shared
+				if (ta+int64(iter))%3 == 0 {
+					mode = Exclusive
+				}
+				err := m.Acquire(ta, obj, mode)
+				if errors.Is(err, ErrDeadlock) {
+					m.ReleaseAll(ta)
+					continue
+				}
+				if err != nil {
+					t.Errorf("ta%d: %v", ta, err)
+					return
+				}
+				if mode == Exclusive {
+					if exclusiveHolders[obj].Add(1) != 1 || sharedHolders[obj].Load() != 0 {
+						t.Errorf("X lock not exclusive on obj %d", obj)
+					}
+					exclusiveHolders[obj].Add(-1)
+				} else {
+					sharedHolders[obj].Add(1)
+					if exclusiveHolders[obj].Load() != 0 {
+						t.Errorf("S lock granted alongside X on obj %d", obj)
+					}
+					sharedHolders[obj].Add(-1)
+				}
+				m.ReleaseAll(ta)
+			}
+		}(int64(g + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress test wedged:\n" + m.DebugString())
+	}
+}

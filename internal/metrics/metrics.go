@@ -1,0 +1,183 @@
+// Package metrics provides the measurement plumbing of the evaluation
+// harness: counters, a fixed-bucket latency histogram and per-round
+// scheduler statistics.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is a power-of-two bucketed histogram of int64 observations
+// (e.g. nanoseconds). The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Observe records one value (negative values count as zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v)) // 0 -> bucket 0, 1 -> 1, 2..3 -> 2, ...
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) based on
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			return int64(1)<<b - 1
+		}
+	}
+	return h.max
+}
+
+// RoundStats describes one scheduling round.
+type RoundStats struct {
+	Pending   int
+	Qualified int
+	Victims   int
+	Duration  time.Duration // protocol evaluation time only
+	Total     time.Duration // queue drain + protocol + bookkeeping + execution
+	History   int           // live history size after the round
+}
+
+// Collector accumulates scheduler statistics. It is safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	rounds    []RoundStats
+	executed  int64
+	aborted   int64
+	Latency   Histogram // per-request middleware latency (ns)
+	startedAt time.Time
+}
+
+// NewCollector starts a collector.
+func NewCollector() *Collector {
+	return &Collector{startedAt: time.Now()}
+}
+
+// AddRound records one round.
+func (c *Collector) AddRound(rs RoundStats) {
+	c.mu.Lock()
+	c.rounds = append(c.rounds, rs)
+	c.executed += int64(rs.Qualified)
+	c.aborted += int64(rs.Victims)
+	c.mu.Unlock()
+}
+
+// Rounds returns a copy of the per-round records.
+func (c *Collector) Rounds() []RoundStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RoundStats, len(c.rounds))
+	copy(out, c.rounds)
+	return out
+}
+
+// Executed returns the number of requests executed.
+func (c *Collector) Executed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.executed
+}
+
+// Aborted returns the number of deadlock victims.
+func (c *Collector) Aborted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborted
+}
+
+// Summary aggregates the rounds.
+type Summary struct {
+	Rounds            int
+	Executed          int64
+	Aborted           int64
+	MeanPending       float64
+	MeanQualified     float64
+	MeanRoundDuration time.Duration
+	TotalRoundTime    time.Duration
+}
+
+// Summarise computes the aggregate view.
+func (c *Collector) Summarise() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summary{Rounds: len(c.rounds), Executed: c.executed, Aborted: c.aborted}
+	if len(c.rounds) == 0 {
+		return s
+	}
+	var pend, qual int64
+	var dur time.Duration
+	for _, r := range c.rounds {
+		pend += int64(r.Pending)
+		qual += int64(r.Qualified)
+		dur += r.Duration
+	}
+	n := len(c.rounds)
+	s.MeanPending = float64(pend) / float64(n)
+	s.MeanQualified = float64(qual) / float64(n)
+	s.MeanRoundDuration = dur / time.Duration(n)
+	s.TotalRoundTime = dur
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("rounds=%d executed=%d aborted=%d mean_pending=%.1f mean_qualified=%.1f mean_round=%s total_round=%s",
+		s.Rounds, s.Executed, s.Aborted, s.MeanPending, s.MeanQualified, s.MeanRoundDuration, s.TotalRoundTime)
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count: %d", h.Count())
+	}
+	if h.Mean() != (1+2+3+100+1000)/5 {
+		t.Errorf("mean: %d", h.Mean())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max: %d", h.Max())
+	}
+	if q := h.Quantile(0.5); q < 3 || q > 7 {
+		t.Errorf("p50 bound: %d", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Errorf("p100 bound: %d", q)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.9) != 0 {
+		t.Error("empty histogram not zero")
+	}
+	h.Observe(-5)
+	h.Observe(0)
+	if h.Count() != 2 || h.Max() != 0 {
+		t.Errorf("negative clamp: count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count: %d", h.Count())
+	}
+}
+
+func TestCollectorSummarise(t *testing.T) {
+	c := NewCollector()
+	c.AddRound(RoundStats{Pending: 10, Qualified: 5, Duration: time.Millisecond})
+	c.AddRound(RoundStats{Pending: 20, Qualified: 15, Victims: 1, Duration: 3 * time.Millisecond})
+	s := c.Summarise()
+	if s.Rounds != 2 || s.Executed != 20 || s.Aborted != 1 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.MeanPending != 15 || s.MeanQualified != 10 {
+		t.Errorf("means: %+v", s)
+	}
+	if s.MeanRoundDuration != 2*time.Millisecond {
+		t.Errorf("mean duration: %v", s.MeanRoundDuration)
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+	if got := c.Rounds(); len(got) != 2 {
+		t.Errorf("rounds copy: %d", len(got))
+	}
+	if c.Executed() != 20 || c.Aborted() != 1 {
+		t.Errorf("counters: %d %d", c.Executed(), c.Aborted())
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	s := c.Summarise()
+	if s.Rounds != 0 || s.MeanPending != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}

@@ -1,0 +1,129 @@
+package minisql
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestGroupByCount(t *testing.T) {
+	cat := Catalog{"h": tbl(t, []string{"ta", "op"},
+		[]any{1, "r"}, []any{1, "w"}, []any{2, "r"}, []any{2, "r"}, []any{2, "w"})}
+	got := q(t, "SELECT ta, COUNT(*) AS n FROM h GROUP BY ta ORDER BY ta", cat)
+	if got.Len() != 2 {
+		t.Fatalf("groups: %s", got)
+	}
+	if got.Row(0)[1].AsInt() != 2 || got.Row(1)[1].AsInt() != 3 {
+		t.Errorf("counts: %s", got)
+	}
+}
+
+func TestGroupByMultipleAggregates(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"g", "v"},
+		[]any{1, 10}, []any{1, 20}, []any{2, 5})}
+	got := q(t, "SELECT g, SUM(v) s, MIN(v) mn, MAX(v) mx, AVG(v) av, COUNT(v) c FROM t GROUP BY g ORDER BY g", cat)
+	r0 := got.Row(0)
+	if r0[1].AsInt() != 30 || r0[2].AsInt() != 10 || r0[3].AsInt() != 20 || r0[4].AsInt() != 15 || r0[5].AsInt() != 2 {
+		t.Errorf("aggregates: %s", got)
+	}
+}
+
+func TestGlobalAggregateNoGroupBy(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"v"}, []any{1}, []any{2}, []any{3})}
+	got := q(t, "SELECT COUNT(*) AS n, SUM(v) AS s FROM t", cat)
+	if got.Len() != 1 || got.Row(0)[0].AsInt() != 3 || got.Row(0)[1].AsInt() != 6 {
+		t.Fatalf("global agg: %s", got)
+	}
+}
+
+func TestGlobalAggregateOnEmptyInput(t *testing.T) {
+	cat := Catalog{"t": emptyTbl([]string{"v"}, []relation.Kind{relation.KindInt})}
+	got := q(t, "SELECT COUNT(*) AS n FROM t", cat)
+	if got.Len() != 1 || got.Row(0)[0].AsInt() != 0 {
+		t.Fatalf("count over empty: %s", got)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	cat := Catalog{"h": tbl(t, []string{"ta", "obj"},
+		[]any{1, 5}, []any{1, 6}, []any{2, 5}, []any{3, 5}, []any{3, 6}, []any{3, 7})}
+	// Transactions holding more than one lock.
+	got := q(t, "SELECT ta FROM h GROUP BY ta HAVING COUNT(*) > 1 ORDER BY ta", cat)
+	if got.Len() != 2 || got.Row(0)[0].AsInt() != 1 || got.Row(1)[0].AsInt() != 3 {
+		t.Fatalf("having: %s", got)
+	}
+}
+
+func TestHavingAggregateNotInSelect(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"g", "v"}, []any{1, 10}, []any{1, 5}, []any{2, 1})}
+	got := q(t, "SELECT g FROM t GROUP BY g HAVING SUM(v) >= 10", cat)
+	if got.Len() != 1 || got.Row(0)[0].AsInt() != 1 {
+		t.Fatalf("having-only aggregate: %s", got)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"v"}, []any{1}, []any{2}, []any{3}, []any{4})}
+	got := q(t, "SELECT v % 2 AS parity, COUNT(*) AS n FROM t GROUP BY v % 2 ORDER BY parity", cat)
+	if got.Len() != 2 || got.Row(0)[1].AsInt() != 2 || got.Row(1)[1].AsInt() != 2 {
+		t.Fatalf("group by expr: %s", got)
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"g", "v"}, []any{1, 10}, []any{1, 20})}
+	got := q(t, "SELECT g, SUM(v) / COUNT(*) AS mean FROM t GROUP BY g", cat)
+	if got.Row(0)[1].AsInt() != 15 {
+		t.Fatalf("agg arithmetic: %s", got)
+	}
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"s"}, []any{"b"}, []any{"a"}, []any{"c"})}
+	got := q(t, "SELECT MIN(s) lo, MAX(s) hi FROM t", cat)
+	if got.Row(0)[0].AsString() != "a" || got.Row(0)[1].AsString() != "c" {
+		t.Fatalf("min/max strings: %s", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"g", "v"}, []any{1, 10})}
+	bad := []string{
+		"SELECT v FROM t GROUP BY g",       // v not grouped
+		"SELECT * FROM t GROUP BY g",       // star with grouping
+		"SELECT SUM(*) FROM t",             // only COUNT(*)
+		"SELECT g, COUNT(*) FROM t HAVING", // syntax
+	}
+	for _, sql := range bad {
+		query, err := Parse(sql)
+		if err != nil {
+			continue
+		}
+		if _, err := Run(query, cat); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestAggregateWithWhereAndJoin(t *testing.T) {
+	cat := Catalog{
+		"r": tbl(t, []string{"ta", "obj"}, []any{1, 5}, []any{2, 5}, []any{2, 6}),
+		"h": tbl(t, []string{"obj", "op"}, []any{5, "w"}, []any{6, "r"}),
+	}
+	got := q(t, `
+		SELECT r.ta, COUNT(*) AS conflicts
+		FROM r, h
+		WHERE r.obj = h.obj AND h.op = 'w'
+		GROUP BY r.ta ORDER BY r.ta`, cat)
+	if got.Len() != 2 || got.Row(0)[1].AsInt() != 1 || got.Row(1)[1].AsInt() != 1 {
+		t.Fatalf("join+group: %s", got)
+	}
+}
+
+func TestCountDistinctViaSubquery(t *testing.T) {
+	cat := Catalog{"t": tbl(t, []string{"g", "v"}, []any{1, 5}, []any{1, 5}, []any{1, 6})}
+	got := q(t, "SELECT g, COUNT(*) AS n FROM (SELECT DISTINCT g, v FROM t) AS d GROUP BY g", cat)
+	if got.Row(0)[1].AsInt() != 2 {
+		t.Fatalf("distinct-then-count: %s", got)
+	}
+}

@@ -1,0 +1,676 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// Catalog maps table names (lower case) to relations.
+type Catalog map[string]*relation.Relation
+
+// Run executes a query against a catalog.
+func Run(q *Query, cat Catalog) (*relation.Relation, error) {
+	ex := &executor{cat: make(Catalog, len(cat))}
+	for k, v := range cat {
+		ex.cat[strings.ToLower(k)] = v
+	}
+	return ex.evalQuery(q)
+}
+
+type executor struct {
+	cat Catalog
+}
+
+func (ex *executor) evalQuery(q *Query) (*relation.Relation, error) {
+	// CTEs extend the catalog for the rest of this query (and are visible to
+	// later CTEs, as in SQL).
+	if len(q.With) > 0 {
+		saved := ex.cat
+		ex.cat = make(Catalog, len(saved)+len(q.With))
+		for k, v := range saved {
+			ex.cat[k] = v
+		}
+		defer func() { ex.cat = saved }()
+		for _, cte := range q.With {
+			r, err := ex.evalQuery(cte.Query)
+			if err != nil {
+				return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
+			}
+			ex.cat[cte.Name] = r
+		}
+	}
+	rel, err := ex.evalSetExpr(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		specs := make([]ra.SortSpec, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			cr, ok := o.Expr.(*ColRef)
+			if !ok {
+				return nil, fmt.Errorf("minisql: ORDER BY supports column references only")
+			}
+			pos, _, err := resolveCol(rel.Schema(), cr)
+			if err != nil && cr.Qual != "" {
+				// Output columns are unqualified; a qualified ORDER BY ref
+				// (ORDER BY r.ta) falls back to the bare name.
+				pos, _, err = resolveCol(rel.Schema(), &ColRef{Name: cr.Name})
+			}
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = ra.SortSpec{Pos: pos, Desc: o.Desc}
+		}
+		rel = ra.OrderBy(rel, specs)
+	}
+	if q.Limit >= 0 {
+		rel = ra.Limit(rel, q.Limit)
+	}
+	return rel, nil
+}
+
+func (ex *executor) evalSetExpr(se SetExpr) (*relation.Relation, error) {
+	switch n := se.(type) {
+	case *Select:
+		return ex.evalSelect(n)
+	case *SetOp:
+		l, err := ex.evalSetExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.evalSetExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpUnion:
+			u, err := ra.UnionAll(l, r)
+			if err != nil {
+				return nil, err
+			}
+			if !n.All {
+				u = u.Distinct()
+			}
+			return u, nil
+		default:
+			return ra.Except(l, r)
+		}
+	default:
+		return nil, fmt.Errorf("minisql: unknown set expression %T", se)
+	}
+}
+
+// conjunct is one top-level AND-ed predicate with bookkeeping.
+type conjunct struct {
+	e    Expr
+	done bool
+}
+
+func splitConjuncts(e Expr, out []*conjunct) []*conjunct {
+	if e == nil {
+		return out
+	}
+	if b, ok := e.(*Binary); ok && b.Op == BAnd {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, &conjunct{e: e})
+}
+
+func hasExists(e Expr) bool {
+	switch n := e.(type) {
+	case *Exists:
+		return true
+	case *Not:
+		return hasExists(n.E)
+	case *Binary:
+		return hasExists(n.L) || hasExists(n.R)
+	case *IsNull:
+		return hasExists(n.E)
+	case *InList:
+		return hasExists(n.E)
+	default:
+		return false
+	}
+}
+
+func (ex *executor) evalSelect(sel *Select) (*relation.Relation, error) {
+	if len(sel.From) == 0 {
+		// SELECT of constants: one row, no FROM.
+		one := relation.New(relation.NewSchema())
+		one.MustAppend(relation.Tuple{})
+		return ex.project(sel, one)
+	}
+	conjs := splitConjuncts(sel.Where, nil)
+	var plain, existsConjs []*conjunct
+	for _, c := range conjs {
+		if hasExists(c.e) {
+			existsConjs = append(existsConjs, c)
+		} else {
+			plain = append(plain, c)
+		}
+	}
+	cur, leftover, err := ex.joinChain(sel.From, plain)
+	if err != nil {
+		return nil, err
+	}
+	if len(leftover) > 0 {
+		return nil, fmt.Errorf("minisql: predicate %v references unknown columns", leftover[0].e)
+	}
+	for _, c := range existsConjs {
+		cur, err = ex.applyExists(cur, c.e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if needsGrouping(sel) {
+		return ex.projectGrouped(sel, cur)
+	}
+	return ex.project(sel, cur)
+}
+
+// joinChain evaluates the FROM items left to right, consuming WHERE conjuncts
+// as early filters and hash-join keys where possible, and applying all
+// remaining resolvable conjuncts at the end. Conjuncts it cannot resolve are
+// returned for the caller (correlated predicates of an EXISTS subquery).
+func (ex *executor) joinChain(from []FromItem, conjs []*conjunct) (*relation.Relation, []*conjunct, error) {
+	cur, err := ex.evalFromItem(from[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err = ex.applyResolvable(cur, conjs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, item := range from[1:] {
+		next, err := ex.evalFromItem(item)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := checkDisjointAliases(cur.Schema(), next.Schema()); err != nil {
+			return nil, nil, err
+		}
+		switch item.Join {
+		case JoinLeft, JoinInner:
+			onConjs := splitConjuncts(item.On, nil)
+			keys, residual, err := extractKeys(cur.Schema(), next.Schema(), onConjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, c := range onConjs {
+				if c.done {
+					continue
+				}
+				// Non-equi ON conjuncts join the residual.
+				cc, err := compileExpr(c.e, concat(cur.Schema(), next.Schema()))
+				if err != nil {
+					return nil, nil, err
+				}
+				if residual == nil {
+					residual = cc
+				} else {
+					residual = ra.And{L: residual, R: cc}
+				}
+				c.done = true
+			}
+			if item.Join == JoinLeft {
+				cur = ra.LeftJoin(cur, next, keys, residual)
+			} else {
+				cur = ra.HashJoin(cur, next, keys, residual)
+			}
+		default: // comma join: consume WHERE equi-join keys
+			next, err = ex.applyResolvable(next, conjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys, _, err := extractKeys(cur.Schema(), next.Schema(), conjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = ra.HashJoin(cur, next, keys, nil)
+		}
+		cur, err = ex.applyResolvable(cur, conjs)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var leftover []*conjunct
+	for _, c := range conjs {
+		if !c.done {
+			leftover = append(leftover, c)
+		}
+	}
+	return cur, leftover, nil
+}
+
+// applyResolvable filters rel by every pending conjunct whose columns all
+// resolve in rel's schema, marking them consumed.
+func (ex *executor) applyResolvable(rel *relation.Relation, conjs []*conjunct) (*relation.Relation, error) {
+	var preds []ra.Expr
+	for _, c := range conjs {
+		if c.done {
+			continue
+		}
+		compiled, err := compileExpr(c.e, rel.Schema())
+		if err != nil {
+			continue // not yet resolvable; a later join may provide columns
+		}
+		preds = append(preds, compiled)
+		c.done = true
+	}
+	for _, p := range preds {
+		rel = ra.Select(rel, p)
+	}
+	return rel, nil
+}
+
+// extractKeys pulls equality conjuncts of the form left.col = right.col out
+// of the pending conjuncts, where one side resolves only in the left schema
+// and the other only in the right schema.
+func extractKeys(l, r *relation.Schema, conjs []*conjunct) ([]ra.EquiKey, ra.Expr, error) {
+	var keys []ra.EquiKey
+	for _, c := range conjs {
+		if c.done {
+			continue
+		}
+		b, ok := c.e.(*Binary)
+		if !ok || b.Op != BEq {
+			continue
+		}
+		lc, lok := b.L.(*ColRef)
+		rc, rok := b.R.(*ColRef)
+		if !lok || !rok {
+			continue
+		}
+		lp, _, lerr := resolveCol(l, lc)
+		rp, _, rerr := resolveCol(r, rc)
+		if lerr == nil && rerr == nil {
+			keys = append(keys, ra.EquiKey{L: lp, R: rp})
+			c.done = true
+			continue
+		}
+		// Swapped orientation.
+		lp2, _, lerr2 := resolveCol(l, rc)
+		rp2, _, rerr2 := resolveCol(r, lc)
+		if lerr2 == nil && rerr2 == nil {
+			keys = append(keys, ra.EquiKey{L: lp2, R: rp2})
+			c.done = true
+		}
+	}
+	return keys, nil, nil
+}
+
+func (ex *executor) evalFromItem(item FromItem) (*relation.Relation, error) {
+	var base *relation.Relation
+	if item.Table != "" {
+		r, ok := ex.cat[item.Table]
+		if !ok {
+			return nil, fmt.Errorf("minisql: unknown table %q", item.Table)
+		}
+		base = r
+	} else {
+		r, err := ex.evalQuery(item.Sub)
+		if err != nil {
+			return nil, err
+		}
+		base = r
+	}
+	// Qualify every column as alias.col.
+	names := make([]string, base.Schema().Len())
+	for i := 0; i < base.Schema().Len(); i++ {
+		n := base.Schema().Col(i).Name
+		if j := strings.LastIndexByte(n, '.'); j >= 0 {
+			n = n[j+1:]
+		}
+		names[i] = item.Alias + "." + n
+	}
+	return ra.Rename(base, names)
+}
+
+func checkDisjointAliases(l, r *relation.Schema) error {
+	seen := make(map[string]bool)
+	for _, c := range l.Columns() {
+		alias, _, _ := strings.Cut(c.Name, ".")
+		seen[alias] = true
+	}
+	for _, c := range r.Columns() {
+		alias, _, _ := strings.Cut(c.Name, ".")
+		if seen[alias] {
+			return fmt.Errorf("minisql: duplicate table alias %q", alias)
+		}
+	}
+	return nil
+}
+
+// resolveCol finds a column in a schema: a qualified reference matches
+// "qual.name" exactly; an unqualified one must match exactly one column by
+// its unqualified suffix.
+func resolveCol(s *relation.Schema, c *ColRef) (int, relation.Kind, error) {
+	if c.Qual != "" {
+		if i, ok := s.Index(c.Qual + "." + c.Name); ok {
+			return i, s.Col(i).Kind, nil
+		}
+		return 0, 0, fmt.Errorf("minisql: unknown column %s.%s", c.Qual, c.Name)
+	}
+	found := -1
+	for i := 0; i < s.Len(); i++ {
+		n := s.Col(i).Name
+		suffix := n
+		if j := strings.LastIndexByte(n, '.'); j >= 0 {
+			suffix = n[j+1:]
+		}
+		if n == c.Name || suffix == c.Name {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("minisql: ambiguous column %q", c.Name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("minisql: unknown column %q", c.Name)
+	}
+	return found, s.Col(found).Kind, nil
+}
+
+func concat(l, r *relation.Schema) *relation.Schema {
+	cols := make([]relation.Column, 0, l.Len()+r.Len())
+	cols = append(cols, l.Columns()...)
+	cols = append(cols, r.Columns()...)
+	return relation.NewSchema(cols...)
+}
+
+// compileExpr compiles an AST expression over a schema into an ra.Expr. It
+// fails if any referenced column is absent (callers use this to test
+// resolvability).
+func compileExpr(e Expr, s *relation.Schema) (ra.Expr, error) {
+	switch n := e.(type) {
+	case *ColRef:
+		pos, _, err := resolveCol(s, n)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Col{Pos: pos, Name: n.Name}, nil
+	case *Lit:
+		return ra.Lit{V: n.V}, nil
+	case *Not:
+		inner, err := compileExpr(n.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Not{E: inner}, nil
+	case *IsNull:
+		inner, err := compileExpr(n.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return ra.IsNull{E: inner, Negate: n.Negate}, nil
+	case *InList:
+		inner, err := compileExpr(n.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return ra.InList{E: inner, Values: n.Vals, Negate: n.Negate}, nil
+	case *Binary:
+		l, err := compileExpr(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case BAnd:
+			return ra.And{L: l, R: r}, nil
+		case BOr:
+			return ra.Or{L: l, R: r}, nil
+		case BEq:
+			return ra.Cmp{Op: ra.EQ, L: l, R: r}, nil
+		case BNe:
+			return ra.Cmp{Op: ra.NE, L: l, R: r}, nil
+		case BLt:
+			return ra.Cmp{Op: ra.LT, L: l, R: r}, nil
+		case BLe:
+			return ra.Cmp{Op: ra.LE, L: l, R: r}, nil
+		case BGt:
+			return ra.Cmp{Op: ra.GT, L: l, R: r}, nil
+		case BGe:
+			return ra.Cmp{Op: ra.GE, L: l, R: r}, nil
+		case BAdd:
+			return ra.Arith{Op: ra.Add, L: l, R: r}, nil
+		case BSub:
+			return ra.Arith{Op: ra.Sub, L: l, R: r}, nil
+		case BMul:
+			return ra.Arith{Op: ra.Mul, L: l, R: r}, nil
+		case BDiv:
+			return ra.Arith{Op: ra.Div, L: l, R: r}, nil
+		default:
+			return ra.Arith{Op: ra.Mod, L: l, R: r}, nil
+		}
+	case *Exists:
+		return nil, fmt.Errorf("minisql: EXISTS must appear as a top-level WHERE conjunct")
+	default:
+		return nil, fmt.Errorf("minisql: unsupported expression %T", e)
+	}
+}
+
+// applyExists rewrites a [NOT] EXISTS conjunct into a hash semi/anti join of
+// the current relation against the subquery's FROM, extracting correlated
+// equality predicates as join keys (including keys implied by every branch
+// of an OR) and compiling the rest as a residual predicate.
+func (ex *executor) applyExists(cur *relation.Relation, e Expr) (*relation.Relation, error) {
+	negate := false
+	for {
+		if n, ok := e.(*Not); ok {
+			negate = !negate
+			e = n.E
+			continue
+		}
+		break
+	}
+	x, ok := e.(*Exists)
+	if !ok {
+		return nil, fmt.Errorf("minisql: unsupported EXISTS placement in %T", e)
+	}
+	if x.Negate {
+		negate = !negate
+	}
+	sub := x.Sub
+	if len(sub.With) > 0 {
+		return nil, fmt.Errorf("minisql: WITH inside EXISTS not supported")
+	}
+	innerSel, ok := sub.Body.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("minisql: set operations inside EXISTS not supported")
+	}
+	conjs := splitConjuncts(innerSel.Where, nil)
+	for _, c := range conjs {
+		if hasExists(c.e) {
+			return nil, fmt.Errorf("minisql: nested EXISTS not supported")
+		}
+	}
+	inner, leftover, err := ex.joinChain(innerSel.From, conjs)
+	if err != nil {
+		return nil, err
+	}
+	// Correlated conjuncts: direct equalities become keys; everything else is
+	// a residual over (outer ++ inner). Equalities implied by every disjunct
+	// of an OR are additionally hoisted as keys (the residual keeps the OR,
+	// which is redundant but harmless).
+	both := concat(cur.Schema(), inner.Schema())
+	var keys []ra.EquiKey
+	var residual ra.Expr
+	for _, c := range leftover {
+		if b, ok := c.e.(*Binary); ok && b.Op == BEq {
+			if k, ok2 := correlatedKey(cur.Schema(), inner.Schema(), b); ok2 {
+				keys = append(keys, k)
+				continue
+			}
+		}
+		keys = append(keys, hoistImpliedKeys(cur.Schema(), inner.Schema(), c.e)...)
+		cc, err := compileExpr(c.e, both)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: correlated predicate %v: %w", c.e, err)
+		}
+		if residual == nil {
+			residual = cc
+		} else {
+			residual = ra.And{L: residual, R: cc}
+		}
+	}
+	if negate {
+		return ra.AntiJoin(cur, inner, keys, residual), nil
+	}
+	return ra.SemiJoin(cur, inner, keys, residual), nil
+}
+
+// correlatedKey recognises outer.col = inner.col (either orientation).
+func correlatedKey(outer, inner *relation.Schema, b *Binary) (ra.EquiKey, bool) {
+	lc, lok := b.L.(*ColRef)
+	rc, rok := b.R.(*ColRef)
+	if !lok || !rok {
+		return ra.EquiKey{}, false
+	}
+	if lp, _, err := resolveCol(outer, lc); err == nil {
+		if _, _, err := resolveCol(inner, lc); err == nil {
+			return ra.EquiKey{}, false // ambiguous side
+		}
+		if rp, _, err := resolveCol(inner, rc); err == nil {
+			return ra.EquiKey{L: lp, R: rp}, true
+		}
+	}
+	if lp, _, err := resolveCol(outer, rc); err == nil {
+		if _, _, err := resolveCol(inner, rc); err == nil {
+			return ra.EquiKey{}, false
+		}
+		if rp, _, err := resolveCol(inner, lc); err == nil {
+			return ra.EquiKey{L: lp, R: rp}, true
+		}
+	}
+	return ra.EquiKey{}, false
+}
+
+// hoistImpliedKeys returns equi-join keys implied by an expression: a key
+// survives an OR only if every disjunct implies it.
+func hoistImpliedKeys(outer, inner *relation.Schema, e Expr) []ra.EquiKey {
+	switch n := e.(type) {
+	case *Binary:
+		switch n.Op {
+		case BEq:
+			if k, ok := correlatedKey(outer, inner, n); ok {
+				return []ra.EquiKey{k}
+			}
+			return nil
+		case BAnd:
+			return append(hoistImpliedKeys(outer, inner, n.L), hoistImpliedKeys(outer, inner, n.R)...)
+		case BOr:
+			l := hoistImpliedKeys(outer, inner, n.L)
+			r := hoistImpliedKeys(outer, inner, n.R)
+			var out []ra.EquiKey
+			for _, k := range l {
+				for _, k2 := range r {
+					if k == k2 {
+						out = append(out, k)
+						break
+					}
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// project applies the SELECT list and DISTINCT.
+func (ex *executor) project(sel *Select, rel *relation.Relation) (*relation.Relation, error) {
+	var items []ra.NamedExpr
+	usedNames := make(map[string]int)
+	uniq := func(name string) string {
+		if name == "" {
+			name = "col"
+		}
+		n := usedNames[name]
+		usedNames[name] = n + 1
+		if n == 0 {
+			return name
+		}
+		return name + "_" + strconv.Itoa(n+1)
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			s := rel.Schema()
+			for i := 0; i < s.Len(); i++ {
+				full := s.Col(i).Name
+				alias, col, hasDot := strings.Cut(full, ".")
+				if !hasDot {
+					col = full
+					alias = ""
+				}
+				if it.Qualifier != "" && alias != it.Qualifier {
+					continue
+				}
+				items = append(items, ra.NamedExpr{
+					Name: uniq(col),
+					Kind: s.Col(i).Kind,
+					E:    ra.Col{Pos: i, Name: col},
+				})
+			}
+			if it.Qualifier != "" {
+				found := false
+				for i := 0; i < rel.Schema().Len(); i++ {
+					if strings.HasPrefix(rel.Schema().Col(i).Name, it.Qualifier+".") {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("minisql: unknown alias %q in %s.*", it.Qualifier, it.Qualifier)
+				}
+			}
+			continue
+		}
+		compiled, err := compileExpr(it.Expr, rel.Schema())
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = "col"
+			}
+		}
+		items = append(items, ra.NamedExpr{
+			Name: uniq(name),
+			Kind: exprKind(it.Expr, rel.Schema()),
+			E:    compiled,
+		})
+	}
+	out, err := ra.Project(rel, items)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Distinct {
+		out = out.Distinct()
+	}
+	return out, nil
+}
+
+func exprKind(e Expr, s *relation.Schema) relation.Kind {
+	switch n := e.(type) {
+	case *ColRef:
+		if _, k, err := resolveCol(s, n); err == nil {
+			return k
+		}
+		return relation.KindNull
+	case *Lit:
+		return n.V.Kind()
+	default:
+		return relation.KindInt
+	}
+}

@@ -1,0 +1,263 @@
+// Package netproto is the wire front-end of the middleware scheduler: the
+// paper's Figure 1 has clients connect to the scheduler over the network,
+// with a control instance spawning one client worker per connection. The
+// protocol is line-oriented text over TCP:
+//
+//	client -> server:  REQ <ta> <intrata> <op> <object> [<priority>]
+//	                   PING
+//	server -> client:  OK <value>      the request executed
+//	                   ABORTED         the transaction was a deadlock victim
+//	                   ERR <message>   malformed request or scheduler failure
+//	                   PONG            reply to PING
+//
+// op is one of r, w, c, a (paper Table 2). Each connection is one client
+// worker: requests on a connection are processed strictly in order, blocking
+// until the scheduler executes them — exactly the paper's client model.
+package netproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/request"
+	"repro/internal/scheduler"
+)
+
+// ErrAborted is returned by Client.Submit when the server reports the
+// transaction was aborted as a deadlock victim.
+var ErrAborted = errors.New("netproto: transaction aborted by scheduler")
+
+// Server accepts client connections and forwards their requests to the
+// middleware.
+type Server struct {
+	mw *scheduler.Middleware
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, mw *scheduler.Middleware) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %w", err)
+	}
+	s := &Server{mw: mw, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes the listener; in-flight connections
+// finish their current request and terminate.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// The paper's "control instance creates a separate client worker for
+		// each connected client".
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(line string) bool {
+		if _, err := w.WriteString(line + "\n"); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == "PING":
+			if !reply("PONG") {
+				return
+			}
+		case line == "QUIT":
+			return
+		case strings.HasPrefix(line, "REQ "):
+			req, err := parseReq(line)
+			if err != nil {
+				if !reply("ERR " + err.Error()) {
+					return
+				}
+				continue
+			}
+			res := s.mw.Submit(req)
+			switch {
+			case errors.Is(res.Err, scheduler.ErrTxnAborted):
+				if !reply("ABORTED") {
+					return
+				}
+			case res.Err != nil:
+				if !reply("ERR " + res.Err.Error()) {
+					return
+				}
+			default:
+				if !reply("OK " + strconv.FormatInt(res.Value, 10)) {
+					return
+				}
+			}
+		default:
+			if !reply("ERR unknown command") {
+				return
+			}
+		}
+	}
+}
+
+func parseReq(line string) (request.Request, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 && len(fields) != 6 {
+		return request.Request{}, fmt.Errorf("want REQ ta intrata op object [priority], got %d fields", len(fields)-1)
+	}
+	ta, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return request.Request{}, fmt.Errorf("bad ta %q", fields[1])
+	}
+	intra, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return request.Request{}, fmt.Errorf("bad intrata %q", fields[2])
+	}
+	op, err := request.ParseOp(fields[3])
+	if err != nil {
+		return request.Request{}, err
+	}
+	obj, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return request.Request{}, fmt.Errorf("bad object %q", fields[4])
+	}
+	r := request.Request{TA: ta, IntraTA: intra, Op: op, Object: obj}
+	if len(fields) == 6 {
+		prio, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return request.Request{}, fmt.Errorf("bad priority %q", fields[5])
+		}
+		r.Priority = prio
+	}
+	return r, nil
+}
+
+// Client is one connection to the scheduler. It is not safe for concurrent
+// use: like a database connection, it carries one request at a time.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a scheduler server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	if _, err := c.w.WriteString("PING\n"); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "PONG" {
+		return fmt.Errorf("netproto: unexpected reply %q", line)
+	}
+	return nil
+}
+
+// Submit sends one request and blocks until the scheduler executed it.
+// It returns the server-side result value, ErrAborted if the transaction was
+// a deadlock victim, or a protocol error.
+func (c *Client) Submit(r request.Request) (int64, error) {
+	line := fmt.Sprintf("REQ %d %d %s %d", r.TA, r.IntraTA, r.Op, r.Object)
+	if r.Priority != 0 {
+		line += " " + strconv.FormatInt(r.Priority, 10)
+	}
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	reply, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	reply = strings.TrimSpace(reply)
+	switch {
+	case strings.HasPrefix(reply, "OK "):
+		v, err := strconv.ParseInt(reply[3:], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("netproto: bad OK value %q", reply)
+		}
+		return v, nil
+	case reply == "ABORTED":
+		return 0, ErrAborted
+	case strings.HasPrefix(reply, "ERR "):
+		return 0, errors.New("netproto: server: " + reply[4:])
+	default:
+		return 0, fmt.Errorf("netproto: unexpected reply %q", reply)
+	}
+}
+
+// RunTransaction submits a whole transaction; it reports whether the
+// transaction aborted (deadlock victim) and stops at the first failure.
+func (c *Client) RunTransaction(tx request.Transaction) (aborted bool, err error) {
+	for _, r := range tx.Requests {
+		if _, err := c.Submit(r); err != nil {
+			if errors.Is(err, ErrAborted) {
+				return true, nil
+			}
+			return false, err
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/request"
+)
+
+func TestWaitsForEdges(t *testing.T) {
+	history := []request.Request{
+		{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 10},
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Read, Object: 20},
+	}
+	pending := []request.Request{
+		{ID: 3, TA: 2, IntraTA: 1, Op: request.Read, Object: 10},  // waits on ta1 wlock
+		{ID: 4, TA: 3, IntraTA: 0, Op: request.Write, Object: 20}, // waits on ta2 rlock
+	}
+	g := WaitsFor(pending, history)
+	if !g[2][1] {
+		t.Error("missing edge ta2 -> ta1 (write lock)")
+	}
+	if !g[3][2] {
+		t.Error("missing edge ta3 -> ta2 (read lock)")
+	}
+	if g[1] != nil {
+		t.Errorf("unexpected edges from ta1: %v", g[1])
+	}
+}
+
+func TestWaitsForIntraBatchEdge(t *testing.T) {
+	pending := []request.Request{
+		{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 5},
+		{ID: 2, TA: 9, IntraTA: 0, Op: request.Write, Object: 5},
+	}
+	g := WaitsFor(pending, nil)
+	if !g[9][1] {
+		t.Error("missing intra-batch edge ta9 -> ta1")
+	}
+	if g[1][9] {
+		t.Error("intra-batch edge must point from younger to older only")
+	}
+}
+
+func TestDeadlockVictimsSimpleCycle(t *testing.T) {
+	history := []request.Request{
+		{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 1},
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 2},
+	}
+	pending := []request.Request{
+		{ID: 3, TA: 1, IntraTA: 1, Op: request.Write, Object: 2},
+		{ID: 4, TA: 2, IntraTA: 1, Op: request.Write, Object: 1},
+	}
+	victims := DeadlockVictims(pending, history)
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("victims = %v, want [2] (youngest in cycle)", victims)
+	}
+}
+
+func TestDeadlockVictimsNoCycle(t *testing.T) {
+	history := []request.Request{{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 1}}
+	pending := []request.Request{{ID: 2, TA: 2, IntraTA: 0, Op: request.Read, Object: 1}}
+	if v := DeadlockVictims(pending, history); len(v) != 0 {
+		t.Fatalf("victims on acyclic graph: %v", v)
+	}
+}
+
+func TestDeadlockVictimsTwoIndependentCycles(t *testing.T) {
+	history := []request.Request{
+		{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 1},
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 2},
+		{ID: 3, TA: 3, IntraTA: 0, Op: request.Write, Object: 3},
+		{ID: 4, TA: 4, IntraTA: 0, Op: request.Write, Object: 4},
+	}
+	pending := []request.Request{
+		{ID: 5, TA: 1, IntraTA: 1, Op: request.Write, Object: 2},
+		{ID: 6, TA: 2, IntraTA: 1, Op: request.Write, Object: 1},
+		{ID: 7, TA: 3, IntraTA: 1, Op: request.Write, Object: 4},
+		{ID: 8, TA: 4, IntraTA: 1, Op: request.Write, Object: 3},
+	}
+	victims := DeadlockVictims(pending, history)
+	if len(victims) != 2 || victims[0] != 2 || victims[1] != 4 {
+		t.Fatalf("victims = %v, want [2 4]", victims)
+	}
+}
+
+// TestVictimAbortUnsticksScheduler: after aborting the victims, the SS2PL
+// protocol must qualify at least one request.
+func TestVictimAbortUnsticksScheduler(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := ImperativeSS2PL{}
+	for trial := 0; trial < 60; trial++ {
+		pending, history := randInstance(rng)
+		q, err := p.Qualify(pending, history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q) > 0 || len(pending) == 0 {
+			continue
+		}
+		victims := DeadlockVictims(pending, history)
+		// Stuck rounds must either be deadlocks, or waits on live lock
+		// holders that have no pending request in this batch (an open
+		// system); in a closed system the scheduler only needs victims for
+		// true cycles.
+		if len(victims) == 0 {
+			continue
+		}
+		var history2 []request.Request
+		history2 = append(history2, history...)
+		var pending2 []request.Request
+		id := int64(1000)
+		for _, r := range pending {
+			doomed := false
+			for _, v := range victims {
+				if r.TA == v {
+					doomed = true
+					break
+				}
+			}
+			if !doomed {
+				pending2 = append(pending2, r)
+			}
+		}
+		for _, v := range victims {
+			history2 = append(history2, request.Request{ID: id, TA: v, IntraTA: 998, Op: request.Abort, Object: request.NoObject})
+			id++
+		}
+		q2, err := p.Qualify(pending2, history2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pending2) > 0 && len(q2) == 0 {
+			// Still stuck: acceptable only if remaining waits target TAs
+			// outside the batch (open-system waits).
+			g := WaitsFor(pending2, history2)
+			inBatch := make(map[int64]bool)
+			for _, r := range pending2 {
+				inBatch[r.TA] = true
+			}
+			for from, tos := range g {
+				for to := range tos {
+					if inBatch[from] && inBatch[to] {
+						// A wait between two batch members with no cycle is
+						// fine; a cycle would have produced victims.
+						continue
+					}
+				}
+			}
+			if len(DeadlockVictims(pending2, history2)) != 0 {
+				t.Fatalf("trial %d: victims remain after abort", trial)
+			}
+		}
+	}
+}

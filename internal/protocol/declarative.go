@@ -1,0 +1,241 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/minisql"
+	"repro/internal/relation"
+	"repro/internal/request"
+	"repro/internal/rules"
+)
+
+// SQLProtocol runs a SQL query (paper Listing 1 style) over the `requests`
+// and `history` tables each round. The query's output must be rows of the
+// request schema (id, ta, intrata, operation, object); its ORDER BY defines
+// the execution order.
+type SQLProtocol struct {
+	name  string
+	query *minisql.Query
+}
+
+// NewSQL parses the query once and reuses the plan every round.
+func NewSQL(name, sql string) (*SQLProtocol, error) {
+	q, err := minisql.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", name, err)
+	}
+	return &SQLProtocol{name: name, query: q}, nil
+}
+
+// SS2PLSQL is the paper's Listing 1 as a protocol.
+func SS2PLSQL() *SQLProtocol {
+	p, err := NewSQL("ss2pl-sql", rules.ListingOneSQL)
+	if err != nil {
+		panic(err) // embedded text; a failure is a build error
+	}
+	return p
+}
+
+// Name implements Protocol.
+func (p *SQLProtocol) Name() string { return p.name }
+
+// Qualify implements Protocol.
+func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
+	cat := minisql.Catalog{
+		"requests": request.ToRelation(pending),
+		"history":  request.ToRelation(history),
+	}
+	out, err := minisql.Run(p.query, cat)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+	}
+	qualified, err := request.FromRelation(out)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: bad query output: %w", p.name, err)
+	}
+	// Requests lose their SLA fields through the five-column relation;
+	// restore them from the pending batch so downstream ordering and
+	// accounting keep working.
+	byKey := make(map[request.Key]request.Request, len(pending))
+	for _, r := range pending {
+		byKey[r.Key()] = r
+	}
+	for i := range qualified {
+		if orig, ok := byKey[qualified[i].Key()]; ok {
+			qualified[i] = orig
+		}
+	}
+	return qualified, nil
+}
+
+// DatalogProtocol runs a Datalog program each round. The program reads EDB
+// predicates request/5 (or request/7 when extended) and history/5 and must
+// define a `qualified` predicate whose columns mirror its request EDB.
+// Additional EDB relations — application metadata such as object consistency
+// classes — can be bound with SetAux.
+type DatalogProtocol struct {
+	name     string
+	engine   *datalog.Engine
+	extended bool
+	order    func([]request.Request)
+	aux      map[string][]relation.Tuple
+}
+
+// NewDatalogProtocol compiles the program once. If extended is true the
+// request EDB carries the SLA columns (priority, arrival). The order
+// function fixes the execution order of the qualified set; nil means ByID.
+func NewDatalogProtocol(name, src string, extended bool, order func([]request.Request)) (*DatalogProtocol, error) {
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", name, err)
+	}
+	eng, err := datalog.NewEngine(prog)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", name, err)
+	}
+	if order == nil {
+		order = ByID
+	}
+	return &DatalogProtocol{name: name, engine: eng, extended: extended, order: order}, nil
+}
+
+func mustDatalog(name, src string, extended bool, order func([]request.Request)) *DatalogProtocol {
+	p, err := NewDatalogProtocol(name, src, extended, order)
+	if err != nil {
+		panic(err) // embedded text; a failure is a build error
+	}
+	return p
+}
+
+// SS2PLDatalog is the SS2PL protocol in the Datalog scheduler language.
+func SS2PLDatalog() *DatalogProtocol {
+	return mustDatalog("ss2pl-datalog", rules.SS2PLDatalog, false, nil)
+}
+
+// TwoPLDatalog is the non-strict 2PL variant.
+func TwoPLDatalog() *DatalogProtocol {
+	return mustDatalog("2pl-datalog", rules.TwoPLDatalog, false, nil)
+}
+
+// SLAPriorityDatalog is SS2PL with SLA-priority conflict resolution and
+// priority-ordered output.
+func SLAPriorityDatalog() *DatalogProtocol {
+	return mustDatalog("sla-datalog", rules.SLAPriorityDatalog, true, ByPriorityThenID)
+}
+
+// RelaxedReadsDatalog is the relaxed-consistency protocol (lock-free reads).
+func RelaxedReadsDatalog() *DatalogProtocol {
+	return mustDatalog("relaxed-datalog", rules.RelaxedReadsDatalog, false, nil)
+}
+
+// FCFSDatalog qualifies everything, declaratively.
+func FCFSDatalog() *DatalogProtocol {
+	return mustDatalog("fcfs-datalog", rules.FCFSDatalog, false, nil)
+}
+
+// WoundWaitDatalog is SS2PL with wound-wait deadlock prevention: the
+// protocol itself decides aborts (its `wound` predicate), so waits-for
+// cycles never form.
+func WoundWaitDatalog() *DatalogProtocol {
+	return mustDatalog("woundwait-datalog", rules.WoundWaitDatalog, false, nil)
+}
+
+// Wounder is implemented by protocols that declare transactions to abort as
+// part of their scheduling decision (e.g. wound-wait). The scheduler aborts
+// the returned transactions after executing the qualified batch of the same
+// round.
+type Wounder interface {
+	// Wounded returns the transactions the last Qualify decided to abort.
+	Wounded() []int64
+}
+
+// Wounded implements Wounder: the distinct first arguments of the `wound`
+// predicate derived by the last Qualify, sorted.
+func (p *DatalogProtocol) Wounded() []int64 {
+	facts := p.engine.Facts("wound")
+	out := make([]int64, 0, facts.Len())
+	seen := make(map[int64]bool, facts.Len())
+	for _, t := range facts.Rows() {
+		if len(t) != 1 || t[0].Kind() != relation.KindInt {
+			continue
+		}
+		ta := t[0].AsInt()
+		if !seen[ta] {
+			seen[ta] = true
+			out = append(out, ta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Name implements Protocol.
+func (p *DatalogProtocol) Name() string { return p.name }
+
+// EngineStats exposes the evaluation statistics of the last Qualify call.
+func (p *DatalogProtocol) EngineStats() datalog.RunStats { return p.engine.Stats }
+
+// SetAux binds an auxiliary EDB relation (e.g. objclass(obj, class) for
+// consistency rationing). It persists across Qualify calls until replaced.
+func (p *DatalogProtocol) SetAux(pred string, rows []relation.Tuple) error {
+	if pred == "request" || pred == "history" {
+		return fmt.Errorf("protocol %s: %s is bound by the scheduler", p.name, pred)
+	}
+	if p.aux == nil {
+		p.aux = make(map[string][]relation.Tuple)
+	}
+	p.aux[pred] = rows
+	return p.engine.SetEDB(pred, rows)
+}
+
+// ConsistencyRationing builds the per-object consistency-class protocol.
+// classes maps object numbers to consistency class "a" (strict SS2PL) or
+// "c" (relaxed); unlisted objects are class "c".
+func ConsistencyRationing(classes map[int64]string) (*DatalogProtocol, error) {
+	p, err := NewDatalogProtocol("consistency-rationing", rules.ConsistencyRationingDatalog, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]relation.Tuple, 0, len(classes))
+	for obj, class := range classes {
+		rows = append(rows, relation.Tuple{relation.Int(obj), relation.String(class)})
+	}
+	if err := p.SetAux("objclass", rows); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Qualify implements Protocol.
+func (p *DatalogProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
+	var reqRel = request.ToRelation
+	if p.extended {
+		reqRel = request.ToExtendedRelation
+	}
+	if err := p.engine.SetEDBRelation("request", reqRel(pending)); err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+	}
+	if err := p.engine.SetEDBRelation("history", request.ToRelation(history)); err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+	}
+	if err := p.engine.Run(); err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+	}
+	qualified, err := request.FromRelation(p.engine.Facts("qualified"))
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: bad qualified tuples: %w", p.name, err)
+	}
+	byKey := make(map[request.Key]request.Request, len(pending))
+	for _, r := range pending {
+		byKey[r.Key()] = r
+	}
+	for i := range qualified {
+		if orig, ok := byKey[qualified[i].Key()]; ok {
+			qualified[i] = orig
+		}
+	}
+	p.order(qualified)
+	return qualified, nil
+}

@@ -1,0 +1,116 @@
+// Package protocol defines scheduling protocols: the decision procedure that
+// maps (pending requests, history) to the subset of pending requests
+// qualified for execution, in execution order. This is the paper's central
+// abstraction — a protocol can be programmed declaratively (SQL via
+// internal/minisql, Datalog via internal/datalog) or imperatively (the
+// hand-coded baselines the paper says are costly to build and change).
+package protocol
+
+import (
+	"sort"
+
+	"repro/internal/request"
+)
+
+// Protocol decides which pending requests may execute now.
+//
+// Implementations are not safe for concurrent use; the scheduler serialises
+// rounds, which is inherent to the paper's set-at-a-time design.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Qualify returns the pending requests that can execute without
+	// violating the protocol, in execution order. It must not mutate its
+	// arguments.
+	Qualify(pending, history []request.Request) ([]request.Request, error)
+}
+
+// ByID orders requests by global arrival number, the default execution order
+// (Listing 1's ORDER BY id).
+func ByID(rs []request.Request) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+}
+
+// ByPriorityThenID orders by descending SLA priority, then arrival number.
+func ByPriorityThenID(rs []request.Request) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Priority != rs[j].Priority {
+			return rs[i].Priority > rs[j].Priority
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// KeySet builds the set of (TA, IntraTA) keys of a request slice.
+func KeySet(rs []request.Request) map[request.Key]bool {
+	out := make(map[request.Key]bool, len(rs))
+	for _, r := range rs {
+		out[r.Key()] = true
+	}
+	return out
+}
+
+// FCFS qualifies every pending request in arrival order. It is the
+// protocol-level expression of the scheduler's non-scheduling mode: the
+// middleware forwards everything and the server's own scheduler (or nothing)
+// does the work.
+type FCFS struct{}
+
+// Name implements Protocol.
+func (FCFS) Name() string { return "fcfs" }
+
+// Qualify implements Protocol.
+func (FCFS) Qualify(pending, _ []request.Request) ([]request.Request, error) {
+	out := make([]request.Request, len(pending))
+	copy(out, pending)
+	ByID(out)
+	return out, nil
+}
+
+// Adaptive switches between two protocols based on batch load, the paper's
+// Section 5 "adaptive consistency scheduler which varies the applied
+// consistency protocols": below Threshold pending requests it uses Strict,
+// at or above it uses Relaxed.
+type Adaptive struct {
+	Strict    Protocol
+	Relaxed   Protocol
+	Threshold int
+
+	// Switches counts Strict->Relaxed and Relaxed->Strict transitions.
+	Switches int
+	lastWasRelaxed
+
+	name string
+}
+
+type lastWasRelaxed struct{ relaxed, initialised bool }
+
+// NewAdaptive builds an adaptive protocol.
+func NewAdaptive(strict, relaxed Protocol, threshold int) *Adaptive {
+	return &Adaptive{
+		Strict: strict, Relaxed: relaxed, Threshold: threshold,
+		name: "adaptive(" + strict.Name() + "," + relaxed.Name() + ")",
+	}
+}
+
+// Name implements Protocol.
+func (a *Adaptive) Name() string { return a.name }
+
+// Active returns the protocol that a batch of the given size would use.
+func (a *Adaptive) Active(pendingLen int) Protocol {
+	if pendingLen >= a.Threshold {
+		return a.Relaxed
+	}
+	return a.Strict
+}
+
+// Qualify implements Protocol.
+func (a *Adaptive) Qualify(pending, history []request.Request) ([]request.Request, error) {
+	useRelaxed := len(pending) >= a.Threshold
+	if a.initialised && useRelaxed != a.relaxed {
+		a.Switches++
+	}
+	a.relaxed = useRelaxed
+	a.initialised = true
+	return a.Active(len(pending)).Qualify(pending, history)
+}

@@ -1,0 +1,112 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/request"
+)
+
+func newRationing(t *testing.T, classes map[int64]string) *DatalogProtocol {
+	t.Helper()
+	p, err := ConsistencyRationing(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRationingStrictObjectsBehaveLikeSS2PL(t *testing.T) {
+	p := newRationing(t, map[int64]string{5: "a"})
+	history := []request.Request{{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 5}}
+	pending := []request.Request{{ID: 2, TA: 2, IntraTA: 0, Op: request.Read, Object: 5}}
+	q, err := p.Qualify(pending, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 0 {
+		t.Errorf("read of write-locked class-A object qualified: %v", q)
+	}
+}
+
+func TestRationingRelaxedObjectsReadFreely(t *testing.T) {
+	p := newRationing(t, map[int64]string{5: "a"}) // object 9 defaults to class C
+	history := []request.Request{{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 9}}
+	pending := []request.Request{
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Read, Object: 9},  // free: class C read
+		{ID: 3, TA: 3, IntraTA: 0, Op: request.Write, Object: 9}, // blocked: C writes serialise
+	}
+	q, err := p.Qualify(pending, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeySet(q)
+	if !k[request.Key{TA: 2, IntraTA: 0}] {
+		t.Error("class-C read blocked")
+	}
+	if k[request.Key{TA: 3, IntraTA: 0}] {
+		t.Error("class-C write not serialised against writes")
+	}
+}
+
+func TestRationingExplicitClassC(t *testing.T) {
+	p := newRationing(t, map[int64]string{5: "c"})
+	history := []request.Request{{ID: 1, TA: 1, IntraTA: 0, Op: request.Read, Object: 5}}
+	pending := []request.Request{{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 5}}
+	q, err := p.Qualify(pending, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 {
+		t.Errorf("class-C write blocked by a read lock: %v", q)
+	}
+}
+
+// TestRationingMatchesComposition: on instances whose objects are all class
+// A the protocol must equal SS2PL; all class C must equal relaxed reads.
+func TestRationingMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	allA := map[int64]string{}
+	for obj := int64(0); obj < 8; obj++ {
+		allA[obj] = "a"
+	}
+	strict := newRationing(t, allA)
+	relaxed := newRationing(t, nil)
+	ss2pl := ImperativeSS2PL{}
+	relaxedRef := ImperativeRelaxedReads{}
+	for trial := 0; trial < 60; trial++ {
+		pending, history := randInstance(rng)
+		qa, err := strict.Qualify(pending, history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qref, err := ss2pl.Qualify(pending, history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameKeys(qa, qref) {
+			t.Fatalf("trial %d: all-A rationing != ss2pl\npending %v\nhistory %v", trial, pending, history)
+		}
+		qc, err := relaxed.Qualify(pending, history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qcref, err := relaxedRef.Qualify(pending, history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameKeys(qc, qcref) {
+			t.Fatalf("trial %d: all-C rationing != relaxed\npending %v\nhistory %v", trial, pending, history)
+		}
+	}
+}
+
+func TestSetAuxGuards(t *testing.T) {
+	p := SS2PLDatalog()
+	if err := p.SetAux("request", nil); err == nil {
+		t.Error("rebinding request accepted")
+	}
+	if err := p.SetAux("history", nil); err == nil {
+		t.Error("rebinding history accepted")
+	}
+}

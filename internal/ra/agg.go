@@ -1,0 +1,163 @@
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// AggFunc names an aggregate function.
+type AggFunc int8
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota // COUNT(expr) — non-NULL inputs
+	CountStar
+	Sum
+	Min
+	Max
+	Avg // integer average (floor), NULL on empty group
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"count", "count(*)", "sum", "min", "max", "avg"}[f]
+}
+
+// AggSpec is one aggregate output column.
+type AggSpec struct {
+	Func AggFunc
+	E    Expr // ignored for CountStar
+	Name string
+}
+
+// GroupBy groups r by the given column positions and computes aggregates.
+// The output schema is the group columns (with their original names) followed
+// by the aggregate columns (all KindInt).
+func GroupBy(r *relation.Relation, groupCols []int, aggs []AggSpec) (*relation.Relation, error) {
+	cols := make([]relation.Column, 0, len(groupCols)+len(aggs))
+	for _, g := range groupCols {
+		cols = append(cols, r.Schema().Col(g))
+	}
+	for _, a := range aggs {
+		kind := relation.KindInt
+		if a.Func == Min || a.Func == Max {
+			// Min/max carry their input's values, which may be strings; an
+			// any-kind column accepts either.
+			kind = relation.KindNull
+		}
+		cols = append(cols, relation.Column{Name: a.Name, Kind: kind})
+	}
+	out := relation.New(relation.NewSchema(cols...))
+
+	type state struct {
+		key    relation.Tuple
+		counts []int64 // per-agg non-null count
+		sums   []int64
+		mins   []relation.Value
+		maxs   []relation.Value
+		n      int64 // group size
+	}
+	groups := make(map[string]*state)
+	var order []string
+
+	for _, t := range r.Rows() {
+		key := make(relation.Tuple, len(groupCols))
+		for i, g := range groupCols {
+			key[i] = t[g]
+		}
+		k := key.Key()
+		st, ok := groups[k]
+		if !ok {
+			st = &state{
+				key:    key,
+				counts: make([]int64, len(aggs)),
+				sums:   make([]int64, len(aggs)),
+				mins:   make([]relation.Value, len(aggs)),
+				maxs:   make([]relation.Value, len(aggs)),
+			}
+			groups[k] = st
+			order = append(order, k)
+		}
+		st.n++
+		for i, a := range aggs {
+			if a.Func == CountStar {
+				continue
+			}
+			v := a.E.Eval(t)
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			if v.Kind() == relation.KindInt {
+				st.sums[i] += v.AsInt()
+			}
+			if st.counts[i] == 1 {
+				st.mins[i], st.maxs[i] = v, v
+			} else {
+				if v.Compare(st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+				if v.Compare(st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+	}
+
+	// A global aggregate (no group columns) over an empty input still yields
+	// one row, per SQL.
+	if len(groupCols) == 0 && len(order) == 0 {
+		groups[""] = &state{
+			key:    relation.Tuple{},
+			counts: make([]int64, len(aggs)),
+			sums:   make([]int64, len(aggs)),
+			mins:   make([]relation.Value, len(aggs)),
+			maxs:   make([]relation.Value, len(aggs)),
+		}
+		order = append(order, "")
+	}
+
+	for _, k := range order {
+		st := groups[k]
+		t := make(relation.Tuple, 0, len(groupCols)+len(aggs))
+		t = append(t, st.key...)
+		for i, a := range aggs {
+			switch a.Func {
+			case Count:
+				t = append(t, relation.Int(st.counts[i]))
+			case CountStar:
+				t = append(t, relation.Int(st.n))
+			case Sum:
+				if st.counts[i] == 0 {
+					t = append(t, relation.Null())
+				} else {
+					t = append(t, relation.Int(st.sums[i]))
+				}
+			case Min:
+				if st.counts[i] == 0 {
+					t = append(t, relation.Null())
+				} else {
+					t = append(t, st.mins[i])
+				}
+			case Max:
+				if st.counts[i] == 0 {
+					t = append(t, relation.Null())
+				} else {
+					t = append(t, st.maxs[i])
+				}
+			case Avg:
+				if st.counts[i] == 0 {
+					t = append(t, relation.Null())
+				} else {
+					t = append(t, relation.Int(st.sums[i]/st.counts[i]))
+				}
+			default:
+				return nil, fmt.Errorf("ra: unknown aggregate %v", a.Func)
+			}
+		}
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

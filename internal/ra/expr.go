@@ -1,0 +1,298 @@
+// Package ra implements a small relational algebra over internal/relation:
+// scalar expressions with SQL three-valued logic, selection, projection,
+// joins (cross, hash equi-join, left outer, semi, anti), set operations
+// (union all, except, distinct), ordering and grouping with aggregates.
+//
+// Both declarative front-ends share this executor: the mini-SQL planner
+// compiles paper Listing 1 onto it, and the Datalog engine uses its join
+// kernels for rule bodies. This mirrors the paper's claim that "optimization
+// techniques from declarative query processing can be used to improve
+// scheduler performance without affecting the scheduler specification".
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// TV is a three-valued logic truth value (SQL semantics for NULL).
+type TV int8
+
+const (
+	// False is definitely false.
+	False TV = iota
+	// Unknown arises from comparisons involving NULL.
+	Unknown
+	// True is definitely true.
+	True
+)
+
+// And implements Kleene conjunction.
+func (a TV) And(b TV) TV {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Or implements Kleene disjunction.
+func (a TV) Or(b TV) TV {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Not implements Kleene negation.
+func (a TV) Not() TV { return True - a }
+
+// Expr is a scalar expression evaluated against a tuple.
+type Expr interface {
+	// Eval returns the expression value for tuple t. Boolean-valued
+	// expressions return Int(1), Int(0) or Null (unknown).
+	Eval(t relation.Tuple) relation.Value
+	fmt.Stringer
+}
+
+// Truth converts a value to a TV: NULL -> Unknown, 0 -> False, else True.
+func Truth(v relation.Value) TV {
+	if v.IsNull() {
+		return Unknown
+	}
+	if v.Kind() == relation.KindInt && v.AsInt() == 0 {
+		return False
+	}
+	return True
+}
+
+func tvValue(tv TV) relation.Value {
+	switch tv {
+	case True:
+		return relation.Int(1)
+	case False:
+		return relation.Int(0)
+	default:
+		return relation.Null()
+	}
+}
+
+// Col references a column by position.
+type Col struct {
+	Pos  int
+	Name string // for display only
+}
+
+// Eval returns the referenced column.
+func (c Col) Eval(t relation.Tuple) relation.Value { return t[c.Pos] }
+
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Pos)
+}
+
+// Lit is a literal value.
+type Lit struct{ V relation.Value }
+
+// Eval returns the literal.
+func (l Lit) Eval(relation.Tuple) relation.Value { return l.V }
+
+func (l Lit) String() string { return l.V.Encode() }
+
+// CmpOp is a comparison operator.
+type CmpOp int8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Cmp compares two sub-expressions under SQL semantics: any NULL operand
+// yields Unknown.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval evaluates the comparison.
+func (c Cmp) Eval(t relation.Tuple) relation.Value {
+	l := c.L.Eval(t)
+	r := c.R.Eval(t)
+	if l.IsNull() || r.IsNull() {
+		return relation.Null()
+	}
+	cv := l.Compare(r)
+	var tv TV
+	switch c.Op {
+	case EQ:
+		tv = b2tv(cv == 0)
+	case NE:
+		tv = b2tv(cv != 0)
+	case LT:
+		tv = b2tv(cv < 0)
+	case LE:
+		tv = b2tv(cv <= 0)
+	case GT:
+		tv = b2tv(cv > 0)
+	default:
+		tv = b2tv(cv >= 0)
+	}
+	return tvValue(tv)
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+func b2tv(b bool) TV {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is Kleene conjunction of sub-expressions.
+type And struct{ L, R Expr }
+
+// Eval evaluates the conjunction.
+func (a And) Eval(t relation.Tuple) relation.Value {
+	return tvValue(Truth(a.L.Eval(t)).And(Truth(a.R.Eval(t))))
+}
+
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is Kleene disjunction of sub-expressions.
+type Or struct{ L, R Expr }
+
+// Eval evaluates the disjunction.
+func (o Or) Eval(t relation.Tuple) relation.Value {
+	return tvValue(Truth(o.L.Eval(t)).Or(Truth(o.R.Eval(t))))
+}
+
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is Kleene negation.
+type Not struct{ E Expr }
+
+// Eval evaluates the negation.
+func (n Not) Eval(t relation.Tuple) relation.Value {
+	return tvValue(Truth(n.E.Eval(t)).Not())
+}
+
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// IsNull tests a sub-expression for NULL (two-valued result).
+type IsNull struct {
+	E      Expr
+	Negate bool // IS NOT NULL
+}
+
+// Eval evaluates the null test.
+func (i IsNull) Eval(t relation.Tuple) relation.Value {
+	isNull := i.E.Eval(t).IsNull()
+	if i.Negate {
+		isNull = !isNull
+	}
+	return tvValue(b2tv(isNull))
+}
+
+func (i IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.E)
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp int8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+func (op ArithOp) String() string { return [...]string{"+", "-", "*", "/", "%"}[op] }
+
+// Arith is integer arithmetic; NULL operands propagate NULL, division by zero
+// yields NULL (rather than an error) to keep expression evaluation total.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval evaluates the arithmetic expression.
+func (a Arith) Eval(t relation.Tuple) relation.Value {
+	l := a.L.Eval(t)
+	r := a.R.Eval(t)
+	if l.IsNull() || r.IsNull() || l.Kind() != relation.KindInt || r.Kind() != relation.KindInt {
+		return relation.Null()
+	}
+	x, y := l.AsInt(), r.AsInt()
+	switch a.Op {
+	case Add:
+		return relation.Int(x + y)
+	case Sub:
+		return relation.Int(x - y)
+	case Mul:
+		return relation.Int(x * y)
+	case Div:
+		if y == 0 {
+			return relation.Null()
+		}
+		return relation.Int(x / y)
+	default:
+		if y == 0 {
+			return relation.Null()
+		}
+		return relation.Int(x % y)
+	}
+}
+
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// InList tests membership of the left expression in a literal list.
+type InList struct {
+	E      Expr
+	Values []relation.Value
+	Negate bool
+}
+
+// Eval evaluates the membership test with SQL NULL semantics.
+func (in InList) Eval(t relation.Tuple) relation.Value {
+	v := in.E.Eval(t)
+	if v.IsNull() {
+		return relation.Null()
+	}
+	found := false
+	for _, w := range in.Values {
+		if v.Equal(w) {
+			found = true
+			break
+		}
+	}
+	if in.Negate {
+		found = !found
+	}
+	return tvValue(b2tv(found))
+}
+
+func (in InList) String() string {
+	neg := ""
+	if in.Negate {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN list[%d])", in.E, neg, len(in.Values))
+}

@@ -1,0 +1,337 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Select returns the tuples of r for which pred evaluates to True (Unknown
+// and False are both rejected, per SQL WHERE semantics).
+func Select(r *relation.Relation, pred Expr) *relation.Relation {
+	out := relation.New(r.Schema())
+	for _, t := range r.Rows() {
+		if Truth(pred.Eval(t)) == True {
+			out.MustAppend(t)
+		}
+	}
+	return out
+}
+
+// NamedExpr is a projection item with its output column name and kind.
+type NamedExpr struct {
+	Name string
+	Kind relation.Kind
+	E    Expr
+}
+
+// Project evaluates the expressions against every tuple, producing a new
+// relation with the given output schema.
+func Project(r *relation.Relation, items []NamedExpr) (*relation.Relation, error) {
+	cols := make([]relation.Column, len(items))
+	for i, it := range items {
+		cols[i] = relation.Column{Name: it.Name, Kind: it.Kind}
+	}
+	out := relation.New(relation.NewSchema(cols...))
+	for _, t := range r.Rows() {
+		nt := make(relation.Tuple, len(items))
+		for i, it := range items {
+			nt[i] = it.E.Eval(t)
+		}
+		if err := out.Append(nt); err != nil {
+			return nil, fmt.Errorf("ra: project: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// concatSchemas builds the output schema of a join; right columns whose names
+// collide are disambiguated by prefixing with prefix (used for unqualified
+// cross products in tests; the SQL planner always pre-qualifies names).
+func concatSchemas(l, r *relation.Schema, prefix string) *relation.Schema {
+	cols := make([]relation.Column, 0, l.Len()+r.Len())
+	cols = append(cols, l.Columns()...)
+	for _, c := range r.Columns() {
+		if _, clash := l.Index(c.Name); clash {
+			c.Name = prefix + "." + c.Name
+		}
+		cols = append(cols, c)
+	}
+	return relation.NewSchema(cols...)
+}
+
+// CrossJoin returns the cartesian product of l and r.
+func CrossJoin(l, r *relation.Relation) *relation.Relation {
+	out := relation.New(concatSchemas(l.Schema(), r.Schema(), "r"))
+	for _, lt := range l.Rows() {
+		for _, rt := range r.Rows() {
+			nt := make(relation.Tuple, 0, len(lt)+len(rt))
+			nt = append(nt, lt...)
+			nt = append(nt, rt...)
+			out.MustAppend(nt)
+		}
+	}
+	return out
+}
+
+// EquiKey names one pair of join columns (left position, right position).
+type EquiKey struct{ L, R int }
+
+func keyOf(t relation.Tuple, pos []int) (relation.Tuple, bool) {
+	k := make(relation.Tuple, len(pos))
+	for i, p := range pos {
+		v := t[p]
+		if v.IsNull() {
+			return nil, false // NULL never matches in an equi-join
+		}
+		k[i] = v
+	}
+	return k, true
+}
+
+// HashJoin performs an inner equi-join on the given keys, then applies the
+// optional residual predicate over the concatenated tuple.
+func HashJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	out := relation.New(concatSchemas(l.Schema(), r.Schema(), "r"))
+	if len(keys) == 0 {
+		j := CrossJoin(l, r)
+		if residual != nil {
+			return Select(j, residual)
+		}
+		return j
+	}
+	lpos := make([]int, len(keys))
+	rpos := make([]int, len(keys))
+	for i, k := range keys {
+		lpos[i], rpos[i] = k.L, k.R
+	}
+	// Build on the smaller side.
+	build, probe := r, l
+	bpos, ppos := rpos, lpos
+	buildIsRight := true
+	if l.Len() < r.Len() {
+		build, probe = l, r
+		bpos, ppos = lpos, rpos
+		buildIsRight = false
+	}
+	table := make(map[string][]relation.Tuple, build.Len())
+	for _, t := range build.Rows() {
+		k, ok := keyOf(t, bpos)
+		if !ok {
+			continue
+		}
+		table[k.Key()] = append(table[k.Key()], t)
+	}
+	for _, pt := range probe.Rows() {
+		k, ok := keyOf(pt, ppos)
+		if !ok {
+			continue
+		}
+		for _, bt := range table[k.Key()] {
+			var nt relation.Tuple
+			if buildIsRight {
+				nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), pt...), bt...)
+			} else {
+				nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), bt...), pt...)
+			}
+			if residual == nil || Truth(residual.Eval(nt)) == True {
+				out.MustAppend(nt)
+			}
+		}
+	}
+	return out
+}
+
+// LeftJoin performs a left outer equi-join: unmatched left tuples are padded
+// with NULLs on the right. The residual predicate participates in matching
+// (ON-clause semantics).
+func LeftJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	out := relation.New(concatSchemas(l.Schema(), r.Schema(), "r"))
+	rpos := make([]int, len(keys))
+	lpos := make([]int, len(keys))
+	for i, k := range keys {
+		lpos[i], rpos[i] = k.L, k.R
+	}
+	table := make(map[string][]relation.Tuple, r.Len())
+	for _, t := range r.Rows() {
+		k, ok := keyOf(t, rpos)
+		if !ok {
+			continue
+		}
+		table[k.Key()] = append(table[k.Key()], t)
+	}
+	nulls := make(relation.Tuple, r.Schema().Len())
+	for i := range nulls {
+		nulls[i] = relation.Null()
+	}
+	for _, lt := range l.Rows() {
+		matched := false
+		var candidates []relation.Tuple
+		if len(keys) == 0 {
+			candidates = r.Rows()
+		} else if k, ok := keyOf(lt, lpos); ok {
+			candidates = table[k.Key()]
+		}
+		for _, rt := range candidates {
+			nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
+			if residual == nil || Truth(residual.Eval(nt)) == True {
+				out.MustAppend(nt)
+				matched = true
+			}
+		}
+		if !matched {
+			nt := append(append(make(relation.Tuple, 0, len(lt)+len(nulls)), lt...), nulls...)
+			out.MustAppend(nt)
+		}
+	}
+	return out
+}
+
+// SemiJoin returns the left tuples that have at least one match in r
+// (EXISTS). The match predicate sees the concatenated tuple.
+func SemiJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	return semiAnti(l, r, keys, residual, true)
+}
+
+// AntiJoin returns the left tuples with no match in r (NOT EXISTS).
+func AntiJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	return semiAnti(l, r, keys, residual, false)
+}
+
+func semiAnti(l, r *relation.Relation, keys []EquiKey, residual Expr, want bool) *relation.Relation {
+	out := relation.New(l.Schema())
+	lpos := make([]int, len(keys))
+	rpos := make([]int, len(keys))
+	for i, k := range keys {
+		lpos[i], rpos[i] = k.L, k.R
+	}
+	var table map[string][]relation.Tuple
+	if len(keys) > 0 {
+		table = make(map[string][]relation.Tuple, r.Len())
+		for _, t := range r.Rows() {
+			k, ok := keyOf(t, rpos)
+			if !ok {
+				continue
+			}
+			table[k.Key()] = append(table[k.Key()], t)
+		}
+	}
+	for _, lt := range l.Rows() {
+		var candidates []relation.Tuple
+		if len(keys) == 0 {
+			candidates = r.Rows()
+		} else if k, ok := keyOf(lt, lpos); ok {
+			candidates = table[k.Key()]
+		}
+		matched := false
+		for _, rt := range candidates {
+			if residual == nil {
+				matched = true
+				break
+			}
+			nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
+			if Truth(residual.Eval(nt)) == True {
+				matched = true
+				break
+			}
+		}
+		if matched == want {
+			out.MustAppend(lt)
+		}
+	}
+	return out
+}
+
+// UnionAll concatenates relations with positionally compatible schemas.
+func UnionAll(rels ...*relation.Relation) (*relation.Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("ra: union of nothing")
+	}
+	out := relation.New(rels[0].Schema())
+	for _, r := range rels {
+		if err := out.AppendAll(r); err != nil {
+			return nil, fmt.Errorf("ra: union: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Except returns SQL EXCEPT (set semantics): distinct tuples of l not present
+// in r, compared positionally.
+func Except(l, r *relation.Relation) (*relation.Relation, error) {
+	if l.Schema().Len() != r.Schema().Len() {
+		return nil, fmt.Errorf("ra: except arity mismatch %d vs %d", l.Schema().Len(), r.Schema().Len())
+	}
+	drop := make(map[string]struct{}, r.Len())
+	for _, t := range r.Rows() {
+		drop[t.Key()] = struct{}{}
+	}
+	out := relation.New(l.Schema())
+	seen := make(map[string]struct{}, l.Len())
+	for _, t := range l.Rows() {
+		k := t.Key()
+		if _, gone := drop[k]; gone {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.MustAppend(t)
+	}
+	return out, nil
+}
+
+// SortSpec orders by one column.
+type SortSpec struct {
+	Pos  int
+	Desc bool
+}
+
+// OrderBy returns a sorted copy of r.
+func OrderBy(r *relation.Relation, specs []SortSpec) *relation.Relation {
+	out := r.Clone()
+	rows := out.Rows()
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, s := range specs {
+			c := rows[a][s.Pos].Compare(rows[b][s.Pos])
+			if s.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Limit returns the first n tuples of r (all of them if n < 0).
+func Limit(r *relation.Relation, n int) *relation.Relation {
+	if n < 0 || n >= r.Len() {
+		return r.Clone()
+	}
+	out := relation.New(r.Schema())
+	for _, t := range r.Rows()[:n] {
+		out.MustAppend(t)
+	}
+	return out
+}
+
+// Rename returns r with a new schema of the same layout but different names.
+func Rename(r *relation.Relation, names []string) (*relation.Relation, error) {
+	if len(names) != r.Schema().Len() {
+		return nil, fmt.Errorf("ra: rename arity mismatch %d vs %d", len(names), r.Schema().Len())
+	}
+	cols := r.Schema().Columns()
+	for i := range cols {
+		cols[i].Name = names[i]
+	}
+	out, err := relation.FromRows(relation.NewSchema(cols...), r.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

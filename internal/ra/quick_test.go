@@ -1,0 +1,156 @@
+package ra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func relFromBytes(vals []uint8) *relation.Relation {
+	r := relation.New(relation.NewSchema(relation.Column{Name: "v", Kind: relation.KindInt}))
+	for _, v := range vals {
+		r.MustAppend(relation.Tuple{relation.Int(int64(v % 8))})
+	}
+	return r
+}
+
+func TestQuickExceptIsSubsetAndDisjoint(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		l, r := relFromBytes(a), relFromBytes(b)
+		out, err := Except(l, r)
+		if err != nil {
+			return false
+		}
+		inR := make(map[string]bool)
+		for _, tu := range r.Rows() {
+			inR[tu.Key()] = true
+		}
+		seen := make(map[string]bool)
+		for _, tu := range out.Rows() {
+			if inR[tu.Key()] {
+				return false // EXCEPT result intersects right side
+			}
+			if seen[tu.Key()] {
+				return false // EXCEPT must deduplicate
+			}
+			seen[tu.Key()] = true
+			if !l.Contains(tu) {
+				return false // result must come from the left side
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionAllLengthAdds(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		l, r := relFromBytes(a), relFromBytes(b)
+		u, err := UnionAll(l, r)
+		if err != nil {
+			return false
+		}
+		return u.Len() == l.Len()+r.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctIdempotent(t *testing.T) {
+	f := func(a []uint8) bool {
+		r := relFromBytes(a)
+		d := r.Distinct()
+		return d.Distinct().Equal(d) && d.Len() <= r.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGroupBySumMatchesManual(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		s := relation.NewSchema(
+			relation.Column{Name: "g", Kind: relation.KindInt},
+			relation.Column{Name: "v", Kind: relation.KindInt},
+		)
+		r := relation.New(s)
+		manual := map[int64]int64{}
+		for _, p := range pairs {
+			g := int64(p % 4)
+			v := int64(p / 4 % 16)
+			r.MustAppend(relation.Tuple{relation.Int(g), relation.Int(v)})
+			manual[g] += v
+		}
+		got, err := GroupBy(r, []int{0}, []AggSpec{{Func: Sum, E: Col{Pos: 1}, Name: "s"}})
+		if err != nil {
+			return false
+		}
+		// GroupBy-with-bag semantics: Sum adds every row, like SQL SUM.
+		if got.Len() != len(manual) {
+			return false
+		}
+		for _, row := range got.Rows() {
+			if row[1].IsNull() {
+				continue
+			}
+			if manual[row[0].AsInt()] != row[1].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSemiJoinIsFilterOfLeft(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		l, r := relFromBytes(a), relFromBytes(b)
+		semi := SemiJoin(l, r, []EquiKey{{0, 0}}, nil)
+		// Every semi-join output row must exist in l and have a match in r.
+		rVals := map[int64]bool{}
+		for _, tu := range r.Rows() {
+			rVals[tu[0].AsInt()] = true
+		}
+		for _, tu := range semi.Rows() {
+			if !rVals[tu[0].AsInt()] {
+				return false
+			}
+		}
+		// And every l row with a match must appear (bag semantics preserved).
+		want := 0
+		for _, tu := range l.Rows() {
+			if rVals[tu[0].AsInt()] {
+				want++
+			}
+		}
+		return semi.Len() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderByPreservesBag(t *testing.T) {
+	f := func(a []uint8) bool {
+		r := relFromBytes(a)
+		sorted := OrderBy(r, []SortSpec{{Pos: 0}})
+		if !sorted.Equal(r) {
+			return false
+		}
+		for i := 1; i < sorted.Len(); i++ {
+			if sorted.Row(i - 1)[0].Compare(sorted.Row(i)[0]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the relation with a header row. Values are written in
+// display form; strings containing commas are handled by encoding/csv.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.schema.Len())
+	for i := 0; i < r.schema.Len(); i++ {
+		c := r.schema.Col(i)
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, r.schema.Len())
+	for _, t := range r.rows {
+		for i, v := range t {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation written by WriteCSV (header of name:kind pairs).
+func ReadCSV(rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: csv header: %w", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		name, kindStr, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("relation: csv header field %q missing kind", h)
+		}
+		var k Kind
+		switch kindStr {
+		case "int":
+			k = KindInt
+		case "string":
+			k = KindString
+		default:
+			return nil, fmt.Errorf("relation: csv header kind %q unknown", kindStr)
+		}
+		cols[i] = Column{Name: name, Kind: k}
+	}
+	rel := New(NewSchema(cols...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv row: %w", err)
+		}
+		t := make(Tuple, len(rec))
+		for i, f := range rec {
+			if cols[i].Kind == KindInt {
+				if f == "NULL" {
+					t[i] = Null()
+					continue
+				}
+				n, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: csv int %q: %w", f, err)
+				}
+				t[i] = Int(n)
+			} else {
+				if f == "NULL" {
+					t[i] = Null()
+					continue
+				}
+				t[i] = String(f)
+			}
+		}
+		if err := rel.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

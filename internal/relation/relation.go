@@ -1,0 +1,204 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory bag of tuples over a fixed schema. It is the
+// universal currency of the system: Datalog EDB/IDB predicates, mini-SQL
+// tables and intermediate results, the scheduler's pending-request store and
+// the history store are all Relations.
+//
+// A Relation is not safe for concurrent mutation; the scheduler serialises
+// access around its rounds (set-at-a-time processing makes this natural).
+type Relation struct {
+	schema *Schema
+	rows   []Tuple
+}
+
+// New creates an empty relation with the given schema.
+func New(schema *Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// FromRows creates a relation from pre-built tuples. Tuples are validated
+// against the schema.
+func FromRows(schema *Schema, rows []Tuple) (*Relation, error) {
+	r := New(schema)
+	for _, t := range rows {
+		if err := r.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples (bag semantics: duplicates count).
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns the i-th tuple. The caller must not mutate it.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns the underlying tuple slice. The caller must not mutate it.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Append adds a tuple after validating arity and kinds. NULL is accepted in
+// any column (it arises from outer joins), and a column whose declared kind
+// is KindNull accepts any value (used by the dynamically typed Datalog
+// engine, whose predicates carry no column types).
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("relation: arity mismatch: tuple %d vs schema %d", len(t), r.schema.Len())
+	}
+	for i, v := range t {
+		if v.Kind() != KindNull && r.schema.Col(i).Kind != KindNull && v.Kind() != r.schema.Col(i).Kind {
+			return fmt.Errorf("relation: column %q expects %s, got %s",
+				r.schema.Col(i).Name, r.schema.Col(i).Kind, v.Kind())
+		}
+	}
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error; for trusted construction sites.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// AppendAll appends every tuple of o, which must have an equal schema layout
+// (names are ignored; arity and kinds must match positionally).
+func (r *Relation) AppendAll(o *Relation) error {
+	if o.schema.Len() != r.schema.Len() {
+		return fmt.Errorf("relation: appendAll arity mismatch %d vs %d", o.schema.Len(), r.schema.Len())
+	}
+	for _, t := range o.rows {
+		if err := r.Append(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clear removes all tuples, keeping capacity.
+func (r *Relation) Clear() { r.rows = r.rows[:0] }
+
+// Clone returns a deep-enough copy (tuples are immutable, so the row slice is
+// copied but tuples are shared).
+func (r *Relation) Clone() *Relation {
+	rows := make([]Tuple, len(r.rows))
+	copy(rows, r.rows)
+	return &Relation{schema: r.schema, rows: rows}
+}
+
+// Distinct returns a new relation with duplicate tuples removed, preserving
+// first-occurrence order.
+func (r *Relation) Distinct() *Relation {
+	seen := make(map[string]struct{}, len(r.rows))
+	out := New(r.schema)
+	for _, t := range r.rows {
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.rows = append(out.rows, t)
+	}
+	return out
+}
+
+// Filter returns the tuples satisfying pred.
+func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
+	out := New(r.schema)
+	for _, t := range r.rows {
+		if pred(t) {
+			out.rows = append(out.rows, t)
+		}
+	}
+	return out
+}
+
+// Delete removes all tuples satisfying pred, returning how many were removed.
+func (r *Relation) Delete(pred func(Tuple) bool) int {
+	kept := r.rows[:0]
+	removed := 0
+	for _, t := range r.rows {
+		if pred(t) {
+			removed++
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	r.rows = kept
+	return removed
+}
+
+// SortBy sorts tuples in place by the named columns ascending.
+func (r *Relation) SortBy(names ...string) error {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := r.schema.Index(n)
+		if !ok {
+			return fmt.Errorf("relation: sort: no column %q", n)
+		}
+		idx[i] = j
+	}
+	sort.SliceStable(r.rows, func(a, b int) bool {
+		ta, tb := r.rows[a], r.rows[b]
+		for _, j := range idx {
+			if c := ta[j].Compare(tb[j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// Contains reports whether the relation holds an equal tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	for _, u := range r.rows {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two relations hold the same bag of tuples (order
+// insensitive) over schemas of equal layout.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.schema.Len() != o.schema.Len() || len(r.rows) != len(o.rows) {
+		return false
+	}
+	counts := make(map[string]int, len(r.rows))
+	for _, t := range r.rows {
+		counts[t.Key()]++
+	}
+	for _, t := range o.rows {
+		k := t.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small table, ordered as stored.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	b.WriteByte('\n')
+	for _, t := range r.rows {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,255 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBasics(t *testing.T) {
+	if !Int(5).Equal(Int(5)) {
+		t.Error("Int(5) != Int(5)")
+	}
+	if Int(5).Equal(Int(6)) {
+		t.Error("Int(5) == Int(6)")
+	}
+	if Int(5).Equal(String("5")) {
+		t.Error("Int(5) == String(5)")
+	}
+	if !Null().IsNull() {
+		t.Error("Null not null")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("Null != Null under Equal")
+	}
+	if String("a").Compare(String("b")) != -1 {
+		t.Error("a !< b")
+	}
+	if Int(2).Compare(Int(2)) != 0 {
+		t.Error("2 != 2 via Compare")
+	}
+	if Null().Compare(Int(0)) != -1 {
+		t.Error("NULL should sort first")
+	}
+}
+
+func TestValueEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Value{Null(), Int(0), Int(-42), Int(1 << 40), String(""), String("hello"), String("with \"quotes\" and, comma")}
+	for _, v := range cases {
+		got, err := Decode(v.Encode())
+		if err != nil {
+			t.Fatalf("decode %q: %v", v.Encode(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %q -> %v", v, v.Encode(), got)
+		}
+	}
+}
+
+func TestValueHashConsistentWithEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Equal(vb) && va.Hash() != vb.Hash() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Int(1).Hash() == String("1").Hash() {
+		t.Error("int and string hashes should be domain separated")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := NewSchema(Column{"ID", KindInt}, Column{"Operation", KindString})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	i, ok := s.Index("id")
+	if !ok || i != 0 {
+		t.Errorf("Index(id) = %d, %v", i, ok)
+	}
+	i, ok = s.Index("OPERATION")
+	if !ok || i != 1 {
+		t.Errorf("Index(OPERATION) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("found nonexistent column")
+	}
+	p, err := s.Project("operation")
+	if err != nil || p.Len() != 1 || p.Col(0).Name != "operation" {
+		t.Errorf("project: %v %v", p, err)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate column")
+		}
+	}()
+	NewSchema(Column{"a", KindInt}, Column{"A", KindInt})
+}
+
+func testSchema() *Schema {
+	return NewSchema(Column{"id", KindInt}, Column{"op", KindString})
+}
+
+func TestRelationAppendValidates(t *testing.T) {
+	r := New(testSchema())
+	if err := r.Append(Tuple{Int(1), String("r")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(Tuple{Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := r.Append(Tuple{String("x"), String("r")}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := r.Append(Tuple{Null(), String("r")}); err != nil {
+		t.Errorf("NULL rejected: %v", err)
+	}
+}
+
+func TestRelationDistinctAndEqual(t *testing.T) {
+	r := New(testSchema())
+	r.MustAppend(Tuple{Int(1), String("r")})
+	r.MustAppend(Tuple{Int(1), String("r")})
+	r.MustAppend(Tuple{Int(2), String("w")})
+	d := r.Distinct()
+	if d.Len() != 2 {
+		t.Errorf("distinct len = %d", d.Len())
+	}
+	o := New(testSchema())
+	o.MustAppend(Tuple{Int(2), String("w")})
+	o.MustAppend(Tuple{Int(1), String("r")})
+	if !d.Equal(o) {
+		t.Error("order-insensitive equality failed")
+	}
+	if r.Equal(o) {
+		t.Error("bag equality ignored duplicates")
+	}
+}
+
+func TestRelationSortBy(t *testing.T) {
+	r := New(testSchema())
+	r.MustAppend(Tuple{Int(3), String("c")})
+	r.MustAppend(Tuple{Int(1), String("a")})
+	r.MustAppend(Tuple{Int(2), String("b")})
+	if err := r.SortBy("id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if r.Row(i)[0].AsInt() != int64(i+1) {
+			t.Errorf("row %d = %v", i, r.Row(i))
+		}
+	}
+	if err := r.SortBy("missing"); err == nil {
+		t.Error("sort on missing column accepted")
+	}
+}
+
+func TestRelationDeleteFilter(t *testing.T) {
+	r := New(testSchema())
+	for i := 0; i < 10; i++ {
+		op := "r"
+		if i%2 == 0 {
+			op = "w"
+		}
+		r.MustAppend(Tuple{Int(int64(i)), String(op)})
+	}
+	writes := r.Filter(func(t Tuple) bool { return t[1].AsString() == "w" })
+	if writes.Len() != 5 {
+		t.Errorf("filter: %d", writes.Len())
+	}
+	n := r.Delete(func(t Tuple) bool { return t[1].AsString() == "w" })
+	if n != 5 || r.Len() != 5 {
+		t.Errorf("delete: removed %d, left %d", n, r.Len())
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	r := New(testSchema())
+	for i := 0; i < 100; i++ {
+		r.MustAppend(Tuple{Int(int64(i % 10)), String("r")})
+	}
+	ix, err := BuildIndex(r, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		got := ix.Lookup(Int(int64(k)))
+		if len(got) != 10 {
+			t.Errorf("lookup %d: %d rows", k, len(got))
+		}
+	}
+	if ix.Contains(Int(99)) {
+		t.Error("contains nonexistent key")
+	}
+	if _, err := BuildIndex(r, "nope"); err == nil {
+		t.Error("index on missing column accepted")
+	}
+}
+
+func TestHashIndexMultiColumn(t *testing.T) {
+	s := NewSchema(Column{"a", KindInt}, Column{"b", KindInt})
+	r := New(s)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			r.MustAppend(Tuple{Int(int64(i)), Int(int64(j))})
+		}
+	}
+	ix, err := BuildIndex(r, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Lookup(Int(3), Int(4)); len(got) != 1 {
+		t.Errorf("lookup (3,4): %d", len(got))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New(testSchema())
+	r.MustAppend(Tuple{Int(1), String("read")})
+	r.MustAppend(Tuple{Int(2), String("with,comma")})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", r, back)
+	}
+}
+
+func TestTupleCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() Tuple {
+		return Tuple{Int(rng.Int63n(5)), Int(rng.Int63n(5))}
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := mk(), mk(), mk()
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry: %v %v", a, b)
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestTupleHashStableUnderClone(t *testing.T) {
+	tu := Tuple{Int(9), String("x")}
+	if tu.Hash() != tu.Clone().Hash() {
+		t.Error("clone hash differs")
+	}
+	if tu.Key() != tu.Clone().Key() {
+		t.Error("clone key differs")
+	}
+}

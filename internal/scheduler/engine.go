@@ -1,0 +1,231 @@
+// Package scheduler implements the declarative middleware scheduler of the
+// paper's Figure 1: clients connect to the scheduler instead of the server;
+// requests are buffered in an incoming queue; a configurable trigger fires a
+// scheduling round that moves the queue into the pending-request store, runs
+// the declarative protocol query against pending and history, executes the
+// qualified requests on the server as a batch, records them in the history
+// database (with garbage collection) and returns results to the clients. A
+// non-scheduling pass-through mode forwards requests unscheduled so that the
+// real declarative-scheduling overhead can be measured (Section 3.3).
+package scheduler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/relation"
+	"repro/internal/request"
+	"repro/internal/storage"
+)
+
+// Mode selects scheduling or pass-through operation.
+type Mode int
+
+// Modes.
+const (
+	// Scheduling runs the declarative protocol each round and executes only
+	// qualified requests, with the server's own scheduler disabled.
+	Scheduling Mode = iota
+	// PassThrough forwards requests to the server unscheduled; the server's
+	// native lock-based scheduler does the work (the paper's comparison
+	// mode).
+	PassThrough
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	Protocol protocol.Protocol
+	Server   *storage.Server
+	Mode     Mode
+	// GCEvery runs history garbage collection every n rounds (0 or 1 =
+	// every round; negative disables GC, for the ablation benchmark).
+	GCEvery int
+	// KeepLog retains the full execution log for offline serializability
+	// checking.
+	KeepLog bool
+	// MaxBatch caps how many qualified requests execute per round (0 = no
+	// cap). This is the external multiprogramming-level control of the
+	// paper's related work (Schroeder et al.'s EQMS adjusts the MPL of the
+	// underlying DBMS): the protocol decides *which* requests are safe, the
+	// cap decides *how many* reach the server at once.
+	MaxBatch int
+}
+
+// Executed describes one executed request with its server result.
+type Executed struct {
+	Request request.Request
+	Value   int64
+	Err     error
+}
+
+// RoundResult reports what one scheduling round did.
+type RoundResult struct {
+	Executed []Executed
+	// Victims lists transactions aborted to break deadlocks this round.
+	Victims []int64
+	Stats   metrics.RoundStats
+}
+
+// Engine is the synchronous core of the scheduler: an incoming queue, the
+// pending-request store, the history database and the protocol. It is not
+// safe for concurrent use; Middleware adds the concurrent client front-end.
+type Engine struct {
+	cfg           Config
+	hist          *history.Store
+	pending       []request.Request
+	queue         []request.Request
+	rounds        int
+	nextID        int64
+	lastQualified []request.Request
+}
+
+// NewEngine validates the config and creates an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("scheduler: config needs a server")
+	}
+	if cfg.Mode == Scheduling && cfg.Protocol == nil {
+		return nil, fmt.Errorf("scheduler: scheduling mode needs a protocol")
+	}
+	return &Engine{cfg: cfg, hist: history.New(cfg.KeepLog), nextID: 1}, nil
+}
+
+// History exposes the history store (experiments inspect it).
+func (e *Engine) History() *history.Store { return e.hist }
+
+// PendingLen returns the pending-store size (requests admitted but not yet
+// qualified).
+func (e *Engine) PendingLen() int { return len(e.pending) }
+
+// QueueLen returns the incoming-queue size.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// Enqueue buffers requests in the incoming queue, assigning consecutive IDs
+// (the paper's consecutive request number) and arrival stamps.
+func (e *Engine) Enqueue(rs ...request.Request) {
+	for _, r := range rs {
+		r.ID = e.nextID
+		e.nextID++
+		r.Arrival = r.ID
+		e.queue = append(e.queue, r)
+	}
+}
+
+// Round runs one scheduling round: drain queue into pending, qualify,
+// resolve deadlocks if nothing qualified, execute the batch, update history.
+func (e *Engine) Round() (RoundResult, error) {
+	start := time.Now()
+	e.rounds++
+	// Step 1-2: empty the incoming queue into the pending request store "as
+	// a batch job".
+	e.pending = append(e.pending, e.queue...)
+	e.queue = e.queue[:0]
+
+	var res RoundResult
+	res.Stats.Pending = len(e.pending)
+
+	var qualified []request.Request
+	evalStart := time.Now()
+	switch e.cfg.Mode {
+	case PassThrough:
+		qualified = append(qualified, e.pending...)
+		protocol.ByID(qualified)
+	default:
+		var err error
+		qualified, err = e.cfg.Protocol.Qualify(e.pending, e.hist.Live())
+		if err != nil {
+			return res, fmt.Errorf("scheduler: round %d: %w", e.rounds, err)
+		}
+	}
+	res.Stats.Duration = time.Since(evalStart)
+	if e.cfg.MaxBatch > 0 && len(qualified) > e.cfg.MaxBatch {
+		// Admission control: defer the tail (the protocol's order is a
+		// priority order, so the cap keeps the most urgent requests).
+		qualified = qualified[:e.cfg.MaxBatch]
+	}
+
+	// Protocol-declared aborts (wound-wait style prevention): the protocol's
+	// own wound decision takes precedence over reactive deadlock detection.
+	var victims []int64
+	if w, ok := e.cfg.Protocol.(protocol.Wounder); ok && e.cfg.Mode == Scheduling {
+		victims = w.Wounded()
+	}
+	// Deadlock resolution: a non-empty pending store with an empty qualified
+	// set means the protocol is blocked; abort the youngest member of each
+	// waits-for cycle, exactly like the native scheduler's victim policy.
+	if len(victims) == 0 && len(qualified) == 0 && len(e.pending) > 0 && e.cfg.Mode == Scheduling {
+		victims = protocol.DeadlockVictims(e.pending, e.hist.Live())
+	}
+	if len(victims) > 0 {
+		for _, ta := range victims {
+			ab := request.Request{
+				ID: e.nextID, TA: ta, IntraTA: victimIntra, Op: request.Abort,
+				Object: request.NoObject,
+			}
+			e.nextID++
+			res.Victims = append(res.Victims, ta)
+			// Roll the victim back: compensate every write it had executed.
+			for _, h := range e.hist.Live() {
+				if h.TA == ta && h.Op == request.Write {
+					if err := e.cfg.Server.UndoWrite(h.Object); err != nil {
+						return res, err
+					}
+				}
+			}
+			if _, err := e.cfg.Server.ExecScheduled(ab); err != nil {
+				return res, err
+			}
+			e.hist.Append(ab)
+			// Drop the victim's pending requests; its client is notified via
+			// the Victims list.
+			kept := e.pending[:0]
+			for _, p := range e.pending {
+				if p.TA != ta {
+					kept = append(kept, p)
+				}
+			}
+			e.pending = kept
+		}
+		res.Stats.Victims = len(res.Victims)
+	}
+
+	// Step 4: send qualified requests to the server as a batch; insert them
+	// into the history and delete them from the pending store.
+	qualifiedKeys := protocol.KeySet(qualified)
+	for _, r := range qualified {
+		v, err := e.cfg.Server.ExecScheduled(r)
+		res.Executed = append(res.Executed, Executed{Request: r, Value: v, Err: err})
+		e.hist.Append(r)
+	}
+	kept := e.pending[:0]
+	for _, p := range e.pending {
+		if !qualifiedKeys[p.Key()] {
+			kept = append(kept, p)
+		}
+	}
+	e.pending = kept
+
+	if e.cfg.GCEvery >= 0 && (e.cfg.GCEvery <= 1 || e.rounds%e.cfg.GCEvery == 0) {
+		e.hist.GC()
+	}
+	e.lastQualified = qualified
+	res.Stats.Qualified = len(res.Executed)
+	res.Stats.History = e.hist.Len()
+	res.Stats.Total = time.Since(start)
+	return res, nil
+}
+
+// victimIntra marks scheduler-injected abort requests; it is far above any
+// real intra-transaction number.
+const victimIntra = 1 << 30
+
+// Rounds returns how many rounds have run.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// RTE returns the paper's ready-to-execute table for the last round: the
+// qualified requests as a relation over the Table 2 schema (empty before the
+// first round).
+func (e *Engine) RTE() *relation.Relation { return request.ToRelation(e.lastQualified) }

@@ -1,0 +1,182 @@
+package scheduler
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/request"
+)
+
+// ErrTxnAborted is delivered to clients whose transaction was aborted as a
+// deadlock victim; the client must restart the transaction under a new TA.
+var ErrTxnAborted = errors.New("scheduler: transaction aborted as deadlock victim")
+
+// ErrStopped is delivered when the middleware shuts down with requests in
+// flight.
+var ErrStopped = errors.New("scheduler: middleware stopped")
+
+// Result is the middleware's reply to one submitted request.
+type Result struct {
+	Value int64
+	Err   error
+}
+
+// Middleware is the concurrent front-end of the scheduler (paper Figure 1):
+// each connected client talks to its own client worker, which forwards
+// requests into the incoming queue; a scheduler loop fires rounds according
+// to the trigger policy and routes results back.
+type Middleware struct {
+	engine    *Engine
+	trigger   Trigger
+	collector *metrics.Collector
+
+	mu      sync.Mutex
+	waiters map[request.Key]chan Result
+	byTA    map[int64][]request.Key
+	submits chan submission
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+type submission struct {
+	req   request.Request
+	reply chan Result
+	stamp time.Time
+}
+
+// NewMiddleware wraps an engine with a trigger policy. The collector may be
+// nil.
+func NewMiddleware(engine *Engine, trigger Trigger, collector *metrics.Collector) *Middleware {
+	if collector == nil {
+		collector = metrics.NewCollector()
+	}
+	return &Middleware{
+		engine:    engine,
+		trigger:   trigger,
+		collector: collector,
+		waiters:   make(map[request.Key]chan Result),
+		byTA:      make(map[int64][]request.Key),
+		submits:   make(chan submission, 1024),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+}
+
+// Collector returns the metrics collector.
+func (m *Middleware) Collector() *metrics.Collector { return m.collector }
+
+// Start launches the scheduler loop.
+func (m *Middleware) Start() { go m.loop() }
+
+// Stop shuts the loop down and fails in-flight requests with ErrStopped.
+func (m *Middleware) Stop() {
+	close(m.stop)
+	<-m.stopped
+}
+
+// Submit sends one request and blocks until it executed (or its transaction
+// aborted). Safe for concurrent use by many client workers.
+func (m *Middleware) Submit(r request.Request) Result {
+	reply := make(chan Result, 1)
+	select {
+	case m.submits <- submission{req: r, reply: reply, stamp: time.Now()}:
+	case <-m.stopped:
+		return Result{Err: ErrStopped}
+	}
+	return <-reply
+}
+
+func (m *Middleware) loop() {
+	defer close(m.stopped)
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+	lastRound := time.Now()
+	stamps := make(map[request.Key]time.Time)
+
+	runRound := func() {
+		res, err := m.engine.Round()
+		lastRound = time.Now()
+		if err != nil {
+			// A protocol failure is fatal for the round; fail everything
+			// pending so clients do not hang.
+			m.mu.Lock()
+			for k, ch := range m.waiters {
+				ch <- Result{Err: err}
+				delete(m.waiters, k)
+			}
+			m.byTA = make(map[int64][]request.Key)
+			m.mu.Unlock()
+			return
+		}
+		m.collector.AddRound(res.Stats)
+		m.mu.Lock()
+		for _, ex := range res.Executed {
+			k := ex.Request.Key()
+			if ch, ok := m.waiters[k]; ok {
+				ch <- Result{Value: ex.Value, Err: ex.Err}
+				delete(m.waiters, k)
+				if t, ok := stamps[k]; ok {
+					m.collector.Latency.Observe(time.Since(t).Nanoseconds())
+					delete(stamps, k)
+				}
+			}
+		}
+		for _, ta := range res.Victims {
+			for _, k := range m.byTA[ta] {
+				if ch, ok := m.waiters[k]; ok {
+					ch <- Result{Err: ErrTxnAborted}
+					delete(m.waiters, k)
+					delete(stamps, k)
+				}
+			}
+			delete(m.byTA, ta)
+		}
+		m.mu.Unlock()
+	}
+
+	for {
+		select {
+		case <-m.stop:
+			// Drain what we can, then fail the rest.
+			for m.engine.QueueLen() > 0 || m.engine.PendingLen() > 0 {
+				before := m.engine.QueueLen() + m.engine.PendingLen()
+				runRound()
+				if m.engine.QueueLen()+m.engine.PendingLen() >= before {
+					break
+				}
+			}
+			m.mu.Lock()
+			for k, ch := range m.waiters {
+				ch <- Result{Err: ErrStopped}
+				delete(m.waiters, k)
+			}
+			m.mu.Unlock()
+			return
+		case sub := <-m.submits:
+			k := sub.req.Key()
+			m.mu.Lock()
+			m.waiters[k] = sub.reply
+			m.byTA[sub.req.TA] = append(m.byTA[sub.req.TA], k)
+			m.mu.Unlock()
+			stamps[k] = sub.stamp
+			m.engine.Enqueue(sub.req)
+			if m.trigger.Fire(m.engine.QueueLen(), time.Since(lastRound)) {
+				runRound()
+			}
+		case <-ticker.C:
+			if m.trigger.Fire(m.engine.QueueLen(), time.Since(lastRound)) {
+				runRound()
+			} else if (m.engine.PendingLen() > 0 || m.engine.QueueLen() > 0) &&
+				time.Since(lastRound) > 2*time.Millisecond {
+				// Progress guarantee: blocked pending requests need further
+				// rounds to observe lock releases and deadlock resolution,
+				// and a fill-level trigger must not starve a queue that
+				// stays below its level (the paper's triggers are policies
+				// for *when* to run early, not for whether to run at all).
+				runRound()
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/request"
+)
+
+// WorkloadResult summarises a closed-loop run.
+type WorkloadResult struct {
+	CommittedTxns int64
+	AbortedTxns   int64
+	Retries       int64
+}
+
+// RunWorkload drives the middleware with one goroutine per client (the
+// paper's client workers), each submitting its transactions request by
+// request — the next request is sent only after the previous one's result
+// arrived, like a real database client. Transactions aborted as deadlock
+// victims are retried under a fresh transaction number up to maxRetries
+// times (0 disables retry).
+func RunWorkload(m *Middleware, queues [][]request.Transaction, maxRetries int) (WorkloadResult, error) {
+	var res WorkloadResult
+	var maxTA int64
+	for _, q := range queues {
+		for _, tx := range q {
+			if tx.TA > maxTA {
+				maxTA = tx.TA
+			}
+		}
+	}
+	nextTA := atomic.Int64{}
+	nextTA.Store(maxTA)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(queues))
+	for _, q := range queues {
+		wg.Add(1)
+		go func(txns []request.Transaction) {
+			defer wg.Done()
+			for _, tx := range txns {
+				attempt := tx
+				for try := 0; ; try++ {
+					aborted, err := runTxn(m, attempt)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !aborted {
+						atomic.AddInt64(&res.CommittedTxns, 1)
+						break
+					}
+					if try >= maxRetries {
+						atomic.AddInt64(&res.AbortedTxns, 1)
+						break
+					}
+					atomic.AddInt64(&res.Retries, 1)
+					attempt = renumber(attempt, nextTA.Add(1))
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+		return res, nil
+	}
+}
+
+// runTxn submits one transaction request by request. It reports whether the
+// transaction was aborted as a deadlock victim.
+func runTxn(m *Middleware, tx request.Transaction) (aborted bool, err error) {
+	for _, r := range tx.Requests {
+		out := m.Submit(r)
+		if errors.Is(out.Err, ErrTxnAborted) {
+			return true, nil
+		}
+		if out.Err != nil {
+			return false, fmt.Errorf("scheduler: ta%d request %d: %w", r.TA, r.IntraTA, out.Err)
+		}
+	}
+	return false, nil
+}
+
+// renumber clones a transaction under a new TA (for retry after abort).
+func renumber(tx request.Transaction, ta int64) request.Transaction {
+	out := request.Transaction{TA: ta, Requests: make([]request.Request, len(tx.Requests))}
+	for i, r := range tx.Requests {
+		r.TA = ta
+		out.Requests[i] = r
+	}
+	return out
+}

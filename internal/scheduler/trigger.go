@@ -1,0 +1,59 @@
+package scheduler
+
+import (
+	"fmt"
+	"time"
+)
+
+// Trigger decides when the scheduler empties the incoming queue and runs a
+// round. The paper (Section 3.3): "The trigger condition can be configured
+// (dynamically). ... Possible conditions are, e.g. a lapse of time, a
+// certain fill level of the incoming queue or a hybrid version."
+type Trigger interface {
+	// Fire reports whether a round should run given the queue fill level and
+	// the time since the last round ended.
+	Fire(queueLen int, sinceLast time.Duration) bool
+	Name() string
+}
+
+// TimeTrigger fires after a fixed lapse of time.
+type TimeTrigger struct{ Every time.Duration }
+
+// Fire implements Trigger.
+func (t TimeTrigger) Fire(queueLen int, sinceLast time.Duration) bool {
+	return queueLen > 0 && sinceLast >= t.Every
+}
+
+// Name implements Trigger.
+func (t TimeTrigger) Name() string { return fmt.Sprintf("time(%s)", t.Every) }
+
+// FillTrigger fires at a queue fill level.
+type FillTrigger struct{ Level int }
+
+// Fire implements Trigger.
+func (t FillTrigger) Fire(queueLen int, _ time.Duration) bool {
+	return queueLen >= t.Level
+}
+
+// Name implements Trigger.
+func (t FillTrigger) Name() string { return fmt.Sprintf("fill(%d)", t.Level) }
+
+// HybridTrigger fires at a fill level or after a maximum delay, whichever
+// comes first.
+type HybridTrigger struct {
+	Level int
+	Every time.Duration
+}
+
+// Fire implements Trigger.
+func (t HybridTrigger) Fire(queueLen int, sinceLast time.Duration) bool {
+	if queueLen >= t.Level {
+		return true
+	}
+	return queueLen > 0 && sinceLast >= t.Every
+}
+
+// Name implements Trigger.
+func (t HybridTrigger) Name() string {
+	return fmt.Sprintf("hybrid(%d,%s)", t.Level, t.Every)
+}

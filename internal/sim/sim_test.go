@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+)
+
+func smallConfig(clients int) Config {
+	return Config{
+		Clients:           clients,
+		Objects:           500,
+		ReadsPerTxn:       4,
+		WritesPerTxn:      4,
+		StatementTicks:    100,
+		LockOverheadTicks: 2,
+		CommitTicks:       100,
+		BudgetTicks:       2_000_000,
+		Seed:              1,
+	}
+}
+
+func TestSingleClientRatioNearOne(t *testing.T) {
+	r := Run(smallConfig(1))
+	if r.CommittedTxns == 0 {
+		t.Fatal("nothing committed")
+	}
+	if r.Deadlocks != 0 || r.AbortedTxns != 0 {
+		t.Errorf("single client cannot deadlock: %+v", r)
+	}
+	ratio := r.RatioPct()
+	// Commit cost and lock overhead put the ratio slightly above 100%.
+	if ratio < 100 || ratio > 140 {
+		t.Errorf("single-client ratio %.1f%%, want ~100-140%%", ratio)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(smallConfig(20))
+	b := Run(smallConfig(20))
+	if a != b {
+		t.Errorf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRatioGrowsWithContention(t *testing.T) {
+	low := Run(smallConfig(2))
+	high := Run(smallConfig(64))
+	if high.RatioPct() <= low.RatioPct() {
+		t.Errorf("ratio should grow with clients: %d clients %.1f%% vs %d clients %.1f%%",
+			low.Clients, low.RatioPct(), high.Clients, high.RatioPct())
+	}
+	if high.BlockEvents == 0 {
+		t.Error("no blocking at high contention")
+	}
+}
+
+func TestThroughputCollapseUnderHeavyContention(t *testing.T) {
+	// Few objects and many writers: thrashing. Committed throughput must be
+	// far below the contention-free case.
+	cfg := smallConfig(64)
+	cfg.Objects = 40
+	r := Run(cfg)
+	ideal := cfg.BudgetTicks / (cfg.StatementTicks + cfg.LockOverheadTicks)
+	if r.CommittedStatements*2 > ideal {
+		t.Errorf("expected collapse: committed %d vs ideal %d", r.CommittedStatements, ideal)
+	}
+	if r.Deadlocks == 0 {
+		t.Error("expected deadlocks under heavy contention")
+	}
+}
+
+func TestAccountingConsistent(t *testing.T) {
+	r := Run(smallConfig(32))
+	if r.MUTicks != smallConfig(32).BudgetTicks {
+		t.Errorf("MU ticks: %d", r.MUTicks)
+	}
+	if r.SUTicks != r.CommittedStatements*100 {
+		t.Errorf("SU ticks: %d", r.SUTicks)
+	}
+	if r.CommittedStatements == 0 || r.CommittedTxns == 0 {
+		t.Errorf("no progress: %+v", r)
+	}
+	perTxn := int64(8)
+	if r.CommittedStatements != r.CommittedTxns*perTxn {
+		t.Errorf("committed stmts %d != txns %d x %d", r.CommittedStatements, r.CommittedTxns, perTxn)
+	}
+}
+
+func TestReadOnlyWorkloadNoDeadlocks(t *testing.T) {
+	cfg := smallConfig(32)
+	cfg.WritesPerTxn = 0
+	cfg.ReadsPerTxn = 8
+	r := Run(cfg)
+	if r.Deadlocks != 0 || r.BlockEvents != 0 {
+		t.Errorf("read-only workload blocked: %+v", r)
+	}
+}
+
+func TestPaperSimConfigSane(t *testing.T) {
+	cfg := PaperSimConfig(10)
+	if cfg.Objects != 100000 || cfg.ReadsPerTxn != 20 || cfg.WritesPerTxn != 20 {
+		t.Errorf("paper config: %+v", cfg)
+	}
+}

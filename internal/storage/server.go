@@ -1,0 +1,230 @@
+// Package storage implements the "server" of the paper's architecture
+// (Figure 1): an in-memory single-table record store in the spirit of the
+// experiment's setup (one table of 100 000 rows, single-row SELECT and
+// UPDATE statements). It can run in two modes, exactly as the paper
+// requires:
+//
+//   - internal scheduling: sessions acquire S/X locks from the native lock
+//     manager per statement and hold them until commit/abort (the DBMS's own
+//     SS2PL scheduler, the baseline of Figure 2);
+//   - external scheduling: the middleware has already scheduled the batch,
+//     the server's own scheduler is "disabled as far as possible" and
+//     statements execute without locking.
+//
+// A synthetic per-statement work parameter models the statement execution
+// cost of the paper's commercial DBMS, so that contention effects, not Go
+// slice indexing, dominate measurements.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/request"
+)
+
+// ErrAborted is returned when a statement's transaction was chosen as a
+// deadlock victim; the session is rolled back and unusable.
+var ErrAborted = errors.New("storage: transaction aborted (deadlock victim)")
+
+// Config parameterises the server.
+type Config struct {
+	// Rows is the table size (paper: 100 000).
+	Rows int
+	// StatementWork is a synthetic CPU cost per statement in arbitrary spin
+	// units; 0 means raw speed.
+	StatementWork int
+}
+
+// Server is the storage server.
+type Server struct {
+	cfg   Config
+	locks *lock.Manager
+	table []atomic.Int64
+
+	statements atomic.Int64
+	commits    atomic.Int64
+	aborts     atomic.Int64
+}
+
+// NewServer creates a server with all rows zero.
+func NewServer(cfg Config) *Server {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 1
+	}
+	return &Server{
+		cfg:   cfg,
+		locks: lock.NewManager(),
+		table: make([]atomic.Int64, cfg.Rows),
+	}
+}
+
+// Rows returns the table size.
+func (s *Server) Rows() int { return s.cfg.Rows }
+
+// Locks exposes the native lock manager (stats, shutdown).
+func (s *Server) Locks() *lock.Manager { return s.locks }
+
+// Stats reports (statements, commits, aborts) executed so far.
+func (s *Server) Stats() (statements, commits, aborts int64) {
+	return s.statements.Load(), s.commits.Load(), s.aborts.Load()
+}
+
+// Checksum folds the table contents; used by tests to compare executions.
+func (s *Server) Checksum() int64 {
+	var sum int64
+	for i := range s.table {
+		sum += s.table[i].Load() * int64(i+1)
+	}
+	return sum
+}
+
+// Get reads a row without any locking (diagnostics only).
+func (s *Server) Get(row int64) int64 { return s.table[row].Load() }
+
+func (s *Server) work() {
+	// Volatile-ish spin so the loop is not optimised away.
+	acc := int64(1)
+	for i := 0; i < s.cfg.StatementWork; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	if acc == 42 {
+		panic("unreachable")
+	}
+}
+
+func (s *Server) apply(r request.Request) (int64, error) {
+	if r.Object < 0 || r.Object >= int64(s.cfg.Rows) {
+		return 0, fmt.Errorf("storage: object %d out of range [0,%d)", r.Object, s.cfg.Rows)
+	}
+	s.work()
+	s.statements.Add(1)
+	switch r.Op {
+	case request.Read:
+		return s.table[r.Object].Load(), nil
+	case request.Write:
+		return s.table[r.Object].Add(1), nil
+	default:
+		return 0, fmt.Errorf("storage: apply called with %q", r.Op)
+	}
+}
+
+// Session is one transaction's connection under internal scheduling.
+type Session struct {
+	srv    *Server
+	ta     int64
+	done   bool
+	victim bool
+}
+
+// Begin opens a session for transaction ta.
+func (s *Server) Begin(ta int64) *Session { return &Session{srv: s, ta: ta} }
+
+// Exec executes one statement under the native SS2PL scheduler: reads take a
+// shared lock, writes an exclusive lock, both held until Commit or Abort. A
+// deadlock victim gets ErrAborted and the session is rolled back.
+func (sess *Session) Exec(r request.Request) (int64, error) {
+	if sess.done {
+		return 0, fmt.Errorf("storage: session for ta%d already finished", sess.ta)
+	}
+	if r.TA != sess.ta {
+		return 0, fmt.Errorf("storage: request of ta%d on session of ta%d", r.TA, sess.ta)
+	}
+	switch r.Op {
+	case request.Commit:
+		sess.finish(true)
+		return 0, nil
+	case request.Abort:
+		sess.finish(false)
+		return 0, nil
+	case request.Read, request.Write:
+		mode := lock.Shared
+		if r.Op == request.Write {
+			mode = lock.Exclusive
+		}
+		if err := sess.srv.locks.Acquire(sess.ta, r.Object, mode); err != nil {
+			sess.victim = true
+			sess.finish(false)
+			if errors.Is(err, lock.ErrDeadlock) {
+				return 0, ErrAborted
+			}
+			return 0, err
+		}
+		return sess.srv.apply(r)
+	default:
+		return 0, fmt.Errorf("storage: invalid op %q", r.Op)
+	}
+}
+
+// Victim reports whether the session was aborted as a deadlock victim.
+func (sess *Session) Victim() bool { return sess.victim }
+
+func (sess *Session) finish(commit bool) {
+	if sess.done {
+		return
+	}
+	sess.done = true
+	sess.srv.locks.ReleaseAll(sess.ta)
+	if commit {
+		sess.srv.commits.Add(1)
+	} else {
+		sess.srv.aborts.Add(1)
+	}
+}
+
+// ExecScheduled executes an externally scheduled request without locking —
+// the middleware guarantees the batch is conflict-free (external scheduling
+// mode). Termination requests only update counters.
+func (s *Server) ExecScheduled(r request.Request) (int64, error) {
+	switch r.Op {
+	case request.Commit:
+		s.commits.Add(1)
+		return 0, nil
+	case request.Abort:
+		s.aborts.Add(1)
+		return 0, nil
+	default:
+		return s.apply(r)
+	}
+}
+
+// UndoWrite compensates one executed write of an aborting transaction
+// (writes are increments, so undo is an exact decrement). The scheduler
+// calls this for each write a deadlock victim had already executed.
+func (s *Server) UndoWrite(object int64) error {
+	if object < 0 || object >= int64(s.cfg.Rows) {
+		return fmt.Errorf("storage: undo object %d out of range [0,%d)", object, s.cfg.Rows)
+	}
+	s.table[object].Add(-1)
+	return nil
+}
+
+// ExecBatch executes a scheduled batch back to back ("executed as a batch
+// job, whereby we expect a performance improvement").
+func (s *Server) ExecBatch(batch []request.Request) error {
+	for _, r := range batch {
+		if _, err := s.ExecScheduled(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSingleUser replays a statement sequence in single-user mode: one
+// transaction, exclusive table access, no locking — the paper's method for
+// bounding native scheduler overhead from below (Section 4.2.1, "we acquired
+// an exclusive lock on the table ... and processed the same statement
+// sequence in a single transaction").
+func (s *Server) RunSingleUser(seq []request.Request) error {
+	for _, r := range seq {
+		if r.Op.IsTermination() {
+			continue // a single enclosing transaction replaces per-TA commits
+		}
+		if _, err := s.apply(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

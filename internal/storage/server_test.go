@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/request"
+)
+
+func TestApplyReadWrite(t *testing.T) {
+	s := NewServer(Config{Rows: 10})
+	sess := s.Begin(1)
+	v, err := sess.Exec(request.Request{TA: 1, Op: request.Write, Object: 3})
+	if err != nil || v != 1 {
+		t.Fatalf("write: %d, %v", v, err)
+	}
+	v, err = sess.Exec(request.Request{TA: 1, Op: request.Read, Object: 3})
+	if err != nil || v != 1 {
+		t.Fatalf("read: %d, %v", v, err)
+	}
+	if _, err := sess.Exec(request.Request{TA: 1, Op: request.Commit}); err != nil {
+		t.Fatal(err)
+	}
+	stmts, commits, aborts := s.Stats()
+	if stmts != 2 || commits != 1 || aborts != 0 {
+		t.Errorf("stats: %d %d %d", stmts, commits, aborts)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	s := NewServer(Config{Rows: 5})
+	sess := s.Begin(1)
+	if _, err := sess.Exec(request.Request{TA: 1, Op: request.Read, Object: 5}); err == nil {
+		t.Error("out of range accepted")
+	}
+	if _, err := s.ExecScheduled(request.Request{Op: request.Read, Object: -1}); err == nil {
+		t.Error("negative object accepted")
+	}
+}
+
+func TestSessionGuards(t *testing.T) {
+	s := NewServer(Config{Rows: 5})
+	sess := s.Begin(7)
+	if _, err := sess.Exec(request.Request{TA: 8, Op: request.Read, Object: 0}); err == nil {
+		t.Error("foreign TA accepted")
+	}
+	if _, err := sess.Exec(request.Request{TA: 7, Op: request.Commit}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(request.Request{TA: 7, Op: request.Read, Object: 0}); err == nil {
+		t.Error("statement on finished session accepted")
+	}
+}
+
+func TestInternalSchedulingBlocksConflicts(t *testing.T) {
+	s := NewServer(Config{Rows: 10})
+	s1 := s.Begin(1)
+	if _, err := s1.Exec(request.Request{TA: 1, Op: request.Write, Object: 4}); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s2 := s.Begin(2)
+		if _, err := s2.Exec(request.Request{TA: 2, Op: request.Read, Object: 4}); err != nil {
+			t.Errorf("ta2 read: %v", err)
+			return
+		}
+		mu.Lock()
+		ok := released
+		mu.Unlock()
+		if !ok {
+			t.Error("ta2 proceeded before ta1 released its lock")
+		}
+		s2.Exec(request.Request{TA: 2, Op: request.Commit})
+	}()
+	mu.Lock()
+	released = true
+	mu.Unlock()
+	if _, err := s1.Exec(request.Request{TA: 1, Op: request.Commit}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestDeadlockVictimGetsErrAborted(t *testing.T) {
+	s := NewServer(Config{Rows: 10})
+	s1 := s.Begin(1)
+	s2 := s.Begin(2)
+	if _, err := s1.Exec(request.Request{TA: 1, Op: request.Write, Object: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec(request.Request{TA: 2, Op: request.Write, Object: 1}); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() {
+		_, err := s1.Exec(request.Request{TA: 1, Op: request.Write, Object: 1})
+		if err == nil {
+			_, err = s1.Exec(request.Request{TA: 1, Op: request.Commit})
+		}
+		errs <- err
+	}()
+	go func() {
+		_, err := s2.Exec(request.Request{TA: 2, Op: request.Write, Object: 0})
+		if err == nil {
+			_, err = s2.Exec(request.Request{TA: 2, Op: request.Commit})
+		}
+		errs <- err
+	}()
+	var aborted int
+	for i := 0; i < 2; i++ {
+		if err := <-errs; errors.Is(err, ErrAborted) {
+			aborted++
+		} else if err != nil {
+			t.Fatalf("unexpected: %v", err)
+		}
+	}
+	if aborted != 1 {
+		t.Errorf("aborted = %d, want 1", aborted)
+	}
+	_, _, ab := s.Stats()
+	if ab != 1 {
+		t.Errorf("abort counter = %d", ab)
+	}
+}
+
+func TestExecBatchAndSingleUserAgree(t *testing.T) {
+	seq := []request.Request{
+		{TA: 1, IntraTA: 0, Op: request.Write, Object: 2},
+		{TA: 2, IntraTA: 0, Op: request.Write, Object: 2},
+		{TA: 1, IntraTA: 1, Op: request.Commit, Object: request.NoObject},
+		{TA: 2, IntraTA: 1, Op: request.Write, Object: 3},
+		{TA: 2, IntraTA: 2, Op: request.Commit, Object: request.NoObject},
+	}
+	a := NewServer(Config{Rows: 5})
+	if err := a.ExecBatch(seq); err != nil {
+		t.Fatal(err)
+	}
+	b := NewServer(Config{Rows: 5})
+	if err := b.RunSingleUser(seq); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Errorf("checksums differ: %d vs %d", a.Checksum(), b.Checksum())
+	}
+	if a.Get(2) != 2 || a.Get(3) != 1 {
+		t.Errorf("table state: %d %d", a.Get(2), a.Get(3))
+	}
+}
+
+func TestStatementWorkRuns(t *testing.T) {
+	s := NewServer(Config{Rows: 2, StatementWork: 100})
+	if _, err := s.ExecScheduled(request.Request{Op: request.Write, Object: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(0) != 1 {
+		t.Error("write lost")
+	}
+}

@@ -1,0 +1,195 @@
+// Package workload generates the paper's evaluation workload and its
+// extensions: "transactions with 20 SELECT and 20 UPDATE statements against
+// a single table of 100000 rows. Each statement affected exactly one random
+// row, with a uniform probability for each row" (Section 4.2.1). Extensions
+// add Zipf-skewed access (to stress contention), SLA classes (premium vs
+// free customers, Section 1) and a read-mostly web mix (Section 2).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/request"
+)
+
+// Class is an SLA customer class.
+type Class struct {
+	Name     string
+	Priority int64
+	// Weight is the relative share of transactions from this class.
+	Weight int
+}
+
+// Config parameterises the generator.
+type Config struct {
+	// Clients is the number of concurrently active clients (paper: 1-600).
+	Clients int
+	// TxnsPerClient is how many transactions each client runs in sequence.
+	TxnsPerClient int
+	// ReadsPerTxn and WritesPerTxn set the statement mix (paper: 20 and 20).
+	ReadsPerTxn, WritesPerTxn int
+	// Objects is the table size (paper: 100 000).
+	Objects int64
+	// ZipfS enables skewed access when > 1 (s parameter of rand.Zipf);
+	// 0 or 1 means uniform, the paper's setting.
+	ZipfS float64
+	// Classes optionally assigns SLA classes round-robin by weight; empty
+	// means no classes (all priority 0).
+	Classes []Class
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// PaperConfig returns the exact workload of Section 4.2.1 for a client count.
+func PaperConfig(clients int) Config {
+	return Config{
+		Clients:       clients,
+		TxnsPerClient: 1,
+		ReadsPerTxn:   20,
+		WritesPerTxn:  20,
+		Objects:       100000,
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("workload: clients must be positive, got %d", c.Clients)
+	}
+	if c.Objects <= 0 {
+		return fmt.Errorf("workload: objects must be positive, got %d", c.Objects)
+	}
+	if c.ReadsPerTxn < 0 || c.WritesPerTxn < 0 || c.ReadsPerTxn+c.WritesPerTxn == 0 {
+		return fmt.Errorf("workload: statement mix %d/%d invalid", c.ReadsPerTxn, c.WritesPerTxn)
+	}
+	if c.ZipfS != 0 && c.ZipfS <= 1 {
+		return fmt.Errorf("workload: ZipfS must be > 1 (or 0 for uniform), got %g", c.ZipfS)
+	}
+	for _, cl := range c.Classes {
+		if cl.Weight <= 0 {
+			return fmt.Errorf("workload: class %q has non-positive weight", cl.Name)
+		}
+	}
+	return nil
+}
+
+// Generator produces transactions deterministically from a seed.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	nextTA  int64
+	nextID  int64
+	classIx []Class // expanded by weight
+	classN  int
+}
+
+// NewGenerator validates the config and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.TxnsPerClient <= 0 {
+		cfg.TxnsPerClient = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, rng: rng, nextTA: 1, nextID: 1}
+	if cfg.ZipfS > 1 {
+		g.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
+	}
+	for _, cl := range cfg.Classes {
+		for i := 0; i < cl.Weight; i++ {
+			g.classIx = append(g.classIx, cl)
+		}
+	}
+	return g, nil
+}
+
+func (g *Generator) object() int64 {
+	if g.zipf != nil {
+		return int64(g.zipf.Uint64())
+	}
+	return g.rng.Int63n(g.cfg.Objects)
+}
+
+// NextTransaction builds one transaction with a fresh TA number.
+func (g *Generator) NextTransaction() request.Transaction {
+	ta := g.nextTA
+	g.nextTA++
+	b := request.NewBuilder(ta, func() int64 {
+		id := g.nextID
+		g.nextID++
+		return id
+	})
+	if len(g.classIx) > 0 {
+		cl := g.classIx[g.classN%len(g.classIx)]
+		g.classN++
+		b.SetClass(cl.Name, cl.Priority)
+	}
+	// Shuffle the statement mix so reads and writes interleave, as a client
+	// program would issue them.
+	ops := make([]request.Op, 0, g.cfg.ReadsPerTxn+g.cfg.WritesPerTxn)
+	for i := 0; i < g.cfg.ReadsPerTxn; i++ {
+		ops = append(ops, request.Read)
+	}
+	for i := 0; i < g.cfg.WritesPerTxn; i++ {
+		ops = append(ops, request.Write)
+	}
+	g.rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	for _, op := range ops {
+		if op == request.Read {
+			b.Read(g.object())
+		} else {
+			b.Write(g.object())
+		}
+	}
+	return b.Commit()
+}
+
+// ClientQueues generates the full workload: one queue of transactions per
+// client. Transaction numbers are assigned round-robin across clients so
+// that TA order approximates arrival order under concurrency.
+func (g *Generator) ClientQueues() [][]request.Transaction {
+	queues := make([][]request.Transaction, g.cfg.Clients)
+	for round := 0; round < g.cfg.TxnsPerClient; round++ {
+		for c := 0; c < g.cfg.Clients; c++ {
+			queues[c] = append(queues[c], g.NextTransaction())
+		}
+	}
+	return queues
+}
+
+// Flatten interleaves client queues round-robin one request at a time,
+// producing the arrival sequence a multi-user run would generate. IDs are
+// reassigned to match the interleaved order.
+func Flatten(queues [][]request.Transaction) []request.Request {
+	type cursor struct{ txn, op int }
+	cur := make([]cursor, len(queues))
+	var out []request.Request
+	id := int64(1)
+	for {
+		progress := false
+		for c := range queues {
+			cu := &cur[c]
+			if cu.txn >= len(queues[c]) {
+				continue
+			}
+			tx := queues[c][cu.txn]
+			r := tx.Requests[cu.op]
+			r.ID = id
+			id++
+			out = append(out, r)
+			cu.op++
+			if cu.op >= len(tx.Requests) {
+				cu.op = 0
+				cu.txn++
+			}
+			progress = true
+		}
+		if !progress {
+			return out
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/request"
+)
+
+func TestPaperConfigShape(t *testing.T) {
+	g, err := NewGenerator(PaperConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := g.ClientQueues()
+	if len(queues) != 10 {
+		t.Fatalf("clients: %d", len(queues))
+	}
+	for _, q := range queues {
+		if len(q) != 1 {
+			t.Fatalf("txns per client: %d", len(q))
+		}
+		tx := q[0]
+		if err := tx.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var reads, writes int
+		for _, r := range tx.Requests {
+			switch r.Op {
+			case request.Read:
+				reads++
+			case request.Write:
+				writes++
+			}
+			if !r.Op.IsTermination() && (r.Object < 0 || r.Object >= 100000) {
+				t.Fatalf("object out of range: %v", r)
+			}
+		}
+		if reads != 20 || writes != 20 {
+			t.Fatalf("mix %d/%d, want 20/20", reads, writes)
+		}
+		if tx.Requests[len(tx.Requests)-1].Op != request.Commit {
+			t.Fatal("missing commit")
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func() []request.Request {
+		g, err := NewGenerator(Config{Clients: 3, ReadsPerTxn: 2, WritesPerTxn: 2, Objects: 100, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Flatten(g.ClientQueues())
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFlattenInterleavesAndRenumbers(t *testing.T) {
+	g, err := NewGenerator(Config{Clients: 2, ReadsPerTxn: 1, WritesPerTxn: 0, Objects: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := Flatten(g.ClientQueues())
+	// 2 clients x (1 read + commit) = 4 requests, round-robin: ta1, ta2, ta1, ta2.
+	if len(flat) != 4 {
+		t.Fatalf("flat len: %d", len(flat))
+	}
+	for i, r := range flat {
+		if r.ID != int64(i+1) {
+			t.Errorf("ID %d at pos %d", r.ID, i)
+		}
+	}
+	if flat[0].TA == flat[1].TA {
+		t.Error("not interleaved")
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	g, err := NewGenerator(Config{Clients: 1, TxnsPerClient: 50, ReadsPerTxn: 10, WritesPerTxn: 0, Objects: 1000, ZipfS: 2.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	total := 0
+	for _, q := range g.ClientQueues() {
+		for _, tx := range q {
+			for _, r := range tx.Requests {
+				if r.Op == request.Read {
+					counts[r.Object]++
+					total++
+				}
+			}
+		}
+	}
+	if counts[0]*3 < total {
+		t.Errorf("zipf s=2 should concentrate >1/3 of accesses on object 0: %d of %d", counts[0], total)
+	}
+}
+
+func TestClassesAssignedByWeight(t *testing.T) {
+	g, err := NewGenerator(Config{
+		Clients: 4, TxnsPerClient: 2, ReadsPerTxn: 1, WritesPerTxn: 0, Objects: 10, Seed: 1,
+		Classes: []Class{{Name: "premium", Priority: 10, Weight: 1}, {Name: "free", Priority: 1, Weight: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var premium, free int
+	for _, q := range g.ClientQueues() {
+		for _, tx := range q {
+			switch tx.Requests[0].Class {
+			case "premium":
+				premium++
+			case "free":
+				free++
+			default:
+				t.Fatalf("unclassified txn: %v", tx.Requests[0])
+			}
+		}
+	}
+	if premium != 2 || free != 6 {
+		t.Errorf("premium=%d free=%d, want 2/6", premium, free)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Clients: 0, Objects: 10, ReadsPerTxn: 1},
+		{Clients: 1, Objects: 0, ReadsPerTxn: 1},
+		{Clients: 1, Objects: 10},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, ZipfS: 0.5},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, Classes: []Class{{Name: "x", Weight: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestUniqueIDsAndTAs(t *testing.T) {
+	g, err := NewGenerator(Config{Clients: 5, TxnsPerClient: 3, ReadsPerTxn: 2, WritesPerTxn: 2, Objects: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := g.ClientQueues()
+	tas := make(map[int64]bool)
+	for _, q := range queues {
+		for _, tx := range q {
+			if tas[tx.TA] {
+				t.Fatalf("duplicate TA %d", tx.TA)
+			}
+			tas[tx.TA] = true
+		}
+	}
+	ids := make(map[int64]bool)
+	for _, r := range Flatten(queues) {
+		if ids[r.ID] {
+			t.Fatalf("duplicate ID %d", r.ID)
+		}
+		ids[r.ID] = true
+	}
+}
