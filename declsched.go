@@ -18,6 +18,21 @@
 // abstraction and its implementations), scheduler (the Figure 1 middleware),
 // storage/lock (the server with its native scheduler), workload, sim and
 // experiments (the evaluation).
+//
+// # Incremental rounds
+//
+// Scheduling rounds warm-start. The scheduler tracks exactly how the pending
+// store and the history changed since the previous round (admissions,
+// executions, deadlock victims, history garbage collection) and hands the
+// change set to the protocol (protocol.IncrementalProtocol). The Datalog
+// protocols forward it to the engine as EDB deltas: unchanged relations keep
+// their hashed fact sets and indexes across rounds, and only the
+// consequences of the round's churn are re-derived (datalog.RunIncremental).
+// The SQL protocol patches its cached requests/history relations in place.
+// Nothing of this is visible in the API: protocols remain pure functions of
+// (pending, history), a cold evaluation remains the fallback and the
+// correctness oracle, and custom protocols built with NewDatalogProtocol or
+// NewSQLProtocol get the warm path automatically.
 package repro
 
 import (

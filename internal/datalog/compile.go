@@ -31,11 +31,23 @@ type stepMeta struct {
 	// known (constants and already-bound variables).
 	lookupCols []int
 	lookupSrc  []valSrc
+	// lookupIdx is the position of this step's column mask among the fact
+	// set's registered indexes for the predicate, assigned by NewEngine
+	// (compile time knows exactly which column subsets are ever probed, so
+	// indexes are built eagerly and looked up by slot, never by parsing a
+	// mask string). -1 when lookupCols is empty (full scan).
+	lookupIdx int
+	// valsBuf is the reusable lookup-key buffer (len(lookupCols)), filled
+	// from lookupSrc on each visit; engines are single-threaded per run.
+	valsBuf []relation.Value
 	// Positive atoms: tuple positions that bind fresh variables, in left to
-	// right order (a repeated fresh variable's second occurrence becomes an
-	// equality check because the first occurrence binds it).
-	bindPos []int
-	bindVar []int
+	// right order. bindRepeat[i] marks a later occurrence of a variable
+	// already bound at an earlier position of this atom: it is an equality
+	// check, not a binding (precomputed here so the per-tuple loop does no
+	// quadratic rescan of bindVar).
+	bindPos    []int
+	bindVar    []int
+	bindRepeat []bool
 	// occIndex numbers positive atoms within the rule (for semi-naive delta
 	// substitution); -1 for non-atom literals.
 	occIndex int
@@ -72,6 +84,12 @@ type compiledRule struct {
 	// atomPreds lists the predicate of every positive atom occurrence, in
 	// occIndex order.
 	atomPreds []string
+	// env and headBuf are per-rule scratch buffers reused across evaluations
+	// (the engine is single-threaded within a run): the variable environment
+	// and the head tuple filled before emission. Emitted tuples are cloned
+	// only when a fact set actually retains them.
+	env     []relation.Value
+	headBuf relation.Tuple
 }
 
 // compileRule orders the body and resolves variables to slots.
@@ -108,7 +126,7 @@ func compileRule(r Rule) (*compiledRule, error) {
 	occ := 0
 	for _, bi := range order {
 		l := r.Body[bi]
-		m := stepMeta{lit: l, occIndex: -1}
+		m := stepMeta{lit: l, occIndex: -1, lookupIdx: -1}
 		switch l.Kind {
 		case LitAtom:
 			// A variable first bound by an earlier position of this same atom
@@ -137,6 +155,17 @@ func compileRule(r Rule) (*compiledRule, error) {
 					}
 				}
 			}
+			for i, id := range m.bindVar {
+				rep := false
+				for j := 0; j < i; j++ {
+					if m.bindVar[j] == id {
+						rep = true
+						break
+					}
+				}
+				m.bindRepeat = append(m.bindRepeat, rep)
+			}
+			m.valsBuf = make([]relation.Value, len(m.lookupCols))
 			if !l.Negated {
 				m.occIndex = occ
 				occ++
@@ -209,5 +238,7 @@ func compileRule(r Rule) (*compiledRule, error) {
 		c.head = append(c.head, h)
 	}
 	c.nVars = len(varID)
+	c.env = make([]relation.Value, c.nVars)
+	c.headBuf = make(relation.Tuple, len(c.head))
 	return c, nil
 }

@@ -8,9 +8,25 @@ import (
 )
 
 // Engine evaluates a Datalog program bottom-up, stratum by stratum, using
-// semi-naive evaluation within each stratum. EDB relations are supplied per
-// run; the engine may be reused across scheduler rounds (the program is
-// compiled once).
+// semi-naive evaluation within each stratum. The program is compiled once;
+// EDB relations are supplied per run.
+//
+// The engine supports two evaluation modes. Run is the cold path: it discards
+// all fact sets and re-derives the fixpoint from the current EDB. It is the
+// correctness oracle and the fallback. RunIncremental is the warm-start path
+// for the scheduler's round loop: fact sets are retained across runs, EDB
+// changes arrive as per-predicate insert/delete deltas, and only the
+// consequences of those deltas are recomputed. Insert-only deltas whose
+// affected predicates are free of negation and aggregation are propagated by
+// seeding the semi-naive deltas directly (no fact is ever re-derived);
+// anything non-monotone falls back to clearing and re-deriving exactly the
+// predicates downstream of the change, while every unaffected predicate —
+// and every unchanged EDB fact set with its hash indexes — is kept as-is.
+//
+// Index column masks are chosen at compile time: NewEngine registers the
+// bound positions of every atom occurrence with the predicate, so fact sets
+// build exactly the indexes the rules probe, eagerly, with uint64 hash
+// buckets (see factSet).
 type Engine struct {
 	prog      *Program
 	compiled  []*compiledRule
@@ -19,6 +35,19 @@ type Engine struct {
 	rulesBy   [][]int // stratum -> rule indexes
 	idb       map[string]bool
 
+	// masks lists, per predicate, the column subsets the compiled rules look
+	// up; fact sets for the predicate eagerly maintain one index per mask.
+	masks map[string][][]int
+
+	// dependents maps a body predicate to the head predicates that consume
+	// it (the edge set of the dependency graph, for affected-closure
+	// computation); negatedPreds and aggBodyPreds mark predicates consumed
+	// under negation or by an aggregate rule — facts flowing through those
+	// edges do not propagate monotonically.
+	dependents   map[string][]string
+	negatedPreds map[string]bool
+	aggBodyPreds map[string]bool
+
 	// Naive switches off the delta optimisation; used by tests to verify the
 	// semi-naive evaluator against the textbook fixpoint.
 	Naive bool
@@ -26,15 +55,36 @@ type Engine struct {
 	facts map[string]*factSet
 	edb   map[string][]relation.Tuple
 
-	// Stats from the last Run.
+	// dirty marks predicates whose EDB was replaced wholesale via SetEDB
+	// since the last run; their retained fact sets are stale.
+	dirty map[string]bool
+	// warm is true once facts reflects a completed run over the current EDB.
+	warm bool
+
+	// Stats from the last Run or RunIncremental.
 	Stats RunStats
 }
 
-// RunStats reports evaluation effort for one Run.
+// RunStats reports evaluation effort for one run.
 type RunStats struct {
 	Iterations   int // total semi-naive iterations across strata
 	FactsDerived int // IDB facts derived (deduplicated)
 	RuleFirings  int // successful head emissions, pre-deduplication
+	// Incremental is true when the run took the warm-start path (retained
+	// fact sets, delta-driven recomputation) rather than a cold rebuild.
+	Incremental bool
+}
+
+// EDBDelta describes the change to one extensional predicate between runs.
+// Insert is applied before Delete — a tuple appearing in both ends up absent,
+// matching an insert-then-remove event sequence (the scheduler appends
+// executed requests to the history and garbage-collects finished
+// transactions within the same round). Both sides are interpreted with set
+// semantics: deleting a tuple removes it entirely, inserting a present tuple
+// is a no-op.
+type EDBDelta struct {
+	Insert []relation.Tuple
+	Delete []relation.Tuple
 }
 
 // NewEngine compiles the program.
@@ -44,11 +94,16 @@ func NewEngine(prog *Program) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		prog:      prog,
-		stratumOf: stratumOf,
-		numStrata: numStrata,
-		idb:       prog.IDB(),
-		edb:       make(map[string][]relation.Tuple),
+		prog:         prog,
+		stratumOf:    stratumOf,
+		numStrata:    numStrata,
+		idb:          prog.IDB(),
+		edb:          make(map[string][]relation.Tuple),
+		masks:        make(map[string][][]int),
+		dependents:   make(map[string][]string),
+		negatedPreds: make(map[string]bool),
+		aggBodyPreds: make(map[string]bool),
+		dirty:        make(map[string]bool),
 	}
 	e.rulesBy = make([][]int, numStrata)
 	for i, r := range prog.Rules {
@@ -60,10 +115,68 @@ func NewEngine(prog *Program) (*Engine, error) {
 		s := stratumOf[r.Head.Pred]
 		e.rulesBy[s] = append(e.rulesBy[s], i)
 	}
+	// Register every probed column mask with its predicate and resolve each
+	// step to its index slot; the dependency graph rides along.
+	for _, c := range e.compiled {
+		for si := range c.steps {
+			m := &c.steps[si]
+			if m.lit.Kind != LitAtom || len(m.lookupCols) == 0 {
+				continue
+			}
+			m.lookupIdx = e.registerMask(m.lit.Atom.Pred, m.lookupCols)
+		}
+	}
+	for _, r := range prog.Rules {
+		agg := r.HasAggregate()
+		for _, l := range r.Body {
+			if l.Kind != LitAtom {
+				continue
+			}
+			p := l.Atom.Pred
+			seen := false
+			for _, h := range e.dependents[p] {
+				if h == r.Head.Pred {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				e.dependents[p] = append(e.dependents[p], r.Head.Pred)
+			}
+			if l.Negated {
+				e.negatedPreds[p] = true
+			}
+			if agg {
+				e.aggBodyPreds[p] = true
+			}
+		}
+	}
 	return e, nil
 }
 
-// SetEDB installs the tuples of an extensional predicate for the next Run,
+// registerMask records that pred is probed on cols, returning the index slot.
+func (e *Engine) registerMask(pred string, cols []int) int {
+	masks := e.masks[pred]
+	for i, m := range masks {
+		if len(m) != len(cols) {
+			continue
+		}
+		same := true
+		for j := range m {
+			if m[j] != cols[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return i
+		}
+	}
+	e.masks[pred] = append(masks, append([]int(nil), cols...))
+	return len(masks)
+}
+
+// SetEDB installs the tuples of an extensional predicate for the next run,
 // replacing any previous tuples for that predicate. The predicate must not be
 // defined by a rule, and the arity must match its uses in the program. A
 // predicate never mentioned in the program is accepted (and simply unused) so
@@ -80,6 +193,7 @@ func (e *Engine) SetEDB(pred string, rows []relation.Tuple) error {
 		}
 	}
 	e.edb[pred] = rows
+	e.dirty[pred] = true
 	return nil
 }
 
@@ -88,30 +202,37 @@ func (e *Engine) SetEDBRelation(pred string, r *relation.Relation) error {
 	return e.SetEDB(pred, r.Rows())
 }
 
-// Run evaluates the program against the current EDB, replacing all derived
-// facts from any previous run.
+// newSet creates a fact set for pred with its registered indexes.
+func (e *Engine) newSet(pred string) *factSet {
+	return newFactSet(e.prog.Arities[pred], e.masks[pred])
+}
+
+// factsFor returns (creating if needed) the fact set of pred.
+func (e *Engine) factsFor(pred string) *factSet {
+	f, ok := e.facts[pred]
+	if !ok {
+		f = e.newSet(pred)
+		e.facts[pred] = f
+	}
+	return f
+}
+
+// Run evaluates the program against the current EDB from scratch, replacing
+// all derived facts from any previous run. It is the cold path and the
+// correctness oracle for RunIncremental.
 func (e *Engine) Run() error {
 	e.Stats = RunStats{}
+	// Invalidate warm state up front: a mid-run error must not leave
+	// half-built fact sets behind a warm flag.
+	e.warm = false
 	e.facts = make(map[string]*factSet)
-	fs := func(pred string) *factSet {
-		f, ok := e.facts[pred]
-		if !ok {
-			ar, known := e.prog.Arities[pred]
-			if !known {
-				ar = 0
-			}
-			f = newFactSet(ar)
-			e.facts[pred] = f
-		}
-		return f
-	}
 	for pred, rows := range e.edb {
-		f := fs(pred)
+		f := e.factsFor(pred)
 		if len(rows) > 0 {
 			f.arity = len(rows[0])
 		}
 		for _, t := range rows {
-			if _, err := f.add(t); err != nil {
+			if _, _, err := f.add(t, false); err != nil {
 				return err
 			}
 		}
@@ -125,72 +246,349 @@ func (e *Engine) Run() error {
 		if err != nil {
 			return err
 		}
-		if _, err := fs(r.Head.Pred).add(t); err != nil {
+		if _, _, err := e.factsFor(r.Head.Pred).add(t, false); err != nil {
 			return err
 		}
 	}
 	for s := 0; s < e.numStrata; s++ {
-		if err := e.runStratum(s, fs); err != nil {
+		if err := e.runStratum(s, e.rulesBy[s], nil, nil); err != nil {
 			return err
 		}
 	}
+	e.warm = true
+	clear(e.dirty)
 	return nil
 }
 
-func (e *Engine) runStratum(s int, fs func(string) *factSet) error {
-	ruleIdx := e.rulesBy[s]
-	if len(ruleIdx) == 0 {
-		return nil
+// RunIncremental evaluates the program after applying the given EDB deltas,
+// reusing the retained fact sets of the previous run. Predicates untouched by
+// the change keep their facts and indexes; insert-only changes whose affected
+// closure is free of negation and aggregation are propagated by seeding the
+// semi-naive deltas; otherwise exactly the affected predicates are cleared
+// and re-derived. With no previous run (or in Naive mode) it falls back to a
+// cold Run over the updated EDB, so a RunIncremental sequence is always
+// equivalent to a cold run over the final EDB state.
+func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
+	// Validate the whole batch before touching any state, so a rejected
+	// delta leaves the engine exactly as it was. For predicates the program
+	// never mentions, the arity is pinned by the retained facts, the
+	// existing rows, or the batch's first tuple.
+	for pred, d := range changed {
+		if e.idb[pred] {
+			return fmt.Errorf("datalog: %s is defined by rules; cannot apply EDB delta", pred)
+		}
+		want, known := e.prog.Arities[pred]
+		if !known {
+			if f, ok := e.facts[pred]; ok && f.len() > 0 {
+				want = f.arity
+			} else if rows := e.edb[pred]; len(rows) > 0 {
+				want = len(rows[0])
+			} else if len(d.Insert) > 0 {
+				want = len(d.Insert[0])
+			} else {
+				continue
+			}
+		}
+		for _, t := range d.Insert {
+			if len(t) != want {
+				return fmt.Errorf("datalog: EDB %s expects arity %d, got tuple of %d", pred, want, len(t))
+			}
+		}
 	}
-	// Aggregate rules first: their bodies live strictly below this stratum,
-	// so a single evaluation is complete, and same-stratum rules may then
-	// consume the aggregated predicate.
-	for _, ri := range ruleIdx {
-		c := e.compiled[ri]
-		if !c.hasAgg || c.rule.IsFact() {
+	// From here on state is mutated: drop the warm flag and re-raise it only
+	// on success, so an error can never leave half-applied fact sets behind
+	// a warm engine.
+	warm := e.warm
+	e.warm = false
+	for pred, d := range changed {
+		// When warm, the predicate's fact set is its current tuple set: use
+		// it to drop re-inserts of present tuples so the bookkeeping rows
+		// keep set semantics instead of accumulating duplicates.
+		var present func(relation.Tuple) bool
+		if warm && !e.dirty[pred] {
+			if f, ok := e.facts[pred]; ok {
+				present = f.contains
+			}
+		}
+		e.edb[pred] = applyDelta(e.edb[pred], d, present)
+	}
+	if !warm || e.Naive {
+		return e.Run()
+	}
+
+	// Roots of the change: delta'd predicates plus SetEDB replacements.
+	var roots []string
+	hasDelete := false
+	for pred, d := range changed {
+		if len(d.Insert) == 0 && len(d.Delete) == 0 {
 			continue
 		}
-		if err := e.evalAggregate(c, fs); err != nil {
+		if !e.dirty[pred] {
+			roots = append(roots, pred)
+		}
+		if len(d.Delete) > 0 {
+			hasDelete = true
+		}
+	}
+	rebuilt := make(map[string]bool, len(e.dirty))
+	for pred := range e.dirty {
+		// A wholesale replacement may have removed facts: rebuild the fact
+		// set from the current EDB rows and treat it as a deleting change.
+		roots = append(roots, pred)
+		hasDelete = true
+		rebuilt[pred] = true
+		f := e.newSet(pred)
+		rows := e.edb[pred]
+		if len(rows) > 0 {
+			f.arity = len(rows[0])
+		}
+		for _, t := range rows {
+			if _, _, err := f.add(t, false); err != nil {
+				return err
+			}
+		}
+		e.facts[pred] = f
+	}
+	clear(e.dirty)
+	if len(roots) == 0 {
+		e.Stats = RunStats{Incremental: true}
+		e.warm = true
+		return nil
+	}
+
+	affected := e.affectedClosure(roots)
+	monotone := !hasDelete
+	if monotone {
+		for p := range affected {
+			if e.negatedPreds[p] || e.aggBodyPreds[p] {
+				monotone = false
+				break
+			}
+		}
+	}
+	e.Stats = RunStats{Incremental: true}
+
+	if monotone {
+		// Warm start proper: apply inserts to the retained fact sets and
+		// seed the semi-naive deltas with exactly the new tuples. Nothing is
+		// cleared; no existing fact is re-derived.
+		carry := make(map[string]*factSet)
+		for pred, d := range changed {
+			f := e.factsFor(pred)
+			if f.len() == 0 && len(d.Insert) > 0 {
+				f.arity = len(d.Insert[0])
+			}
+			for _, t := range d.Insert {
+				added, stored, err := f.add(t, false)
+				if err != nil {
+					return err
+				}
+				if added {
+					cs, ok := carry[pred]
+					if !ok {
+						cs = e.newSet(pred)
+						cs.arity = f.arity
+						carry[pred] = cs
+					}
+					if _, _, err := cs.add(stored, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for s := 0; s < e.numStrata; s++ {
+			if err := e.runStratum(s, e.rulesBy[s], carry, carry); err != nil {
+				return err
+			}
+		}
+		e.warm = true
+		return nil
+	}
+
+	// Non-monotone change: update the changed EDB fact sets in place (insert
+	// before delete, per the EDBDelta contract), then clear and re-derive
+	// exactly the predicates downstream of the change. Unaffected predicates
+	// — typically the bulk of the EDB — are retained with their indexes.
+	for pred, d := range changed {
+		if rebuilt[pred] {
+			continue // already rebuilt from the delta-applied EDB rows
+		}
+		f := e.factsFor(pred)
+		if f.len() == 0 && len(d.Insert) > 0 {
+			f.arity = len(d.Insert[0])
+		}
+		for _, t := range d.Insert {
+			if _, _, err := f.add(t, false); err != nil {
+				return err
+			}
+		}
+		for _, t := range d.Delete {
+			f.remove(t)
+		}
+	}
+	for p := range affected {
+		if e.idb[p] {
+			e.facts[p] = e.newSet(p)
+		}
+	}
+	for _, r := range e.prog.Rules {
+		if !r.IsFact() || !affected[r.Head.Pred] {
+			continue
+		}
+		t, err := FactTuple(r)
+		if err != nil {
+			return err
+		}
+		if _, _, err := e.factsFor(r.Head.Pred).add(t, false); err != nil {
 			return err
 		}
 	}
+	for s := 0; s < e.numStrata; s++ {
+		var idx []int
+		for _, ri := range e.rulesBy[s] {
+			if affected[e.compiled[ri].rule.Head.Pred] {
+				idx = append(idx, ri)
+			}
+		}
+		if err := e.runStratum(s, idx, nil, nil); err != nil {
+			return err
+		}
+	}
+	e.warm = true
+	return nil
+}
 
-	// Semi-naive fixpoint for the remaining rules.
+// applyDelta updates the bookkeeping EDB rows (the cold-run source of truth)
+// for one predicate. present, when non-nil, reports current membership so
+// re-inserts of present tuples are dropped (set semantics). The
+// caller-supplied slice from SetEDB is never mutated.
+func applyDelta(rows []relation.Tuple, d EDBDelta, present func(relation.Tuple) bool) []relation.Tuple {
+	if len(d.Insert) > 0 {
+		// Full slice expression: never clobber a caller-owned backing array.
+		rows = rows[:len(rows):len(rows)]
+		var batch *relation.TupleSet
+		if present != nil {
+			batch = relation.NewTupleSet(len(d.Insert))
+		}
+		for _, t := range d.Insert {
+			if present != nil && (present(t) || !batch.Add(t)) {
+				continue
+			}
+			rows = append(rows, t)
+		}
+	}
+	if len(d.Delete) > 0 {
+		del := relation.NewTupleSet(len(d.Delete))
+		for _, t := range d.Delete {
+			del.Add(t)
+		}
+		kept := make([]relation.Tuple, 0, len(rows))
+		for _, t := range rows {
+			if !del.Contains(t) {
+				kept = append(kept, t)
+			}
+		}
+		rows = kept
+	}
+	return rows
+}
+
+// affectedClosure returns the predicates reachable from roots in the
+// dependency graph (roots included).
+func (e *Engine) affectedClosure(roots []string) map[string]bool {
+	out := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if out[p] {
+			continue
+		}
+		out[p] = true
+		queue = append(queue, e.dependents[p]...)
+	}
+	return out
+}
+
+// runStratum evaluates the given rules of stratum s to fixpoint. With seed ==
+// nil this is the cold mode: every rule is evaluated in full once, then the
+// semi-naive delta loop runs. With a seed, the initial full pass is skipped
+// and the delta loop starts from the seeded tuples (which may belong to lower
+// strata or the EDB — the warm-start path). When carry is non-nil, every
+// newly derived fact is also recorded there, seeding later strata.
+func (e *Engine) runStratum(s int, ruleIdx []int, seed, carry map[string]*factSet) error {
+	if len(ruleIdx) == 0 {
+		return nil
+	}
+	cold := seed == nil
+	if cold {
+		// Aggregate rules first: their bodies live strictly below this
+		// stratum, so a single evaluation is complete, and same-stratum rules
+		// may then consume the aggregated predicate.
+		for _, ri := range ruleIdx {
+			c := e.compiled[ri]
+			if !c.hasAgg || c.rule.IsFact() {
+				continue
+			}
+			if err := e.evalAggregate(c); err != nil {
+				return err
+			}
+		}
+	}
+
 	delta := make(map[string]*factSet)
-	newTuples := func(pred string) *factSet {
-		d, ok := delta[pred]
+	if !cold {
+		for pred, d := range seed {
+			if d.len() > 0 {
+				delta[pred] = d
+			}
+		}
+	}
+	sink := func(m map[string]*factSet, pred string) *factSet {
+		d, ok := m[pred]
 		if !ok {
-			d = newFactSet(fs(pred).arity)
-			delta[pred] = d
+			d = e.newSet(pred)
+			d.arity = e.factsFor(pred).arity
+			m[pred] = d
 		}
 		return d
 	}
-
-	// Initial round: evaluate every non-aggregate rule in full.
-	for _, ri := range ruleIdx {
-		c := e.compiled[ri]
-		if c.hasAgg || c.rule.IsFact() {
-			continue
-		}
-		err := e.evalRule(c, fs, nil, -1, func(t relation.Tuple) error {
+	// emit adds a (possibly scratch-buffered) head tuple to the full fact
+	// set, cloning only on genuine insertion, and records new facts in next
+	// and carry.
+	emitInto := func(c *compiledRule, next map[string]*factSet) func(relation.Tuple) error {
+		pred := c.rule.Head.Pred
+		return func(t relation.Tuple) error {
 			e.Stats.RuleFirings++
-			added, err := fs(c.rule.Head.Pred).add(t)
-			if err != nil {
+			added, stored, err := e.factsFor(pred).add(t, true)
+			if err != nil || !added {
 				return err
 			}
-			if added {
-				e.Stats.FactsDerived++
-				if _, err := newTuples(c.rule.Head.Pred).add(t); err != nil {
+			e.Stats.FactsDerived++
+			if _, _, err := sink(next, pred).add(stored, false); err != nil {
+				return err
+			}
+			if carry != nil {
+				if _, _, err := sink(carry, pred).add(stored, false); err != nil {
 					return err
 				}
 			}
 			return nil
-		})
-		if err != nil {
-			return err
 		}
 	}
-	e.Stats.Iterations++
+
+	if cold {
+		for _, ri := range ruleIdx {
+			c := e.compiled[ri]
+			if c.hasAgg || c.rule.IsFact() {
+				continue
+			}
+			if err := e.evalRule(c, nil, -1, emitInto(c, delta)); err != nil {
+				return err
+			}
+		}
+		e.Stats.Iterations++
+	}
 
 	for {
 		anyDelta := false
@@ -204,51 +602,27 @@ func (e *Engine) runStratum(s int, fs func(string) *factSet) error {
 			return nil
 		}
 		next := make(map[string]*factSet)
-		nextTuples := func(pred string) *factSet {
-			d, ok := next[pred]
-			if !ok {
-				d = newFactSet(fs(pred).arity)
-				next[pred] = d
-			}
-			return d
-		}
 		for _, ri := range ruleIdx {
 			c := e.compiled[ri]
 			if c.hasAgg || c.rule.IsFact() {
 				continue
 			}
-			emit := func(t relation.Tuple) error {
-				e.Stats.RuleFirings++
-				added, err := fs(c.rule.Head.Pred).add(t)
-				if err != nil {
-					return err
-				}
-				if added {
-					e.Stats.FactsDerived++
-					if _, err := nextTuples(c.rule.Head.Pred).add(t); err != nil {
-						return err
-					}
-				}
-				return nil
-			}
+			emit := emitInto(c, next)
 			if e.Naive {
-				if err := e.evalRule(c, fs, nil, -1, emit); err != nil {
+				if err := e.evalRule(c, nil, -1, emit); err != nil {
 					return err
 				}
 				continue
 			}
-			// One pass per occurrence of a same-stratum predicate, with that
-			// occurrence reading only the delta. A rule with no same-stratum
-			// body atom cannot fire again and is skipped implicitly.
+			// One pass per occurrence of a predicate with pending delta,
+			// with that occurrence reading only the delta. A rule with no
+			// delta'd body atom cannot fire again and is skipped implicitly.
 			for occ, pred := range c.atomPreds {
-				if e.stratumOf[pred] != s || !e.idb[pred] {
-					continue
-				}
 				d := delta[pred]
 				if d == nil || d.len() == 0 {
 					continue
 				}
-				if err := e.evalRule(c, fs, d, occ, emit); err != nil {
+				if err := e.evalRule(c, d, occ, emit); err != nil {
 					return err
 				}
 			}
@@ -258,15 +632,16 @@ func (e *Engine) runStratum(s int, fs func(string) *factSet) error {
 	}
 }
 
-// evalRule joins the body steps and emits head tuples. If deltaOcc >= 0, the
-// positive atom with that occurrence index reads from delta instead of the
-// full fact set.
-func (e *Engine) evalRule(c *compiledRule, fs func(string) *factSet, delta *factSet, deltaOcc int, emit func(relation.Tuple) error) error {
-	env := make([]relation.Value, c.nVars)
+// evalRule joins the body steps and emits head tuples into the rule's shared
+// head buffer (emit callbacks must copy what they retain). If deltaOcc >= 0,
+// the positive atom with that occurrence index reads from delta instead of
+// the full fact set.
+func (e *Engine) evalRule(c *compiledRule, delta *factSet, deltaOcc int, emit func(relation.Tuple) error) error {
+	env := c.env
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(c.steps) {
-			t := make(relation.Tuple, len(c.head))
+			t := c.headBuf
 			for i, h := range c.head {
 				if h.isConst {
 					t[i] = h.c
@@ -283,41 +658,62 @@ func (e *Engine) evalRule(c *compiledRule, fs func(string) *factSet, delta *fact
 			if !m.lit.Negated && m.occIndex == deltaOcc {
 				set = delta
 			} else {
-				set = fs(m.lit.Atom.Pred)
+				set = e.factsFor(m.lit.Atom.Pred)
 			}
-			vals := make([]relation.Value, len(m.lookupCols))
+			vals := m.valsBuf
 			for i, s := range m.lookupSrc {
 				vals[i] = s.value(env)
 			}
 			if m.lit.Negated {
-				if len(set.lookup(m.lookupCols, vals)) > 0 {
-					return nil
+				if len(m.lookupCols) == 0 {
+					if set.len() > 0 {
+						return nil
+					}
+				} else {
+					for _, pos := range set.candidates(m.lookupIdx, vals) {
+						if matchAt(set.tuples[pos], m.lookupCols, vals) {
+							return nil
+						}
+					}
 				}
 				return rec(step + 1)
 			}
-			for _, pos := range set.lookup(m.lookupCols, vals) {
-				t := set.tuples[pos]
-				ok := true
-				for i, p := range m.bindPos {
-					v := t[p]
-					id := m.bindVar[i]
-					// A repeated fresh variable: the first binding in this
-					// atom wins; later occurrences must match.
-					already := false
-					for j := 0; j < i; j++ {
-						if m.bindVar[j] == id {
-							already = true
-							break
+			if len(m.lookupCols) == 0 {
+				for _, t := range set.tuples {
+					ok := true
+					for i, p := range m.bindPos {
+						if m.bindRepeat[i] {
+							if !env[m.bindVar[i]].Equal(t[p]) {
+								ok = false
+								break
+							}
+							continue
+						}
+						env[m.bindVar[i]] = t[p]
+					}
+					if ok {
+						if err := rec(step + 1); err != nil {
+							return err
 						}
 					}
-					if already {
-						if !env[id].Equal(v) {
+				}
+				return nil
+			}
+			for _, pos := range set.candidates(m.lookupIdx, vals) {
+				t := set.tuples[pos]
+				if !matchAt(t, m.lookupCols, vals) {
+					continue
+				}
+				ok := true
+				for i, p := range m.bindPos {
+					if m.bindRepeat[i] {
+						if !env[m.bindVar[i]].Equal(t[p]) {
 							ok = false
 							break
 						}
 						continue
 					}
-					env[id] = v
+					env[m.bindVar[i]] = t[p]
 				}
 				if ok {
 					if err := rec(step + 1); err != nil {
@@ -402,7 +798,7 @@ func (e *Engine) evalRule(c *compiledRule, fs func(string) *factSet, delta *fact
 // (its predicates are in strictly lower strata), bindings are grouped by the
 // non-aggregate head slots, and each aggregate ranges over the distinct
 // values of its variable within the group.
-func (e *Engine) evalAggregate(c *compiledRule, fs func(string) *factSet) error {
+func (e *Engine) evalAggregate(c *compiledRule) error {
 	type group struct {
 		key  relation.Tuple
 		seen []map[string]relation.Value // per aggregate slot: distinct values
@@ -410,7 +806,7 @@ func (e *Engine) evalAggregate(c *compiledRule, fs func(string) *factSet) error 
 	groups := make(map[string]*group)
 	var order []string
 
-	err := e.evalRule(c, fs, nil, -1, func(raw relation.Tuple) error {
+	err := e.evalRule(c, nil, -1, func(raw relation.Tuple) error {
 		e.Stats.RuleFirings++
 		key := make(relation.Tuple, len(c.groupIdx))
 		for i, gi := range c.groupIdx {
@@ -436,7 +832,7 @@ func (e *Engine) evalAggregate(c *compiledRule, fs func(string) *factSet) error 
 		return err
 	}
 
-	out := fs(c.rule.Head.Pred)
+	out := e.factsFor(c.rule.Head.Pred)
 	for _, k := range order {
 		g := groups[k]
 		t := make(relation.Tuple, len(c.head))
@@ -472,7 +868,7 @@ func (e *Engine) evalAggregate(c *compiledRule, fs func(string) *factSet) error 
 				t[ai] = vals[len(vals)-1]
 			}
 		}
-		added, err := out.add(t)
+		added, _, err := out.add(t, false)
 		if err != nil {
 			return err
 		}
@@ -481,6 +877,16 @@ func (e *Engine) evalAggregate(c *compiledRule, fs func(string) *factSet) error 
 		}
 	}
 	return nil
+}
+
+// FactCount returns the number of stored tuples of a predicate without
+// materialising a relation — a cheap consistency probe for callers
+// maintaining incremental mirrors of the EDB.
+func (e *Engine) FactCount(pred string) int {
+	if f, ok := e.facts[pred]; ok {
+		return f.len()
+	}
+	return 0
 }
 
 // Facts returns the current tuples of a predicate (EDB or derived) as a

@@ -7,33 +7,60 @@ import (
 	"repro/internal/relation"
 )
 
+// lookupCount counts the tuples matching vals on cols via the idx-th
+// registered index, verifying candidates the way the evaluator does.
+func lookupCount(f *factSet, idx int, cols []int, vals []relation.Value) int {
+	n := 0
+	for _, pos := range f.candidates(idx, vals) {
+		if matchAt(f.tuples[pos], cols, vals) {
+			n++
+		}
+	}
+	return n
+}
+
 func TestFactSetLookupPaths(t *testing.T) {
-	f := newFactSet(2)
+	// One registered mask on column 0, maintained eagerly on every insert.
+	f := newFactSet(2, [][]int{{0}})
 	for i := int64(0); i < 10; i++ {
-		added, err := f.add(relation.Tuple{relation.Int(i % 3), relation.Int(i)})
+		added, _, err := f.add(relation.Tuple{relation.Int(i % 3), relation.Int(i)}, false)
 		if err != nil || !added {
 			t.Fatalf("add %d: %v %v", i, added, err)
 		}
 	}
-	if added, _ := f.add(relation.Tuple{relation.Int(0), relation.Int(0)}); added {
+	if added, _, _ := f.add(relation.Tuple{relation.Int(0), relation.Int(0)}, false); added {
 		t.Error("duplicate added")
 	}
-	// Unindexed scan.
-	if got := f.lookup(nil, nil); len(got) != 10 {
-		t.Errorf("full scan: %d", len(got))
+	if f.len() != 10 {
+		t.Errorf("full scan: %d", f.len())
 	}
-	// Index on column 0, then incremental maintenance.
-	if got := f.lookup([]int{0}, []relation.Value{relation.Int(0)}); len(got) != 4 {
-		t.Errorf("lookup col0=0: %d", len(got))
+	if got := lookupCount(f, 0, []int{0}, []relation.Value{relation.Int(0)}); got != 4 {
+		t.Errorf("lookup col0=0: %d", got)
 	}
-	if _, err := f.add(relation.Tuple{relation.Int(0), relation.Int(99)}); err != nil {
+	if _, _, err := f.add(relation.Tuple{relation.Int(0), relation.Int(99)}, false); err != nil {
 		t.Fatal(err)
 	}
-	if got := f.lookup([]int{0}, []relation.Value{relation.Int(0)}); len(got) != 5 {
-		t.Errorf("index not maintained: %d", len(got))
+	if got := lookupCount(f, 0, []int{0}, []relation.Value{relation.Int(0)}); got != 5 {
+		t.Errorf("index not maintained: %d", got)
 	}
-	if _, err := f.add(relation.Tuple{relation.Int(1)}); err == nil {
+	if _, _, err := f.add(relation.Tuple{relation.Int(1)}, false); err == nil {
 		t.Error("arity mismatch accepted")
+	}
+	// Removal keeps the main buckets and every index consistent.
+	if !f.remove(relation.Tuple{relation.Int(0), relation.Int(0)}) {
+		t.Fatal("remove existing")
+	}
+	if f.remove(relation.Tuple{relation.Int(0), relation.Int(0)}) {
+		t.Error("double remove")
+	}
+	if got := lookupCount(f, 0, []int{0}, []relation.Value{relation.Int(0)}); got != 4 {
+		t.Errorf("index after remove: %d", got)
+	}
+	if f.contains(relation.Tuple{relation.Int(0), relation.Int(0)}) {
+		t.Error("removed tuple still present")
+	}
+	if f.len() != 10 {
+		t.Errorf("len after remove: %d", f.len())
 	}
 }
 

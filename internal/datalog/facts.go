@@ -3,116 +3,165 @@ package datalog
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/relation"
 )
 
-// factSet stores the tuples of one predicate with set semantics plus lazily
-// built hash indexes keyed by column subsets (the evaluator looks facts up
-// by whatever argument positions happen to be bound).
+// factSet stores the tuples of one predicate with set semantics plus hash
+// indexes over the column subsets the compiled rules actually look up.
+// Membership and index buckets are keyed by uint64 tuple hashes with
+// equality verification on collisions — no key strings are ever built — and
+// the index column masks are chosen at compile time (NewEngine registers the
+// bound positions of every atom occurrence), so indexes are maintained
+// eagerly on every insert instead of being rebuilt lazily inside the join
+// loop.
 type factSet struct {
-	arity  int
-	tuples []relation.Tuple
-	set    map[string]struct{}
-	// indexes: mask key ("0,2") -> value key -> tuple positions.
-	indexes map[string]map[string][]int
+	arity   int
+	tuples  []relation.Tuple
+	buckets map[uint64][]int // Tuple.Hash -> tuple positions
+	indexes []factIndex      // one per registered column mask
 }
 
-func newFactSet(arity int) *factSet {
-	return &factSet{
+// factIndex is an equality index over a fixed column subset.
+type factIndex struct {
+	cols    []int
+	buckets map[uint64][]int // HashCols -> tuple positions
+}
+
+// newFactSet creates a set with eager indexes for the given column masks.
+func newFactSet(arity int, masks [][]int) *factSet {
+	f := &factSet{
 		arity:   arity,
-		set:     make(map[string]struct{}),
-		indexes: make(map[string]map[string][]int),
+		buckets: make(map[uint64][]int),
+		indexes: make([]factIndex, len(masks)),
+	}
+	for i, m := range masks {
+		f.indexes[i] = factIndex{cols: m, buckets: make(map[uint64][]int)}
+	}
+	return f
+}
+
+// add inserts a tuple, returning whether it was new and the instance the set
+// retains. With copyOnInsert the tuple is cloned before being stored, so
+// callers may pass a reused scratch buffer (the clone is only paid for
+// genuinely new facts, not for the duplicate derivations that dominate rule
+// firing).
+func (f *factSet) add(t relation.Tuple, copyOnInsert bool) (bool, relation.Tuple, error) {
+	if len(t) != f.arity {
+		return false, nil, fmt.Errorf("datalog: arity mismatch: tuple %d vs predicate %d", len(t), f.arity)
+	}
+	h := t.Hash()
+	for _, pos := range f.buckets[h] {
+		if f.tuples[pos].Equal(t) {
+			return false, f.tuples[pos], nil
+		}
+	}
+	stored := t
+	if copyOnInsert {
+		stored = t.Clone()
+	}
+	pos := len(f.tuples)
+	f.tuples = append(f.tuples, stored)
+	f.buckets[h] = append(f.buckets[h], pos)
+	for i := range f.indexes {
+		ix := &f.indexes[i]
+		ih := stored.HashCols(ix.cols)
+		ix.buckets[ih] = append(ix.buckets[ih], pos)
+	}
+	return true, stored, nil
+}
+
+// remove deletes a tuple if present, keeping all buckets consistent. The
+// vacated position is filled by moving the last tuple, whose bucket entries
+// are rewritten in place.
+func (f *factSet) remove(t relation.Tuple) bool {
+	if len(t) != f.arity {
+		return false
+	}
+	h := t.Hash()
+	pos := -1
+	for _, p := range f.buckets[h] {
+		if f.tuples[p].Equal(t) {
+			pos = p
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	stored := f.tuples[pos]
+	f.bucketDel(f.buckets, h, pos)
+	for i := range f.indexes {
+		ix := &f.indexes[i]
+		f.bucketDel(ix.buckets, stored.HashCols(ix.cols), pos)
+	}
+	last := len(f.tuples) - 1
+	if pos != last {
+		moved := f.tuples[last]
+		f.tuples[pos] = moved
+		f.bucketMove(f.buckets, moved.Hash(), last, pos)
+		for i := range f.indexes {
+			ix := &f.indexes[i]
+			f.bucketMove(ix.buckets, moved.HashCols(ix.cols), last, pos)
+		}
+	}
+	f.tuples[last] = nil
+	f.tuples = f.tuples[:last]
+	return true
+}
+
+func (f *factSet) bucketDel(m map[uint64][]int, h uint64, pos int) {
+	b := m[h]
+	for i, p := range b {
+		if p == pos {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(m, h)
+			} else {
+				m[h] = b
+			}
+			return
+		}
 	}
 }
 
-// add inserts a tuple, returning true if it was new. Indexes are maintained
-// incrementally so they stay valid across semi-naive iterations.
-func (f *factSet) add(t relation.Tuple) (bool, error) {
-	if len(t) != f.arity {
-		return false, fmt.Errorf("datalog: arity mismatch: tuple %d vs predicate %d", len(t), f.arity)
+func (f *factSet) bucketMove(m map[uint64][]int, h uint64, from, to int) {
+	b := m[h]
+	for i, p := range b {
+		if p == from {
+			b[i] = to
+			return
+		}
 	}
-	k := t.Key()
-	if _, dup := f.set[k]; dup {
-		return false, nil
-	}
-	f.set[k] = struct{}{}
-	pos := len(f.tuples)
-	f.tuples = append(f.tuples, t)
-	for maskKey, idx := range f.indexes {
-		vk := valueKey(t, parseMask(maskKey))
-		idx[vk] = append(idx[vk], pos)
-	}
-	return true, nil
 }
 
 func (f *factSet) contains(t relation.Tuple) bool {
-	_, ok := f.set[t.Key()]
-	return ok
+	for _, pos := range f.buckets[t.Hash()] {
+		if f.tuples[pos].Equal(t) {
+			return true
+		}
+	}
+	return false
 }
 
 func (f *factSet) len() int { return len(f.tuples) }
 
-func maskKey(cols []int) string {
-	parts := make([]string, len(cols))
+// candidates returns the positions in the idx-th registered index whose key
+// hash matches vals. Collisions are possible: callers must verify the index
+// columns with matchAt before using a candidate.
+func (f *factSet) candidates(idx int, vals []relation.Value) []int {
+	return f.indexes[idx].buckets[relation.HashValues(vals)]
+}
+
+// matchAt verifies that tuple t carries vals at the given columns.
+func matchAt(t relation.Tuple, cols []int, vals []relation.Value) bool {
 	for i, c := range cols {
-		parts[i] = strconv.Itoa(c)
-	}
-	return strings.Join(parts, ",")
-}
-
-func parseMask(key string) []int {
-	if key == "" {
-		return nil
-	}
-	parts := strings.Split(key, ",")
-	out := make([]int, len(parts))
-	for i, p := range parts {
-		out[i], _ = strconv.Atoi(p)
-	}
-	return out
-}
-
-func valueKey(t relation.Tuple, cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte('\x1f')
+		if !t[c].Equal(vals[i]) {
+			return false
 		}
-		b.WriteString(t[c].Encode())
 	}
-	return b.String()
-}
-
-// lookup returns positions of tuples matching the given values at the given
-// columns, building (and caching) an index on first use for that column set.
-func (f *factSet) lookup(cols []int, vals []relation.Value) []int {
-	if len(cols) == 0 {
-		all := make([]int, len(f.tuples))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	mk := maskKey(cols)
-	idx, ok := f.indexes[mk]
-	if !ok {
-		idx = make(map[string][]int, len(f.tuples))
-		for pos, t := range f.tuples {
-			vk := valueKey(t, cols)
-			idx[vk] = append(idx[vk], pos)
-		}
-		f.indexes[mk] = idx
-	}
-	var b strings.Builder
-	for i, v := range vals {
-		if i > 0 {
-			b.WriteByte('\x1f')
-		}
-		b.WriteString(v.Encode())
-	}
-	return idx[b.String()]
+	return true
 }
 
 // anySchema builds a dynamically typed schema (every column accepts any

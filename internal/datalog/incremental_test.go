@@ -1,0 +1,398 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// coldOracle runs a fresh engine over the given EDB and returns the facts of
+// every predicate the warm engine knows about.
+func coldOracle(t *testing.T, prog *Program, edb map[string][]relation.Tuple, preds []string) map[string]*relation.Relation {
+	t.Helper()
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, rows := range edb {
+		if err := e.SetEDB(p, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*relation.Relation, len(preds))
+	for _, p := range preds {
+		out[p] = e.Facts(p).Distinct()
+	}
+	return out
+}
+
+// checkAgainstOracle compares every listed predicate of the warm engine with
+// a cold run over the same EDB state.
+func checkAgainstOracle(t *testing.T, e *Engine, prog *Program, edb map[string][]relation.Tuple, preds []string, step string) {
+	t.Helper()
+	want := coldOracle(t, prog, edb, preds)
+	for _, p := range preds {
+		got := e.Facts(p).Distinct()
+		if !got.Equal(want[p]) {
+			t.Fatalf("%s: predicate %s diverged from cold run\nwarm:\n%s\ncold:\n%s",
+				step, p, got, want[p])
+		}
+	}
+}
+
+// TestRunIncrementalMonotoneSeeding: insert-only deltas into a recursive
+// program take the seeded semi-naive path and stay equivalent to cold runs.
+func TestRunIncrementalMonotoneSeeding(t *testing.T) {
+	prog := MustParse(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := map[string][]relation.Tuple{"edge": nil}
+	if err := e.SetEDB("edge", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 25; step++ {
+		var ins []relation.Tuple
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			ins = append(ins, relation.Tuple{
+				relation.Int(int64(rng.Intn(8))), relation.Int(int64(rng.Intn(8))),
+			})
+		}
+		if err := e.RunIncremental(map[string]EDBDelta{"edge": {Insert: ins}}); err != nil {
+			t.Fatal(err)
+		}
+		if !e.Stats.Incremental {
+			t.Fatal("expected warm-start run")
+		}
+		edb["edge"] = append(edb["edge"], ins...)
+		checkAgainstOracle(t, e, prog, edb, []string{"edge", "path"}, fmt.Sprintf("step %d", step))
+	}
+}
+
+// TestRunIncrementalRandomInsertDeleteBatches is the equivalence property
+// test of the warm-start engine: over a random sequence of EDB insert/delete
+// batches against a program with negation (the shape of the scheduling
+// protocols), RunIncremental always matches a cold Run over the same EDB.
+func TestRunIncrementalRandomInsertDeleteBatches(t *testing.T) {
+	// A miniature SS2PL-shaped program: negation, multiple strata, two EDB
+	// relations changing in both directions.
+	prog := MustParse(`
+		finished(TA) :- history(TA, "c", _).
+		lock(OBJ, TA) :- history(TA, "w", OBJ), not finished(TA).
+		blocked(TA) :- request(TA, _, OBJ), lock(OBJ, TA2), TA2 != TA.
+		qualified(TA, OP, OBJ) :- request(TA, OP, OBJ), not blocked(TA).
+	`)
+	preds := []string{"finished", "lock", "blocked", "qualified"}
+	randTuple := func(rng *rand.Rand, pred string) relation.Tuple {
+		ops := []string{"r", "w", "c"}
+		if pred == "request" {
+			ops = []string{"r", "w"}
+		}
+		return relation.Tuple{
+			relation.Int(int64(1 + rng.Intn(5))),
+			relation.String(ops[rng.Intn(len(ops))]),
+			relation.Int(int64(rng.Intn(6))),
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewEngine(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// history tuples are (ta, op, obj); request tuples are (ta, op, obj).
+		edb := map[string][]relation.Tuple{"request": nil, "history": nil}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 20; step++ {
+			changed := make(map[string]EDBDelta)
+			for _, pred := range []string{"request", "history"} {
+				var d EDBDelta
+				// Delete a random subset of the current rows.
+				for _, row := range edb[pred] {
+					if rng.Intn(4) == 0 {
+						d.Delete = append(d.Delete, row)
+					}
+				}
+				for k := 0; k < rng.Intn(3); k++ {
+					d.Insert = append(d.Insert, randTuple(rng, pred))
+				}
+				if len(d.Insert) > 0 || len(d.Delete) > 0 {
+					changed[pred] = d
+				}
+			}
+			if err := e.RunIncremental(changed); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the deltas in the oracle EDB with set semantics.
+			for pred, d := range changed {
+				edb[pred] = applyDelta(edb[pred], d, nil)
+			}
+			checkAgainstOracle(t, e, prog, edb, preds,
+				fmt.Sprintf("seed %d step %d", seed, step))
+			checkFactSetConsistency(t, e)
+		}
+	}
+}
+
+// TestRunIncrementalAfterSetEDBReplacement: a wholesale SetEDB between
+// incremental runs marks the predicate dirty and the next warm run rebuilds
+// it without losing equivalence.
+func TestRunIncrementalAfterSetEDBReplacement(t *testing.T) {
+	prog := MustParse(`
+		reach(Y) :- start(X), edge(X, Y).
+		reach(Z) :- reach(Y), edge(Y, Z).
+	`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := intTuples([]int64{0, 1}, []int64{1, 2})
+	if err := e.SetEDB("edge", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("start", intTuples([]int64{0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the start set wholesale, then add an edge incrementally.
+	if err := e.SetEDB("start", intTuples([]int64{2})); err != nil {
+		t.Fatal(err)
+	}
+	ins := intTuples([]int64{2, 3})
+	if err := e.RunIncremental(map[string]EDBDelta{"edge": {Insert: ins}}); err != nil {
+		t.Fatal(err)
+	}
+	edb := map[string][]relation.Tuple{
+		"edge":  append(append([]relation.Tuple(nil), edges...), ins...),
+		"start": intTuples([]int64{2}),
+	}
+	checkAgainstOracle(t, e, prog, edb, []string{"reach"}, "after replacement")
+}
+
+// TestRunIncrementalAggregateFallback: changes feeding an aggregate rule are
+// non-monotone and must recompute the aggregate correctly.
+func TestRunIncrementalAggregateFallback(t *testing.T) {
+	prog := MustParse(`deg(X, count<Y>) :- edge(X, Y).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("edge", intTuples([]int64{1, 10})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"edge": {Insert: intTuples([]int64{1, 20}, []int64{2, 5})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deg := e.Facts("deg")
+	if deg.Len() != 2 {
+		t.Fatalf("deg: %s", deg)
+	}
+	if !deg.Contains(relation.Tuple{relation.Int(1), relation.Int(2)}) {
+		t.Errorf("deg(1) must be 2 after incremental insert: %s", deg)
+	}
+}
+
+// TestRunIncrementalFirstCallFallsBack: without a prior run the warm path
+// cannot apply and the engine must behave like a cold run over the deltas.
+func TestRunIncrementalFirstCallFallsBack(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"q": {Insert: intTuples([]int64{1}, []int64{2})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Incremental {
+		t.Error("first call must be a cold run")
+	}
+	if e.Facts("p").Len() != 2 {
+		t.Fatalf("p: %s", e.Facts("p"))
+	}
+}
+
+// TestRunIncrementalRejectsIDBDelta: deltas may only target EDB predicates.
+func TestRunIncrementalRejectsIDBDelta(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"p": {Insert: intTuples([]int64{1})},
+	}); err == nil {
+		t.Fatal("IDB delta accepted")
+	}
+}
+
+// TestRunIncrementalRejectedBatchLeavesStateUntouched: a batch containing an
+// invalid delta must not half-apply the valid predicates.
+func TestRunIncrementalRejectedBatchLeavesStateUntouched(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X), r(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("q", intTuples([]int64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("r", intTuples([]int64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"q": {Insert: intTuples([]int64{2})},             // valid
+		"r": {Insert: []relation.Tuple{{relation.Int(2), relation.Int(9)}}}, // arity mismatch
+	}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	// The valid q delta must not have leaked into the EDB or the facts.
+	if got := len(e.edb["q"]); got != 1 {
+		t.Errorf("q EDB rows after rejected batch: %d", got)
+	}
+	if e.FactCount("q") != 1 || e.Facts("p").Len() != 1 {
+		t.Errorf("facts mutated by rejected batch: q=%d p=%d", e.FactCount("q"), e.Facts("p").Len())
+	}
+}
+
+// TestRunFailureDropsWarmState: a failed Run must not leave half-built fact
+// sets behind a warm flag — the next incremental call has to go cold.
+func TestRunFailureDropsWarmState(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("q", intTuples([]int64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Program-unknown predicate with mixed arities: SetEDB cannot validate
+	// it, so Run fails midway through fact loading.
+	if err := e.SetEDB("aux", []relation.Tuple{
+		{relation.Int(1)}, {relation.Int(1), relation.Int(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("mixed-arity EDB accepted")
+	}
+	if e.warm {
+		t.Fatal("warm after failed run")
+	}
+	// Repair the predicate; the next incremental call recovers via the cold
+	// fallback and answers correctly.
+	if err := e.SetEDB("aux", intTuples([]int64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"q": {Insert: intTuples([]int64{2})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Incremental {
+		t.Error("warm start from a failed run")
+	}
+	if e.Facts("p").Len() != 2 {
+		t.Fatalf("p: %s", e.Facts("p"))
+	}
+}
+
+// TestRunIncrementalReinsertKeepsEDBSetSemantics: warm re-inserts of present
+// tuples must not accumulate duplicate bookkeeping rows across rounds.
+func TestRunIncrementalReinsertKeepsEDBSetSemantics(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X).`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("q", intTuples([]int64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.RunIncremental(map[string]EDBDelta{
+			"q": {Insert: intTuples([]int64{1}, []int64{1})},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(e.edb["q"]); got != 1 {
+		t.Errorf("EDB rows grew to %d on re-inserts", got)
+	}
+	if e.FactCount("q") != 1 {
+		t.Errorf("fact count %d", e.FactCount("q"))
+	}
+}
+
+// checkFactSetConsistency verifies, for every retained fact set, that the
+// membership buckets and each eager index cover exactly the stored tuples —
+// the invariant incremental adds and removes must preserve.
+func checkFactSetConsistency(t *testing.T, e *Engine) {
+	t.Helper()
+	for pred, f := range e.facts {
+		seen := 0
+		for h, bucket := range f.buckets {
+			for _, pos := range bucket {
+				if pos < 0 || pos >= len(f.tuples) {
+					t.Fatalf("%s: bucket position %d out of range", pred, pos)
+				}
+				if f.tuples[pos].Hash() != h {
+					t.Fatalf("%s: tuple %s filed under wrong hash", pred, f.tuples[pos])
+				}
+				seen++
+			}
+		}
+		if seen != len(f.tuples) {
+			t.Fatalf("%s: membership buckets cover %d of %d tuples", pred, seen, len(f.tuples))
+		}
+		for ii := range f.indexes {
+			ix := &f.indexes[ii]
+			covered := 0
+			for h, bucket := range ix.buckets {
+				for _, pos := range bucket {
+					if pos < 0 || pos >= len(f.tuples) {
+						t.Fatalf("%s: index %v position %d out of range", pred, ix.cols, pos)
+					}
+					if f.tuples[pos].HashCols(ix.cols) != h {
+						t.Fatalf("%s: index %v misfiled tuple %s", pred, ix.cols, f.tuples[pos])
+					}
+					covered++
+				}
+			}
+			if covered != len(f.tuples) {
+				t.Fatalf("%s: index %v covers %d of %d tuples", pred, ix.cols, covered, len(f.tuples))
+			}
+		}
+	}
+}

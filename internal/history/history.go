@@ -55,11 +55,29 @@ func (s *Store) Finished(ta int64) bool { return s.finished[ta] }
 // GC removes every request belonging to a finished transaction and returns
 // how many were removed. The execution log is unaffected.
 func (s *Store) GC() int {
+	n, _ := s.gc(false)
+	return n
+}
+
+// GCRemoved is GC returning the removed requests themselves, so callers
+// maintaining incremental views of the history (the scheduler's round
+// deltas) can forward exact deletions instead of re-materialising.
+func (s *Store) GCRemoved() []request.Request {
+	_, removed := s.gc(true)
+	return removed
+}
+
+// gc compacts the live history, optionally collecting the evicted requests.
+func (s *Store) gc(collect bool) (int, []request.Request) {
 	kept := s.live[:0]
-	removed := 0
+	n := 0
+	var removed []request.Request
 	for _, r := range s.live {
 		if s.finished[r.TA] {
-			removed++
+			n++
+			if collect {
+				removed = append(removed, r)
+			}
 		} else {
 			kept = append(kept, r)
 		}
@@ -69,5 +87,5 @@ func (s *Store) GC() int {
 		s.live[i] = request.Request{}
 	}
 	s.live = kept
-	return removed
+	return n, removed
 }

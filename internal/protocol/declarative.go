@@ -18,6 +18,14 @@ import (
 type SQLProtocol struct {
 	name  string
 	query *minisql.Query
+
+	// Incremental state (QualifyIncremental): cached requests/history
+	// relations maintained by per-round append/delete instead of full
+	// rebuilds, and the byKey restoration map kept in step with pending.
+	warm       bool
+	pendingRel *relation.Relation
+	histRel    *relation.Relation
+	byKey      map[request.Key]request.Request
 }
 
 // NewSQL parses the query once and reuses the plan every round.
@@ -41,12 +49,71 @@ func SS2PLSQL() *SQLProtocol {
 // Name implements Protocol.
 func (p *SQLProtocol) Name() string { return p.name }
 
-// Qualify implements Protocol.
+// Qualify implements Protocol: materialise both relations and run the query.
+// It invalidates any incremental state.
 func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
-	cat := minisql.Catalog{
-		"requests": request.ToRelation(pending),
-		"history":  request.ToRelation(history),
+	p.warm = false
+	reqRel, histRel, byKey := materialise(pending, history)
+	return p.run(reqRel, histRel, byKey)
+}
+
+// materialise builds the two catalog relations and the byKey restoration
+// map from scratch — shared by the cold path and the incremental rebuild.
+func materialise(pending, history []request.Request) (*relation.Relation, *relation.Relation, map[request.Key]request.Request) {
+	byKey := make(map[request.Key]request.Request, len(pending))
+	for _, r := range pending {
+		byKey[r.Key()] = r
 	}
+	return request.ToRelation(pending), request.ToRelation(history), byKey
+}
+
+// QualifyIncremental implements IncrementalProtocol: the cached requests and
+// history relations are patched with the round's appends and removals (by
+// unique request id), and the byKey restoration map is no longer rebuilt
+// from scratch when pending is unchanged.
+func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error) {
+	if p.warm {
+		// Pending removals precede adds chronologically (see Deltas):
+		// delete first so a re-admitted key keeps its newest request.
+		deleteByID(p.pendingRel, d.PendingRemoved)
+		for _, r := range d.PendingRemoved {
+			delete(p.byKey, r.Key())
+		}
+		for _, r := range d.PendingAdded {
+			p.pendingRel.MustAppend(r.Tuple())
+			p.byKey[r.Key()] = r
+		}
+		// History is the opposite order: executed this round, then GC'd.
+		for _, r := range d.HistoryAppended {
+			p.histRel.MustAppend(r.Tuple())
+		}
+		deleteByID(p.histRel, d.HistoryRemoved)
+		if p.pendingRel.Len() != len(pending) || p.histRel.Len() != len(history) {
+			p.warm = false // mirror diverged; rebuild below
+		}
+	}
+	if !p.warm {
+		p.pendingRel, p.histRel, p.byKey = materialise(pending, history)
+		p.warm = true
+	}
+	return p.run(p.pendingRel, p.histRel, p.byKey)
+}
+
+// deleteByID removes the rows of rel whose id column matches a removed
+// request (ids are globally unique, so this is exact).
+func deleteByID(rel *relation.Relation, removed []request.Request) {
+	if len(removed) == 0 {
+		return
+	}
+	ids := make(map[int64]bool, len(removed))
+	for _, r := range removed {
+		ids[r.ID] = true
+	}
+	rel.Delete(func(t relation.Tuple) bool { return ids[t[0].AsInt()] })
+}
+
+func (p *SQLProtocol) run(requests, history *relation.Relation, byKey map[request.Key]request.Request) ([]request.Request, error) {
+	cat := minisql.Catalog{"requests": requests, "history": history}
 	out, err := minisql.Run(p.query, cat)
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
@@ -58,10 +125,6 @@ func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Req
 	// Requests lose their SLA fields through the five-column relation;
 	// restore them from the pending batch so downstream ordering and
 	// accounting keep working.
-	byKey := make(map[request.Key]request.Request, len(pending))
-	for _, r := range pending {
-		byKey[r.Key()] = r
-	}
 	for i := range qualified {
 		if orig, ok := byKey[qualified[i].Key()]; ok {
 			qualified[i] = orig
@@ -81,6 +144,12 @@ type DatalogProtocol struct {
 	extended bool
 	order    func([]request.Request)
 	aux      map[string][]relation.Tuple
+
+	// Incremental state (QualifyIncremental): warm marks that the engine's
+	// retained fact sets and byKey mirror the scheduler's pending/history;
+	// byKey restores the SLA fields lost through the relational form.
+	warm  bool
+	byKey map[request.Key]request.Request
 }
 
 // NewDatalogProtocol compiles the program once. If extended is true the
@@ -208,28 +277,141 @@ func ConsistencyRationing(classes map[int64]string) (*DatalogProtocol, error) {
 	return p, nil
 }
 
-// Qualify implements Protocol.
+// reqTuple converts a request to the EDB form this protocol reads.
+func (p *DatalogProtocol) reqTuple(r request.Request) relation.Tuple {
+	if p.extended {
+		return r.ExtendedTuple()
+	}
+	return r.Tuple()
+}
+
+// Qualify implements Protocol: a cold evaluation over freshly materialised
+// pending and history relations. It invalidates any incremental state.
 func (p *DatalogProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
+	qualified, _, err := p.qualifyCold(pending, history)
+	return qualified, err
+}
+
+// qualifyCold is the cold path shared by Qualify and the incremental
+// fallback; it also returns the byKey restoration map it built.
+func (p *DatalogProtocol) qualifyCold(pending, history []request.Request) ([]request.Request, map[request.Key]request.Request, error) {
+	p.warm = false
 	var reqRel = request.ToRelation
 	if p.extended {
 		reqRel = request.ToExtendedRelation
 	}
 	if err := p.engine.SetEDBRelation("request", reqRel(pending)); err != nil {
-		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+		return nil, nil, fmt.Errorf("protocol %s: %w", p.name, err)
 	}
 	if err := p.engine.SetEDBRelation("history", request.ToRelation(history)); err != nil {
-		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+		return nil, nil, fmt.Errorf("protocol %s: %w", p.name, err)
 	}
 	if err := p.engine.Run(); err != nil {
-		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
-	}
-	qualified, err := request.FromRelation(p.engine.Facts("qualified"))
-	if err != nil {
-		return nil, fmt.Errorf("protocol %s: bad qualified tuples: %w", p.name, err)
+		return nil, nil, fmt.Errorf("protocol %s: %w", p.name, err)
 	}
 	byKey := make(map[request.Key]request.Request, len(pending))
 	for _, r := range pending {
 		byKey[r.Key()] = r
+	}
+	qualified, err := p.collect(byKey)
+	return qualified, byKey, err
+}
+
+// QualifyIncremental implements IncrementalProtocol: the round's change set
+// is forwarded to the engine as EDB deltas, so unchanged facts — the bulk of
+// the history and every auxiliary relation — are never re-materialised, let
+// alone re-derived. The first call (or any divergence between the mirror and
+// the passed slices) falls back to the cold path.
+func (p *DatalogProtocol) QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error) {
+	if p.warm {
+		// Pending removals precede adds chronologically (see Deltas): apply
+		// in that order so a re-admitted key keeps its newest request.
+		for _, r := range d.PendingRemoved {
+			delete(p.byKey, r.Key())
+		}
+		for _, r := range d.PendingAdded {
+			p.byKey[r.Key()] = r
+		}
+		// Divergence guards on both mirrors: the pending map after the
+		// deltas, and the engine's history fact count plus the incoming
+		// change, must land on the passed slices.
+		if len(p.byKey) != len(pending) ||
+			p.engine.FactCount("history")+len(d.HistoryAppended)-len(d.HistoryRemoved) != len(history) {
+			p.warm = false // rebuild below
+		}
+	}
+	if !p.warm {
+		qualified, byKey, err := p.qualifyCold(pending, history)
+		if err != nil {
+			return nil, err
+		}
+		p.byKey = byKey
+		p.warm = true
+		return qualified, nil
+	}
+
+	changed := make(map[string]datalog.EDBDelta, 2)
+	if len(d.PendingAdded) > 0 || len(d.PendingRemoved) > 0 {
+		var ed datalog.EDBDelta
+		for _, r := range d.PendingAdded {
+			ed.Insert = append(ed.Insert, p.reqTuple(r))
+		}
+		for _, r := range d.PendingRemoved {
+			ed.Delete = append(ed.Delete, p.reqTuple(r))
+		}
+		// EDBDelta applies Insert before Delete, but pending removals
+		// precede adds chronologically: an identical tuple removed and
+		// re-added is net present, so cancel it out of both sides.
+		if len(ed.Insert) > 0 && len(ed.Delete) > 0 {
+			ins := relation.NewTupleSet(len(ed.Insert))
+			for _, t := range ed.Insert {
+				ins.Add(t)
+			}
+			both := relation.NewTupleSet(len(ed.Delete))
+			kept := ed.Delete[:0]
+			for _, t := range ed.Delete {
+				if ins.Contains(t) {
+					both.Add(t)
+				} else {
+					kept = append(kept, t)
+				}
+			}
+			ed.Delete = kept
+			if both.Len() > 0 {
+				keptIns := ed.Insert[:0]
+				for _, t := range ed.Insert {
+					if !both.Contains(t) {
+						keptIns = append(keptIns, t)
+					}
+				}
+				ed.Insert = keptIns
+			}
+		}
+		changed["request"] = ed
+	}
+	if len(d.HistoryAppended) > 0 || len(d.HistoryRemoved) > 0 {
+		var ed datalog.EDBDelta
+		for _, r := range d.HistoryAppended {
+			ed.Insert = append(ed.Insert, r.Tuple())
+		}
+		for _, r := range d.HistoryRemoved {
+			ed.Delete = append(ed.Delete, r.Tuple())
+		}
+		changed["history"] = ed
+	}
+	if err := p.engine.RunIncremental(changed); err != nil {
+		p.warm = false
+		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+	}
+	return p.collect(p.byKey)
+}
+
+// collect reads the qualified predicate, restores the SLA fields from the
+// pending batch and fixes the execution order.
+func (p *DatalogProtocol) collect(byKey map[request.Key]request.Request) ([]request.Request, error) {
+	qualified, err := request.FromRelation(p.engine.Facts("qualified"))
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: bad qualified tuples: %w", p.name, err)
 	}
 	for i := range qualified {
 		if orig, ok := byKey[qualified[i].Key()]; ok {

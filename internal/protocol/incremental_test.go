@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/request"
+)
+
+// driveIncremental simulates the scheduler's round loop against one
+// incremental protocol instance and checks every round's qualified set
+// against a cold Qualify on a fresh twin protocol.
+func driveIncremental(t *testing.T, warm IncrementalProtocol, coldOf func() Protocol, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pending, history []request.Request
+	var d Deltas
+	nextID := int64(1)
+	ta := int64(1)
+	for round := 0; round < 15; round++ {
+		// Admit a few new transactions.
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			obj := int64(rng.Intn(5))
+			for _, r := range []request.Request{
+				{TA: ta, IntraTA: 0, Op: request.Read, Object: obj},
+				{TA: ta, IntraTA: 1, Op: request.Write, Object: (obj + 1) % 5},
+				{TA: ta, IntraTA: 2, Op: request.Commit, Object: request.NoObject},
+			} {
+				r.ID = nextID
+				r.Arrival = nextID
+				nextID++
+				pending = append(pending, r)
+				d.PendingAdded = append(d.PendingAdded, r)
+			}
+			ta++
+		}
+
+		got, err := warm.QualifyIncremental(pending, history, d)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		d = Deltas{}
+		want, err := coldOf().Qualify(pending, history)
+		if err != nil {
+			t.Fatalf("round %d cold: %v", round, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("round %d: incremental qualified diverged\nwarm: %v\ncold: %v", round, got, want)
+		}
+
+		// Execute the qualified batch: move to history, drop from pending.
+		qk := KeySet(got)
+		kept := pending[:0:0]
+		for _, p := range pending {
+			if qk[p.Key()] {
+				history = append(history, p)
+				d.HistoryAppended = append(d.HistoryAppended, p)
+			} else {
+				kept = append(kept, p)
+				continue
+			}
+			d.PendingRemoved = append(d.PendingRemoved, p)
+		}
+		pending = kept
+
+		// GC finished transactions from the history.
+		finished := map[int64]bool{}
+		for _, h := range history {
+			if h.Op.IsTermination() {
+				finished[h.TA] = true
+			}
+		}
+		keptH := history[:0:0]
+		for _, h := range history {
+			if finished[h.TA] {
+				d.HistoryRemoved = append(d.HistoryRemoved, h)
+			} else {
+				keptH = append(keptH, h)
+			}
+		}
+		history = keptH
+	}
+}
+
+// TestDatalogQualifyIncrementalMatchesCold: the warm-started Datalog
+// protocol agrees with a cold qualification on every round of a random
+// workload.
+func TestDatalogQualifyIncrementalMatchesCold(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		driveIncremental(t, SS2PLDatalog(), func() Protocol { return SS2PLDatalog() }, seed)
+	}
+}
+
+// TestSQLQualifyIncrementalMatchesCold: same property for the SQL protocol's
+// cached-relation fast path.
+func TestSQLQualifyIncrementalMatchesCold(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		driveIncremental(t, SS2PLSQL(), func() Protocol { return SS2PLSQL() }, seed)
+	}
+}
+
+// TestQualifyInvalidatesIncrementalState: a direct Qualify call between
+// incremental rounds must not poison subsequent warm rounds.
+func TestQualifyIncrementalSurvivesColdInterleaving(t *testing.T) {
+	p := SS2PLDatalog()
+	reqs := []request.Request{
+		{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 3},
+		{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 3},
+	}
+	if _, err := p.QualifyIncremental(reqs, nil, Deltas{PendingAdded: reqs}); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated cold call with different state.
+	if _, err := p.Qualify(reqs[:1], nil); err != nil {
+		t.Fatal(err)
+	}
+	// Warm call again: deltas are empty relative to the last incremental
+	// state; the protocol must detect the interleaving and still answer from
+	// the full slices.
+	got, err := p.QualifyIncremental(reqs, nil, Deltas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SS2PLDatalog().Qualify(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after interleaving: %v want %v", got, want)
+	}
+}

@@ -25,6 +25,41 @@ type Protocol interface {
 	Qualify(pending, history []request.Request) ([]request.Request, error)
 }
 
+// Deltas describes how the scheduler's pending and history stores changed
+// since the previous qualification call. The two stores have opposite event
+// order within a window: pending removals (tail of the previous round)
+// happened before pending adds (top of this round), so a request in both
+// PendingRemoved and PendingAdded is net present; history appends happened
+// before history removals (execute, then GC, in the same round), so a
+// request in both HistoryAppended and HistoryRemoved is net absent.
+type Deltas struct {
+	PendingAdded    []request.Request
+	PendingRemoved  []request.Request
+	HistoryAppended []request.Request
+	HistoryRemoved  []request.Request
+}
+
+// Empty reports whether the delta carries no change.
+func (d Deltas) Empty() bool {
+	return len(d.PendingAdded) == 0 && len(d.PendingRemoved) == 0 &&
+		len(d.HistoryAppended) == 0 && len(d.HistoryRemoved) == 0
+}
+
+// IncrementalProtocol is implemented by protocols that can qualify a round
+// from the per-round change set instead of re-materialising the full pending
+// and history relations. The full slices are still passed — they are the
+// ground truth the protocol may fall back to (first call, or any detected
+// divergence between its incremental state and the slices).
+//
+// The contract: the deltas describe exactly the change since the previous
+// QualifyIncremental call on this protocol instance. A direct Qualify call
+// invalidates the incremental state; the next QualifyIncremental rebuilds
+// from the full slices.
+type IncrementalProtocol interface {
+	Protocol
+	QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error)
+}
+
 // ByID orders requests by global arrival number, the default execution order
 // (Listing 1's ORDER BY id).
 func ByID(rs []request.Request) {

@@ -78,16 +78,40 @@ func CrossJoin(l, r *relation.Relation) *relation.Relation {
 // EquiKey names one pair of join columns (left position, right position).
 type EquiKey struct{ L, R int }
 
-func keyOf(t relation.Tuple, pos []int) (relation.Tuple, bool) {
-	k := make(relation.Tuple, len(pos))
-	for i, p := range pos {
-		v := t[p]
-		if v.IsNull() {
-			return nil, false // NULL never matches in an equi-join
+// keyHash hashes the join-key projection of t; ok is false when any key
+// column is NULL (NULL never matches in an equi-join).
+func keyHash(t relation.Tuple, pos []int) (uint64, bool) {
+	for _, p := range pos {
+		if t[p].IsNull() {
+			return 0, false
 		}
-		k[i] = v
 	}
-	return k, true
+	return t.HashCols(pos), true
+}
+
+// keysEqual verifies, after a hash-bucket hit, that the key columns of a and
+// b really match (hash collisions must not join).
+func keysEqual(a relation.Tuple, apos []int, b relation.Tuple, bpos []int) bool {
+	for i := range apos {
+		if !a[apos[i]].Equal(b[bpos[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTable hashes the rows of r on the given key columns. Rows with a NULL
+// key column are dropped (they cannot match).
+func buildTable(r *relation.Relation, pos []int) map[uint64][]relation.Tuple {
+	table := make(map[uint64][]relation.Tuple, r.Len())
+	for _, t := range r.Rows() {
+		h, ok := keyHash(t, pos)
+		if !ok {
+			continue
+		}
+		table[h] = append(table[h], t)
+	}
+	return table
 }
 
 // HashJoin performs an inner equi-join on the given keys, then applies the
@@ -115,20 +139,16 @@ func HashJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.
 		bpos, ppos = lpos, rpos
 		buildIsRight = false
 	}
-	table := make(map[string][]relation.Tuple, build.Len())
-	for _, t := range build.Rows() {
-		k, ok := keyOf(t, bpos)
-		if !ok {
-			continue
-		}
-		table[k.Key()] = append(table[k.Key()], t)
-	}
+	table := buildTable(build, bpos)
 	for _, pt := range probe.Rows() {
-		k, ok := keyOf(pt, ppos)
+		h, ok := keyHash(pt, ppos)
 		if !ok {
 			continue
 		}
-		for _, bt := range table[k.Key()] {
+		for _, bt := range table[h] {
+			if !keysEqual(pt, ppos, bt, bpos) {
+				continue
+			}
 			var nt relation.Tuple
 			if buildIsRight {
 				nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), pt...), bt...)
@@ -153,14 +173,7 @@ func LeftJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.
 	for i, k := range keys {
 		lpos[i], rpos[i] = k.L, k.R
 	}
-	table := make(map[string][]relation.Tuple, r.Len())
-	for _, t := range r.Rows() {
-		k, ok := keyOf(t, rpos)
-		if !ok {
-			continue
-		}
-		table[k.Key()] = append(table[k.Key()], t)
-	}
+	table := buildTable(r, rpos)
 	nulls := make(relation.Tuple, r.Schema().Len())
 	for i := range nulls {
 		nulls[i] = relation.Null()
@@ -170,10 +183,13 @@ func LeftJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.
 		var candidates []relation.Tuple
 		if len(keys) == 0 {
 			candidates = r.Rows()
-		} else if k, ok := keyOf(lt, lpos); ok {
-			candidates = table[k.Key()]
+		} else if h, ok := keyHash(lt, lpos); ok {
+			candidates = table[h]
 		}
 		for _, rt := range candidates {
+			if len(keys) > 0 && !keysEqual(lt, lpos, rt, rpos) {
+				continue
+			}
 			nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
 			if residual == nil || Truth(residual.Eval(nt)) == True {
 				out.MustAppend(nt)
@@ -206,26 +222,22 @@ func semiAnti(l, r *relation.Relation, keys []EquiKey, residual Expr, want bool)
 	for i, k := range keys {
 		lpos[i], rpos[i] = k.L, k.R
 	}
-	var table map[string][]relation.Tuple
+	var table map[uint64][]relation.Tuple
 	if len(keys) > 0 {
-		table = make(map[string][]relation.Tuple, r.Len())
-		for _, t := range r.Rows() {
-			k, ok := keyOf(t, rpos)
-			if !ok {
-				continue
-			}
-			table[k.Key()] = append(table[k.Key()], t)
-		}
+		table = buildTable(r, rpos)
 	}
 	for _, lt := range l.Rows() {
 		var candidates []relation.Tuple
 		if len(keys) == 0 {
 			candidates = r.Rows()
-		} else if k, ok := keyOf(lt, lpos); ok {
-			candidates = table[k.Key()]
+		} else if h, ok := keyHash(lt, lpos); ok {
+			candidates = table[h]
 		}
 		matched := false
 		for _, rt := range candidates {
+			if len(keys) > 0 && !keysEqual(lt, lpos, rt, rpos) {
+				continue
+			}
 			if residual == nil {
 				matched = true
 				break
@@ -263,22 +275,19 @@ func Except(l, r *relation.Relation) (*relation.Relation, error) {
 	if l.Schema().Len() != r.Schema().Len() {
 		return nil, fmt.Errorf("ra: except arity mismatch %d vs %d", l.Schema().Len(), r.Schema().Len())
 	}
-	drop := make(map[string]struct{}, r.Len())
+	drop := relation.NewTupleSet(r.Len())
 	for _, t := range r.Rows() {
-		drop[t.Key()] = struct{}{}
+		drop.Add(t)
 	}
 	out := relation.New(l.Schema())
-	seen := make(map[string]struct{}, l.Len())
+	seen := relation.NewTupleSet(l.Len())
 	for _, t := range l.Rows() {
-		k := t.Key()
-		if _, gone := drop[k]; gone {
+		if drop.Contains(t) {
 			continue
 		}
-		if _, dup := seen[k]; dup {
-			continue
+		if seen.Add(t) {
+			out.MustAppend(t)
 		}
-		seen[k] = struct{}{}
-		out.MustAppend(t)
 	}
 	return out, nil
 }

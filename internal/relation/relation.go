@@ -98,17 +98,15 @@ func (r *Relation) Clone() *Relation {
 }
 
 // Distinct returns a new relation with duplicate tuples removed, preserving
-// first-occurrence order.
+// first-occurrence order. Deduplication is by tuple hash with equality
+// verification, so no per-tuple key strings are built.
 func (r *Relation) Distinct() *Relation {
-	seen := make(map[string]struct{}, len(r.rows))
+	seen := NewTupleSet(len(r.rows))
 	out := New(r.schema)
 	for _, t := range r.rows {
-		k := t.Key()
-		if _, ok := seen[k]; ok {
-			continue
+		if seen.Add(t) {
+			out.rows = append(out.rows, t)
 		}
-		seen[k] = struct{}{}
-		out.rows = append(out.rows, t)
 	}
 	return out
 }
@@ -177,14 +175,12 @@ func (r *Relation) Equal(o *Relation) bool {
 	if r.schema.Len() != o.schema.Len() || len(r.rows) != len(o.rows) {
 		return false
 	}
-	counts := make(map[string]int, len(r.rows))
+	counts := newTupleCounter(len(r.rows))
 	for _, t := range r.rows {
-		counts[t.Key()]++
+		counts.inc(t)
 	}
 	for _, t := range o.rows {
-		k := t.Key()
-		counts[k]--
-		if counts[k] < 0 {
+		if !counts.dec(t) {
 			return false
 		}
 	}

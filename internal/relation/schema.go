@@ -146,17 +146,36 @@ func (t Tuple) Compare(o Tuple) int {
 	return 0
 }
 
-// Hash returns a stable hash of the whole tuple.
-func (t Tuple) Hash() uint64 {
-	var h uint64 = 1469598103934665603 // FNV offset basis
-	for _, v := range t {
-		h ^= v.Hash()
-		h *= 1099511628211
+// Hash returns a stable hash of the whole tuple: the values' FNV-1a hashes
+// folded together. It never builds strings; equality must still be verified
+// on hash collisions (see TupleSet).
+func (t Tuple) Hash() uint64 { return HashValues(t) }
+
+// HashCols hashes the projection of t onto the given column positions, for
+// index keys over column subsets.
+func (t Tuple) HashCols(cols []int) uint64 {
+	h := fnvOffset
+	for _, c := range cols {
+		h ^= t[c].Hash()
+		h *= fnvPrime
 	}
 	return h
 }
 
-// Key renders a canonical string key for map-based deduplication.
+// HashValues hashes a slice of values the same way HashCols hashes a
+// projection, so lookup keys and index keys agree.
+func HashValues(vals []Value) uint64 {
+	h := fnvOffset
+	for _, v := range vals {
+		h ^= v.Hash()
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Key renders a canonical string key for map-based deduplication. It is kept
+// for debugging and test assertions only; hot paths dedup via Hash plus
+// equality buckets (TupleSet).
 func (t Tuple) Key() string {
 	var b strings.Builder
 	for i, v := range t {

@@ -1,0 +1,83 @@
+package relation
+
+// TupleSet is a set of tuples keyed by Tuple.Hash with equality verification
+// on collisions. It replaces the string-key (Tuple.Key) maps that used to
+// back deduplication: membership tests allocate nothing.
+type TupleSet struct {
+	buckets map[uint64][]Tuple
+	n       int
+}
+
+// NewTupleSet creates a set sized for roughly n tuples.
+func NewTupleSet(n int) *TupleSet {
+	return &TupleSet{buckets: make(map[uint64][]Tuple, n)}
+}
+
+// Add inserts t, reporting whether it was absent. The set retains t; callers
+// reusing tuple buffers must clone before adding.
+func (s *TupleSet) Add(t Tuple) bool {
+	h := t.Hash()
+	for _, u := range s.buckets[h] {
+		if u.Equal(t) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], t)
+	s.n++
+	return true
+}
+
+// Contains reports membership.
+func (s *TupleSet) Contains(t Tuple) bool {
+	for _, u := range s.buckets[t.Hash()] {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct tuples added.
+func (s *TupleSet) Len() int { return s.n }
+
+// tupleCounter is a multiset of tuples keyed by hash, for bag comparisons.
+type tupleCounter struct {
+	buckets map[uint64][]tupleCount
+}
+
+type tupleCount struct {
+	t Tuple
+	n int
+}
+
+func newTupleCounter(n int) *tupleCounter {
+	return &tupleCounter{buckets: make(map[uint64][]tupleCount, n)}
+}
+
+func (c *tupleCounter) inc(t Tuple) {
+	h := t.Hash()
+	b := c.buckets[h]
+	for i := range b {
+		if b[i].t.Equal(t) {
+			b[i].n++
+			return
+		}
+	}
+	c.buckets[h] = append(b, tupleCount{t: t, n: 1})
+}
+
+// dec decrements the count for t, reporting false if it would go negative.
+func (c *tupleCounter) dec(t Tuple) bool {
+	h := t.Hash()
+	b := c.buckets[h]
+	for i := range b {
+		if b[i].t.Equal(t) {
+			if b[i].n == 0 {
+				return false
+			}
+			b[i].n--
+			return true
+		}
+	}
+	return false
+}

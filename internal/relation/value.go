@@ -8,7 +8,6 @@ package relation
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 )
 
@@ -124,25 +123,35 @@ func (v Value) Compare(o Value) int {
 	}
 }
 
-// Hash returns a stable hash of the value.
+// FNV-1a constants, shared by every hash path in the system (values, tuples,
+// fact-set buckets, join build keys).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash returns a stable hash of the value. It is the allocation-free inner
+// loop of every hash index and dedup set: FNV-1a over a kind tag and the raw
+// payload, with no hasher object and no string building.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
+	h := fnvOffset
 	switch v.kind {
 	case KindNull:
-		h.Write([]byte{0})
+		h = (h ^ 0) * fnvPrime
 	case KindInt:
-		var b [9]byte
-		b[0] = 1
+		h = (h ^ 1) * fnvPrime
 		u := uint64(v.i)
 		for j := 0; j < 8; j++ {
-			b[1+j] = byte(u >> (8 * j))
+			h = (h ^ (u & 0xff)) * fnvPrime
+			u >>= 8
 		}
-		h.Write(b[:])
 	default:
-		h.Write([]byte{2})
-		h.Write([]byte(v.s))
+		h = (h ^ 2) * fnvPrime
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // String renders the value for display.

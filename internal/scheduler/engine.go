@@ -80,6 +80,12 @@ type Engine struct {
 	rounds        int
 	nextID        int64
 	lastQualified []request.Request
+
+	// deltas accumulates every change to the pending store and the history
+	// since the last protocol call, so incremental protocols can warm-start
+	// instead of re-materialising both relations each round (see
+	// protocol.IncrementalProtocol).
+	deltas protocol.Deltas
 }
 
 // NewEngine validates the config and creates an engine.
@@ -122,6 +128,7 @@ func (e *Engine) Round() (RoundResult, error) {
 	// Step 1-2: empty the incoming queue into the pending request store "as
 	// a batch job".
 	e.pending = append(e.pending, e.queue...)
+	e.deltas.PendingAdded = append(e.deltas.PendingAdded, e.queue...)
 	e.queue = e.queue[:0]
 
 	var res RoundResult
@@ -135,11 +142,17 @@ func (e *Engine) Round() (RoundResult, error) {
 		protocol.ByID(qualified)
 	default:
 		var err error
-		qualified, err = e.cfg.Protocol.Qualify(e.pending, e.hist.Live())
+		if ip, ok := e.cfg.Protocol.(protocol.IncrementalProtocol); ok {
+			qualified, err = ip.QualifyIncremental(e.pending, e.hist.Live(), e.deltas)
+		} else {
+			qualified, err = e.cfg.Protocol.Qualify(e.pending, e.hist.Live())
+		}
 		if err != nil {
 			return res, fmt.Errorf("scheduler: round %d: %w", e.rounds, err)
 		}
 	}
+	// The protocol consumed the accumulated change set; start the next one.
+	e.deltas = protocol.Deltas{}
 	res.Stats.Duration = time.Since(evalStart)
 	if e.cfg.MaxBatch > 0 && len(qualified) > e.cfg.MaxBatch {
 		// Admission control: defer the tail (the protocol's order is a
@@ -179,12 +192,15 @@ func (e *Engine) Round() (RoundResult, error) {
 				return res, err
 			}
 			e.hist.Append(ab)
+			e.deltas.HistoryAppended = append(e.deltas.HistoryAppended, ab)
 			// Drop the victim's pending requests; its client is notified via
 			// the Victims list.
 			kept := e.pending[:0]
 			for _, p := range e.pending {
 				if p.TA != ta {
 					kept = append(kept, p)
+				} else {
+					e.deltas.PendingRemoved = append(e.deltas.PendingRemoved, p)
 				}
 			}
 			e.pending = kept
@@ -199,17 +215,20 @@ func (e *Engine) Round() (RoundResult, error) {
 		v, err := e.cfg.Server.ExecScheduled(r)
 		res.Executed = append(res.Executed, Executed{Request: r, Value: v, Err: err})
 		e.hist.Append(r)
+		e.deltas.HistoryAppended = append(e.deltas.HistoryAppended, r)
 	}
 	kept := e.pending[:0]
 	for _, p := range e.pending {
 		if !qualifiedKeys[p.Key()] {
 			kept = append(kept, p)
+		} else {
+			e.deltas.PendingRemoved = append(e.deltas.PendingRemoved, p)
 		}
 	}
 	e.pending = kept
 
 	if e.cfg.GCEvery >= 0 && (e.cfg.GCEvery <= 1 || e.rounds%e.cfg.GCEvery == 0) {
-		e.hist.GC()
+		e.deltas.HistoryRemoved = append(e.deltas.HistoryRemoved, e.hist.GCRemoved()...)
 	}
 	e.lastQualified = qualified
 	res.Stats.Qualified = len(res.Executed)

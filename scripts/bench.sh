@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench.sh [tag] — run the perf-tracking benchmarks and emit BENCH_<tag>.json
+# (default tag 1, the PR number of the first tracked change), so the round
+# latency / allocation trajectory is recorded from PR 1 onward.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-1}"
+OUT="BENCH_${TAG}.json"
+BENCHES='BenchmarkSS2PLQueryDatalog|BenchmarkMiddlewareRound|BenchmarkDatalogSemiNaive|BenchmarkDatalogIncrementalRound'
+BENCHTIME="${BENCHTIME:-1s}"
+
+RAW="$(go test -run='^$' -bench="${BENCHES}" -benchmem -benchtime="${BENCHTIME}" . )"
+echo "${RAW}"
+
+# Convert `BenchmarkName-N  iters  t ns/op  b B/op  a allocs/op` lines to JSON.
+echo "${RAW}" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"bench\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"date\": \"%s\"}", \
+        name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs), date
+}
+END { print "\n]" }
+' > "${OUT}"
+
+echo "wrote ${OUT}"
