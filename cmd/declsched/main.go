@@ -34,6 +34,7 @@ func main() {
 	passthrough := flag.Bool("passthrough", false, "non-scheduling mode (forward unscheduled)")
 	check := flag.Bool("check", false, "verify conflict serializability of the executed schedule")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "protocol evaluation workers (-1 = all cores, 0 = single-threaded default)")
 	flag.Parse()
 
 	var proto protocol.Protocol
@@ -74,10 +75,11 @@ func main() {
 	}
 	srv := storage.NewServer(storage.Config{Rows: int(*objects)})
 	engine, err := scheduler.NewEngine(scheduler.Config{
-		Protocol: proto,
-		Server:   srv,
-		Mode:     mode,
-		KeepLog:  *check,
+		Protocol:    proto,
+		Server:      srv,
+		Mode:        mode,
+		KeepLog:     *check,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		log.Fatal(err)

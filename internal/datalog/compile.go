@@ -37,9 +37,6 @@ type stepMeta struct {
 	// indexes are built eagerly and looked up by slot, never by parsing a
 	// mask string). -1 when lookupCols is empty (full scan).
 	lookupIdx int
-	// valsBuf is the reusable lookup-key buffer (len(lookupCols)), filled
-	// from lookupSrc on each visit; engines are single-threaded per run.
-	valsBuf []relation.Value
 	// Positive atoms: tuple positions that bind fresh variables, in left to
 	// right order. bindRepeat[i] marks a later occurrence of a variable
 	// already bound at an earlier position of this atom: it is an equality
@@ -49,8 +46,10 @@ type stepMeta struct {
 	bindVar    []int
 	bindRepeat []bool
 	// occIndex numbers positive atoms within the rule (for semi-naive delta
-	// substitution); -1 for non-atom literals.
-	occIndex int
+	// substitution); -1 for non-atom literals. negOccIndex numbers negated
+	// atoms the same way (for DRed delta substitution through negation).
+	occIndex    int
+	negOccIndex int
 
 	// Comparison.
 	cmpL, cmpR valSrc
@@ -73,23 +72,63 @@ type headSlot struct {
 }
 
 // compiledRule is a rule with a fixed evaluation order and variable slots.
+// It is immutable after NewEngine finishes: all mutable evaluation state
+// lives in ruleScratch instances, one per evaluator (the engine's sequential
+// scratch plus one per pool worker), so independent workers may evaluate the
+// same rule concurrently.
 type compiledRule struct {
-	rule     Rule
-	steps    []stepMeta
-	nVars    int
-	head     []headSlot
+	rule  Rule
+	idx   int // position in Engine.compiled
+	steps []stepMeta
+	nVars int
+	head  []headSlot
+
 	hasAgg   bool
 	groupIdx []int // head positions that are group-by (non-aggregate) slots
 	aggIdx   []int // head positions that are aggregates
+
 	// atomPreds lists the predicate of every positive atom occurrence, in
-	// occIndex order.
+	// occIndex order; negPreds does the same for negated occurrences.
 	atomPreds []string
-	// env and headBuf are per-rule scratch buffers reused across evaluations
-	// (the engine is single-threaded within a run): the variable environment
-	// and the head tuple filled before emission. Emitted tuples are cloned
-	// only when a fact set actually retains them.
+	negPreds  []string
+
+	// scratch is the engine's own evaluation scratch (the single-threaded
+	// path); pool workers use per-worker scratches from Engine.workerScratch.
+	scratch *ruleScratch
+}
+
+// ruleScratch holds the per-evaluation mutable state of one rule: the
+// variable environment, the head tuple buffer filled before emission, one
+// lookup-key buffer per step, and the head-pin state used by DRed
+// rederivation. Each concurrent evaluator owns a private instance; emitted
+// tuples reference headBuf and must be cloned by any sink that retains them
+// (factSet.add with copyOnInsert does exactly that).
+type ruleScratch struct {
 	env     []relation.Value
 	headBuf relation.Tuple
+	vals    [][]relation.Value // per step: len(lookupCols)
+
+	// Head pins for rederivation: pinned[v] fixes variable slot v to
+	// pinVals[v] for the duration of one pinned evaluation.
+	pinned  []bool
+	pinVals []relation.Value
+}
+
+// newRuleScratch allocates an evaluation scratch for one compiled rule.
+func newRuleScratch(c *compiledRule) *ruleScratch {
+	sc := &ruleScratch{
+		env:     make([]relation.Value, c.nVars),
+		headBuf: make(relation.Tuple, len(c.head)),
+		vals:    make([][]relation.Value, len(c.steps)),
+		pinned:  make([]bool, c.nVars),
+		pinVals: make([]relation.Value, c.nVars),
+	}
+	for i := range c.steps {
+		if n := len(c.steps[i].lookupCols); n > 0 {
+			sc.vals[i] = make([]relation.Value, n)
+		}
+	}
+	return sc
 }
 
 // compileRule orders the body and resolves variables to slots.
@@ -123,10 +162,10 @@ func compileRule(r Rule) (*compiledRule, error) {
 		}
 	}
 
-	occ := 0
+	occ, negOcc := 0, 0
 	for _, bi := range order {
 		l := r.Body[bi]
-		m := stepMeta{lit: l, occIndex: -1, lookupIdx: -1}
+		m := stepMeta{lit: l, occIndex: -1, negOccIndex: -1, lookupIdx: -1}
 		switch l.Kind {
 		case LitAtom:
 			// A variable first bound by an earlier position of this same atom
@@ -165,8 +204,11 @@ func compileRule(r Rule) (*compiledRule, error) {
 				}
 				m.bindRepeat = append(m.bindRepeat, rep)
 			}
-			m.valsBuf = make([]relation.Value, len(m.lookupCols))
-			if !l.Negated {
+			if l.Negated {
+				m.negOccIndex = negOcc
+				negOcc++
+				c.negPreds = append(c.negPreds, l.Atom.Pred)
+			} else {
 				m.occIndex = occ
 				occ++
 				c.atomPreds = append(c.atomPreds, l.Atom.Pred)
@@ -238,7 +280,6 @@ func compileRule(r Rule) (*compiledRule, error) {
 		c.head = append(c.head, h)
 	}
 	c.nVars = len(varID)
-	c.env = make([]relation.Value, c.nVars)
-	c.headBuf = make(relation.Tuple, len(c.head))
+	c.scratch = newRuleScratch(c)
 	return c, nil
 }

@@ -1,0 +1,530 @@
+package datalog
+
+import "repro/internal/relation"
+
+// defaultDRedChurnFactor is the default weight of the churn-vs-affected-size
+// cost model in RunIncremental (see Engine.dredChurnFactor). Chosen so that
+// trickle rounds (scheduler GC, victim removal — churn a few percent of the
+// standing sets) take DRed while bulk-replacement rounds stay on the cheaper
+// clear-and-recompute path.
+const defaultDRedChurnFactor = 4
+
+// DRed-style delete propagation (Gupta, Mumick & Subrahmanian): a
+// non-monotone EDB change is propagated stratum by stratum as small
+// insert/delete deltas instead of clearing and re-deriving whole predicate
+// closures. Per stratum:
+//
+//  1. Overdelete — a semi-naive fixpoint over deletion deltas computes every
+//     stored fact whose derivations might have used a deleted fact (driven
+//     through positive atoms) or a newly inserted fact under negation
+//     (driven through negated atoms). Joins run against the pre-deletion
+//     state: net-deleted lower-stratum facts are temporarily re-inserted for
+//     the duration of the fixpoint, which makes the estimate a sound
+//     over-approximation (anything extra is re-derived in step 3).
+//  2. The over-deleted facts are physically removed.
+//  3. Rederive + insert — each over-deleted fact is probed for an
+//     alternative derivation with its head variables pinned (a goal-directed
+//     evaluation that stops at the first proof; the pins filter each
+//     binding step, deliberately without a dedicated index — see the mask
+//     registration note in NewEngine). Survivors are re-inserted and then
+//     a standard seeded semi-naive insert pass runs, fed by re-derived
+//     facts, net insertions from below, and "enabler" passes that derive the
+//     facts newly enabled by deletions under negation.
+//  4. The stratum's net change (overdeleted minus rederived; inserted minus
+//     re-inserted) becomes the delta feeding higher strata.
+//
+// Strata whose rules consume no changed predicate are skipped entirely —
+// that, plus the delta-driven joins, is what makes GC churn and victim
+// removal cost proportional to their consequences rather than to the size of
+// the affected predicates. Aggregate rules never take this path: the caller
+// falls back to recomputeAffected when a change reaches one.
+
+// runDRed applies the already-EDB-bookkept changes (plus pending SetEDB
+// replacements) to the fact sets, computes the per-predicate net deltas, and
+// propagates them stratum by stratum.
+func (e *Engine) runDRed(changed map[string]EDBDelta) error {
+	e.Stats = RunStats{Incremental: true, Strategy: StrategyDRed}
+	insDone := make(map[string]*factSet)
+	delDone := make(map[string]*factSet)
+
+	// SetEDB replacements: diff the retained fact set against the new rows
+	// (the rows already carry any same-batch deltas via applyDelta).
+	rebuilt := make(map[string]bool, len(e.dirty))
+	for pred := range e.dirty {
+		rebuilt[pred] = true
+		old := e.facts[pred]
+		nf := e.newSet(pred)
+		rows := e.edb[pred]
+		if len(rows) > 0 {
+			nf.arity = len(rows[0])
+		} else if old != nil {
+			nf.arity = old.arity
+		}
+		for _, t := range rows {
+			if _, _, err := nf.add(t, false); err != nil {
+				return err
+			}
+		}
+		ins := e.newSetSized(pred, nf.arity)
+		del := e.newSetSized(pred, nf.arity)
+		for _, t := range nf.tuples {
+			if old == nil || !old.contains(t) {
+				if _, _, err := ins.add(t, false); err != nil {
+					return err
+				}
+			}
+		}
+		if old != nil {
+			for _, t := range old.tuples {
+				if !nf.contains(t) {
+					if _, _, err := del.add(t, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		e.facts[pred] = nf
+		if ins.len() > 0 {
+			insDone[pred] = ins
+		}
+		if del.len() > 0 {
+			delDone[pred] = del
+		}
+	}
+	clear(e.dirty)
+
+	// Delta'd predicates: apply insert-then-delete to the fact sets (the
+	// EDBDelta contract) while recording the net change.
+	for pred, d := range changed {
+		if rebuilt[pred] {
+			continue // already diffed from the replaced rows
+		}
+		f := e.factsFor(pred)
+		if f.len() == 0 && len(d.Insert) > 0 {
+			f.arity = len(d.Insert[0])
+		}
+		var ins, del *factSet
+		for _, t := range d.Insert {
+			added, stored, err := f.add(t, false)
+			if err != nil {
+				return err
+			}
+			if added {
+				if ins == nil {
+					ins = e.newSetSized(pred, f.arity)
+				}
+				if _, _, err := ins.add(stored, false); err != nil {
+					return err
+				}
+			}
+		}
+		for _, t := range d.Delete {
+			if !f.remove(t) {
+				continue
+			}
+			if ins != nil && ins.remove(t) {
+				continue // inserted and deleted in the same batch: no net change
+			}
+			if del == nil {
+				del = e.newSetSized(pred, f.arity)
+			}
+			if _, _, err := del.add(t, true); err != nil {
+				return err
+			}
+		}
+		if ins != nil && ins.len() > 0 {
+			insDone[pred] = ins
+		}
+		if del != nil && del.len() > 0 {
+			delDone[pred] = del
+		}
+	}
+	e.ensureFactSets()
+
+	for s := 0; s < e.numStrata; s++ {
+		if !e.stratumTouched(s, insDone, delDone) {
+			continue
+		}
+		O, err := e.overdelete(s, insDone, delDone)
+		if err != nil {
+			return err
+		}
+		// Physically remove the over-deleted facts.
+		for pred, o := range O {
+			f := e.facts[pred]
+			for _, t := range o.tuples {
+				f.remove(t)
+			}
+		}
+
+		seed := make(map[string]*factSet)
+		rederived := make(map[string]*factSet)
+		insNew := make(map[string]*factSet)
+		addTo := func(m map[string]*factSet, pred string, t relation.Tuple) error {
+			set := m[pred]
+			if set == nil {
+				set = e.newSetSized(pred, len(t))
+				m[pred] = set
+			}
+			_, _, err := set.add(t, false)
+			return err
+		}
+		// Program facts are always derivable: re-add any that were
+		// over-deleted.
+		for _, ri := range e.rulesBy[s] {
+			c := e.compiled[ri]
+			if !c.rule.IsFact() {
+				continue
+			}
+			h := c.rule.Head.Pred
+			o := O[h]
+			if o == nil {
+				continue
+			}
+			t, err := FactTuple(c.rule)
+			if err != nil {
+				return err
+			}
+			if o.contains(t) && !e.facts[h].contains(t) {
+				if _, _, err := e.facts[h].add(t, false); err != nil {
+					return err
+				}
+				e.Stats.Rederived++
+				if err := addTo(rederived, h, t); err != nil {
+					return err
+				}
+				if err := addTo(seed, h, t); err != nil {
+					return err
+				}
+			}
+		}
+		// Goal-directed rederivation: over-deleted facts that still have a
+		// proof from the remaining facts are re-inserted and seed the insert
+		// pass (facts whose proof depends on other re-derived facts are
+		// picked up by the seeded semi-naive loop).
+		for pred, o := range O {
+			f := e.facts[pred]
+			for _, t := range o.tuples {
+				if f.contains(t) {
+					continue // re-added above
+				}
+				ok, err := e.rederivable(pred, t)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if _, _, err := f.add(t, false); err != nil {
+					return err
+				}
+				e.Stats.Rederived++
+				if err := addTo(rederived, pred, t); err != nil {
+					return err
+				}
+				if err := addTo(seed, pred, t); err != nil {
+					return err
+				}
+			}
+		}
+		// Enabler passes: facts newly derivable because a negated body
+		// predicate lost tuples.
+		var enablers []enablerPass
+		for _, ri := range e.rulesBy[s] {
+			c := e.compiled[ri]
+			if c.hasAgg || c.rule.IsFact() {
+				continue
+			}
+			for nocc, b := range c.negPreds {
+				if d := delDone[b]; d != nil && d.len() > 0 {
+					enablers = append(enablers, enablerPass{ri: ri, negOcc: nocc, negDelta: d})
+				}
+			}
+		}
+		// Net insertions from below (and the EDB) seed the positive deltas.
+		for p, ins := range insDone {
+			if ins.len() == 0 {
+				continue
+			}
+			if cur := seed[p]; cur != nil {
+				for _, t := range ins.tuples {
+					if _, _, err := cur.add(t, false); err != nil {
+						return err
+					}
+				}
+			} else {
+				seed[p] = ins
+			}
+		}
+		onAdd := func(pred string, t relation.Tuple) {
+			if o := O[pred]; o != nil && o.contains(t) {
+				e.Stats.Rederived++
+				_ = addTo(rederived, pred, t)
+				return
+			}
+			_ = addTo(insNew, pred, t)
+		}
+		if err := e.runStratum(s, e.rulesBy[s], stratumOpts{seed: seed, enablers: enablers, onAdd: onAdd}); err != nil {
+			return err
+		}
+
+		// Net change of this stratum feeds the strata above.
+		for pred, o := range O {
+			red := rederived[pred]
+			net := e.newSetSized(pred, o.arity)
+			for _, t := range o.tuples {
+				if red != nil && red.contains(t) {
+					continue
+				}
+				if _, _, err := net.add(t, false); err != nil {
+					return err
+				}
+			}
+			if net.len() > 0 {
+				delDone[pred] = net
+			}
+		}
+		for pred, ins := range insNew {
+			if ins.len() > 0 {
+				insDone[pred] = ins
+			}
+		}
+	}
+	e.warm = true
+	return nil
+}
+
+// stratumTouched reports whether any rule of stratum s consumes a predicate
+// with a pending net delta.
+func (e *Engine) stratumTouched(s int, insDone, delDone map[string]*factSet) bool {
+	nonEmpty := func(m map[string]*factSet, p string) bool {
+		d := m[p]
+		return d != nil && d.len() > 0
+	}
+	for _, ri := range e.rulesBy[s] {
+		c := e.compiled[ri]
+		for _, p := range c.atomPreds {
+			if nonEmpty(insDone, p) || nonEmpty(delDone, p) {
+				return true
+			}
+		}
+		for _, p := range c.negPreds {
+			if nonEmpty(insDone, p) || nonEmpty(delDone, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// overdelete computes the over-approximated set of stratum-s facts whose
+// derivations may be invalidated by the pending net deltas. The fact sets
+// are evaluated in their pre-deletion state: net-deleted facts are
+// re-inserted for the duration of the fixpoint and removed again before
+// returning. Nothing is physically deleted here.
+func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[string]*factSet, error) {
+	rules := make([]int, 0, len(e.rulesBy[s]))
+	for _, ri := range e.rulesBy[s] {
+		c := e.compiled[ri]
+		if !c.hasAgg && !c.rule.IsFact() {
+			rules = append(rules, ri)
+		}
+	}
+	O := make(map[string]*factSet)
+	if len(rules) == 0 {
+		return O, nil
+	}
+	// Restore the pre-deletion view for the duration of the fixpoint, but
+	// only where a fixpoint join can actually read a deleted fact through a
+	// full set: predicate p (with net deletions) read positively by a rule
+	// with a second delta'd positive occurrence — a derivation may pair two
+	// deleted facts, and each one's delta pass would miss the other. A rule
+	// whose only deletions arrive through p's own delta reads the deleted
+	// facts through the delta, never through the full set, so its — possibly
+	// large — delta predicates skip the restore churn (the history relation,
+	// typically). Derivations pairing a deleted fact with a negation-side
+	// insertion are caught by the delta pass through negOld (inserted facts
+	// are ignored at negated steps), and derivations whose positive atoms
+	// all survive are caught by the negation-driven passes — neither needs
+	// the restore. Same-stratum heads never need restoring: they are deleted
+	// only after the fixpoint.
+	nonEmpty := func(m map[string]*factSet, p string) bool {
+		d := m[p]
+		return d != nil && d.len() > 0
+	}
+	restore := make(map[string]bool)
+	for _, ri := range rules {
+		c := e.compiled[ri]
+		nPosDelta := 0
+		for _, p := range c.atomPreds {
+			if nonEmpty(delDone, p) {
+				nPosDelta++
+			}
+		}
+		if nPosDelta >= 2 {
+			for _, p := range c.atomPreds {
+				if nonEmpty(delDone, p) {
+					restore[p] = true
+				}
+			}
+		}
+	}
+	for pred, dset := range delDone {
+		if !restore[pred] {
+			continue
+		}
+		f := e.facts[pred]
+		for _, t := range dset.tuples {
+			if _, _, err := f.add(t, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	defer func() {
+		for pred, dset := range delDone {
+			if !restore[pred] {
+				continue
+			}
+			f := e.facts[pred]
+			for _, t := range dset.tuples {
+				f.remove(t)
+			}
+		}
+	}()
+
+	cur := make(map[string]*factSet)
+	collect := func(c *compiledRule, round map[string]*factSet) func(relation.Tuple) error {
+		head := c.rule.Head.Pred
+		return func(t relation.Tuple) error {
+			e.Stats.RuleFirings++
+			f := e.facts[head]
+			if f == nil || !f.contains(t) {
+				return nil // never derived (an artefact of the over-approximated view)
+			}
+			o := O[head]
+			if o == nil {
+				o = e.newSetSized(head, f.arity)
+				O[head] = o
+			}
+			added, stored, err := o.add(t, true)
+			if err != nil || !added {
+				return err
+			}
+			e.Stats.Overdeleted++
+			r := round[head]
+			if r == nil {
+				r = e.newSetSized(head, f.arity)
+				round[head] = r
+			}
+			_, _, err = r.add(stored, false)
+			return err
+		}
+	}
+	// Seeds: deletions through positive atoms, insertions through negation.
+	for _, ri := range rules {
+		c := e.compiled[ri]
+		emit := collect(c, cur)
+		for occ, pred := range c.atomPreds {
+			d := delDone[pred]
+			if d == nil || d.len() == 0 {
+				continue
+			}
+			spec := evalSpec{delta: d, deltaOcc: occ, negOcc: -1, negOld: insDone, hi: -1}
+			if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
+				return nil, err
+			}
+		}
+		for nocc, pred := range c.negPreds {
+			d := insDone[pred]
+			if d == nil || d.len() == 0 {
+				continue
+			}
+			spec := evalSpec{deltaOcc: -1, negOcc: nocc, negDelta: d, negOld: insDone, hi: -1}
+			if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Fixpoint over same-stratum consequences.
+	for len(cur) > 0 {
+		prev := cur
+		cur = make(map[string]*factSet)
+		for _, ri := range rules {
+			c := e.compiled[ri]
+			emit := collect(c, cur)
+			for occ, pred := range c.atomPreds {
+				d := prev[pred]
+				if d == nil || d.len() == 0 {
+					continue
+				}
+				spec := evalSpec{delta: d, deltaOcc: occ, negOcc: -1, negOld: insDone, hi: -1}
+				if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
+					return nil, err
+				}
+			}
+		}
+		e.Stats.Iterations++
+	}
+	return O, nil
+}
+
+// rederivable reports whether an over-deleted (and physically removed) fact
+// still has a derivation from the current facts, by evaluating each of its
+// predicate's rules with the head variables pinned to the fact and stopping
+// at the first proof.
+func (e *Engine) rederivable(pred string, t relation.Tuple) (bool, error) {
+	for _, ri := range e.rulesFor[pred] {
+		c := e.compiled[ri]
+		if c.hasAgg || c.rule.IsFact() {
+			continue
+		}
+		sc := c.scratch
+		if !setPins(c, sc, t) {
+			continue
+		}
+		spec := evalSpec{deltaOcc: -1, negOcc: -1, hi: -1, pinned: true}
+		err := e.evalRule(c, sc, spec, func(relation.Tuple) error { return errStopEval })
+		clearPins(c, sc)
+		if err == errStopEval {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// setPins pins the rule's head variables to the target tuple, returning
+// false (with pins cleared) when the tuple is incompatible with the head
+// (constant mismatch, or one variable required to take two values).
+func setPins(c *compiledRule, sc *ruleScratch, t relation.Tuple) bool {
+	for i, h := range c.head {
+		if h.isConst {
+			if !h.c.Equal(t[i]) {
+				clearPins(c, sc)
+				return false
+			}
+			continue
+		}
+		if sc.pinned[h.varID] {
+			if !sc.pinVals[h.varID].Equal(t[i]) {
+				clearPins(c, sc)
+				return false
+			}
+			continue
+		}
+		sc.pinned[h.varID] = true
+		sc.pinVals[h.varID] = t[i]
+	}
+	return true
+}
+
+// clearPins resets the head-variable pins set by setPins.
+func clearPins(c *compiledRule, sc *ruleScratch) {
+	for _, h := range c.head {
+		if !h.isConst {
+			sc.pinned[h.varID] = false
+		}
+	}
+}

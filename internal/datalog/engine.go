@@ -1,8 +1,8 @@
 package datalog
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/relation"
 )
@@ -19,14 +19,26 @@ import (
 // consequences of those deltas are recomputed. Insert-only deltas whose
 // affected predicates are free of negation and aggregation are propagated by
 // seeding the semi-naive deltas directly (no fact is ever re-derived);
-// anything non-monotone falls back to clearing and re-deriving exactly the
-// predicates downstream of the change, while every unaffected predicate —
-// and every unchanged EDB fact set with its hash indexes — is kept as-is.
+// non-monotone changes take the DRed path (see dred.go): deleted facts are
+// over-deleted transitively, re-derived where an alternative proof exists,
+// and the remainder propagates as small insert/delete deltas stratum by
+// stratum. Changes reaching an aggregate rule fall back to clearing and
+// re-deriving exactly the affected predicates. In every mode, unaffected
+// predicates — and every unchanged EDB fact set with its hash indexes — are
+// kept as-is.
 //
 // Index column masks are chosen at compile time: NewEngine registers the
 // bound positions of every atom occurrence with the predicate, so fact sets
 // build exactly the indexes the rules probe, eagerly, with uint64 hash
 // buckets (see factSet).
+//
+// SetParallelism(n) with n > 1 evaluates large semi-naive passes on a
+// persistent worker pool: each pass's work (rule × delta occurrence) is
+// partitioned into step-0 ranges, workers evaluate with private scratch
+// buffers into private emit buffers, and the buffers are merged into the
+// fact sets in deterministic task order. Small passes stay on the
+// single-threaded fast path (parMinWork cutoff). The engine remains
+// single-caller: only evaluation inside one Run/RunIncremental fans out.
 type Engine struct {
 	prog      *Program
 	compiled  []*compiledRule
@@ -43,10 +55,15 @@ type Engine struct {
 	// it (the edge set of the dependency graph, for affected-closure
 	// computation); negatedPreds and aggBodyPreds mark predicates consumed
 	// under negation or by an aggregate rule — facts flowing through those
-	// edges do not propagate monotonically.
+	// edges do not propagate monotonically. rulesFor indexes the non-fact
+	// rules by head predicate (DRed rederivation needs them); allPreds lists
+	// every predicate the program mentions, so fact sets can be pre-created
+	// before a parallel pass (workers must never mutate the facts map).
 	dependents   map[string][]string
 	negatedPreds map[string]bool
 	aggBodyPreds map[string]bool
+	rulesFor     map[string][]int
+	allPreds     []string
 
 	// Naive switches off the delta optimisation; used by tests to verify the
 	// semi-naive evaluator against the textbook fixpoint.
@@ -61,18 +78,60 @@ type Engine struct {
 	// warm is true once facts reflects a completed run over the current EDB.
 	warm bool
 
+	// Parallel evaluation state: parallelism is the worker count (<= 1 means
+	// sequential), pool the persistent workers, workerScratch one private
+	// rule-scratch row per worker. parMinWork is the minimum estimated
+	// outer-loop cardinality of a pass before it fans out; parChunk the
+	// minimum chunk size per task.
+	parallelism   int
+	pool          *evalPool
+	workerScratch [][]*ruleScratch
+	parMinWork    int
+	parChunk      int
+
+	// dredChurnFactor weights the non-monotone cost model: DRed runs when
+	// churn * dredChurnFactor < total size of the affected predicates,
+	// recompute otherwise. Tests pin it to 0 (always DRed, unless nothing
+	// is standing) or very high (always recompute) to exercise one path
+	// deterministically.
+	dredChurnFactor int
+
 	// Stats from the last Run or RunIncremental.
 	Stats RunStats
 }
+
+// Evaluation strategies reported in RunStats.Strategy.
+const (
+	// StrategyCold: full re-derivation from the EDB.
+	StrategyCold = "cold"
+	// StrategyNone: a warm run whose delta batch was empty.
+	StrategyNone = "none"
+	// StrategyMonotone: insert-only warm start via seeded semi-naive deltas.
+	StrategyMonotone = "monotone"
+	// StrategyDRed: delete-and-rederive propagation (dred.go).
+	StrategyDRed = "dred"
+	// StrategyRecompute: affected predicates cleared and re-derived (the
+	// fallback for changes reaching an aggregate rule).
+	StrategyRecompute = "recompute"
+)
 
 // RunStats reports evaluation effort for one run.
 type RunStats struct {
 	Iterations   int // total semi-naive iterations across strata
 	FactsDerived int // IDB facts derived (deduplicated)
 	RuleFirings  int // successful head emissions, pre-deduplication
-	// Incremental is true when the run took the warm-start path (retained
+	// Incremental is true when the run took a warm-start path (retained
 	// fact sets, delta-driven recomputation) rather than a cold rebuild.
 	Incremental bool
+	// Strategy names the evaluation path taken (Strategy* constants).
+	Strategy string
+	// Overdeleted and Rederived count DRed's transitively deleted facts and
+	// the subset that survived via an alternative derivation.
+	Overdeleted int
+	Rederived   int
+	// ParallelTasks counts worker-pool tasks executed (0 on the sequential
+	// path).
+	ParallelTasks int
 }
 
 // EDBDelta describes the change to one extensional predicate between runs.
@@ -103,20 +162,48 @@ func NewEngine(prog *Program) (*Engine, error) {
 		dependents:   make(map[string][]string),
 		negatedPreds: make(map[string]bool),
 		aggBodyPreds: make(map[string]bool),
+		rulesFor:     make(map[string][]int),
 		dirty:        make(map[string]bool),
+		parallelism:  1,
+		parMinWork:   defaultParMinWork,
+		parChunk:     defaultParChunk,
+
+		dredChurnFactor: defaultDRedChurnFactor,
 	}
 	e.rulesBy = make([][]int, numStrata)
+	seenPred := make(map[string]bool)
+	addPred := func(p string) {
+		if !seenPred[p] {
+			seenPred[p] = true
+			e.allPreds = append(e.allPreds, p)
+		}
+	}
 	for i, r := range prog.Rules {
 		c, err := compileRule(r)
 		if err != nil {
 			return nil, err
 		}
+		c.idx = i
 		e.compiled = append(e.compiled, c)
 		s := stratumOf[r.Head.Pred]
 		e.rulesBy[s] = append(e.rulesBy[s], i)
+		e.rulesFor[r.Head.Pred] = append(e.rulesFor[r.Head.Pred], i)
+		addPred(r.Head.Pred)
+		for _, l := range r.Body {
+			if l.Kind == LitAtom {
+				addPred(l.Atom.Pred)
+			}
+		}
 	}
 	// Register every probed column mask with its predicate and resolve each
-	// step to its index slot; the dependency graph rides along.
+	// step to its index slot; the dependency graph rides along. The
+	// head-pinned columns of step 0 (DRed rederivation) deliberately get no
+	// eager index: rederivation probes are rare next to the insert/delete
+	// churn on the probed predicates, so maintaining an extra index per rule
+	// on every EDB change would cost far more than the pinned scans save —
+	// the pin values filter the step-0 enumeration instead. Where step 0
+	// already has a constant-column index, the pinned scan narrows to that
+	// bucket for free.
 	for _, c := range e.compiled {
 		for si := range c.steps {
 			m := &c.steps[si]
@@ -207,6 +294,16 @@ func (e *Engine) newSet(pred string) *factSet {
 	return newFactSet(e.prog.Arities[pred], e.masks[pred])
 }
 
+// newSetSized is newSet with the arity forced when the program does not pin
+// it (predicates only ever bound by the caller).
+func (e *Engine) newSetSized(pred string, arity int) *factSet {
+	f := e.newSet(pred)
+	if f.arity == 0 {
+		f.arity = arity
+	}
+	return f
+}
+
 // factsFor returns (creating if needed) the fact set of pred.
 func (e *Engine) factsFor(pred string) *factSet {
 	f, ok := e.facts[pred]
@@ -217,11 +314,22 @@ func (e *Engine) factsFor(pred string) *factSet {
 	return f
 }
 
+// ensureFactSets pre-creates a fact set for every predicate the program
+// mentions. Pool workers read e.facts concurrently during a parallel pass;
+// creating all sets up front keeps those reads free of map writes.
+func (e *Engine) ensureFactSets() {
+	for _, p := range e.allPreds {
+		if _, ok := e.facts[p]; !ok {
+			e.facts[p] = e.newSet(p)
+		}
+	}
+}
+
 // Run evaluates the program against the current EDB from scratch, replacing
 // all derived facts from any previous run. It is the cold path and the
 // correctness oracle for RunIncremental.
 func (e *Engine) Run() error {
-	e.Stats = RunStats{}
+	e.Stats = RunStats{Strategy: StrategyCold}
 	// Invalidate warm state up front: a mid-run error must not leave
 	// half-built fact sets behind a warm flag.
 	e.warm = false
@@ -250,8 +358,9 @@ func (e *Engine) Run() error {
 			return err
 		}
 	}
+	e.ensureFactSets()
 	for s := 0; s < e.numStrata; s++ {
-		if err := e.runStratum(s, e.rulesBy[s], nil, nil); err != nil {
+		if err := e.runStratum(s, e.rulesBy[s], stratumOpts{}); err != nil {
 			return err
 		}
 	}
@@ -264,9 +373,10 @@ func (e *Engine) Run() error {
 // reusing the retained fact sets of the previous run. Predicates untouched by
 // the change keep their facts and indexes; insert-only changes whose affected
 // closure is free of negation and aggregation are propagated by seeding the
-// semi-naive deltas; otherwise exactly the affected predicates are cleared
-// and re-derived. With no previous run (or in Naive mode) it falls back to a
-// cold Run over the updated EDB, so a RunIncremental sequence is always
+// semi-naive deltas; deleting (or negation-affected) changes propagate DRed
+// style; changes reaching an aggregate rule clear and re-derive exactly the
+// affected predicates. With no previous run (or in Naive mode) it falls back
+// to a cold Run over the updated EDB, so a RunIncremental sequence is always
 // equivalent to a cold run over the final EDB state.
 func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 	// Validate the whole batch before touching any state, so a rejected
@@ -330,28 +440,14 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 			hasDelete = true
 		}
 	}
-	rebuilt := make(map[string]bool, len(e.dirty))
 	for pred := range e.dirty {
-		// A wholesale replacement may have removed facts: rebuild the fact
-		// set from the current EDB rows and treat it as a deleting change.
+		// A wholesale replacement may have removed facts: treat it as a
+		// deleting change; the chosen path rebuilds or diffs the fact set.
 		roots = append(roots, pred)
 		hasDelete = true
-		rebuilt[pred] = true
-		f := e.newSet(pred)
-		rows := e.edb[pred]
-		if len(rows) > 0 {
-			f.arity = len(rows[0])
-		}
-		for _, t := range rows {
-			if _, _, err := f.add(t, false); err != nil {
-				return err
-			}
-		}
-		e.facts[pred] = f
 	}
-	clear(e.dirty)
 	if len(roots) == 0 {
-		e.Stats = RunStats{Incremental: true}
+		e.Stats = RunStats{Incremental: true, Strategy: StrategyNone}
 		e.warm = true
 		return nil
 	}
@@ -366,9 +462,9 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 			}
 		}
 	}
-	e.Stats = RunStats{Incremental: true}
 
 	if monotone {
+		e.Stats = RunStats{Incremental: true, Strategy: StrategyMonotone}
 		// Warm start proper: apply inserts to the retained fact sets and
 		// seed the semi-naive deltas with exactly the new tuples. Nothing is
 		// cleared; no existing fact is re-derived.
@@ -396,8 +492,9 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 				}
 			}
 		}
+		e.ensureFactSets()
 		for s := 0; s < e.numStrata; s++ {
-			if err := e.runStratum(s, e.rulesBy[s], carry, carry); err != nil {
+			if err := e.runStratum(s, e.rulesBy[s], stratumOpts{seed: carry, carry: carry}); err != nil {
 				return err
 			}
 		}
@@ -405,10 +502,66 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 		return nil
 	}
 
-	// Non-monotone change: update the changed EDB fact sets in place (insert
-	// before delete, per the EDBDelta contract), then clear and re-derive
-	// exactly the predicates downstream of the change. Unaffected predicates
-	// — typically the bulk of the EDB — are retained with their indexes.
+	// Non-monotone change. Changes reaching an aggregate rule fall back to
+	// clearing and re-deriving the affected closure (aggregates have no
+	// cheap delete rule). Otherwise a cost model picks the propagation:
+	// DRed's overdelete/rederive costs work proportional to the delta's
+	// consequences, which wins when the churn is small next to the standing
+	// fact sets (GC trickle, victim removal); when the batch replaces a
+	// large fraction of the affected predicates anyway (bulk admission
+	// rounds), clearing and re-deriving them is cheaper than over-deleting
+	// nearly every fact one by one.
+	aggAffected := false
+	for p := range affected {
+		if e.aggBodyPreds[p] {
+			aggAffected = true
+			break
+		}
+	}
+	churn := 0
+	for _, d := range changed {
+		churn += len(d.Insert) + len(d.Delete)
+	}
+	for pred := range e.dirty {
+		// Wholesale replacement: bound the symmetric difference by both
+		// versions' sizes.
+		churn += len(e.edb[pred]) + e.FactCount(pred)
+	}
+	affectedSize := 0
+	for p := range affected {
+		affectedSize += e.FactCount(p)
+	}
+	if aggAffected || churn*e.dredChurnFactor >= affectedSize {
+		return e.recomputeAffected(changed, affected)
+	}
+	return e.runDRed(changed)
+}
+
+// recomputeAffected is the aggregate fallback for non-monotone changes:
+// update the changed EDB fact sets in place (insert before delete, per the
+// EDBDelta contract), then clear and re-derive exactly the predicates
+// downstream of the change. Unaffected predicates — typically the bulk of
+// the EDB — are retained with their indexes.
+func (e *Engine) recomputeAffected(changed map[string]EDBDelta, affected map[string]bool) error {
+	e.Stats = RunStats{Incremental: true, Strategy: StrategyRecompute}
+	rebuilt := make(map[string]bool, len(e.dirty))
+	for pred := range e.dirty {
+		// A wholesale replacement may have removed facts: rebuild the fact
+		// set from the current EDB rows.
+		rebuilt[pred] = true
+		f := e.newSet(pred)
+		rows := e.edb[pred]
+		if len(rows) > 0 {
+			f.arity = len(rows[0])
+		}
+		for _, t := range rows {
+			if _, _, err := f.add(t, false); err != nil {
+				return err
+			}
+		}
+		e.facts[pred] = f
+	}
+	clear(e.dirty)
 	for pred, d := range changed {
 		if rebuilt[pred] {
 			continue // already rebuilt from the delta-applied EDB rows
@@ -443,6 +596,7 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 			return err
 		}
 	}
+	e.ensureFactSets()
 	for s := 0; s < e.numStrata; s++ {
 		var idx []int
 		for _, ri := range e.rulesBy[s] {
@@ -450,7 +604,7 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 				idx = append(idx, ri)
 			}
 		}
-		if err := e.runStratum(s, idx, nil, nil); err != nil {
+		if err := e.runStratum(s, idx, stratumOpts{}); err != nil {
 			return err
 		}
 	}
@@ -510,17 +664,46 @@ func (e *Engine) affectedClosure(roots []string) map[string]bool {
 	return out
 }
 
-// runStratum evaluates the given rules of stratum s to fixpoint. With seed ==
-// nil this is the cold mode: every rule is evaluated in full once, then the
-// semi-naive delta loop runs. With a seed, the initial full pass is skipped
-// and the delta loop starts from the seeded tuples (which may belong to lower
-// strata or the EDB — the warm-start path). When carry is non-nil, every
-// newly derived fact is also recorded there, seeding later strata.
-func (e *Engine) runStratum(s int, ruleIdx []int, seed, carry map[string]*factSet) error {
-	if len(ruleIdx) == 0 {
+// enablerPass is a DRed insertion pass driven through a negated literal: the
+// negOcc-th negated atom must match a tuple of negDelta (a net-deleted set of
+// its predicate) in addition to being absent from the current facts, so the
+// pass derives exactly the facts newly enabled by those deletions.
+type enablerPass struct {
+	ri       int
+	negOcc   int
+	negDelta *factSet
+}
+
+// stratumOpts parameterises runStratum. With seed == nil the stratum runs
+// cold: every rule is evaluated in full once, then the semi-naive delta loop
+// runs. With a seed, the initial full pass is skipped and the delta loop
+// starts from the seeded tuples (which may belong to lower strata or the EDB
+// — the warm-start paths). carry, when non-nil, additionally records every
+// newly derived fact, seeding later strata. enablers run before the delta
+// loop (DRed insertion through negation). onAdd, when non-nil, observes every
+// genuinely inserted fact (DRed classifies rederivations vs insertions).
+type stratumOpts struct {
+	seed     map[string]*factSet
+	carry    map[string]*factSet
+	enablers []enablerPass
+	onAdd    func(pred string, t relation.Tuple)
+}
+
+// workItem is one rule evaluation of a semi-naive pass: rule ri with the
+// occ-th positive atom reading delta instead of the full fact set (occ == -1
+// for a full evaluation).
+type workItem struct {
+	ri    int
+	delta *factSet
+	occ   int
+}
+
+// runStratum evaluates the given rules of stratum s to fixpoint.
+func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
+	if len(ruleIdx) == 0 && len(opts.enablers) == 0 {
 		return nil
 	}
-	cold := seed == nil
+	cold := opts.seed == nil
 	if cold {
 		// Aggregate rules first: their bodies live strictly below this
 		// stratum, so a single evaluation is complete, and same-stratum rules
@@ -538,7 +721,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, seed, carry map[string]*factSe
 
 	delta := make(map[string]*factSet)
 	if !cold {
-		for pred, d := range seed {
+		for pred, d := range opts.seed {
 			if d.len() > 0 {
 				delta[pred] = d
 			}
@@ -553,41 +736,80 @@ func (e *Engine) runStratum(s int, ruleIdx []int, seed, carry map[string]*factSe
 		}
 		return d
 	}
-	// emit adds a (possibly scratch-buffered) head tuple to the full fact
-	// set, cloning only on genuine insertion, and records new facts in next
-	// and carry.
+	// addDerived inserts a derived head tuple into the full fact set (clone
+	// on genuine insertion unless owned is set — parallel merge hands over
+	// task-owned clones), records new facts in next and carry, and feeds the
+	// DRed classification hook.
+	addDerived := func(pred string, t relation.Tuple, owned bool, next map[string]*factSet) error {
+		added, stored, err := e.factsFor(pred).add(t, !owned)
+		if err != nil || !added {
+			return err
+		}
+		e.Stats.FactsDerived++
+		if _, _, err := sink(next, pred).add(stored, false); err != nil {
+			return err
+		}
+		if opts.carry != nil {
+			if _, _, err := sink(opts.carry, pred).add(stored, false); err != nil {
+				return err
+			}
+		}
+		if opts.onAdd != nil {
+			opts.onAdd(pred, stored)
+		}
+		return nil
+	}
 	emitInto := func(c *compiledRule, next map[string]*factSet) func(relation.Tuple) error {
 		pred := c.rule.Head.Pred
 		return func(t relation.Tuple) error {
 			e.Stats.RuleFirings++
-			added, stored, err := e.factsFor(pred).add(t, true)
-			if err != nil || !added {
-				return err
-			}
-			e.Stats.FactsDerived++
-			if _, _, err := sink(next, pred).add(stored, false); err != nil {
-				return err
-			}
-			if carry != nil {
-				if _, _, err := sink(carry, pred).add(stored, false); err != nil {
-					return err
-				}
-			}
-			return nil
+			return addDerived(pred, t, false, next)
 		}
+	}
+	// evalPass runs one pass's work items, fanning out to the pool when the
+	// batch is large enough.
+	evalPass := func(items []workItem, next map[string]*factSet) error {
+		if e.pool != nil {
+			done, err := e.runParallel(items, func(pred string, t relation.Tuple) error {
+				return addDerived(pred, t, true, next)
+			})
+			if err != nil || done {
+				return err
+			}
+		}
+		for _, it := range items {
+			c := e.compiled[it.ri]
+			spec := evalSpec{delta: it.delta, deltaOcc: it.occ, negOcc: -1, hi: -1}
+			if err := e.evalRule(c, c.scratch, spec, emitInto(c, next)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	if cold {
+		var items []workItem
 		for _, ri := range ruleIdx {
 			c := e.compiled[ri]
 			if c.hasAgg || c.rule.IsFact() {
 				continue
 			}
-			if err := e.evalRule(c, nil, -1, emitInto(c, delta)); err != nil {
-				return err
-			}
+			items = append(items, workItem{ri: ri, occ: -1})
+		}
+		if err := evalPass(items, delta); err != nil {
+			return err
 		}
 		e.Stats.Iterations++
+	}
+
+	// DRed insertion-through-negation passes: evaluated once, before the
+	// loop; their emissions seed the loop's delta like any other insertion.
+	for _, ep := range opts.enablers {
+		c := e.compiled[ep.ri]
+		spec := evalSpec{deltaOcc: -1, negOcc: ep.negOcc, negDelta: ep.negDelta, negEnable: true, hi: -1}
+		if err := e.evalRule(c, c.scratch, spec, emitInto(c, delta)); err != nil {
+			return err
+		}
 	}
 
 	for {
@@ -602,29 +824,37 @@ func (e *Engine) runStratum(s int, ruleIdx []int, seed, carry map[string]*factSe
 			return nil
 		}
 		next := make(map[string]*factSet)
-		for _, ri := range ruleIdx {
-			c := e.compiled[ri]
-			if c.hasAgg || c.rule.IsFact() {
-				continue
-			}
-			emit := emitInto(c, next)
-			if e.Naive {
-				if err := e.evalRule(c, nil, -1, emit); err != nil {
+		if e.Naive {
+			for _, ri := range ruleIdx {
+				c := e.compiled[ri]
+				if c.hasAgg || c.rule.IsFact() {
+					continue
+				}
+				spec := evalSpec{deltaOcc: -1, negOcc: -1, hi: -1}
+				if err := e.evalRule(c, c.scratch, spec, emitInto(c, next)); err != nil {
 					return err
 				}
-				continue
 			}
+		} else {
 			// One pass per occurrence of a predicate with pending delta,
 			// with that occurrence reading only the delta. A rule with no
 			// delta'd body atom cannot fire again and is skipped implicitly.
-			for occ, pred := range c.atomPreds {
-				d := delta[pred]
-				if d == nil || d.len() == 0 {
+			var items []workItem
+			for _, ri := range ruleIdx {
+				c := e.compiled[ri]
+				if c.hasAgg || c.rule.IsFact() {
 					continue
 				}
-				if err := e.evalRule(c, d, occ, emit); err != nil {
-					return err
+				for occ, pred := range c.atomPreds {
+					d := delta[pred]
+					if d == nil || d.len() == 0 {
+						continue
+					}
+					items = append(items, workItem{ri: ri, delta: d, occ: occ})
 				}
+			}
+			if err := evalPass(items, next); err != nil {
+				return err
 			}
 		}
 		e.Stats.Iterations++
@@ -632,16 +862,47 @@ func (e *Engine) runStratum(s int, ruleIdx []int, seed, carry map[string]*factSe
 	}
 }
 
-// evalRule joins the body steps and emits head tuples into the rule's shared
-// head buffer (emit callbacks must copy what they retain). If deltaOcc >= 0,
-// the positive atom with that occurrence index reads from delta instead of
-// the full fact set.
-func (e *Engine) evalRule(c *compiledRule, delta *factSet, deltaOcc int, emit func(relation.Tuple) error) error {
-	env := c.env
+// evalSpec parameterises one evalRule call.
+type evalSpec struct {
+	// delta substitutes the deltaOcc-th positive atom's fact set (semi-naive
+	// delta pass); deltaOcc == -1 reads all atoms from the full sets.
+	delta    *factSet
+	deltaOcc int
+	// negDelta drives the negOcc-th negated atom from a delta set (DRed):
+	// the atom's key must match a negDelta tuple; with negEnable it must
+	// additionally be absent from the full set (insertion enabled by a
+	// deletion), without it the delta match replaces the absence check
+	// (overdeletion caused by an insertion).
+	negDelta  *factSet
+	negOcc    int
+	negEnable bool
+	// negOld, during an overdeletion pass, maps negated predicates to the
+	// facts inserted into them by the current batch: absence checks ignore
+	// those facts, restoring the pre-change view the invalidated derivations
+	// were built against.
+	negOld map[string]*factSet
+	// lo/hi window the step-0 enumeration (parallel chunking); hi == -1
+	// means the full range.
+	lo, hi int
+	// pinned activates the scratch's head pins (DRed rederivation): every
+	// binding or arithmetic assignment of a pinned variable must equal the
+	// pinned value, pruning the enumeration to derivations of one target
+	// head tuple.
+	pinned bool
+}
+
+// errStopEval aborts an evaluation early through the emit error path; DRed's
+// rederivability probe uses it to stop at the first derivation.
+var errStopEval = errors.New("datalog: stop evaluation")
+
+// evalRule joins the body steps per spec and emits head tuples into the
+// scratch's head buffer (emit callbacks must copy what they retain).
+func (e *Engine) evalRule(c *compiledRule, sc *ruleScratch, spec evalSpec, emit func(relation.Tuple) error) error {
+	env := sc.env
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(c.steps) {
-			t := c.headBuf
+			t := sc.headBuf
 			for i, h := range c.head {
 				if h.isConst {
 					t[i] = h.c
@@ -654,44 +915,95 @@ func (e *Engine) evalRule(c *compiledRule, delta *factSet, deltaOcc int, emit fu
 		m := &c.steps[step]
 		switch m.lit.Kind {
 		case LitAtom:
-			var set *factSet
-			if !m.lit.Negated && m.occIndex == deltaOcc {
-				set = delta
-			} else {
-				set = e.factsFor(m.lit.Atom.Pred)
-			}
-			vals := m.valsBuf
+			vals := sc.vals[step]
+			key := vals[:len(m.lookupCols)]
 			for i, s := range m.lookupSrc {
-				vals[i] = s.value(env)
+				key[i] = s.value(env)
 			}
 			if m.lit.Negated {
-				if len(m.lookupCols) == 0 {
-					if set.len() > 0 {
+				if spec.negOcc >= 0 && m.negOccIndex == spec.negOcc {
+					// DRed delta through negation: the atom must match a
+					// negDelta tuple.
+					found := false
+					if len(m.lookupCols) == 0 {
+						found = spec.negDelta.len() > 0
+					} else {
+						for _, pos := range spec.negDelta.candidates(m.lookupIdx, key) {
+							if matchAt(spec.negDelta.tuples[pos], m.lookupCols, key) {
+								found = true
+								break
+							}
+						}
+					}
+					if !found {
 						return nil
 					}
+					if !spec.negEnable {
+						// Overdeletion mode: the delta match replaces the
+						// absence check (the inserted fact is present now).
+						return rec(step + 1)
+					}
+					// Enabler mode falls through to the absence check below.
+				}
+				set := e.factsFor(m.lit.Atom.Pred)
+				var ignore *factSet
+				if spec.negOld != nil {
+					ignore = spec.negOld[m.lit.Atom.Pred]
+				}
+				if len(m.lookupCols) == 0 {
+					if ignore == nil {
+						if set.len() > 0 {
+							return nil
+						}
+					} else {
+						for _, t := range set.tuples {
+							if !ignore.contains(t) {
+								return nil
+							}
+						}
+					}
 				} else {
-					for _, pos := range set.candidates(m.lookupIdx, vals) {
-						if matchAt(set.tuples[pos], m.lookupCols, vals) {
+					for _, pos := range set.candidates(m.lookupIdx, key) {
+						t := set.tuples[pos]
+						if matchAt(t, m.lookupCols, key) && (ignore == nil || !ignore.contains(t)) {
 							return nil
 						}
 					}
 				}
 				return rec(step + 1)
 			}
-			if len(m.lookupCols) == 0 {
-				for _, t := range set.tuples {
-					ok := true
-					for i, p := range m.bindPos {
-						if m.bindRepeat[i] {
-							if !env[m.bindVar[i]].Equal(t[p]) {
-								ok = false
-								break
-							}
-							continue
+			var set *factSet
+			if m.occIndex == spec.deltaOcc {
+				set = spec.delta
+			} else {
+				set = e.factsFor(m.lit.Atom.Pred)
+			}
+			// bindTuple applies the binding positions of this atom to one
+			// candidate tuple, honouring repeated-variable equality checks
+			// and (during rederivation) the head pins.
+			bindTuple := func(t relation.Tuple) bool {
+				for i, p := range m.bindPos {
+					v := m.bindVar[i]
+					if m.bindRepeat[i] {
+						if !env[v].Equal(t[p]) {
+							return false
 						}
-						env[m.bindVar[i]] = t[p]
+						continue
 					}
-					if ok {
+					if spec.pinned && sc.pinned[v] && !sc.pinVals[v].Equal(t[p]) {
+						return false
+					}
+					env[v] = t[p]
+				}
+				return true
+			}
+			if len(m.lookupCols) == 0 {
+				tuples := set.tuples
+				if step == 0 && spec.hi >= 0 {
+					tuples = tuples[spec.lo:spec.hi]
+				}
+				for _, t := range tuples {
+					if bindTuple(t) {
 						if err := rec(step + 1); err != nil {
 							return err
 						}
@@ -699,23 +1011,16 @@ func (e *Engine) evalRule(c *compiledRule, delta *factSet, deltaOcc int, emit fu
 				}
 				return nil
 			}
-			for _, pos := range set.candidates(m.lookupIdx, vals) {
+			cands := set.candidates(m.lookupIdx, key)
+			if step == 0 && spec.hi >= 0 {
+				cands = cands[spec.lo:spec.hi]
+			}
+			for _, pos := range cands {
 				t := set.tuples[pos]
-				if !matchAt(t, m.lookupCols, vals) {
+				if !matchAt(t, m.lookupCols, key) {
 					continue
 				}
-				ok := true
-				for i, p := range m.bindPos {
-					if m.bindRepeat[i] {
-						if !env[m.bindVar[i]].Equal(t[p]) {
-							ok = false
-							break
-						}
-						continue
-					}
-					env[m.bindVar[i]] = t[p]
-				}
-				if ok {
+				if bindTuple(t) {
 					if err := rec(step + 1); err != nil {
 						return err
 					}
@@ -787,6 +1092,9 @@ func (e *Engine) evalRule(c *compiledRule, delta *factSet, deltaOcc int, emit fu
 				}
 				return rec(step + 1)
 			}
+			if spec.pinned && sc.pinned[m.outVar] && !sc.pinVals[m.outVar].Equal(out) {
+				return nil
+			}
 			env[m.outVar] = out
 			return rec(step + 1)
 		}
@@ -797,34 +1105,42 @@ func (e *Engine) evalRule(c *compiledRule, delta *factSet, deltaOcc int, emit fu
 // evalAggregate evaluates an aggregate rule: the body is enumerated once
 // (its predicates are in strictly lower strata), bindings are grouped by the
 // non-aggregate head slots, and each aggregate ranges over the distinct
-// values of its variable within the group.
+// values of its variable within the group. Groups are keyed by uint64 tuple
+// hashes with equality verification on collisions (the same machinery as
+// factSet and relation.TupleSet) — no key strings are ever built.
 func (e *Engine) evalAggregate(c *compiledRule) error {
-	type group struct {
+	type aggGroup struct {
 		key  relation.Tuple
-		seen []map[string]relation.Value // per aggregate slot: distinct values
+		seen []*relation.ValueSet // per aggregate slot: distinct values
 	}
-	groups := make(map[string]*group)
-	var order []string
+	buckets := make(map[uint64][]*aggGroup)
+	var order []*aggGroup
+	keyBuf := make(relation.Tuple, len(c.groupIdx))
 
-	err := e.evalRule(c, nil, -1, func(raw relation.Tuple) error {
+	spec := evalSpec{deltaOcc: -1, negOcc: -1, hi: -1}
+	err := e.evalRule(c, c.scratch, spec, func(raw relation.Tuple) error {
 		e.Stats.RuleFirings++
-		key := make(relation.Tuple, len(c.groupIdx))
 		for i, gi := range c.groupIdx {
-			key[i] = raw[gi]
+			keyBuf[i] = raw[gi]
 		}
-		k := key.Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{key: key, seen: make([]map[string]relation.Value, len(c.aggIdx))}
-			for i := range g.seen {
-				g.seen[i] = make(map[string]relation.Value)
+		h := keyBuf.Hash()
+		var g *aggGroup
+		for _, cand := range buckets[h] {
+			if cand.key.Equal(keyBuf) {
+				g = cand
+				break
 			}
-			groups[k] = g
-			order = append(order, k)
+		}
+		if g == nil {
+			g = &aggGroup{key: keyBuf.Clone(), seen: make([]*relation.ValueSet, len(c.aggIdx))}
+			for i := range g.seen {
+				g.seen[i] = relation.NewValueSet(4)
+			}
+			buckets[h] = append(buckets[h], g)
+			order = append(order, g)
 		}
 		for i, ai := range c.aggIdx {
-			v := raw[ai]
-			g.seen[i][v.Encode()] = v
+			g.seen[i].Add(raw[ai])
 		}
 		return nil
 	})
@@ -833,18 +1149,13 @@ func (e *Engine) evalAggregate(c *compiledRule) error {
 	}
 
 	out := e.factsFor(c.rule.Head.Pred)
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range order {
 		t := make(relation.Tuple, len(c.head))
 		for i, gi := range c.groupIdx {
 			t[gi] = g.key[i]
 		}
 		for i, ai := range c.aggIdx {
-			vals := make([]relation.Value, 0, len(g.seen[i]))
-			for _, v := range g.seen[i] {
-				vals = append(vals, v)
-			}
-			sort.Slice(vals, func(a, b int) bool { return vals[a].Compare(vals[b]) < 0 })
+			vals := g.seen[i].Values()
 			switch c.head[ai].agg {
 			case AggCount:
 				t[ai] = relation.Int(int64(len(vals)))
@@ -860,12 +1171,24 @@ func (e *Engine) evalAggregate(c *compiledRule) error {
 				if len(vals) == 0 {
 					return fmt.Errorf("datalog: min over empty group in %s", c.rule)
 				}
-				t[ai] = vals[0]
+				min := vals[0]
+				for _, v := range vals[1:] {
+					if v.Compare(min) < 0 {
+						min = v
+					}
+				}
+				t[ai] = min
 			case AggMax:
 				if len(vals) == 0 {
 					return fmt.Errorf("datalog: max over empty group in %s", c.rule)
 				}
-				t[ai] = vals[len(vals)-1]
+				max := vals[0]
+				for _, v := range vals[1:] {
+					if v.Compare(max) > 0 {
+						max = v
+					}
+				}
+				t[ai] = max
 			}
 		}
 		added, _, err := out.add(t, false)

@@ -267,7 +267,7 @@ func TestRunIncrementalRejectedBatchLeavesStateUntouched(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := e.RunIncremental(map[string]EDBDelta{
-		"q": {Insert: intTuples([]int64{2})},             // valid
+		"q": {Insert: intTuples([]int64{2})},                                // valid
 		"r": {Insert: []relation.Tuple{{relation.Int(2), relation.Int(9)}}}, // arity mismatch
 	}); err == nil {
 		t.Fatal("bad batch accepted")

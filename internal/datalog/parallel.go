@@ -1,0 +1,242 @@
+package datalog
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Parallel evaluation: large semi-naive passes are partitioned into tasks —
+// one per (rule, delta occurrence, step-0 range) — and executed on a
+// persistent worker pool. Each worker owns private ruleScratch buffers (env,
+// head, lookup keys) and each task owns a private emit buffer (a
+// membership-only factSet, so duplicate derivations within a task are
+// deduplicated without locking). Workers only read the engine's fact sets;
+// the buffers are merged into the fact sets on the calling goroutine in
+// deterministic task order, so a parallel pass inserts exactly the facts the
+// sequential pass would (the semi-naive fixpoint is insensitive to whether
+// same-pass derivations become visible within the pass or at the next
+// iteration).
+
+const (
+	// defaultParMinWork is the minimum estimated outer-loop cardinality of a
+	// pass before it is worth fanning out to the pool.
+	defaultParMinWork = 2048
+	// defaultParChunk is the minimum step-0 range per task.
+	defaultParChunk = 256
+)
+
+// SetParallelism sets the worker count for subsequent runs. n <= 0 selects
+// GOMAXPROCS; n == 1 disables the pool (the default). Must not be called
+// while a run is in progress. The pool's goroutines persist across runs and
+// are torn down when the engine becomes unreachable.
+func (e *Engine) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == e.parallelism {
+		return
+	}
+	if e.pool != nil {
+		e.pool.shutdown()
+		e.pool = nil
+		e.workerScratch = nil
+	}
+	e.parallelism = n
+	if n > 1 {
+		e.pool = newEvalPool(n)
+		e.workerScratch = make([][]*ruleScratch, n)
+		for i := range e.workerScratch {
+			e.workerScratch[i] = make([]*ruleScratch, len(e.compiled))
+		}
+		// The pool goroutines must not outlive the engine: close them when
+		// the engine is garbage-collected (engines have no Close).
+		runtime.AddCleanup(e, func(p *evalPool) { p.shutdown() }, e.pool)
+	}
+}
+
+// Parallelism returns the configured worker count.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// scratchFor returns worker's private scratch for rule c, creating it on
+// first use (each worker only ever touches its own row).
+func (e *Engine) scratchFor(worker int, c *compiledRule) *ruleScratch {
+	row := e.workerScratch[worker]
+	if row[c.idx] == nil {
+		row[c.idx] = newRuleScratch(c)
+	}
+	return row[c.idx]
+}
+
+// evalPool is a persistent set of worker goroutines executing evaluation
+// tasks. Workers are spawned lazily on the first batch and exit when the
+// owning engine is collected (see SetParallelism).
+type evalPool struct {
+	workers  int
+	jobs     chan poolJob
+	stop     chan struct{}
+	once     sync.Once
+	stopOnce sync.Once
+}
+
+type poolJob struct {
+	run func(worker int)
+	wg  *sync.WaitGroup
+}
+
+func newEvalPool(n int) *evalPool {
+	return &evalPool{
+		workers: n,
+		jobs:    make(chan poolJob, 4*n),
+		stop:    make(chan struct{}),
+	}
+}
+
+func (p *evalPool) start() {
+	p.once.Do(func() {
+		for i := 0; i < p.workers; i++ {
+			go p.worker(i)
+		}
+	})
+}
+
+func (p *evalPool) worker(id int) {
+	for {
+		select {
+		case j := <-p.jobs:
+			j.run(id)
+			j.wg.Done()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// shutdown stops the workers; safe to call more than once (an explicit
+// SetParallelism teardown can precede the engine's GC cleanup).
+func (p *evalPool) shutdown() { p.stopOnce.Do(func() { close(p.stop) }) }
+
+// run executes n tasks on the pool and blocks until all complete.
+func (p *evalPool) run(n int, fn func(task, worker int)) {
+	p.start()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.jobs <- poolJob{run: func(w int) { fn(i, w) }, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// parTask is one unit of parallel work: a workItem restricted to a step-0
+// range, with its private emit buffer.
+type parTask struct {
+	item    workItem
+	lo, hi  int // hi == -1: full range
+	out     *factSet
+	firings int
+	err     error
+}
+
+// outerSize estimates the step-0 enumeration cardinality of a work item and
+// whether that enumeration can be range-partitioned. Step 0 can only look up
+// constant columns (nothing is bound before it), so the estimate matches the
+// enumeration evalRule will perform.
+func (e *Engine) outerSize(it workItem) (int, bool) {
+	c := e.compiled[it.ri]
+	if len(c.steps) == 0 {
+		return 1, false
+	}
+	m := &c.steps[0]
+	if m.lit.Kind != LitAtom || m.lit.Negated {
+		return 1, false
+	}
+	var set *factSet
+	if m.occIndex == it.occ {
+		set = it.delta
+	} else {
+		set = e.factsFor(m.lit.Atom.Pred)
+	}
+	if len(m.lookupCols) == 0 {
+		return set.len(), true
+	}
+	key := c.scratch.vals[0][:len(m.lookupCols)]
+	for i, s := range m.lookupSrc {
+		if !s.isConst {
+			return set.len(), false // unreachable: step 0 binds nothing earlier
+		}
+		key[i] = s.c
+	}
+	return len(set.candidates(m.lookupIdx, key)), true
+}
+
+// runParallel partitions the pass's work items into tasks, evaluates them on
+// the pool, and merges the emit buffers in task order. It returns done ==
+// false (and does nothing) when the estimated work is below the cutoff — the
+// caller then runs the sequential path.
+func (e *Engine) runParallel(items []workItem, merge func(pred string, t relation.Tuple) error) (bool, error) {
+	if len(items) == 0 {
+		return true, nil
+	}
+	sizes := make([]int, len(items))
+	splittable := make([]bool, len(items))
+	total := 0
+	for i, it := range items {
+		sizes[i], splittable[i] = e.outerSize(it)
+		total += sizes[i]
+	}
+	if total < e.parMinWork {
+		return false, nil
+	}
+	var tasks []parTask
+	for i, it := range items {
+		c := e.compiled[it.ri]
+		arity := len(c.head)
+		n := sizes[i]
+		if !splittable[i] || n <= e.parChunk {
+			tasks = append(tasks, parTask{item: it, lo: 0, hi: -1, out: newFactSet(arity, nil)})
+			continue
+		}
+		chunks := (n + e.parChunk - 1) / e.parChunk
+		if chunks > e.parallelism {
+			chunks = e.parallelism
+		}
+		for k := 0; k < chunks; k++ {
+			lo := k * n / chunks
+			hi := (k + 1) * n / chunks
+			if lo == hi {
+				continue
+			}
+			tasks = append(tasks, parTask{item: it, lo: lo, hi: hi, out: newFactSet(arity, nil)})
+		}
+	}
+	if len(tasks) <= 1 {
+		return false, nil
+	}
+	e.pool.run(len(tasks), func(ti, worker int) {
+		t := &tasks[ti]
+		c := e.compiled[t.item.ri]
+		sc := e.scratchFor(worker, c)
+		spec := evalSpec{delta: t.item.delta, deltaOcc: t.item.occ, negOcc: -1, lo: t.lo, hi: t.hi}
+		t.err = e.evalRule(c, sc, spec, func(tt relation.Tuple) error {
+			t.firings++
+			_, _, err := t.out.add(tt, true)
+			return err
+		})
+	})
+	e.Stats.ParallelTasks += len(tasks)
+	for ti := range tasks {
+		t := &tasks[ti]
+		if t.err != nil {
+			return true, t.err
+		}
+		e.Stats.RuleFirings += t.firings
+		pred := e.compiled[t.item.ri].rule.Head.Pred
+		for _, tt := range t.out.tuples {
+			if err := merge(pred, tt); err != nil {
+				return true, err
+			}
+		}
+	}
+	return true, nil
+}

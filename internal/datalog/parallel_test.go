@@ -1,0 +1,340 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// forceParallel drops the fan-out cutoffs so even tiny passes exercise the
+// pool, chunking and merge machinery.
+func forceParallel(e *Engine, workers int) {
+	e.SetParallelism(workers)
+	e.parMinWork = 1
+	e.parChunk = 1
+}
+
+// parallelPrograms is the pool of program shapes the equivalence properties
+// randomise over: recursion, multi-stratum negation (the scheduling protocol
+// shape), repeated variables, comparisons and arithmetic.
+var parallelPrograms = []string{
+	`
+	path(X, Y) :- edge(X, Y).
+	path(X, Z) :- path(X, Y), edge(Y, Z).
+	`,
+	`
+	finished(TA) :- history(TA, "c", _).
+	lock(OBJ, TA) :- history(TA, "w", OBJ), not finished(TA).
+	blocked(TA) :- request(TA, _, OBJ), lock(OBJ, TA2), TA2 != TA.
+	qualified(TA, OP, OBJ) :- request(TA, OP, OBJ), not blocked(TA).
+	`,
+	`
+	sym(X, Y) :- edge(X, Y).
+	sym(Y, X) :- edge(X, Y).
+	selfloop(X) :- edge(X, X).
+	far(X, Z) :- sym(X, Y), sym(Y, Z), X < Z, not selfloop(X).
+	sum(X, Z, S) :- far(X, Z), S = X + Z.
+	`,
+}
+
+// predsOf lists every predicate a program mentions.
+func predsOf(prog *Program) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, r := range prog.Rules {
+		add(r.Head.Pred)
+		for _, l := range r.Body {
+			if l.Kind == LitAtom {
+				add(l.Atom.Pred)
+			}
+		}
+	}
+	return out
+}
+
+// edbPredsOf lists the program's extensional predicates.
+func edbPredsOf(prog *Program) []string {
+	idb := prog.IDB()
+	var out []string
+	for _, p := range predsOf(prog) {
+		if !idb[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randEDBTuple builds a random tuple for pred matching the program's arity,
+// over a small value domain so joins, negation hits and deletions of present
+// tuples all occur.
+func randEDBTuple(rng *rand.Rand, prog *Program, pred string) relation.Tuple {
+	ar := prog.Arities[pred]
+	t := make(relation.Tuple, ar)
+	for i := range t {
+		if rng.Intn(4) == 0 {
+			t[i] = relation.String([]string{"c", "w", "r"}[rng.Intn(3)])
+		} else {
+			t[i] = relation.Int(int64(rng.Intn(5)))
+		}
+	}
+	return t
+}
+
+// assertEnginesAgree compares every predicate of the two engines as sets.
+func assertEnginesAgree(t *testing.T, got, want *Engine, prog *Program, step string) {
+	t.Helper()
+	for _, p := range predsOf(prog) {
+		g := got.Facts(p).Distinct()
+		w := want.Facts(p).Distinct()
+		if !g.Equal(w) {
+			t.Fatalf("%s: predicate %s diverged\nparallel:\n%s\nsequential:\n%s", step, p, g, w)
+		}
+	}
+}
+
+// TestParallelRunMatchesSequential: over random programs and EDBs, a
+// parallel cold Run derives exactly the fact sets of the sequential engine,
+// for several worker counts.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	for pi, src := range parallelPrograms {
+		prog := MustParse(src)
+		for _, workers := range []int{2, 3, 8} {
+			for seed := int64(0); seed < 6; seed++ {
+				rng := rand.New(rand.NewSource(seed*31 + int64(pi)))
+				seq, err := NewEngine(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := NewEngine(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				forceParallel(par, workers)
+				for _, pred := range edbPredsOf(prog) {
+					var rows []relation.Tuple
+					for k := 0; k < 5+rng.Intn(40); k++ {
+						rows = append(rows, randEDBTuple(rng, prog, pred))
+					}
+					if err := seq.SetEDB(pred, rows); err != nil {
+						t.Fatal(err)
+					}
+					if err := par.SetEDB(pred, rows); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := seq.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if par.Stats.ParallelTasks == 0 {
+					t.Fatalf("program %d workers %d seed %d: parallel path not exercised", pi, workers, seed)
+				}
+				assertEnginesAgree(t, par, seq, prog,
+					fmt.Sprintf("program %d workers %d seed %d", pi, workers, seed))
+			}
+		}
+	}
+}
+
+// TestParallelRunIncrementalMatchesSequential: over random insert/delete
+// batches, a parallel warm engine tracks a sequential warm engine and both
+// remain fact-set-equal after every round (the warm engines take the
+// monotone, DRed or recompute path as the batch dictates).
+func TestParallelRunIncrementalMatchesSequential(t *testing.T) {
+	for pi, src := range parallelPrograms {
+		prog := MustParse(src)
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*17 + int64(pi)))
+			seq, err := NewEngine(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := NewEngine(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forceParallel(par, 4)
+			edb := map[string][]relation.Tuple{}
+			for _, pred := range edbPredsOf(prog) {
+				edb[pred] = nil
+			}
+			if err := seq.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 15; step++ {
+				changed := make(map[string]EDBDelta)
+				for pred := range edb {
+					var d EDBDelta
+					for _, row := range edb[pred] {
+						if rng.Intn(4) == 0 {
+							d.Delete = append(d.Delete, row)
+						}
+					}
+					for k := 0; k < rng.Intn(4); k++ {
+						d.Insert = append(d.Insert, randEDBTuple(rng, prog, pred))
+					}
+					if len(d.Insert) > 0 || len(d.Delete) > 0 {
+						changed[pred] = d
+					}
+				}
+				if err := seq.RunIncremental(changed); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.RunIncremental(changed); err != nil {
+					t.Fatal(err)
+				}
+				for pred, d := range changed {
+					edb[pred] = applyDelta(edb[pred], d, nil)
+				}
+				assertEnginesAgree(t, par, seq, prog,
+					fmt.Sprintf("program %d seed %d step %d", pi, seed, step))
+				checkFactSetConsistency(t, par)
+			}
+		}
+	}
+}
+
+// TestDRedForcedMatchesColdOracle pins the cost model to DRed so every
+// non-monotone batch takes the overdelete/rederive path, and checks fact-set
+// equality against a cold oracle over random delete-heavy batches on the
+// SS2PL-shaped program (negation across three strata).
+func TestDRedForcedMatchesColdOracle(t *testing.T) {
+	prog := MustParse(parallelPrograms[1])
+	preds := predsOf(prog)
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewEngine(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.dredChurnFactor = 0 // churn never outweighs: always DRed (unless nothing is affected)
+		edb := map[string][]relation.Tuple{"request": nil, "history": nil}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		sawDRed := false
+		for step := 0; step < 20; step++ {
+			changed := make(map[string]EDBDelta)
+			for pred := range edb {
+				var d EDBDelta
+				for _, row := range edb[pred] {
+					if rng.Intn(3) == 0 {
+						d.Delete = append(d.Delete, row)
+					}
+				}
+				for k := 0; k < rng.Intn(4); k++ {
+					d.Insert = append(d.Insert, randEDBTuple(rng, prog, pred))
+				}
+				if len(d.Insert) > 0 || len(d.Delete) > 0 {
+					changed[pred] = d
+				}
+			}
+			if err := e.RunIncremental(changed); err != nil {
+				t.Fatal(err)
+			}
+			if e.Stats.Strategy == StrategyDRed {
+				sawDRed = true
+			}
+			for pred, d := range changed {
+				edb[pred] = applyDelta(edb[pred], d, nil)
+			}
+			checkAgainstOracle(t, e, prog, edb, preds, fmt.Sprintf("seed %d step %d", seed, step))
+			checkFactSetConsistency(t, e)
+		}
+		if !sawDRed {
+			t.Fatalf("seed %d: DRed path never taken", seed)
+		}
+	}
+}
+
+// TestDRedStatsAndStrategySelection: a small-churn delete against large
+// standing sets takes DRed and reports overdeletions; replacing most of the
+// EDB in one batch takes the recompute fallback.
+func TestDRedStatsAndStrategySelection(t *testing.T) {
+	prog := MustParse(parallelPrograms[1])
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []relation.Tuple
+	for i := int64(0); i < 200; i++ {
+		hist = append(hist, relation.Tuple{relation.Int(i), relation.String("w"), relation.Int(i % 50)})
+	}
+	if err := e.SetEDB("history", hist); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("request", []relation.Tuple{
+		{relation.Int(500), relation.String("r"), relation.Int(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Trickle delete: one history row out of 200.
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"history": {Delete: hist[:1]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Strategy != StrategyDRed {
+		t.Fatalf("trickle delete took %s, want %s", e.Stats.Strategy, StrategyDRed)
+	}
+	if e.Stats.Overdeleted == 0 {
+		t.Fatal("DRed reported no overdeletions for a lock-holding history row")
+	}
+	// Bulk replacement: delete half the history at once.
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"history": {Delete: hist[1:150]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Strategy != StrategyRecompute {
+		t.Fatalf("bulk delete took %s, want %s", e.Stats.Strategy, StrategyRecompute)
+	}
+}
+
+// TestSetParallelismReconfigure: switching worker counts between runs keeps
+// results identical and tears the old pool down.
+func TestSetParallelismReconfigure(t *testing.T) {
+	prog := MustParse(parallelPrograms[0])
+	var edges []relation.Tuple
+	for i := int64(0); i < 30; i++ {
+		edges = append(edges, relation.Tuple{relation.Int(i), relation.Int((i + 1) % 30)})
+	}
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("edge", edges); err != nil {
+		t.Fatal(err)
+	}
+	want := 30 * 30 // full cycle closure
+	for _, workers := range []int{1, 4, 2, 1, 3} {
+		e.SetParallelism(workers)
+		e.parMinWork = 1
+		e.parChunk = 1
+		if err := e.SetEDB("edge", edges); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Facts("path").Len(); got != want {
+			t.Fatalf("workers=%d: path has %d facts, want %d", workers, got, want)
+		}
+	}
+}

@@ -246,6 +246,11 @@ func (p *DatalogProtocol) Name() string { return p.name }
 // EngineStats exposes the evaluation statistics of the last Qualify call.
 func (p *DatalogProtocol) EngineStats() datalog.RunStats { return p.engine.Stats }
 
+// SetParallelism implements Parallelizable: large evaluation passes of the
+// underlying engine fan out across n workers (n <= 0 selects GOMAXPROCS,
+// 1 stays single-threaded). Must not be called concurrently with Qualify.
+func (p *DatalogProtocol) SetParallelism(n int) { p.engine.SetParallelism(n) }
+
 // SetAux binds an auxiliary EDB relation (e.g. objclass(obj, class) for
 // consistency rationing). It persists across Qualify calls until replaced.
 func (p *DatalogProtocol) SetAux(pred string, rows []relation.Tuple) error {

@@ -60,6 +60,16 @@ type IncrementalProtocol interface {
 	QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error)
 }
 
+// Parallelizable is implemented by protocols whose qualification query can
+// evaluate on multiple cores. The scheduler forwards its configured
+// parallelism; protocols without multi-core support simply don't implement
+// the interface.
+type Parallelizable interface {
+	// SetParallelism sets the worker count for subsequent qualifications
+	// (n <= 0 selects GOMAXPROCS). Not safe concurrently with Qualify.
+	SetParallelism(n int)
+}
+
 // ByID orders requests by global arrival number, the default execution order
 // (Listing 1's ORDER BY id).
 func ByID(rs []request.Request) {

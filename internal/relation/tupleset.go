@@ -40,6 +40,50 @@ func (s *TupleSet) Contains(t Tuple) bool {
 // Len returns the number of distinct tuples added.
 func (s *TupleSet) Len() int { return s.n }
 
+// ValueSet is the single-value sibling of TupleSet: a set of Values keyed by
+// Value.Hash with equality verification on collisions, preserving insertion
+// order. Aggregate grouping uses it to collect the distinct values of each
+// aggregate slot without encoding them to strings.
+type ValueSet struct {
+	buckets map[uint64][]Value
+	vals    []Value
+}
+
+// NewValueSet creates a set sized for roughly n values.
+func NewValueSet(n int) *ValueSet {
+	return &ValueSet{buckets: make(map[uint64][]Value, n)}
+}
+
+// Add inserts v, reporting whether it was absent.
+func (s *ValueSet) Add(v Value) bool {
+	h := v.Hash()
+	for _, u := range s.buckets[h] {
+		if u.Equal(v) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], v)
+	s.vals = append(s.vals, v)
+	return true
+}
+
+// Contains reports membership.
+func (s *ValueSet) Contains(v Value) bool {
+	for _, u := range s.buckets[v.Hash()] {
+		if u.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct values added.
+func (s *ValueSet) Len() int { return len(s.vals) }
+
+// Values returns the distinct values in insertion order. The slice is owned
+// by the set; callers must not mutate it.
+func (s *ValueSet) Values() []Value { return s.vals }
+
 // tupleCounter is a multiset of tuples keyed by hash, for bag comparisons.
 type tupleCounter struct {
 	buckets map[uint64][]tupleCount

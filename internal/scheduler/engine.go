@@ -52,6 +52,11 @@ type Config struct {
 	// underlying DBMS): the protocol decides *which* requests are safe, the
 	// cap decides *how many* reach the server at once.
 	MaxBatch int
+	// Parallelism is forwarded to the protocol when it implements
+	// protocol.Parallelizable: large qualification passes then evaluate on
+	// that many cores (< 0 selects GOMAXPROCS, 0 leaves the protocol's
+	// default, 1 forces single-threaded).
+	Parallelism int
 }
 
 // Executed describes one executed request with its server result.
@@ -95,6 +100,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Mode == Scheduling && cfg.Protocol == nil {
 		return nil, fmt.Errorf("scheduler: scheduling mode needs a protocol")
+	}
+	if cfg.Parallelism != 0 {
+		if pp, ok := cfg.Protocol.(protocol.Parallelizable); ok {
+			pp.SetParallelism(cfg.Parallelism) // < 0 selects GOMAXPROCS
+		}
 	}
 	return &Engine{cfg: cfg, hist: history.New(cfg.KeepLog), nextID: 1}, nil
 }
