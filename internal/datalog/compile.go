@@ -114,6 +114,25 @@ type ruleScratch struct {
 	pinVals []relation.Value
 }
 
+// deltaPasses appends one work item per positive occurrence of this rule
+// whose predicate has a pending non-empty delta, with that occurrence reading
+// the delta and the remaining fields taken from base (the per-occurrence pass
+// schedule of semi-naive and DRed evaluation: base.oldSets, when set, makes
+// occurrences after the delta read the old view — the delta×delta/delta×old
+// join expansion).
+func (c *compiledRule) deltaPasses(items []workItem, deltas map[string]*factSet, base evalSpec) []workItem {
+	for occ, pred := range c.atomPreds {
+		d := deltas[pred]
+		if d == nil || d.len() == 0 {
+			continue
+		}
+		s := base
+		s.delta, s.deltaOcc = d, occ
+		items = append(items, workItem{ri: c.idx, spec: s})
+	}
+	return items
+}
+
 // newRuleScratch allocates an evaluation scratch for one compiled rule.
 func newRuleScratch(c *compiledRule) *ruleScratch {
 	sc := &ruleScratch{

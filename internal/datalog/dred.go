@@ -1,13 +1,124 @@
 package datalog
 
-import "repro/internal/relation"
+import (
+	"sort"
 
-// defaultDRedChurnFactor is the default weight of the churn-vs-affected-size
-// cost model in RunIncremental (see Engine.dredChurnFactor). Chosen so that
-// trickle rounds (scheduler GC, victim removal — churn a few percent of the
-// standing sets) take DRed while bulk-replacement rounds stay on the cheaper
+	"repro/internal/relation"
+)
+
+// defaultDRedChurnFactor is the default weight of the static churn-vs-
+// affected-size rule (see chooseDRed). Chosen so that trickle rounds
+// (scheduler GC, victim removal — churn a few percent of the standing sets)
+// take DRed while bulk-replacement rounds stay on the cheaper
 // clear-and-recompute path.
 const defaultDRedChurnFactor = 4
+
+// Cost model selection (Engine.costModel): adaptive prediction from observed
+// per-strategy round times, the static churn rule, or a pinned path (tests
+// and ablations force one strategy deterministically).
+const (
+	costAdaptive = iota
+	costStatic
+	costForceDRed
+	costForceRecompute
+)
+
+// costEWMAAlpha weights a new observation into the per-strategy cost EWMAs:
+// high enough to self-tune within a few rounds of a workload shift, low
+// enough to ride out scheduler jitter. costClamp bounds a single
+// observation's influence (a GC pause or scheduler stall during one round
+// must not flip the model in one step), and costDecayAlpha pulls the
+// not-chosen strategy's estimate back toward the static-rule-consistent
+// value each round — the re-exploration escape hatch: a once-inflated
+// estimate decays until its strategy is chosen and re-measured for real.
+const (
+	costEWMAAlpha  = 0.25
+	costClamp      = 8.0
+	costDecayAlpha = 1.0 / 16
+)
+
+// strategyCost is an exponentially weighted moving average of one strategy's
+// observed cost per unit of work (churned tuples for DRed, standing affected
+// facts for recompute).
+type strategyCost struct {
+	perUnit float64
+	samples int
+}
+
+// observe folds one measured round (ns over units of work) into the average,
+// clamping outliers to costClamp times the running estimate. Zero-work
+// rounds are not observations: dividing a round's fixed overhead by a
+// floored unit count would seed the per-unit estimate orders of magnitude
+// too high.
+func (c *strategyCost) observe(ns float64, units int) {
+	if units <= 0 {
+		return
+	}
+	v := ns / float64(units)
+	if c.samples > 0 && c.perUnit > 0 {
+		if v > c.perUnit*costClamp {
+			v = c.perUnit * costClamp
+		} else if v < c.perUnit/costClamp {
+			v = c.perUnit / costClamp
+		}
+	}
+	if c.samples == 0 {
+		c.perUnit = v
+	} else {
+		c.perUnit += (v - c.perUnit) * costEWMAAlpha
+	}
+	c.samples++
+}
+
+// decayToward relaxes a stale estimate toward target (the value the static
+// rule would imply from the other strategy's fresh measurement). Without
+// this, one inflated sample could lock the model out of a strategy forever:
+// the losing side is never re-run, so its estimate would never correct.
+func (c *strategyCost) decayToward(target float64) {
+	if c.samples == 0 || target <= 0 {
+		return
+	}
+	c.perUnit += (target - c.perUnit) * costDecayAlpha
+}
+
+// chooseDRed decides whether a non-monotone change propagates DRed-style or
+// recomputes the affected closure. The adaptive model predicts each
+// strategy's round time as its observed per-unit cost times this round's
+// work; a strategy with no observations yet borrows the other side's cost
+// scaled by the static churn factor, so the decision degenerates to the
+// static rule until real measurements exist and stays consistent with it
+// under one-sided data.
+func (e *Engine) chooseDRed(churn, affectedSize int) bool {
+	switch e.costModel {
+	case costForceDRed:
+		// Nothing standing means nothing to propagate into: recompute is a
+		// trivial reset (mirrors the static rule at factor 0).
+		return affectedSize > 0
+	case costForceRecompute:
+		return false
+	}
+	staticChoice := churn*e.dredChurnFactor < affectedSize
+	if e.costModel == costStatic {
+		return staticChoice
+	}
+	if affectedSize == 0 {
+		return false
+	}
+	dredPer, recomputePer := e.dredCost.perUnit, e.recomputeCost.perUnit
+	factor := float64(e.dredChurnFactor)
+	if factor <= 0 {
+		factor = 1
+	}
+	switch {
+	case e.dredCost.samples == 0 && e.recomputeCost.samples == 0:
+		return staticChoice
+	case e.dredCost.samples == 0:
+		dredPer = recomputePer * factor
+	case e.recomputeCost.samples == 0:
+		recomputePer = dredPer / factor
+	}
+	return dredPer*float64(churn) < recomputePer*float64(affectedSize)
+}
 
 // DRed-style delete propagation (Gupta, Mumick & Subrahmanian): a
 // non-monotone EDB change is propagated stratum by stratum as small
@@ -17,16 +128,19 @@ const defaultDRedChurnFactor = 4
 //  1. Overdelete — a semi-naive fixpoint over deletion deltas computes every
 //     stored fact whose derivations might have used a deleted fact (driven
 //     through positive atoms) or a newly inserted fact under negation
-//     (driven through negated atoms). Joins run against the pre-deletion
-//     state: net-deleted lower-stratum facts are temporarily re-inserted for
-//     the duration of the fixpoint, which makes the estimate a sound
-//     over-approximation (anything extra is re-derived in step 3).
+//     (driven through negated atoms). Multi-delta derivations are found by
+//     the delta-join expansion: in the pass driven through one occurrence,
+//     occurrences after it additionally read the net-deleted facts of their
+//     predicate (evalSpec.oldSets — the delta×delta/delta×old join passes),
+//     so no deleted fact is ever restored into the indexed fact sets.
 //  2. The over-deleted facts are physically removed.
 //  3. Rederive + insert — each over-deleted fact is probed for an
 //     alternative derivation with its head variables pinned (a goal-directed
 //     evaluation that stops at the first proof; the pins filter each
 //     binding step, deliberately without a dedicated index — see the mask
-//     registration note in NewEngine). Survivors are re-inserted and then
+//     registration note in NewEngine). Probes run against the stable
+//     post-removal state with insertions deferred, so large probe batches
+//     fan out across the worker pool. Survivors are re-inserted and then
 //     a standard seeded semi-naive insert pass runs, fed by re-derived
 //     facts, net insertions from below, and "enabler" passes that derive the
 //     facts newly enabled by deletions under negation.
@@ -201,30 +315,24 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 		// Goal-directed rederivation: over-deleted facts that still have a
 		// proof from the remaining facts are re-inserted and seed the insert
 		// pass (facts whose proof depends on other re-derived facts are
-		// picked up by the seeded semi-naive loop).
-		for pred, o := range O {
-			f := e.facts[pred]
-			for _, t := range o.tuples {
-				if f.contains(t) {
-					continue // re-added above
-				}
-				ok, err := e.rederivable(pred, t)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				if _, _, err := f.add(t, false); err != nil {
-					return err
-				}
-				e.Stats.Rederived++
-				if err := addTo(rederived, pred, t); err != nil {
-					return err
-				}
-				if err := addTo(seed, pred, t); err != nil {
-					return err
-				}
+		// picked up by the seeded semi-naive loop). Probes run against the
+		// stable post-removal state with re-insertions deferred until every
+		// probe is done, so the probe phase is read-only and large batches
+		// fan out across the worker pool.
+		survivors, err := e.rederiveDeferred(O)
+		if err != nil {
+			return err
+		}
+		for _, tg := range survivors {
+			if _, _, err := e.facts[tg.pred].add(tg.t, false); err != nil {
+				return err
+			}
+			e.Stats.Rederived++
+			if err := addTo(rederived, tg.pred, tg.t); err != nil {
+				return err
+			}
+			if err := addTo(seed, tg.pred, tg.t); err != nil {
+				return err
 			}
 		}
 		// Enabler passes: facts newly derivable because a negated body
@@ -318,10 +426,16 @@ func (e *Engine) stratumTouched(s int, insDone, delDone map[string]*factSet) boo
 }
 
 // overdelete computes the over-approximated set of stratum-s facts whose
-// derivations may be invalidated by the pending net deltas. The fact sets
-// are evaluated in their pre-deletion state: net-deleted facts are
-// re-inserted for the duration of the fixpoint and removed again before
-// returning. Nothing is physically deleted here.
+// derivations may be invalidated by the pending net deltas. Nothing is
+// physically deleted here, so the full fact sets of this stratum's heads
+// still present the pre-deletion view throughout the fixpoint; deleted
+// facts of lower strata and the EDB are seen through the per-occurrence
+// delta-join passes (evalSpec.oldSets) instead of being restored into the
+// fact sets. Derivations pairing a deleted fact with a negation-side
+// insertion are caught by the delta pass through negOld (inserted facts are
+// ignored at negated steps), and derivations whose positive atoms all
+// survive are caught by the negation-driven passes — neither needs the old
+// view.
 func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[string]*factSet, error) {
 	rules := make([]int, 0, len(e.rulesBy[s]))
 	for _, ri := range e.rulesBy[s] {
@@ -334,69 +448,14 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 	if len(rules) == 0 {
 		return O, nil
 	}
-	// Restore the pre-deletion view for the duration of the fixpoint, but
-	// only where a fixpoint join can actually read a deleted fact through a
-	// full set: predicate p (with net deletions) read positively by a rule
-	// with a second delta'd positive occurrence — a derivation may pair two
-	// deleted facts, and each one's delta pass would miss the other. A rule
-	// whose only deletions arrive through p's own delta reads the deleted
-	// facts through the delta, never through the full set, so its — possibly
-	// large — delta predicates skip the restore churn (the history relation,
-	// typically). Derivations pairing a deleted fact with a negation-side
-	// insertion are caught by the delta pass through negOld (inserted facts
-	// are ignored at negated steps), and derivations whose positive atoms
-	// all survive are caught by the negation-driven passes — neither needs
-	// the restore. Same-stratum heads never need restoring: they are deleted
-	// only after the fixpoint.
-	nonEmpty := func(m map[string]*factSet, p string) bool {
-		d := m[p]
-		return d != nil && d.len() > 0
-	}
-	restore := make(map[string]bool)
-	for _, ri := range rules {
-		c := e.compiled[ri]
-		nPosDelta := 0
-		for _, p := range c.atomPreds {
-			if nonEmpty(delDone, p) {
-				nPosDelta++
-			}
-		}
-		if nPosDelta >= 2 {
-			for _, p := range c.atomPreds {
-				if nonEmpty(delDone, p) {
-					restore[p] = true
-				}
-			}
-		}
-	}
-	for pred, dset := range delDone {
-		if !restore[pred] {
-			continue
-		}
-		f := e.facts[pred]
-		for _, t := range dset.tuples {
-			if _, _, err := f.add(t, false); err != nil {
-				return nil, err
-			}
-		}
-	}
-	defer func() {
-		for pred, dset := range delDone {
-			if !restore[pred] {
-				continue
-			}
-			f := e.facts[pred]
-			for _, t := range dset.tuples {
-				f.remove(t)
-			}
-		}
-	}()
 
 	cur := make(map[string]*factSet)
-	collect := func(c *compiledRule, round map[string]*factSet) func(relation.Tuple) error {
-		head := c.rule.Head.Pred
-		return func(t relation.Tuple) error {
-			e.Stats.RuleFirings++
+	// merge files one candidate head tuple into O and the round's delta.
+	// owned marks task-owned clones from the parallel path; sequential
+	// emissions hand over the rule scratch's head buffer and must be cloned
+	// on genuine insertion. Runs on the calling goroutine only.
+	merge := func(round map[string]*factSet) func(head string, t relation.Tuple, owned bool) error {
+		return func(head string, t relation.Tuple, owned bool) error {
 			f := e.facts[head]
 			if f == nil || !f.contains(t) {
 				return nil // never derived (an artefact of the over-approximated view)
@@ -406,7 +465,7 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 				o = e.newSetSized(head, f.arity)
 				O[head] = o
 			}
-			added, stored, err := o.add(t, true)
+			added, stored, err := o.add(t, !owned)
 			if err != nil || !added {
 				return err
 			}
@@ -420,65 +479,157 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 			return err
 		}
 	}
-	// Seeds: deletions through positive atoms, insertions through negation.
-	for _, ri := range rules {
-		c := e.compiled[ri]
-		emit := collect(c, cur)
-		for occ, pred := range c.atomPreds {
-			d := delDone[pred]
-			if d == nil || d.len() == 0 {
-				continue
-			}
-			spec := evalSpec{delta: d, deltaOcc: occ, negOcc: -1, negOld: insDone, hi: -1}
-			if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
-				return nil, err
+	// evalPass runs one overdelete pass's work items, fanning out to the
+	// pool when the batch is large enough.
+	evalPass := func(items []workItem, round map[string]*factSet) error {
+		m := merge(round)
+		if e.pool != nil {
+			done, err := e.runParallel(items, func(pred string, t relation.Tuple) error {
+				return m(pred, t, true)
+			})
+			if err != nil || done {
+				return err
 			}
 		}
+		for _, it := range items {
+			c := e.compiled[it.ri]
+			head := c.rule.Head.Pred
+			err := e.evalRule(c, c.scratch, it.spec, func(t relation.Tuple) error {
+				e.Stats.RuleFirings++
+				return m(head, t, false)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Seeds: deletions through positive atoms (per-occurrence delta-join
+	// passes — later occurrences read the old view), insertions through
+	// negation.
+	base := evalSpec{negOcc: -1, negOld: insDone, oldSets: delDone, hi: -1}
+	var items []workItem
+	for _, ri := range rules {
+		c := e.compiled[ri]
+		items = c.deltaPasses(items, delDone, base)
 		for nocc, pred := range c.negPreds {
 			d := insDone[pred]
 			if d == nil || d.len() == 0 {
 				continue
 			}
-			spec := evalSpec{deltaOcc: -1, negOcc: nocc, negDelta: d, negOld: insDone, hi: -1}
-			if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
-				return nil, err
-			}
+			items = append(items, workItem{ri: ri, spec: evalSpec{
+				deltaOcc: -1, negOcc: nocc, negDelta: d, negOld: insDone, hi: -1,
+			}})
 		}
+	}
+	if err := evalPass(items, cur); err != nil {
+		return nil, err
 	}
 	// Fixpoint over same-stratum consequences.
 	for len(cur) > 0 {
 		prev := cur
 		cur = make(map[string]*factSet)
+		items = items[:0]
 		for _, ri := range rules {
-			c := e.compiled[ri]
-			emit := collect(c, cur)
-			for occ, pred := range c.atomPreds {
-				d := prev[pred]
-				if d == nil || d.len() == 0 {
-					continue
-				}
-				spec := evalSpec{delta: d, deltaOcc: occ, negOcc: -1, negOld: insDone, hi: -1}
-				if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
-					return nil, err
-				}
-			}
+			items = e.compiled[ri].deltaPasses(items, prev, base)
+		}
+		if err := evalPass(items, cur); err != nil {
+			return nil, err
 		}
 		e.Stats.Iterations++
 	}
 	return O, nil
 }
 
+// rederivTarget is one over-deleted fact probed for an alternative proof.
+type rederivTarget struct {
+	pred string
+	t    relation.Tuple
+}
+
+// rederiveDeferred probes every physically removed over-deleted fact for an
+// alternative derivation against the current (stable) fact sets and returns
+// the survivors. No fact is inserted during the probes — deferred insertion
+// keeps the probe phase read-only, so it parallelises over the worker pool
+// (facts whose only proofs pass through other survivors are re-derived by
+// the caller's seeded semi-naive pass instead; the final fact sets are the
+// same either way).
+func (e *Engine) rederiveDeferred(O map[string]*factSet) ([]rederivTarget, error) {
+	preds := make([]string, 0, len(O))
+	for pred := range O {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	var targets []rederivTarget
+	for _, pred := range preds {
+		f := e.facts[pred]
+		for _, t := range O[pred].tuples {
+			if f.contains(t) {
+				continue // re-added already (program fact)
+			}
+			targets = append(targets, rederivTarget{pred: pred, t: t})
+		}
+	}
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	ok := make([]bool, len(targets))
+	if e.pool != nil && len(targets) >= e.parMinWork {
+		nTasks := (len(targets) + e.parChunk - 1) / e.parChunk
+		if nTasks > e.parallelism {
+			nTasks = e.parallelism
+		}
+		errs := make([]error, nTasks)
+		e.pool.RunRange(len(targets), nTasks, func(task, lo, hi, worker int) {
+			for i := lo; i < hi; i++ {
+				k, err := e.rederivable(targets[i].pred, targets[i].t, worker)
+				if err != nil {
+					errs[task] = err
+					return
+				}
+				ok[i] = k
+			}
+		})
+		e.Stats.ParallelTasks += nTasks
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, tg := range targets {
+			k, err := e.rederivable(tg.pred, tg.t, -1)
+			if err != nil {
+				return nil, err
+			}
+			ok[i] = k
+		}
+	}
+	kept := targets[:0]
+	for i, tg := range targets {
+		if ok[i] {
+			kept = append(kept, tg)
+		}
+	}
+	return kept, nil
+}
+
 // rederivable reports whether an over-deleted (and physically removed) fact
 // still has a derivation from the current facts, by evaluating each of its
 // predicate's rules with the head variables pinned to the fact and stopping
-// at the first proof.
-func (e *Engine) rederivable(pred string, t relation.Tuple) (bool, error) {
+// at the first proof. worker selects the evaluation scratch: the engine's
+// own (-1) or a pool worker's private one.
+func (e *Engine) rederivable(pred string, t relation.Tuple, worker int) (bool, error) {
 	for _, ri := range e.rulesFor[pred] {
 		c := e.compiled[ri]
 		if c.hasAgg || c.rule.IsFact() {
 			continue
 		}
 		sc := c.scratch
+		if worker >= 0 {
+			sc = e.scratchFor(worker, c)
+		}
 		if !setPins(c, sc, t) {
 			continue
 		}

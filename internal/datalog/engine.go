@@ -3,7 +3,9 @@ package datalog
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -79,22 +81,30 @@ type Engine struct {
 	warm bool
 
 	// Parallel evaluation state: parallelism is the worker count (<= 1 means
-	// sequential), pool the persistent workers, workerScratch one private
+	// sequential), pool the persistent workers (internal/pool, shared
+	// abstraction with the mini-SQL operators), workerScratch one private
 	// rule-scratch row per worker. parMinWork is the minimum estimated
 	// outer-loop cardinality of a pass before it fans out; parChunk the
 	// minimum chunk size per task.
 	parallelism   int
-	pool          *evalPool
+	pool          *pool.Pool
 	workerScratch [][]*ruleScratch
 	parMinWork    int
 	parChunk      int
 
-	// dredChurnFactor weights the non-monotone cost model: DRed runs when
-	// churn * dredChurnFactor < total size of the affected predicates,
-	// recompute otherwise. Tests pin it to 0 (always DRed, unless nothing
-	// is standing) or very high (always recompute) to exercise one path
-	// deterministically.
+	// Non-monotone cost model. costModel selects how RunIncremental picks
+	// between DRed propagation and affected-closure recompute: costAdaptive
+	// (the default) predicts each strategy's round time from a per-strategy
+	// EWMA of observed cost per work unit (churn for DRed, standing affected
+	// size for recompute), falling back to the static churn factor until
+	// observations exist; costStatic always applies the static rule; the
+	// force values pin one path (tests and ablations). dredChurnFactor is
+	// the static weight: DRed runs when churn * dredChurnFactor < total
+	// size of the affected predicates.
+	costModel       int
 	dredChurnFactor int
+	dredCost        strategyCost
+	recomputeCost   strategyCost
 
 	// Stats from the last Run or RunIncremental.
 	Stats RunStats
@@ -168,6 +178,7 @@ func NewEngine(prog *Program) (*Engine, error) {
 		parMinWork:   defaultParMinWork,
 		parChunk:     defaultParChunk,
 
+		costModel:       costAdaptive,
 		dredChurnFactor: defaultDRedChurnFactor,
 	}
 	e.rulesBy = make([][]int, numStrata)
@@ -510,7 +521,9 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 	// fact sets (GC trickle, victim removal); when the batch replaces a
 	// large fraction of the affected predicates anyway (bulk admission
 	// rounds), clearing and re-deriving them is cheaper than over-deleting
-	// nearly every fact one by one.
+	// nearly every fact one by one. The adaptive model predicts each
+	// strategy's round time from observed history (see chooseDRed); every
+	// non-monotone round feeds its measured time back into the model.
 	aggAffected := false
 	for p := range affected {
 		if e.aggBodyPreds[p] {
@@ -531,10 +544,34 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 	for p := range affected {
 		affectedSize += e.FactCount(p)
 	}
-	if aggAffected || churn*e.dredChurnFactor >= affectedSize {
-		return e.recomputeAffected(changed, affected)
+	useDRed := !aggAffected && e.chooseDRed(churn, affectedSize)
+	start := time.Now()
+	var err error
+	if useDRed {
+		err = e.runDRed(changed)
+	} else {
+		err = e.recomputeAffected(changed, affected)
 	}
-	return e.runDRed(changed)
+	if err != nil {
+		return err
+	}
+	elapsed := float64(time.Since(start).Nanoseconds())
+	factor := float64(e.dredChurnFactor)
+	if factor <= 0 {
+		factor = 1
+	}
+	if useDRed {
+		e.dredCost.observe(elapsed, churn)
+		// Relax the unmeasured side toward the static-consistent estimate
+		// so a stale spike decays and the strategy gets re-tried.
+		e.recomputeCost.decayToward(e.dredCost.perUnit / factor)
+	} else if !aggAffected {
+		// Aggregate fallbacks are forced, not chosen: their timings would
+		// bias the recompute estimate with rounds DRed could never take.
+		e.recomputeCost.observe(elapsed, affectedSize)
+		e.dredCost.decayToward(e.recomputeCost.perUnit * factor)
+	}
+	return nil
 }
 
 // recomputeAffected is the aggregate fallback for non-monotone changes:
@@ -689,13 +726,13 @@ type stratumOpts struct {
 	onAdd    func(pred string, t relation.Tuple)
 }
 
-// workItem is one rule evaluation of a semi-naive pass: rule ri with the
-// occ-th positive atom reading delta instead of the full fact set (occ == -1
-// for a full evaluation).
+// workItem is one rule evaluation of a pass: rule ri evaluated under spec
+// (a semi-naive delta substitution, a DRed overdelete or enabler pass, or a
+// full evaluation). The spec's lo/hi window is left open; the parallel
+// scheduler fills it per chunk.
 type workItem struct {
-	ri    int
-	delta *factSet
-	occ   int
+	ri   int
+	spec evalSpec
 }
 
 // runStratum evaluates the given rules of stratum s to fixpoint.
@@ -779,8 +816,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 		}
 		for _, it := range items {
 			c := e.compiled[it.ri]
-			spec := evalSpec{delta: it.delta, deltaOcc: it.occ, negOcc: -1, hi: -1}
-			if err := e.evalRule(c, c.scratch, spec, emitInto(c, next)); err != nil {
+			if err := e.evalRule(c, c.scratch, it.spec, emitInto(c, next)); err != nil {
 				return err
 			}
 		}
@@ -794,7 +830,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 			if c.hasAgg || c.rule.IsFact() {
 				continue
 			}
-			items = append(items, workItem{ri: ri, occ: -1})
+			items = append(items, workItem{ri: ri, spec: evalSpec{deltaOcc: -1, negOcc: -1, hi: -1}})
 		}
 		if err := evalPass(items, delta); err != nil {
 			return err
@@ -804,10 +840,14 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 
 	// DRed insertion-through-negation passes: evaluated once, before the
 	// loop; their emissions seed the loop's delta like any other insertion.
-	for _, ep := range opts.enablers {
-		c := e.compiled[ep.ri]
-		spec := evalSpec{deltaOcc: -1, negOcc: ep.negOcc, negDelta: ep.negDelta, negEnable: true, hi: -1}
-		if err := e.evalRule(c, c.scratch, spec, emitInto(c, delta)); err != nil {
+	if len(opts.enablers) > 0 {
+		var items []workItem
+		for _, ep := range opts.enablers {
+			items = append(items, workItem{ri: ep.ri, spec: evalSpec{
+				deltaOcc: -1, negOcc: ep.negOcc, negDelta: ep.negDelta, negEnable: true, hi: -1,
+			}})
+		}
+		if err := evalPass(items, delta); err != nil {
 			return err
 		}
 	}
@@ -840,18 +880,13 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 			// with that occurrence reading only the delta. A rule with no
 			// delta'd body atom cannot fire again and is skipped implicitly.
 			var items []workItem
+			base := evalSpec{negOcc: -1, hi: -1}
 			for _, ri := range ruleIdx {
 				c := e.compiled[ri]
 				if c.hasAgg || c.rule.IsFact() {
 					continue
 				}
-				for occ, pred := range c.atomPreds {
-					d := delta[pred]
-					if d == nil || d.len() == 0 {
-						continue
-					}
-					items = append(items, workItem{ri: ri, delta: d, occ: occ})
-				}
+				items = c.deltaPasses(items, delta, base)
 			}
 			if err := evalPass(items, next); err != nil {
 				return err
@@ -881,6 +916,17 @@ type evalSpec struct {
 	// those facts, restoring the pre-change view the invalidated derivations
 	// were built against.
 	negOld map[string]*factSet
+	// oldSets, during an overdeletion pass, maps predicates to their
+	// net-deleted facts. Positive occurrences AFTER the delta occurrence
+	// additionally enumerate these tuples — the delta×old half of the
+	// semi-naive delta-join expansion: the pass driven through the earliest
+	// deleted occurrence sees the other deleted facts through the old view,
+	// so derivations pairing two deletions are found without temporarily
+	// restoring deleted facts into the indexed fact sets. Occurrences
+	// before the delta read the new (post-delete) state; passes driven
+	// through later occurrences then contribute exactly the derivations
+	// whose earlier atoms survived.
+	oldSets map[string]*factSet
 	// lo/hi window the step-0 enumeration (parallel chunking); hi == -1
 	// means the full range.
 	lo, hi int
@@ -973,10 +1019,18 @@ func (e *Engine) evalRule(c *compiledRule, sc *ruleScratch, spec evalSpec, emit 
 				return rec(step + 1)
 			}
 			var set *factSet
+			var old *factSet
 			if m.occIndex == spec.deltaOcc {
 				set = spec.delta
 			} else {
 				set = e.factsFor(m.lit.Atom.Pred)
+				// Delta-join old view: occurrences after the delta also read
+				// the net-deleted facts of their predicate (see evalSpec).
+				if spec.oldSets != nil && spec.deltaOcc >= 0 && m.occIndex > spec.deltaOcc {
+					if o := spec.oldSets[m.lit.Atom.Pred]; o != nil && o.len() > 0 {
+						old = o
+					}
+				}
 			}
 			// bindTuple applies the binding positions of this atom to one
 			// candidate tuple, honouring repeated-variable equality checks
@@ -1009,6 +1063,15 @@ func (e *Engine) evalRule(c *compiledRule, sc *ruleScratch, spec evalSpec, emit 
 						}
 					}
 				}
+				if old != nil {
+					for _, t := range old.tuples {
+						if bindTuple(t) {
+							if err := rec(step + 1); err != nil {
+								return err
+							}
+						}
+					}
+				}
 				return nil
 			}
 			cands := set.candidates(m.lookupIdx, key)
@@ -1023,6 +1086,19 @@ func (e *Engine) evalRule(c *compiledRule, sc *ruleScratch, spec evalSpec, emit 
 				if bindTuple(t) {
 					if err := rec(step + 1); err != nil {
 						return err
+					}
+				}
+			}
+			if old != nil {
+				for _, pos := range old.candidates(m.lookupIdx, key) {
+					t := old.tuples[pos]
+					if !matchAt(t, m.lookupCols, key) {
+						continue
+					}
+					if bindTuple(t) {
+						if err := rec(step + 1); err != nil {
+							return err
+						}
 					}
 				}
 			}

@@ -149,6 +149,265 @@ func TestRunIncrementalRandomInsertDeleteBatches(t *testing.T) {
 	}
 }
 
+// multiDeltaPrograms stress the delta-join planner: rules with two or three
+// positive occurrences of the same changing predicate (a deletion batch can
+// knock out several atoms of one derivation at once — the delta×delta /
+// delta×old pass combinations), self-joins, cross-predicate joins, recursion
+// through a multi-atom rule, and negation layered on top.
+var multiDeltaPrograms = []string{
+	`
+	t(X, Z) :- e(X, Y), e(Y, Z).
+	`,
+	`
+	tri(X) :- e(X, Y), e(Y, Z), e(Z, X).
+	pair(X, Y) :- e(X, Y), e(Y, X).
+	`,
+	`
+	j(X, Z) :- e(X, Y), f(Y, Z).
+	j2(X) :- e(X, Y), f(X, Y).
+	`,
+	`
+	t(X, Y) :- e(X, Y).
+	t(X, Z) :- e(X, Y), t(Y, Z).
+	`,
+	`
+	p(X, Z) :- e(X, Y), e(Y, Z), not g(X, Z).
+	q(X) :- p(X, _), not h(X).
+	`,
+}
+
+// runMultiDeltaBatches drives one engine through random insert/delete
+// batches over prog's EDB predicates, checking every step against a cold
+// oracle and the fact-set invariants. configure tweaks the engine before the
+// first run (cost-model pin, parallelism).
+func runMultiDeltaBatches(t *testing.T, prog *Program, seed int64, configure func(*Engine)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configure(e)
+	idb := prog.IDB()
+	var edbPreds, preds []string
+	seen := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, p := range append([]string{r.Head.Pred}, atomPredsOf(r)...) {
+			if !seen[p] {
+				seen[p] = true
+				preds = append(preds, p)
+				if !idb[p] {
+					edbPreds = append(edbPreds, p)
+				}
+			}
+		}
+	}
+	edb := map[string][]relation.Tuple{}
+	for _, p := range edbPreds {
+		edb[p] = nil
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sawDRed := false
+	for step := 0; step < 18; step++ {
+		changed := make(map[string]EDBDelta)
+		for _, pred := range edbPreds {
+			var d EDBDelta
+			// Delete aggressively so multi-delta derivations (two or three
+			// deleted atoms in one rule body) occur often.
+			for _, row := range edb[pred] {
+				if rng.Intn(3) == 0 {
+					d.Delete = append(d.Delete, row)
+				}
+			}
+			ar := prog.Arities[pred]
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				tu := make(relation.Tuple, ar)
+				for i := range tu {
+					tu[i] = relation.Int(int64(rng.Intn(4)))
+				}
+				d.Insert = append(d.Insert, tu)
+			}
+			if len(d.Insert) > 0 || len(d.Delete) > 0 {
+				changed[pred] = d
+			}
+		}
+		if err := e.RunIncremental(changed); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats.Strategy == StrategyDRed {
+			sawDRed = true
+		}
+		for pred, d := range changed {
+			edb[pred] = applyDelta(edb[pred], d, nil)
+		}
+		checkAgainstOracle(t, e, prog, edb, preds, fmt.Sprintf("seed %d step %d", seed, step))
+		checkFactSetConsistency(t, e)
+	}
+	if !sawDRed {
+		t.Fatalf("seed %d: DRed path never taken", seed)
+	}
+}
+
+// atomPredsOf lists the positive and negated atom predicates of a rule.
+func atomPredsOf(r Rule) []string {
+	var out []string
+	for _, l := range r.Body {
+		if l.Kind == LitAtom {
+			out = append(out, l.Atom.Pred)
+		}
+	}
+	return out
+}
+
+// TestDRedDeltaJoinMultiDeltaPrograms forces the cost model to DRed and
+// checks the delta-join pass scheduling (no multi-delta restore) against the
+// cold oracle on delete-heavy batches over multi-atom rules.
+func TestDRedDeltaJoinMultiDeltaPrograms(t *testing.T) {
+	for pi, src := range multiDeltaPrograms {
+		prog := MustParse(src)
+		for seed := int64(0); seed < 8; seed++ {
+			runMultiDeltaBatches(t, prog, seed*13+int64(pi), func(e *Engine) {
+				e.costModel = costForceDRed
+			})
+		}
+	}
+}
+
+// TestDRedDeltaJoinMultiDeltaParallel is the same property with every DRed
+// pass forced through the worker pool: parallel DRed ≡ sequential DRed ≡
+// cold oracle (the sequential equivalence is the previous test; both compare
+// against the same oracle on the same seeds).
+func TestDRedDeltaJoinMultiDeltaParallel(t *testing.T) {
+	for pi, src := range multiDeltaPrograms {
+		prog := MustParse(src)
+		for seed := int64(0); seed < 8; seed++ {
+			runMultiDeltaBatches(t, prog, seed*13+int64(pi), func(e *Engine) {
+				e.costModel = costForceDRed
+				forceParallel(e, 4)
+			})
+		}
+	}
+}
+
+// TestAdaptiveCostModelConverges: after warm-up rounds on trickle churn the
+// adaptive model keeps choosing DRed against a large standing set, and its
+// per-strategy EWMAs accumulate samples.
+func TestAdaptiveCostModelConverges(t *testing.T) {
+	prog := MustParse(`
+		finished(TA) :- history(TA, "c", _).
+		lock(OBJ, TA) :- history(TA, "w", OBJ), not finished(TA).
+		blocked(TA) :- request(TA, _, OBJ), lock(OBJ, TA2), TA2 != TA.
+		qualified(TA, OP, OBJ) :- request(TA, OP, OBJ), not blocked(TA).
+	`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []relation.Tuple
+	for i := int64(0); i < 500; i++ {
+		hist = append(hist, relation.Tuple{relation.Int(i), relation.String("w"), relation.Int(i % 60)})
+	}
+	if err := e.SetEDB("history", hist); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEDB("request", []relation.Tuple{
+		{relation.Int(900), relation.String("r"), relation.Int(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		// Trickle: retire one history row and admit it back.
+		if err := e.RunIncremental(map[string]EDBDelta{
+			"history": {Delete: hist[i : i+1]},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats.Strategy != StrategyDRed {
+			t.Fatalf("trickle round %d took %s, want %s", i, e.Stats.Strategy, StrategyDRed)
+		}
+		if err := e.RunIncremental(map[string]EDBDelta{
+			"history": {Insert: hist[i : i+1]},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.dredCost.samples < 8 {
+		t.Fatalf("adaptive model recorded %d DRed samples, want >= 8", e.dredCost.samples)
+	}
+	if e.dredCost.perUnit <= 0 {
+		t.Fatalf("DRed cost EWMA not positive: %v", e.dredCost.perUnit)
+	}
+	// A bulk replacement must still fall to recompute even with only DRed
+	// samples (the borrowed estimate keeps the static ratio).
+	if err := e.RunIncremental(map[string]EDBDelta{
+		"history": {Delete: hist[10:480]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Strategy != StrategyRecompute {
+		t.Fatalf("bulk delete took %s, want %s", e.Stats.Strategy, StrategyRecompute)
+	}
+	if e.recomputeCost.samples == 0 {
+		t.Fatal("recompute round not observed by the cost model")
+	}
+}
+
+// TestAdaptiveCostModelRecoversFromSpike: a wildly inflated DRed estimate
+// (as a GC pause landing inside one timed round would plant, were it not
+// clamped) must not lock the engine out of DRed forever — the not-chosen
+// side's estimate decays toward the static-consistent value each round, so
+// DRed is eventually re-tried and re-measured.
+func TestAdaptiveCostModelRecoversFromSpike(t *testing.T) {
+	prog := MustParse(`
+		finished(TA) :- history(TA, "c", _).
+		lock(OBJ, TA) :- history(TA, "w", OBJ), not finished(TA).
+		blocked(TA) :- request(TA, _, OBJ), lock(OBJ, TA2), TA2 != TA.
+		qualified(TA, OP, OBJ) :- request(TA, OP, OBJ), not blocked(TA).
+	`)
+	e, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []relation.Tuple
+	for i := int64(0); i < 400; i++ {
+		hist = append(hist, relation.Tuple{relation.Int(i), relation.String("w"), relation.Int(i % 50)})
+	}
+	if err := e.SetEDB("history", hist); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a poisoned state: DRed believed to be astronomically expensive.
+	e.dredCost = strategyCost{perUnit: 1e7, samples: 4}
+	e.recomputeCost = strategyCost{perUnit: 10, samples: 4}
+	recovered := false
+	for i := 0; i < 150 && !recovered; i++ {
+		if err := e.RunIncremental(map[string]EDBDelta{
+			"history": {Delete: hist[i%100 : i%100+1]},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats.Strategy == StrategyDRed {
+			recovered = true
+		}
+		if err := e.RunIncremental(map[string]EDBDelta{
+			"history": {Insert: hist[i%100 : i%100+1]},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !recovered {
+		t.Fatalf("DRed never re-chosen after a poisoned estimate (dredPer=%v recomputePer=%v)",
+			e.dredCost.perUnit, e.recomputeCost.perUnit)
+	}
+}
+
 // TestRunIncrementalAfterSetEDBReplacement: a wholesale SetEDB between
 // incremental runs marks the predicate dirty and the next warm run rebuilds
 // it without losing equivalence.

@@ -2,14 +2,15 @@ package datalog
 
 import (
 	"runtime"
-	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
-// Parallel evaluation: large semi-naive passes are partitioned into tasks —
-// one per (rule, delta occurrence, step-0 range) — and executed on a
-// persistent worker pool. Each worker owns private ruleScratch buffers (env,
+// Parallel evaluation: large passes — semi-naive delta joins, DRed
+// overdelete passes and rederivation probes — are partitioned into tasks and
+// executed on a persistent worker pool (internal/pool, shared with the
+// mini-SQL operators). Each worker owns private ruleScratch buffers (env,
 // head, lookup keys) and each task owns a private emit buffer (a
 // membership-only factSet, so duplicate derivations within a task are
 // deduplicated without locking). Workers only read the engine's fact sets;
@@ -38,21 +39,14 @@ func (e *Engine) SetParallelism(n int) {
 	if n == e.parallelism {
 		return
 	}
-	if e.pool != nil {
-		e.pool.shutdown()
-		e.pool = nil
-		e.workerScratch = nil
-	}
+	e.pool = pool.Reconfigure(e, e.pool, n)
 	e.parallelism = n
-	if n > 1 {
-		e.pool = newEvalPool(n)
+	e.workerScratch = nil
+	if e.pool != nil {
 		e.workerScratch = make([][]*ruleScratch, n)
 		for i := range e.workerScratch {
 			e.workerScratch[i] = make([]*ruleScratch, len(e.compiled))
 		}
-		// The pool goroutines must not outlive the engine: close them when
-		// the engine is garbage-collected (engines have no Close).
-		runtime.AddCleanup(e, func(p *evalPool) { p.shutdown() }, e.pool)
 	}
 }
 
@@ -69,65 +63,6 @@ func (e *Engine) scratchFor(worker int, c *compiledRule) *ruleScratch {
 	return row[c.idx]
 }
 
-// evalPool is a persistent set of worker goroutines executing evaluation
-// tasks. Workers are spawned lazily on the first batch and exit when the
-// owning engine is collected (see SetParallelism).
-type evalPool struct {
-	workers  int
-	jobs     chan poolJob
-	stop     chan struct{}
-	once     sync.Once
-	stopOnce sync.Once
-}
-
-type poolJob struct {
-	run func(worker int)
-	wg  *sync.WaitGroup
-}
-
-func newEvalPool(n int) *evalPool {
-	return &evalPool{
-		workers: n,
-		jobs:    make(chan poolJob, 4*n),
-		stop:    make(chan struct{}),
-	}
-}
-
-func (p *evalPool) start() {
-	p.once.Do(func() {
-		for i := 0; i < p.workers; i++ {
-			go p.worker(i)
-		}
-	})
-}
-
-func (p *evalPool) worker(id int) {
-	for {
-		select {
-		case j := <-p.jobs:
-			j.run(id)
-			j.wg.Done()
-		case <-p.stop:
-			return
-		}
-	}
-}
-
-// shutdown stops the workers; safe to call more than once (an explicit
-// SetParallelism teardown can precede the engine's GC cleanup).
-func (p *evalPool) shutdown() { p.stopOnce.Do(func() { close(p.stop) }) }
-
-// run executes n tasks on the pool and blocks until all complete.
-func (p *evalPool) run(n int, fn func(task, worker int)) {
-	p.start()
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		p.jobs <- poolJob{run: func(w int) { fn(i, w) }, wg: &wg}
-	}
-	wg.Wait()
-}
-
 // parTask is one unit of parallel work: a workItem restricted to a step-0
 // range, with its private emit buffer.
 type parTask struct {
@@ -141,7 +76,9 @@ type parTask struct {
 // outerSize estimates the step-0 enumeration cardinality of a work item and
 // whether that enumeration can be range-partitioned. Step 0 can only look up
 // constant columns (nothing is bound before it), so the estimate matches the
-// enumeration evalRule will perform.
+// enumeration evalRule will perform. An item whose step 0 reads the old view
+// (primary set plus net-deleted extras) enumerates two sets and is not
+// range-splittable.
 func (e *Engine) outerSize(it workItem) (int, bool) {
 	c := e.compiled[it.ri]
 	if len(c.steps) == 0 {
@@ -151,13 +88,21 @@ func (e *Engine) outerSize(it workItem) (int, bool) {
 	if m.lit.Kind != LitAtom || m.lit.Negated {
 		return 1, false
 	}
-	var set *factSet
-	if m.occIndex == it.occ {
-		set = it.delta
+	var set, old *factSet
+	if m.occIndex == it.spec.deltaOcc {
+		set = it.spec.delta
 	} else {
 		set = e.factsFor(m.lit.Atom.Pred)
+		if it.spec.oldSets != nil && it.spec.deltaOcc >= 0 && m.occIndex > it.spec.deltaOcc {
+			if o := it.spec.oldSets[m.lit.Atom.Pred]; o != nil && o.len() > 0 {
+				old = o // two-set enumeration: counted below, never splittable
+			}
+		}
 	}
 	if len(m.lookupCols) == 0 {
+		if old != nil {
+			return set.len() + old.len(), false
+		}
 		return set.len(), true
 	}
 	key := c.scratch.vals[0][:len(m.lookupCols)]
@@ -167,11 +112,16 @@ func (e *Engine) outerSize(it workItem) (int, bool) {
 		}
 		key[i] = s.c
 	}
-	return len(set.candidates(m.lookupIdx, key)), true
+	n := len(set.candidates(m.lookupIdx, key))
+	if old != nil {
+		return n + len(old.candidates(m.lookupIdx, key)), false
+	}
+	return n, true
 }
 
 // runParallel partitions the pass's work items into tasks, evaluates them on
-// the pool, and merges the emit buffers in task order. It returns done ==
+// the pool, and merges the emit buffers in task order (merge receives
+// task-owned tuples and runs on the calling goroutine). It returns done ==
 // false (and does nothing) when the estimated work is below the cutoff — the
 // caller then runs the sequential path.
 func (e *Engine) runParallel(items []workItem, merge func(pred string, t relation.Tuple) error) (bool, error) {
@@ -213,11 +163,12 @@ func (e *Engine) runParallel(items []workItem, merge func(pred string, t relatio
 	if len(tasks) <= 1 {
 		return false, nil
 	}
-	e.pool.run(len(tasks), func(ti, worker int) {
+	e.pool.Run(len(tasks), func(ti, worker int) {
 		t := &tasks[ti]
 		c := e.compiled[t.item.ri]
 		sc := e.scratchFor(worker, c)
-		spec := evalSpec{delta: t.item.delta, deltaOcc: t.item.occ, negOcc: -1, lo: t.lo, hi: t.hi}
+		spec := t.item.spec
+		spec.lo, spec.hi = t.lo, t.hi
 		t.err = e.evalRule(c, sc, spec, func(tt relation.Tuple) error {
 			t.firings++
 			_, _, err := t.out.add(tt, true)

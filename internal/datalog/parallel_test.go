@@ -220,7 +220,7 @@ func TestDRedForcedMatchesColdOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e.dredChurnFactor = 0 // churn never outweighs: always DRed (unless nothing is affected)
+		e.costModel = costForceDRed // always DRed (unless nothing is standing)
 		edb := map[string][]relation.Tuple{"request": nil, "history": nil}
 		if err := e.Run(); err != nil {
 			t.Fatal(err)

@@ -93,6 +93,11 @@ type RoundStats struct {
 	Duration  time.Duration // protocol evaluation time only
 	Total     time.Duration // queue drain + protocol + bookkeeping + execution
 	History   int           // live history size after the round
+	// Strategy names the evaluation path the protocol took this round
+	// (e.g. the Datalog engine's cold/monotone/dred/recompute, or the SQL
+	// executor's warm/cold); empty when the protocol does not report one.
+	// The adaptive cost model's per-round choices become observable here.
+	Strategy string
 }
 
 // Collector accumulates scheduler statistics. It is safe for concurrent use.
@@ -151,6 +156,9 @@ type Summary struct {
 	MeanQualified     float64
 	MeanRoundDuration time.Duration
 	TotalRoundTime    time.Duration
+	// Strategies counts rounds per reported evaluation strategy (rounds
+	// without a reported strategy are not counted).
+	Strategies map[string]int
 }
 
 // Summarise computes the aggregate view.
@@ -167,6 +175,12 @@ func (c *Collector) Summarise() Summary {
 		pend += int64(r.Pending)
 		qual += int64(r.Qualified)
 		dur += r.Duration
+		if r.Strategy != "" {
+			if s.Strategies == nil {
+				s.Strategies = make(map[string]int)
+			}
+			s.Strategies[r.Strategy]++
+		}
 	}
 	n := len(c.rounds)
 	s.MeanPending = float64(pend) / float64(n)

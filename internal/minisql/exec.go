@@ -12,9 +12,22 @@ import (
 // Catalog maps table names (lower case) to relations.
 type Catalog map[string]*relation.Relation
 
-// Run executes a query against a catalog.
+// Run executes a query against a catalog with default operator options.
 func Run(q *Query, cat Catalog) (*relation.Relation, error) {
-	ex := &executor{cat: make(Catalog, len(cat))}
+	return RunOpts(q, cat, nil)
+}
+
+// RunOpts executes a query with explicit operator options: a worker pool for
+// parallel scan/filter/join loops, a fan-out cutoff, or the nested-loop
+// oracle mode (see ra.Options). nil opts selects the defaults. Catalog
+// relations keep their cached equality indexes across calls (relation.
+// EqIndex), so repeated queries over long-lived tables — the SQL protocol's
+// patched requests/history relations — skip the per-round hash build. The
+// index caching makes execution a mutation of the catalog relations:
+// concurrent Run/RunOpts calls over a shared relation are not safe (the
+// scheduler serialises rounds; independent callers need separate catalogs).
+func RunOpts(q *Query, cat Catalog, opts *ra.Options) (*relation.Relation, error) {
+	ex := &executor{cat: make(Catalog, len(cat)), ra: opts}
 	for k, v := range cat {
 		ex.cat[strings.ToLower(k)] = v
 	}
@@ -23,6 +36,7 @@ func Run(q *Query, cat Catalog) (*relation.Relation, error) {
 
 type executor struct {
 	cat Catalog
+	ra  *ra.Options
 }
 
 func (ex *executor) evalQuery(q *Query) (*relation.Relation, error) {
@@ -218,9 +232,9 @@ func (ex *executor) joinChain(from []FromItem, conjs []*conjunct) (*relation.Rel
 				c.done = true
 			}
 			if item.Join == JoinLeft {
-				cur = ra.LeftJoin(cur, next, keys, residual)
+				cur = ex.ra.LeftJoin(cur, next, keys, residual)
 			} else {
-				cur = ra.HashJoin(cur, next, keys, residual)
+				cur = ex.ra.HashJoin(cur, next, keys, residual)
 			}
 		default: // comma join: consume WHERE equi-join keys
 			next, err = ex.applyResolvable(next, conjs)
@@ -231,7 +245,7 @@ func (ex *executor) joinChain(from []FromItem, conjs []*conjunct) (*relation.Rel
 			if err != nil {
 				return nil, nil, err
 			}
-			cur = ra.HashJoin(cur, next, keys, nil)
+			cur = ex.ra.HashJoin(cur, next, keys, nil)
 		}
 		cur, err = ex.applyResolvable(cur, conjs)
 		if err != nil {
@@ -263,7 +277,7 @@ func (ex *executor) applyResolvable(rel *relation.Relation, conjs []*conjunct) (
 		c.done = true
 	}
 	for _, p := range preds {
-		rel = ra.Select(rel, p)
+		rel = ex.ra.Select(rel, p)
 	}
 	return rel, nil
 }
@@ -523,9 +537,9 @@ func (ex *executor) applyExists(cur *relation.Relation, e Expr) (*relation.Relat
 		}
 	}
 	if negate {
-		return ra.AntiJoin(cur, inner, keys, residual), nil
+		return ex.ra.AntiJoin(cur, inner, keys, residual), nil
 	}
-	return ra.SemiJoin(cur, inner, keys, residual), nil
+	return ex.ra.SemiJoin(cur, inner, keys, residual), nil
 }
 
 // correlatedKey recognises outer.col = inner.col (either orientation).
@@ -651,7 +665,7 @@ func (ex *executor) project(sel *Select, rel *relation.Relation) (*relation.Rela
 			E:    compiled,
 		})
 	}
-	out, err := ra.Project(rel, items)
+	out, err := ex.ra.Project(rel, items)
 	if err != nil {
 		return nil, err
 	}

@@ -185,7 +185,7 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 		}
 		specs = append(specs, spec)
 	}
-	midRel, err := ra.Project(rel, mid)
+	midRel, err := ex.ra.Project(rel, mid)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +218,7 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 		if err != nil {
 			return nil, fmt.Errorf("minisql: HAVING: %w", err)
 		}
-		grouped = ra.Select(grouped, pred)
+		grouped = ex.ra.Select(grouped, pred)
 	}
 
 	// 5. Final projection.
@@ -255,7 +255,7 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 		}
 		items = append(items, ra.NamedExpr{Name: uniq(name), Kind: groupedKind(it.Expr, rel.Schema()), E: compiled})
 	}
-	out, err := ra.Project(grouped, items)
+	out, err := ex.ra.Project(grouped, items)
 	if err != nil {
 		return nil, err
 	}

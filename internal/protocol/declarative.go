@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/minisql"
+	"repro/internal/pool"
+	"repro/internal/ra"
 	"repro/internal/relation"
 	"repro/internal/request"
 	"repro/internal/rules"
@@ -22,10 +24,23 @@ type SQLProtocol struct {
 	// Incremental state (QualifyIncremental): cached requests/history
 	// relations maintained by per-round append/delete instead of full
 	// rebuilds, and the byKey restoration map kept in step with pending.
+	// The cached relations also carry the executor's multi-column equality
+	// indexes (relation.EqIndex) across rounds: history appends extend them
+	// in place, so only rounds that delete rows pay a rebuild.
 	warm       bool
 	pendingRel *relation.Relation
 	histRel    *relation.Relation
 	byKey      map[request.Key]request.Request
+
+	// Operator options: a worker pool when SetParallelism enabled one, and
+	// the nested-loop oracle switch (benchmarks and property tests compare
+	// the hash path against it).
+	opts *ra.Options
+
+	// lastStrategy names the evaluation path of the last Qualify call
+	// (StrategyReporter): "sql-warm" when the cached relations were patched
+	// in place, "sql-cold" for a full rebuild.
+	lastStrategy string
 }
 
 // NewSQL parses the query once and reuses the plan every round.
@@ -49,10 +64,48 @@ func SS2PLSQL() *SQLProtocol {
 // Name implements Protocol.
 func (p *SQLProtocol) Name() string { return p.name }
 
+// SetParallelism implements Parallelizable: large scan/filter/join loops of
+// the mini-SQL executor fan out across n workers (n <= 0 selects GOMAXPROCS,
+// 1 stays single-threaded). Must not be called concurrently with Qualify.
+func (p *SQLProtocol) SetParallelism(n int) {
+	var old *pool.Pool
+	if p.opts != nil {
+		old = p.opts.Pool
+	}
+	np := pool.Reconfigure(p, old, n)
+	if np == nil {
+		if p.opts != nil {
+			p.opts.Pool = nil
+		}
+		return
+	}
+	if p.opts == nil {
+		p.opts = &ra.Options{}
+	}
+	p.opts.Pool = np
+}
+
+// SetNestedLoop forces (or clears) the executor's nested-loop join oracle —
+// the unindexed O(n·m) baseline the hash operators are benchmarked and
+// property-tested against.
+func (p *SQLProtocol) SetNestedLoop(on bool) {
+	if p.opts == nil {
+		if !on {
+			return
+		}
+		p.opts = &ra.Options{}
+	}
+	p.opts.NestedLoop = on
+}
+
+// LastStrategy implements StrategyReporter.
+func (p *SQLProtocol) LastStrategy() string { return p.lastStrategy }
+
 // Qualify implements Protocol: materialise both relations and run the query.
 // It invalidates any incremental state.
 func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
 	p.warm = false
+	p.lastStrategy = "sql-cold"
 	reqRel, histRel, byKey := materialise(pending, history)
 	return p.run(reqRel, histRel, byKey)
 }
@@ -95,6 +148,9 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 	if !p.warm {
 		p.pendingRel, p.histRel, p.byKey = materialise(pending, history)
 		p.warm = true
+		p.lastStrategy = "sql-cold"
+	} else {
+		p.lastStrategy = "sql-warm"
 	}
 	return p.run(p.pendingRel, p.histRel, p.byKey)
 }
@@ -114,7 +170,7 @@ func deleteByID(rel *relation.Relation, removed []request.Request) {
 
 func (p *SQLProtocol) run(requests, history *relation.Relation, byKey map[request.Key]request.Request) ([]request.Request, error) {
 	cat := minisql.Catalog{"requests": requests, "history": history}
-	out, err := minisql.Run(p.query, cat)
+	out, err := minisql.RunOpts(p.query, cat, p.opts)
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
 	}
@@ -245,6 +301,10 @@ func (p *DatalogProtocol) Name() string { return p.name }
 
 // EngineStats exposes the evaluation statistics of the last Qualify call.
 func (p *DatalogProtocol) EngineStats() datalog.RunStats { return p.engine.Stats }
+
+// LastStrategy implements StrategyReporter with the engine's evaluation path
+// of the last run (the adaptive cost model's per-round choice).
+func (p *DatalogProtocol) LastStrategy() string { return p.engine.Stats.Strategy }
 
 // SetParallelism implements Parallelizable: large evaluation passes of the
 // underlying engine fan out across n workers (n <= 0 selects GOMAXPROCS,

@@ -100,6 +100,35 @@ func TestSQLQualifyIncrementalMatchesCold(t *testing.T) {
 	}
 }
 
+// TestSQLQualifyIncrementalParallelAndNested: the parallel executor (pool
+// forced onto every operator loop) and the nested-loop oracle executor both
+// track the cold hash path round for round, and the protocol reports the
+// warm/cold strategy per round.
+func TestSQLQualifyIncrementalParallelAndNested(t *testing.T) {
+	par := SS2PLSQL()
+	par.SetParallelism(4)
+	par.opts.MinParRows = 1
+	driveIncremental(t, par, func() Protocol { return SS2PLSQL() }, 11)
+	if got := par.LastStrategy(); got != "sql-warm" {
+		t.Fatalf("after warm rounds LastStrategy = %q, want sql-warm", got)
+	}
+
+	nested := SS2PLSQL()
+	nested.SetNestedLoop(true)
+	driveIncremental(t, nested, func() Protocol { return SS2PLSQL() }, 12)
+
+	cold := SS2PLSQL()
+	if cold.LastStrategy() != "" {
+		t.Fatalf("fresh protocol reports strategy %q", cold.LastStrategy())
+	}
+	if _, err := cold.Qualify(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.LastStrategy(); got != "sql-cold" {
+		t.Fatalf("cold Qualify LastStrategy = %q, want sql-cold", got)
+	}
+}
+
 // TestQualifyInvalidatesIncrementalState: a direct Qualify call between
 // incremental rounds must not poison subsequent warm rounds.
 func TestQualifyIncrementalSurvivesColdInterleaving(t *testing.T) {

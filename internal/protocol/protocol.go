@@ -70,6 +70,17 @@ type Parallelizable interface {
 	SetParallelism(n int)
 }
 
+// StrategyReporter is implemented by protocols that can name the evaluation
+// path their last Qualify took (e.g. the Datalog engine's cold / monotone /
+// dred / recompute as chosen by its adaptive cost model, or the SQL
+// executor's warm vs cold round). The scheduler records it per round in
+// metrics.RoundStats.
+type StrategyReporter interface {
+	// LastStrategy returns the evaluation strategy of the last
+	// qualification, or "" if none has run.
+	LastStrategy() string
+}
+
 // ByID orders requests by global arrival number, the default execution order
 // (Listing 1's ORDER BY id).
 func ByID(rs []request.Request) {

@@ -8,6 +8,12 @@
 // kernels for rule bodies. This mirrors the paper's claim that "optimization
 // techniques from declarative query processing can be used to improve
 // scheduler performance without affecting the scheduler specification".
+//
+// The join operators build (and cache) equality indexes on their input
+// relations (relation.EqIndex), so evaluating a join mutates its operands'
+// index caches: concurrent operator calls over a shared relation are not
+// safe. Within one call, Options.Pool workers only read shared state —
+// indexes are acquired before fan-out.
 package ra
 
 import (

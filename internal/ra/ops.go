@@ -10,12 +10,21 @@ import (
 // Select returns the tuples of r for which pred evaluates to True (Unknown
 // and False are both rejected, per SQL WHERE semantics).
 func Select(r *relation.Relation, pred Expr) *relation.Relation {
+	return (*Options)(nil).Select(r, pred)
+}
+
+// Select is the filter operator under these options (see the package-level
+// function for semantics).
+func (o *Options) Select(r *relation.Relation, pred Expr) *relation.Relation {
+	rows := r.Rows()
 	out := relation.New(r.Schema())
-	for _, t := range r.Rows() {
-		if Truth(pred.Eval(t)) == True {
-			out.MustAppend(t)
+	o.runChunked(out, len(rows), func(lo, hi int, emit func(relation.Tuple)) {
+		for _, t := range rows[lo:hi] {
+			if Truth(pred.Eval(t)) == True {
+				emit(t)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -29,18 +38,41 @@ type NamedExpr struct {
 // Project evaluates the expressions against every tuple, producing a new
 // relation with the given output schema.
 func Project(r *relation.Relation, items []NamedExpr) (*relation.Relation, error) {
+	return (*Options)(nil).Project(r, items)
+}
+
+// Project is the projection operator under these options.
+func (o *Options) Project(r *relation.Relation, items []NamedExpr) (*relation.Relation, error) {
 	cols := make([]relation.Column, len(items))
 	for i, it := range items {
 		cols[i] = relation.Column{Name: it.Name, Kind: it.Kind}
 	}
 	out := relation.New(relation.NewSchema(cols...))
-	for _, t := range r.Rows() {
-		nt := make(relation.Tuple, len(items))
-		for i, it := range items {
-			nt[i] = it.E.Eval(t)
+	rows := r.Rows()
+	eval := func(lo, hi int) []relation.Tuple {
+		res := make([]relation.Tuple, 0, hi-lo)
+		for _, t := range rows[lo:hi] {
+			nt := make(relation.Tuple, len(items))
+			for i, it := range items {
+				nt[i] = it.E.Eval(t)
+			}
+			res = append(res, nt)
 		}
-		if err := out.Append(nt); err != nil {
-			return nil, fmt.Errorf("ra: project: %w", err)
+		return res
+	}
+	var produced [][]relation.Tuple
+	if nt := o.parTasks(len(rows)); nt > 1 {
+		produced = o.parChunks(len(rows), nt, eval)
+	} else {
+		produced = [][]relation.Tuple{eval(0, len(rows))}
+	}
+	// Validation happens at the merge: projection kinds are inferred by the
+	// planner and a mismatch is a bug worth surfacing.
+	for _, ts := range produced {
+		for _, nt := range ts {
+			if err := out.Append(nt); err != nil {
+				return nil, fmt.Errorf("ra: project: %w", err)
+			}
 		}
 	}
 	return out, nil
@@ -69,7 +101,7 @@ func CrossJoin(l, r *relation.Relation) *relation.Relation {
 			nt := make(relation.Tuple, 0, len(lt)+len(rt))
 			nt = append(nt, lt...)
 			nt = append(nt, rt...)
-			out.MustAppend(nt)
+			out.AppendTrusted(nt)
 		}
 	}
 	return out
@@ -77,6 +109,16 @@ func CrossJoin(l, r *relation.Relation) *relation.Relation {
 
 // EquiKey names one pair of join columns (left position, right position).
 type EquiKey struct{ L, R int }
+
+// splitKeys separates the key pairs into per-side position lists.
+func splitKeys(keys []EquiKey) (lpos, rpos []int) {
+	lpos = make([]int, len(keys))
+	rpos = make([]int, len(keys))
+	for i, k := range keys {
+		lpos[i], rpos[i] = k.L, k.R
+	}
+	return lpos, rpos
+}
 
 // keyHash hashes the join-key projection of t; ok is false when any key
 // column is NULL (NULL never matches in an equi-join).
@@ -87,6 +129,18 @@ func keyHash(t relation.Tuple, pos []int) (uint64, bool) {
 		}
 	}
 	return t.HashCols(pos), true
+}
+
+// keyHasNull reports whether any key column of t is NULL (such a row can
+// never equi-join; the nested-loop paths must agree with the hash paths,
+// whose Value.Equal would otherwise match NULL against NULL).
+func keyHasNull(t relation.Tuple, pos []int) bool {
+	for _, p := range pos {
+		if t[p].IsNull() {
+			return true
+		}
+	}
+	return false
 }
 
 // keysEqual verifies, after a hash-bucket hit, that the key columns of a and
@@ -100,37 +154,50 @@ func keysEqual(a relation.Tuple, apos []int, b relation.Tuple, bpos []int) bool 
 	return true
 }
 
-// buildTable hashes the rows of r on the given key columns. Rows with a NULL
-// key column are dropped (they cannot match).
-func buildTable(r *relation.Relation, pos []int) map[uint64][]relation.Tuple {
-	table := make(map[uint64][]relation.Tuple, r.Len())
-	for _, t := range r.Rows() {
-		h, ok := keyHash(t, pos)
-		if !ok {
-			continue
-		}
-		table[h] = append(table[h], t)
-	}
-	return table
-}
-
 // HashJoin performs an inner equi-join on the given keys, then applies the
 // optional residual predicate over the concatenated tuple.
 func HashJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
-	out := relation.New(concatSchemas(l.Schema(), r.Schema(), "r"))
+	return (*Options)(nil).HashJoin(l, r, keys, residual)
+}
+
+// HashJoin is the inner equi-join under these options. The build side is
+// always the smaller side — deterministic for given inputs — and its hash
+// table comes from the relation-level index cache (relation.EqIndex), so
+// rejoining an unmutated relation on the same keys skips the build. With
+// NestedLoop set, every left row scans the full right relation instead.
+func (o *Options) HashJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
 	if len(keys) == 0 {
 		j := CrossJoin(l, r)
 		if residual != nil {
-			return Select(j, residual)
+			return o.Select(j, residual)
 		}
 		return j
 	}
-	lpos := make([]int, len(keys))
-	rpos := make([]int, len(keys))
-	for i, k := range keys {
-		lpos[i], rpos[i] = k.L, k.R
+	out := relation.New(concatSchemas(l.Schema(), r.Schema(), "r"))
+	lpos, rpos := splitKeys(keys)
+	if o.nested() {
+		rrows := r.Rows()
+		for _, lt := range l.Rows() {
+			if keyHasNull(lt, lpos) {
+				continue
+			}
+			for _, rt := range rrows {
+				if keyHasNull(rt, rpos) || !keysEqual(lt, lpos, rt, rpos) {
+					continue
+				}
+				nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
+				if residual == nil || Truth(residual.Eval(nt)) == True {
+					out.AppendTrusted(nt)
+				}
+			}
+		}
+		return out
 	}
-	// Build on the smaller side.
+	// Build on the smaller side — a deterministic choice for given inputs
+	// (cache warmth must not steer it: the probe side fixes the output row
+	// order, which has to be reproducible across cold and warm rounds). The
+	// chosen side's index still comes from the relation's cache, so a warm
+	// round skips the rebuild whenever the same side is chosen again.
 	build, probe := r, l
 	bpos, ppos := rpos, lpos
 	buildIsRight := true
@@ -139,27 +206,32 @@ func HashJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.
 		bpos, ppos = lpos, rpos
 		buildIsRight = false
 	}
-	table := buildTable(build, bpos)
-	for _, pt := range probe.Rows() {
-		h, ok := keyHash(pt, ppos)
-		if !ok {
-			continue
-		}
-		for _, bt := range table[h] {
-			if !keysEqual(pt, ppos, bt, bpos) {
+	ix := build.EqIndex(bpos)
+	buildRows := build.Rows()
+	probeRows := probe.Rows()
+	o.runChunked(out, len(probeRows), func(lo, hi int, emit func(relation.Tuple)) {
+		for _, pt := range probeRows[lo:hi] {
+			h, ok := keyHash(pt, ppos)
+			if !ok {
 				continue
 			}
-			var nt relation.Tuple
-			if buildIsRight {
-				nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), pt...), bt...)
-			} else {
-				nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), bt...), pt...)
-			}
-			if residual == nil || Truth(residual.Eval(nt)) == True {
-				out.MustAppend(nt)
+			for _, pos := range ix.CandidatesHash(h) {
+				bt := buildRows[pos]
+				if !keysEqual(pt, ppos, bt, bpos) {
+					continue
+				}
+				var nt relation.Tuple
+				if buildIsRight {
+					nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), pt...), bt...)
+				} else {
+					nt = append(append(make(relation.Tuple, 0, len(pt)+len(bt)), bt...), pt...)
+				}
+				if residual == nil || Truth(residual.Eval(nt)) == True {
+					emit(nt)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -167,91 +239,132 @@ func HashJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.
 // with NULLs on the right. The residual predicate participates in matching
 // (ON-clause semantics).
 func LeftJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	return (*Options)(nil).LeftJoin(l, r, keys, residual)
+}
+
+// LeftJoin is the left outer equi-join under these options. The build side
+// is always the right relation (padding is per left row).
+func (o *Options) LeftJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
 	out := relation.New(concatSchemas(l.Schema(), r.Schema(), "r"))
-	rpos := make([]int, len(keys))
-	lpos := make([]int, len(keys))
-	for i, k := range keys {
-		lpos[i], rpos[i] = k.L, k.R
+	lpos, rpos := splitKeys(keys)
+	var ix *relation.EqIndex
+	if len(keys) > 0 && !o.nested() {
+		ix = r.EqIndex(rpos)
 	}
-	table := buildTable(r, rpos)
+	rrows := r.Rows()
+	lrows := l.Rows()
 	nulls := make(relation.Tuple, r.Schema().Len())
 	for i := range nulls {
 		nulls[i] = relation.Null()
 	}
-	for _, lt := range l.Rows() {
-		matched := false
-		var candidates []relation.Tuple
-		if len(keys) == 0 {
-			candidates = r.Rows()
-		} else if h, ok := keyHash(lt, lpos); ok {
-			candidates = table[h]
-		}
-		for _, rt := range candidates {
-			if len(keys) > 0 && !keysEqual(lt, lpos, rt, rpos) {
-				continue
+	o.runChunked(out, len(lrows), func(lo, hi int, emit func(relation.Tuple)) {
+		for _, lt := range lrows[lo:hi] {
+			matched := false
+			var candidates []relation.Tuple
+			var positions []int32
+			if ix == nil {
+				if len(keys) == 0 || !keyHasNull(lt, lpos) {
+					candidates = rrows
+				}
+			} else if h, ok := keyHash(lt, lpos); ok {
+				positions = ix.CandidatesHash(h)
 			}
-			nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
-			if residual == nil || Truth(residual.Eval(nt)) == True {
-				out.MustAppend(nt)
-				matched = true
+			match := func(rt relation.Tuple) {
+				if len(keys) > 0 && (keyHasNull(rt, rpos) || !keysEqual(lt, lpos, rt, rpos)) {
+					return
+				}
+				nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
+				if residual == nil || Truth(residual.Eval(nt)) == True {
+					emit(nt)
+					matched = true
+				}
+			}
+			for _, rt := range candidates {
+				match(rt)
+			}
+			for _, pos := range positions {
+				match(rrows[pos])
+			}
+			if !matched {
+				emit(append(append(make(relation.Tuple, 0, len(lt)+len(nulls)), lt...), nulls...))
 			}
 		}
-		if !matched {
-			nt := append(append(make(relation.Tuple, 0, len(lt)+len(nulls)), lt...), nulls...)
-			out.MustAppend(nt)
-		}
-	}
+	})
 	return out
 }
 
 // SemiJoin returns the left tuples that have at least one match in r
 // (EXISTS). The match predicate sees the concatenated tuple.
 func SemiJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
-	return semiAnti(l, r, keys, residual, true)
+	return (*Options)(nil).SemiJoin(l, r, keys, residual)
+}
+
+// SemiJoin is the hash semi-join under these options.
+func (o *Options) SemiJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	return o.semiAnti(l, r, keys, residual, true)
 }
 
 // AntiJoin returns the left tuples with no match in r (NOT EXISTS).
 func AntiJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
-	return semiAnti(l, r, keys, residual, false)
+	return (*Options)(nil).AntiJoin(l, r, keys, residual)
 }
 
-func semiAnti(l, r *relation.Relation, keys []EquiKey, residual Expr, want bool) *relation.Relation {
+// AntiJoin is the hash anti-join under these options.
+func (o *Options) AntiJoin(l, r *relation.Relation, keys []EquiKey, residual Expr) *relation.Relation {
+	return o.semiAnti(l, r, keys, residual, false)
+}
+
+func (o *Options) semiAnti(l, r *relation.Relation, keys []EquiKey, residual Expr, want bool) *relation.Relation {
 	out := relation.New(l.Schema())
-	lpos := make([]int, len(keys))
-	rpos := make([]int, len(keys))
-	for i, k := range keys {
-		lpos[i], rpos[i] = k.L, k.R
+	lpos, rpos := splitKeys(keys)
+	var ix *relation.EqIndex
+	if len(keys) > 0 && !o.nested() {
+		ix = r.EqIndex(rpos)
 	}
-	var table map[uint64][]relation.Tuple
-	if len(keys) > 0 {
-		table = buildTable(r, rpos)
-	}
-	for _, lt := range l.Rows() {
-		var candidates []relation.Tuple
-		if len(keys) == 0 {
-			candidates = r.Rows()
-		} else if h, ok := keyHash(lt, lpos); ok {
-			candidates = table[h]
-		}
-		matched := false
-		for _, rt := range candidates {
-			if len(keys) > 0 && !keysEqual(lt, lpos, rt, rpos) {
-				continue
+	rrows := r.Rows()
+	lrows := l.Rows()
+	o.runChunked(out, len(lrows), func(lo, hi int, emit func(relation.Tuple)) {
+		var buf relation.Tuple
+		for _, lt := range lrows[lo:hi] {
+			var candidates []relation.Tuple
+			var positions []int32
+			if ix == nil {
+				if len(keys) == 0 || !keyHasNull(lt, lpos) {
+					candidates = rrows
+				}
+			} else if h, ok := keyHash(lt, lpos); ok {
+				positions = ix.CandidatesHash(h)
 			}
-			if residual == nil {
-				matched = true
-				break
+			matched := false
+			check := func(rt relation.Tuple) bool {
+				if len(keys) > 0 && (keyHasNull(rt, rpos) || !keysEqual(lt, lpos, rt, rpos)) {
+					return false
+				}
+				if residual == nil {
+					return true
+				}
+				buf = append(append(buf[:0], lt...), rt...)
+				return Truth(residual.Eval(buf)) == True
 			}
-			nt := append(append(make(relation.Tuple, 0, len(lt)+len(rt)), lt...), rt...)
-			if Truth(residual.Eval(nt)) == True {
-				matched = true
-				break
+			for _, rt := range candidates {
+				if check(rt) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				for _, pos := range positions {
+					if check(rrows[pos]) {
+						matched = true
+						break
+					}
+				}
+			}
+			if matched == want {
+				emit(lt)
 			}
 		}
-		if matched == want {
-			out.MustAppend(lt)
-		}
-	}
+	})
 	return out
 }
 
@@ -286,7 +399,7 @@ func Except(l, r *relation.Relation) (*relation.Relation, error) {
 			continue
 		}
 		if seen.Add(t) {
-			out.MustAppend(t)
+			out.AppendTrusted(t)
 		}
 	}
 	return out, nil
@@ -323,13 +436,13 @@ func Limit(r *relation.Relation, n int) *relation.Relation {
 		return r.Clone()
 	}
 	out := relation.New(r.Schema())
-	for _, t := range r.Rows()[:n] {
-		out.MustAppend(t)
-	}
+	out.AppendTrusted(r.Rows()[:n]...)
 	return out
 }
 
-// Rename returns r with a new schema of the same layout but different names.
+// Rename returns a view of r under a schema of the same layout but different
+// names. The view shares r's tuples and equality-index cache, so renaming a
+// base relation per round keeps its join indexes warm.
 func Rename(r *relation.Relation, names []string) (*relation.Relation, error) {
 	if len(names) != r.Schema().Len() {
 		return nil, fmt.Errorf("ra: rename arity mismatch %d vs %d", len(names), r.Schema().Len())
@@ -338,9 +451,5 @@ func Rename(r *relation.Relation, names []string) (*relation.Relation, error) {
 	for i := range cols {
 		cols[i].Name = names[i]
 	}
-	out, err := relation.FromRows(relation.NewSchema(cols...), r.Rows())
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return r.WithSchema(relation.NewSchema(cols...))
 }

@@ -1,0 +1,175 @@
+package ra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/relation"
+)
+
+// The hash join operators are property-tested against the nested-loop
+// executor as oracle: over random relations (NULLs included), random
+// multi-column equi-keys and random residual predicates, the hash path, the
+// parallel path and the nested-loop path must produce the same bag of rows —
+// and the parallel path must produce exactly the sequential hash path's rows
+// in the same order (chunk-ordered merge).
+
+// randRel builds a random relation over nCols dynamically mixed int/string
+// columns, with occasional NULLs so the NULL-key join semantics are hit.
+func randRel(rng *rand.Rand, name string, nCols, nRows int) *relation.Relation {
+	cols := make([]relation.Column, nCols)
+	for i := range cols {
+		cols[i] = relation.Column{Name: fmt.Sprintf("%s%d", name, i), Kind: relation.KindNull}
+	}
+	r := relation.New(relation.NewSchema(cols...))
+	for i := 0; i < nRows; i++ {
+		t := make(relation.Tuple, nCols)
+		for j := range t {
+			switch rng.Intn(6) {
+			case 0:
+				t[j] = relation.Null()
+			case 1:
+				t[j] = relation.String([]string{"r", "w", "c"}[rng.Intn(3)])
+			default:
+				t[j] = relation.Int(int64(rng.Intn(4)))
+			}
+		}
+		r.MustAppend(t)
+	}
+	return r
+}
+
+// randKeys picks up to two random column pairs as equi-keys.
+func randKeys(rng *rand.Rand, lCols, rCols int) []EquiKey {
+	n := 1 + rng.Intn(2)
+	keys := make([]EquiKey, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, EquiKey{L: rng.Intn(lCols), R: rng.Intn(rCols)})
+	}
+	return keys
+}
+
+// randResidual builds a random predicate over the concatenated tuple width,
+// sometimes nil.
+func randResidual(rng *rand.Rand, width int) Expr {
+	switch rng.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		return Cmp{Op: CmpOp(rng.Intn(6)), L: Col{Pos: rng.Intn(width)}, R: Col{Pos: rng.Intn(width)}}
+	case 2:
+		return Cmp{Op: CmpOp(rng.Intn(6)), L: Col{Pos: rng.Intn(width)}, R: Lit{V: relation.Int(int64(rng.Intn(4)))}}
+	default:
+		return Or{
+			L: Cmp{Op: EQ, L: Col{Pos: rng.Intn(width)}, R: Lit{V: relation.String("w")}},
+			R: Cmp{Op: CmpOp(rng.Intn(6)), L: Col{Pos: rng.Intn(width)}, R: Col{Pos: rng.Intn(width)}},
+		}
+	}
+}
+
+func sameBag(t *testing.T, what string, got, want *relation.Relation) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Fatalf("%s diverged\ngot:\n%s\nwant:\n%s", what, got, want)
+	}
+}
+
+func sameRows(t *testing.T, what string, got, want *relation.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows vs %d", what, got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if !got.Row(i).Equal(want.Row(i)) {
+			t.Fatalf("%s: row %d differs: %s vs %s", what, i, got.Row(i), want.Row(i))
+		}
+	}
+}
+
+// TestJoinsMatchNestedLoopOracle: hash and parallel joins against the
+// nested-loop oracle over random inputs.
+func TestJoinsMatchNestedLoopOracle(t *testing.T) {
+	nested := &Options{NestedLoop: true}
+	par := &Options{Pool: pool.New(4), MinParRows: 1}
+	defer par.Pool.Shutdown()
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lCols, rCols := 1+rng.Intn(3), 1+rng.Intn(3)
+		l := randRel(rng, "l", lCols, rng.Intn(40))
+		r := randRel(rng, "r", rCols, rng.Intn(40))
+		keys := randKeys(rng, lCols, rCols)
+		step := fmt.Sprintf("seed %d", seed)
+
+		res := randResidual(rng, lCols+rCols)
+		hash := HashJoin(l, r, keys, res)
+		sameBag(t, step+" inner join vs oracle", hash, nested.HashJoin(l, r, keys, res))
+		sameRows(t, step+" inner join parallel", par.HashJoin(l, r, keys, res), hash)
+
+		left := LeftJoin(l, r, keys, res)
+		sameBag(t, step+" left join vs oracle", left, nested.LeftJoin(l, r, keys, res))
+		sameRows(t, step+" left join parallel", par.LeftJoin(l, r, keys, res), left)
+
+		semi := SemiJoin(l, r, keys, res)
+		sameBag(t, step+" semi join vs oracle", semi, nested.SemiJoin(l, r, keys, res))
+		sameRows(t, step+" semi join parallel", par.SemiJoin(l, r, keys, res), semi)
+
+		anti := AntiJoin(l, r, keys, res)
+		sameBag(t, step+" anti join vs oracle", anti, nested.AntiJoin(l, r, keys, res))
+		sameRows(t, step+" anti join parallel", par.AntiJoin(l, r, keys, res), anti)
+
+		// Semi and anti partition the left side.
+		if semi.Len()+anti.Len() != l.Len() {
+			t.Fatalf("%s: semi (%d) + anti (%d) != left (%d)", step, semi.Len(), anti.Len(), l.Len())
+		}
+
+		filt := randResidual(rng, lCols)
+		if filt != nil {
+			sel := Select(l, filt)
+			sameRows(t, step+" select parallel", par.Select(l, filt), sel)
+		}
+	}
+}
+
+// TestCachedIndexSurvivesAppendsAndMutation: joins through the cached
+// equality index stay correct as the build side is appended to (index
+// extended in place), deleted from (index invalidated) and renamed
+// (cache shared by the view) — the SQL protocol's patched-relation pattern.
+func TestCachedIndexSurvivesAppendsAndMutation(t *testing.T) {
+	nested := &Options{NestedLoop: true}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		base := randRel(rng, "r", 2, 10+rng.Intn(30))
+		probe := randRel(rng, "l", 2, 10+rng.Intn(30))
+		keys := []EquiKey{{L: rng.Intn(2), R: rng.Intn(2)}}
+		for step := 0; step < 12; step++ {
+			// Join through a renamed view, as the executor does.
+			view, err := Rename(base, []string{"a", "b"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := HashJoin(probe, view, keys, nil)
+			want := nested.HashJoin(probe, view, keys, nil)
+			sameBag(t, fmt.Sprintf("seed %d step %d join", seed, step), got, want)
+			semi := SemiJoin(probe, view, keys, nil)
+			sameBag(t, fmt.Sprintf("seed %d step %d semi", seed, step), semi,
+				nested.SemiJoin(probe, view, keys, nil))
+			// Mutate the base between rounds: append a few rows, sometimes
+			// delete (which must invalidate the cached indexes).
+			for k := 0; k < rng.Intn(4); k++ {
+				t2 := make(relation.Tuple, 2)
+				for j := range t2 {
+					t2[j] = relation.Int(int64(rng.Intn(4)))
+				}
+				base.MustAppend(t2)
+			}
+			if rng.Intn(3) == 0 {
+				victim := int64(rng.Intn(4))
+				base.Delete(func(tu relation.Tuple) bool {
+					return tu[0].Kind() == relation.KindInt && tu[0].AsInt() == victim
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package relation
+
+import "testing"
+
+func intRel(t *testing.T, vals ...int64) *Relation {
+	t.Helper()
+	r := New(NewSchema(Column{Name: "v", Kind: KindInt}))
+	for _, v := range vals {
+		r.MustAppend(Tuple{Int(v)})
+	}
+	return r
+}
+
+// lookupInts resolves an EqIndex probe to the matching values of rel.
+func lookupInts(rel *Relation, ix *EqIndex, key int64) []int64 {
+	var out []int64
+	for _, pos := range ix.Candidates([]Value{Int(key)}) {
+		if int(pos) < rel.Len() && rel.Row(int(pos))[0].AsInt() == key {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// TestEqIndexExtendsOnAppendAndInvalidatesOnDelete: the cached index covers
+// appended rows on the next probe and is dropped by in-place mutation.
+func TestEqIndexExtendsOnAppendAndInvalidatesOnDelete(t *testing.T) {
+	r := intRel(t, 1, 2, 3)
+	ix := r.EqIndex([]int{0})
+	if got := lookupInts(r, ix, 2); len(got) != 1 {
+		t.Fatalf("lookup(2) = %v", got)
+	}
+	r.MustAppend(Tuple{Int(4)})
+	ix = r.EqIndex([]int{0})
+	if got := lookupInts(r, ix, 4); len(got) != 1 {
+		t.Fatalf("after append lookup(4) = %v", got)
+	}
+	r.Delete(func(tu Tuple) bool { return tu[0].AsInt() == 1 })
+	if r.CachedEqIndex([]int{0}) != nil {
+		t.Fatal("cache survived an in-place delete")
+	}
+	ix = r.EqIndex([]int{0})
+	if got := lookupInts(r, ix, 4); len(got) != 1 {
+		t.Fatalf("after rebuild lookup(4) = %v", got)
+	}
+}
+
+// TestViewAppendDetachesSharedCache: a row appended through a WithSchema
+// view must not reach the base's shared index cache — the base's next probe
+// after its own append has to see its own row at that position, not the
+// view's.
+func TestViewAppendDetachesSharedCache(t *testing.T) {
+	base := intRel(t, 1, 2)
+	base.EqIndex([]int{0}) // warm the shared cache
+	view, err := base.WithSchema(NewSchema(Column{Name: "w", Kind: KindInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view.MustAppend(Tuple{Int(7)}) // detaches: must not poison the base
+	if view.CachedEqIndex([]int{0}) != nil {
+		t.Fatal("view kept the shared cache after appending")
+	}
+	vix := view.EqIndex([]int{0})
+	if got := lookupInts(view, vix, 7); len(got) != 1 {
+		t.Fatalf("view lookup(7) = %v", got)
+	}
+	base.MustAppend(Tuple{Int(9)})
+	bix := base.EqIndex([]int{0})
+	if got := lookupInts(base, bix, 9); len(got) != 1 {
+		t.Fatalf("base lookup(9) after view append = %v", got)
+	}
+	if got := lookupInts(base, bix, 7); len(got) != 0 {
+		t.Fatalf("view-appended row leaked into base index: %v", got)
+	}
+}
+
+// TestViewMutationIsCopyOnWrite: Clear/Delete/SortBy through a view must
+// never touch the base's rows or its warm index cache — Clear-then-Append
+// in particular must not write into the shared backing array.
+func TestViewMutationIsCopyOnWrite(t *testing.T) {
+	base := intRel(t, 1, 2, 3)
+	base.EqIndex([]int{0})
+	view, err := base.WithSchema(NewSchema(Column{Name: "w", Kind: KindInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view.Clear()
+	view.MustAppend(Tuple{Int(99)})
+	if base.Len() != 3 || base.Row(0)[0].AsInt() != 1 {
+		t.Fatalf("clear+append through view corrupted base: %s", base)
+	}
+	if base.CachedEqIndex([]int{0}) == nil {
+		t.Fatal("view Clear wiped the base's warm index cache")
+	}
+
+	view2, err := base.WithSchema(NewSchema(Column{Name: "w", Kind: KindInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view2.Delete(func(tu Tuple) bool { return tu[0].AsInt() == 1 })
+	if view2.Len() != 2 || base.Len() != 3 || base.Row(0)[0].AsInt() != 1 {
+		t.Fatalf("delete through view corrupted base: view=%s base=%s", view2, base)
+	}
+
+	view3, err := base.WithSchema(NewSchema(Column{Name: "w", Kind: KindInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.MustAppend(Tuple{Int(0)}) // base now 1,2,3,0; view3 still 1,2,3
+	if err := view3.SortBy("w"); err != nil {
+		t.Fatal(err)
+	}
+	if base.Row(0)[0].AsInt() != 1 || base.Row(3)[0].AsInt() != 0 {
+		t.Fatalf("sort through view reordered base: %s", base)
+	}
+}
+
+// TestWithSchemaRejectsKindMismatch: the view constructor enforces its whole
+// stated precondition, kinds included.
+func TestWithSchemaRejectsKindMismatch(t *testing.T) {
+	base := intRel(t, 1)
+	if _, err := base.WithSchema(NewSchema(Column{Name: "s", Kind: KindString})); err == nil {
+		t.Fatal("kind-mismatched view accepted")
+	}
+	if _, err := base.WithSchema(NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "b", Kind: KindInt})); err == nil {
+		t.Fatal("arity-mismatched view accepted")
+	}
+}

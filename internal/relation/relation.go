@@ -16,6 +16,14 @@ import (
 type Relation struct {
 	schema *Schema
 	rows   []Tuple
+
+	// eq caches multi-column equality indexes built by the ra operators
+	// (see EqIndex). It is shared with schema-renaming views (WithSchema)
+	// and cleared by in-place mutation; appends extend it lazily. sharedEq
+	// marks a view: its first append detaches the cache (copy-on-append),
+	// so rows appended through a view can never poison the base's indexes.
+	eq       *eqCache
+	sharedEq bool
 }
 
 // New creates an empty relation with the given schema.
@@ -61,8 +69,37 @@ func (r *Relation) Append(t Tuple) error {
 				r.schema.Col(i).Name, r.schema.Col(i).Kind, v.Kind())
 		}
 	}
+	r.detachSharedEq()
 	r.rows = append(r.rows, t)
 	return nil
+}
+
+// detachSharedEq gives a view its own (empty) index cache before its first
+// append: a row appended through a view must never reach the base's shared
+// indexes, whose positions would then disagree with the base's rows. The
+// rows themselves need no copy — the view's slice is capacity-clipped, so
+// the append reallocates.
+func (r *Relation) detachSharedEq() {
+	if r.sharedEq {
+		r.eq = nil
+		r.sharedEq = false
+	}
+}
+
+// detachSharedRows is the copy-on-write step before an in-place mutation
+// (Clear, Delete, SortBy) through a view: those rewrite the row slice's
+// backing array, which the view shares with its base, so the view first
+// takes a private copy (and its own cache). Mutations through a view can
+// then never corrupt the base.
+func (r *Relation) detachSharedRows() {
+	if !r.sharedEq {
+		return
+	}
+	rows := make([]Tuple, len(r.rows))
+	copy(rows, r.rows)
+	r.rows = rows
+	r.eq = nil
+	r.sharedEq = false
 }
 
 // MustAppend is Append that panics on error; for trusted construction sites.
@@ -86,15 +123,61 @@ func (r *Relation) AppendAll(o *Relation) error {
 	return nil
 }
 
-// Clear removes all tuples, keeping capacity.
-func (r *Relation) Clear() { r.rows = r.rows[:0] }
+// Clear removes all tuples, keeping capacity. Clearing a view detaches it
+// from its base first (a later append must not write into the shared
+// backing array).
+func (r *Relation) Clear() {
+	r.detachSharedRows()
+	r.rows = r.rows[:0]
+	r.invalidateEq()
+}
 
 // Clone returns a deep-enough copy (tuples are immutable, so the row slice is
-// copied but tuples are shared).
+// copied but tuples are shared). The clone does not share the index cache:
+// it may be mutated independently (OrderBy sorts clones in place).
 func (r *Relation) Clone() *Relation {
 	rows := make([]Tuple, len(r.rows))
 	copy(rows, r.rows)
 	return &Relation{schema: r.schema, rows: rows}
+}
+
+// WithSchema returns a read-only view of r under a schema of equal layout
+// (arity and kinds must match positionally; only names may differ). The view
+// shares r's tuples and its equality-index cache — renaming a base relation
+// per round does not discard the indexes warmed on it. Mutating the view is
+// always safe for the base: the row slice is capacity-clipped and the first
+// append detaches the shared cache, while Clear/Delete/SortBy take a private
+// row copy first (copy-on-write). The reverse does not hold — a view must
+// not outlive an in-place mutation of the base, whose Delete and SortBy
+// rewrite the shared backing array under the view's rows. The executor
+// creates views per query and mutations happen between queries, so the
+// natural usage pattern is safe; callers caching a view across rounds must
+// re-create it after patching the base.
+func (r *Relation) WithSchema(s *Schema) (*Relation, error) {
+	if s.Len() != r.schema.Len() {
+		return nil, fmt.Errorf("relation: view arity mismatch %d vs %d", s.Len(), r.schema.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Col(i).Kind != r.schema.Col(i).Kind {
+			return nil, fmt.Errorf("relation: view column %q kind %s does not match base %q kind %s",
+				s.Col(i).Name, s.Col(i).Kind, r.schema.Col(i).Name, r.schema.Col(i).Kind)
+		}
+	}
+	if r.eq == nil {
+		// Materialise the shared cache now, so indexes built through the
+		// view warm the base (and every later view) too.
+		r.eq = &eqCache{entries: make(map[string]*EqIndex, 2)}
+	}
+	return &Relation{schema: s, rows: r.rows[:len(r.rows):len(r.rows)], eq: r.eq, sharedEq: true}, nil
+}
+
+// AppendTrusted appends tuples without schema validation. It is for
+// operators moving rows between relations of identical layout (the ra
+// package's parallel merge paths), where every row already passed
+// validation; misuse can break the relation's typing invariants.
+func (r *Relation) AppendTrusted(rows ...Tuple) {
+	r.detachSharedEq()
+	r.rows = append(r.rows, rows...)
 }
 
 // Distinct returns a new relation with duplicate tuples removed, preserving
@@ -123,7 +206,11 @@ func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
 }
 
 // Delete removes all tuples satisfying pred, returning how many were removed.
+// Row positions shift, so any cached equality indexes are dropped; deleting
+// through a view copies the rows first (the compaction must not rewrite the
+// base's backing array).
 func (r *Relation) Delete(pred func(Tuple) bool) int {
+	r.detachSharedRows()
 	kept := r.rows[:0]
 	removed := 0
 	for _, t := range r.rows {
@@ -134,11 +221,16 @@ func (r *Relation) Delete(pred func(Tuple) bool) int {
 		}
 	}
 	r.rows = kept
+	if removed > 0 {
+		r.invalidateEq()
+	}
 	return removed
 }
 
-// SortBy sorts tuples in place by the named columns ascending.
+// SortBy sorts tuples in place by the named columns ascending (a view is
+// detached onto a private copy first).
 func (r *Relation) SortBy(names ...string) error {
+	r.detachSharedRows()
 	idx := make([]int, len(names))
 	for i, n := range names {
 		j, ok := r.schema.Index(n)
@@ -156,6 +248,7 @@ func (r *Relation) SortBy(names ...string) error {
 		}
 		return false
 	})
+	r.invalidateEq()
 	return nil
 }
 

@@ -164,6 +164,9 @@ func (e *Engine) Round() (RoundResult, error) {
 	// The protocol consumed the accumulated change set; start the next one.
 	e.deltas = protocol.Deltas{}
 	res.Stats.Duration = time.Since(evalStart)
+	if sr, ok := e.cfg.Protocol.(protocol.StrategyReporter); ok && e.cfg.Mode == Scheduling {
+		res.Stats.Strategy = sr.LastStrategy()
+	}
 	if e.cfg.MaxBatch > 0 && len(qualified) > e.cfg.MaxBatch {
 		// Admission control: defer the tail (the protocol's order is a
 		// priority order, so the cap keeps the most urgent requests).

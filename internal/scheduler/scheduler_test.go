@@ -422,3 +422,31 @@ func TestMiddlewareStopFailsInflight(t *testing.T) {
 		t.Fatal("client still blocked after Stop")
 	}
 }
+
+// TestEngineRoundReportsStrategy: the protocol's per-round evaluation
+// strategy (the adaptive cost model's choice) lands in the round stats, and
+// the collector's summary tallies it.
+func TestEngineRoundReportsStrategy(t *testing.T) {
+	e := newEngine(t, Scheduling, 10)
+	col := metrics.NewCollector()
+	for round := 0; round < 3; round++ {
+		tx := request.NewBuilder(int64(round+1), nil).Read(int64(round % 10)).Commit()
+		e.Enqueue(tx.Requests...)
+		res, err := e.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Strategy == "" {
+			t.Fatalf("round %d: no strategy reported", round)
+		}
+		col.AddRound(res.Stats)
+	}
+	sum := col.Summarise()
+	total := 0
+	for _, n := range sum.Strategies {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("summary strategies %v cover %d of 3 rounds", sum.Strategies, total)
+	}
+}

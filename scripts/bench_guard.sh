@@ -1,50 +1,69 @@
 #!/usr/bin/env bash
-# bench_guard.sh — regression gate for the round hot path. Runs
-# BenchmarkDatalogIncrementalRound/warm and fails (exit 1) if ns/op is more
-# than GUARD_FACTOR (default 2) times the figure committed in the newest
-# BENCH_<n>.json, so a PR cannot silently lose the warm-start win. CI boxes
-# are noisy and heterogeneous; 2x is deliberately loose — it catches "the
-# warm path fell off a cliff", not percent-level drift (the trajectory table
-# in ROADMAP.md tracks that).
+# bench_guard.sh — regression gate for the round hot paths. Runs the guarded
+# benchmarks and fails (exit 1) if any ns/op is more than GUARD_FACTOR
+# (default 2) times the figure committed in the newest BENCH_<n>.json, so a
+# PR cannot silently lose the warm-start, cold-round or SQL-backend wins.
+# CI boxes are noisy and heterogeneous; 2x is deliberately loose — it catches
+# "the hot path fell off a cliff", not percent-level drift (the trajectory
+# table in ROADMAP.md tracks that). A guarded bench missing from the baseline
+# file is skipped, so the guard degrades gracefully against old baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GUARD_FACTOR="${GUARD_FACTOR:-2}"
-BENCH='BenchmarkDatalogIncrementalRound/warm'
+# Guarded benches: the Datalog warm round (the steady-state hot path), the
+# 300-client Datalog cold round, and the 300-client SQL-backend round.
+GUARDED='BenchmarkDatalogIncrementalRound/warm
+BenchmarkSS2PLQueryDatalog/clients=300
+BenchmarkSS2PLQuerySQL/clients=300'
 
 latest=$( (ls BENCH_*.json 2>/dev/null || true) | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
 if [ -z "${latest}" ]; then
     echo "bench_guard: no committed BENCH_<n>.json baseline; skipping"
     exit 0
 fi
-base=$(awk -v bench="${BENCH}" '
-    $0 ~ "\"bench\": \"" bench "\"" {
-        if (match($0, /"ns_per_op": *[0-9.]+/)) {
-            v = substr($0, RSTART, RLENGTH)
-            sub(/.*: */, "", v)
-            print v
+
+fail=0
+while IFS= read -r bench; do
+    base=$(awk -v bench="${bench}" '
+        $0 ~ "\"bench\": \"" bench "\"" {
+            if (match($0, /"ns_per_op": *[0-9.]+/)) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/.*: */, "", v)
+                print v
+            }
+        }' "BENCH_${latest}.json")
+    if [ -z "${base}" ]; then
+        echo "bench_guard: ${bench} not in BENCH_${latest}.json; skipping"
+        continue
+    fi
+    # go test splits the -bench regex on "/" and matches per segment:
+    # anchor each segment of the bench path separately.
+    top="${bench%%/*}"
+    sub="${bench#*/}"
+    raw=$(go test -run='^$' -bench="^${top}\$/^${sub}\$" -benchtime="${BENCHTIME:-1s}" .)
+    echo "${raw}"
+    short="${bench#Benchmark}"
+    now=$(echo "${raw}" | awk -v b="${short}" 'index($1, b) {
+        for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+    }' | head -1)
+    if [ -z "${now}" ]; then
+        echo "bench_guard: ${bench} produced no ns/op line"
+        fail=1
+        continue
+    fi
+    echo "bench_guard: ${bench} now ${now} ns/op, baseline (BENCH_${latest}.json) ${base} ns/op"
+    if ! awk -v now="${now}" -v base="${base}" -v f="${GUARD_FACTOR}" 'BEGIN {
+        if (now > base * f) {
+            printf "bench_guard: FAIL — %.0f ns/op is more than %sx the %.0f ns/op baseline\n", now, f, base
+            exit 1
         }
-    }' "BENCH_${latest}.json")
-if [ -z "${base}" ]; then
-    echo "bench_guard: ${BENCH} not in BENCH_${latest}.json; skipping"
-    exit 0
-fi
+        printf "bench_guard: OK (%.2fx of baseline)\n", now / base
+    }'; then
+        fail=1
+    fi
+done <<EOF
+${GUARDED}
+EOF
 
-raw=$(go test -run='^$' -bench="${BENCH}" -benchtime="${BENCHTIME:-1s}" .)
-echo "${raw}"
-now=$(echo "${raw}" | awk '/DatalogIncrementalRound\/warm/ {
-    for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
-}' | head -1)
-if [ -z "${now}" ]; then
-    echo "bench_guard: benchmark produced no ns/op line"
-    exit 1
-fi
-
-echo "bench_guard: warm round now ${now} ns/op, baseline (BENCH_${latest}.json) ${base} ns/op"
-awk -v now="${now}" -v base="${base}" -v f="${GUARD_FACTOR}" 'BEGIN {
-    if (now > base * f) {
-        printf "bench_guard: FAIL — %.0f ns/op is more than %sx the %.0f ns/op baseline\n", now, f, base
-        exit 1
-    }
-    printf "bench_guard: OK (%.2fx of baseline)\n", now / base
-}'
+exit "${fail}"
