@@ -120,6 +120,9 @@ func main() {
 	fmt.Printf("server statements    %d (commits %d, aborts %d)\n", stmts, commits, aborts)
 	fmt.Printf("throughput           %.0f stmts/s\n", float64(stmts)/elapsed.Seconds())
 	fmt.Printf("scheduler            %s\n", sum)
+	if ss := sum.StrategyString(); ss != "" {
+		fmt.Printf("round strategies     %s\n", ss)
+	}
 	lat := &mw.Collector().Latency
 	fmt.Printf("request latency      mean=%s p99<=%s max=%s\n",
 		time.Duration(lat.Mean()), time.Duration(lat.Quantile(0.99)), time.Duration(lat.Max()))

@@ -1,0 +1,88 @@
+// Package costmodel holds the adaptive strategy cost model shared by the
+// incremental evaluators: the Datalog engine's DRed-vs-recompute choice and
+// the SQL executor's delta-maintenance-vs-full-re-evaluation choice both
+// predict each strategy's round time as an observed per-work-unit cost
+// (an exponentially weighted moving average) times the round's work, falling
+// back to a static churn-factor rule until measurements exist.
+package costmodel
+
+// EWMAAlpha weights a new observation into a strategy's cost average: high
+// enough to self-tune within a few rounds of a workload shift, low enough to
+// ride out scheduler jitter. Clamp bounds a single observation's influence
+// (a GC pause or scheduler stall during one round must not flip the model in
+// one step), and DecayAlpha pulls the not-chosen strategy's estimate back
+// toward the static-rule-consistent value each round — the re-exploration
+// escape hatch: a once-inflated estimate decays until its strategy is chosen
+// and re-measured for real.
+const (
+	EWMAAlpha  = 0.25
+	Clamp      = 8.0
+	DecayAlpha = 1.0 / 16
+)
+
+// EWMA is an exponentially weighted moving average of one strategy's
+// observed cost per unit of work (churned tuples for the delta strategies,
+// standing affected facts for the recompute strategies).
+type EWMA struct {
+	PerUnit float64
+	Samples int
+}
+
+// Observe folds one measured round (ns over units of work) into the average,
+// clamping outliers to Clamp times the running estimate. Zero-work rounds
+// are not observations: dividing a round's fixed overhead by a floored unit
+// count would seed the per-unit estimate orders of magnitude too high.
+func (c *EWMA) Observe(ns float64, units int) {
+	if units <= 0 {
+		return
+	}
+	v := ns / float64(units)
+	if c.Samples > 0 && c.PerUnit > 0 {
+		if v > c.PerUnit*Clamp {
+			v = c.PerUnit * Clamp
+		} else if v < c.PerUnit/Clamp {
+			v = c.PerUnit / Clamp
+		}
+	}
+	if c.Samples == 0 {
+		c.PerUnit = v
+	} else {
+		c.PerUnit += (v - c.PerUnit) * EWMAAlpha
+	}
+	c.Samples++
+}
+
+// DecayToward relaxes a stale estimate toward target (the value the static
+// rule would imply from the other strategy's fresh measurement). Without
+// this, one inflated sample could lock the model out of a strategy forever:
+// the losing side is never re-run, so its estimate would never correct.
+func (c *EWMA) DecayToward(target float64) {
+	if c.Samples == 0 || target <= 0 {
+		return
+	}
+	c.PerUnit += (target - c.PerUnit) * DecayAlpha
+}
+
+// Choose predicts whether the delta strategy (cost per churned unit) beats
+// the recompute strategy (cost per standing unit) for a round of the given
+// work sizes. A strategy with no observations yet borrows the other side's
+// cost scaled by the static churn factor, so the decision degenerates to the
+// static rule (churn*factor < standing) until real measurements exist and
+// stays consistent with it under one-sided data.
+func Choose(delta, recompute *EWMA, churn, standing, churnFactor int) bool {
+	staticChoice := churn*churnFactor < standing
+	deltaPer, recomputePer := delta.PerUnit, recompute.PerUnit
+	factor := float64(churnFactor)
+	if factor <= 0 {
+		factor = 1
+	}
+	switch {
+	case delta.Samples == 0 && recompute.Samples == 0:
+		return staticChoice
+	case delta.Samples == 0:
+		deltaPer = recomputePer * factor
+	case recompute.Samples == 0:
+		recomputePer = deltaPer / factor
+	}
+	return deltaPer*float64(churn) < recomputePer*float64(standing)
+}

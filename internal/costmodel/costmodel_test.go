@@ -1,0 +1,54 @@
+package costmodel
+
+import "testing"
+
+func TestObserveClampAndEWMA(t *testing.T) {
+	var c EWMA
+	c.Observe(1000, 0) // zero work: not an observation
+	if c.Samples != 0 {
+		t.Fatalf("zero-work round observed: %+v", c)
+	}
+	c.Observe(1000, 10) // seeds at 100 ns/unit
+	if c.PerUnit != 100 || c.Samples != 1 {
+		t.Fatalf("seed: %+v", c)
+	}
+	// A wild outlier is clamped to Clamp x the running estimate before the
+	// EWMA folds it in.
+	c.Observe(1e9, 1)
+	max := 100 + (100*Clamp-100)*EWMAAlpha
+	if c.PerUnit > max+1e-9 {
+		t.Fatalf("outlier not clamped: %v > %v", c.PerUnit, max)
+	}
+	before := c.PerUnit
+	c.DecayToward(before / 2)
+	if c.PerUnit >= before {
+		t.Fatalf("decay did not move the estimate: %v", c.PerUnit)
+	}
+	var fresh EWMA
+	fresh.DecayToward(50)
+	if fresh.Samples != 0 || fresh.PerUnit != 0 {
+		t.Fatalf("decay moved an unobserved estimate: %+v", fresh)
+	}
+}
+
+func TestChooseBorrowsAndPredicts(t *testing.T) {
+	var delta, recompute EWMA
+	// No observations: the static rule decides.
+	if !Choose(&delta, &recompute, 10, 100, 4) {
+		t.Fatal("static rule: 10*4 < 100 should pick delta")
+	}
+	if Choose(&delta, &recompute, 30, 100, 4) {
+		t.Fatal("static rule: 30*4 > 100 should pick recompute")
+	}
+	// One-sided data borrows the other side's cost scaled by the factor, so
+	// the decision stays consistent with the static rule.
+	recompute.Observe(1000, 100) // 10 ns/unit
+	if !Choose(&delta, &recompute, 10, 100, 4) {
+		t.Fatal("borrowed delta cost should keep the static choice")
+	}
+	// Real measurements override the static rule: delta measured very slow.
+	delta.Observe(1e6, 10) // 1e5 ns/unit
+	if Choose(&delta, &recompute, 10, 100, 4) {
+		t.Fatal("measured slow delta strategy still chosen")
+	}
+}

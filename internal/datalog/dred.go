@@ -3,6 +3,7 @@ package datalog
 import (
 	"sort"
 
+	"repro/internal/costmodel"
 	"repro/internal/relation"
 )
 
@@ -23,71 +24,15 @@ const (
 	costForceRecompute
 )
 
-// costEWMAAlpha weights a new observation into the per-strategy cost EWMAs:
-// high enough to self-tune within a few rounds of a workload shift, low
-// enough to ride out scheduler jitter. costClamp bounds a single
-// observation's influence (a GC pause or scheduler stall during one round
-// must not flip the model in one step), and costDecayAlpha pulls the
-// not-chosen strategy's estimate back toward the static-rule-consistent
-// value each round — the re-exploration escape hatch: a once-inflated
-// estimate decays until its strategy is chosen and re-measured for real.
-const (
-	costEWMAAlpha  = 0.25
-	costClamp      = 8.0
-	costDecayAlpha = 1.0 / 16
-)
-
-// strategyCost is an exponentially weighted moving average of one strategy's
-// observed cost per unit of work (churned tuples for DRed, standing affected
-// facts for recompute).
-type strategyCost struct {
-	perUnit float64
-	samples int
-}
-
-// observe folds one measured round (ns over units of work) into the average,
-// clamping outliers to costClamp times the running estimate. Zero-work
-// rounds are not observations: dividing a round's fixed overhead by a
-// floored unit count would seed the per-unit estimate orders of magnitude
-// too high.
-func (c *strategyCost) observe(ns float64, units int) {
-	if units <= 0 {
-		return
-	}
-	v := ns / float64(units)
-	if c.samples > 0 && c.perUnit > 0 {
-		if v > c.perUnit*costClamp {
-			v = c.perUnit * costClamp
-		} else if v < c.perUnit/costClamp {
-			v = c.perUnit / costClamp
-		}
-	}
-	if c.samples == 0 {
-		c.perUnit = v
-	} else {
-		c.perUnit += (v - c.perUnit) * costEWMAAlpha
-	}
-	c.samples++
-}
-
-// decayToward relaxes a stale estimate toward target (the value the static
-// rule would imply from the other strategy's fresh measurement). Without
-// this, one inflated sample could lock the model out of a strategy forever:
-// the losing side is never re-run, so its estimate would never correct.
-func (c *strategyCost) decayToward(target float64) {
-	if c.samples == 0 || target <= 0 {
-		return
-	}
-	c.perUnit += (target - c.perUnit) * costDecayAlpha
-}
+// strategyCost is the shared adaptive cost EWMA (see internal/costmodel,
+// which the SQL executor's view-maintenance choice reuses).
+type strategyCost = costmodel.EWMA
 
 // chooseDRed decides whether a non-monotone change propagates DRed-style or
 // recomputes the affected closure. The adaptive model predicts each
 // strategy's round time as its observed per-unit cost times this round's
-// work; a strategy with no observations yet borrows the other side's cost
-// scaled by the static churn factor, so the decision degenerates to the
-// static rule until real measurements exist and stays consistent with it
-// under one-sided data.
+// work (costmodel.Choose), degenerating to the static churn rule until real
+// measurements exist.
 func (e *Engine) chooseDRed(churn, affectedSize int) bool {
 	switch e.costModel {
 	case costForceDRed:
@@ -97,27 +42,13 @@ func (e *Engine) chooseDRed(churn, affectedSize int) bool {
 	case costForceRecompute:
 		return false
 	}
-	staticChoice := churn*e.dredChurnFactor < affectedSize
 	if e.costModel == costStatic {
-		return staticChoice
+		return churn*e.dredChurnFactor < affectedSize
 	}
 	if affectedSize == 0 {
 		return false
 	}
-	dredPer, recomputePer := e.dredCost.perUnit, e.recomputeCost.perUnit
-	factor := float64(e.dredChurnFactor)
-	if factor <= 0 {
-		factor = 1
-	}
-	switch {
-	case e.dredCost.samples == 0 && e.recomputeCost.samples == 0:
-		return staticChoice
-	case e.dredCost.samples == 0:
-		dredPer = recomputePer * factor
-	case e.recomputeCost.samples == 0:
-		recomputePer = dredPer / factor
-	}
-	return dredPer*float64(churn) < recomputePer*float64(affectedSize)
+	return costmodel.Choose(&e.dredCost, &e.recomputeCost, churn, affectedSize, e.dredChurnFactor)
 }
 
 // DRed-style delete propagation (Gupta, Mumick & Subrahmanian): a

@@ -561,15 +561,15 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 		factor = 1
 	}
 	if useDRed {
-		e.dredCost.observe(elapsed, churn)
+		e.dredCost.Observe(elapsed, churn)
 		// Relax the unmeasured side toward the static-consistent estimate
 		// so a stale spike decays and the strategy gets re-tried.
-		e.recomputeCost.decayToward(e.dredCost.perUnit / factor)
+		e.recomputeCost.DecayToward(e.dredCost.PerUnit / factor)
 	} else if !aggAffected {
 		// Aggregate fallbacks are forced, not chosen: their timings would
 		// bias the recompute estimate with rounds DRed could never take.
-		e.recomputeCost.observe(elapsed, affectedSize)
-		e.dredCost.decayToward(e.recomputeCost.perUnit * factor)
+		e.recomputeCost.Observe(elapsed, affectedSize)
+		e.dredCost.DecayToward(e.recomputeCost.PerUnit * factor)
 	}
 	return nil
 }

@@ -336,11 +336,11 @@ func TestAdaptiveCostModelConverges(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if e.dredCost.samples < 8 {
-		t.Fatalf("adaptive model recorded %d DRed samples, want >= 8", e.dredCost.samples)
+	if e.dredCost.Samples < 8 {
+		t.Fatalf("adaptive model recorded %d DRed samples, want >= 8", e.dredCost.Samples)
 	}
-	if e.dredCost.perUnit <= 0 {
-		t.Fatalf("DRed cost EWMA not positive: %v", e.dredCost.perUnit)
+	if e.dredCost.PerUnit <= 0 {
+		t.Fatalf("DRed cost EWMA not positive: %v", e.dredCost.PerUnit)
 	}
 	// A bulk replacement must still fall to recompute even with only DRed
 	// samples (the borrowed estimate keeps the static ratio).
@@ -352,7 +352,7 @@ func TestAdaptiveCostModelConverges(t *testing.T) {
 	if e.Stats.Strategy != StrategyRecompute {
 		t.Fatalf("bulk delete took %s, want %s", e.Stats.Strategy, StrategyRecompute)
 	}
-	if e.recomputeCost.samples == 0 {
+	if e.recomputeCost.Samples == 0 {
 		t.Fatal("recompute round not observed by the cost model")
 	}
 }
@@ -384,8 +384,8 @@ func TestAdaptiveCostModelRecoversFromSpike(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Plant a poisoned state: DRed believed to be astronomically expensive.
-	e.dredCost = strategyCost{perUnit: 1e7, samples: 4}
-	e.recomputeCost = strategyCost{perUnit: 10, samples: 4}
+	e.dredCost = strategyCost{PerUnit: 1e7, Samples: 4}
+	e.recomputeCost = strategyCost{PerUnit: 10, Samples: 4}
 	recovered := false
 	for i := 0; i < 150 && !recovered; i++ {
 		if err := e.RunIncremental(map[string]EDBDelta{
@@ -404,7 +404,7 @@ func TestAdaptiveCostModelRecoversFromSpike(t *testing.T) {
 	}
 	if !recovered {
 		t.Fatalf("DRed never re-chosen after a poisoned estimate (dredPer=%v recomputePer=%v)",
-			e.dredCost.perUnit, e.recomputeCost.perUnit)
+			e.dredCost.PerUnit, e.recomputeCost.PerUnit)
 	}
 }
 

@@ -6,6 +6,8 @@ package metrics
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -95,8 +97,9 @@ type RoundStats struct {
 	History   int           // live history size after the round
 	// Strategy names the evaluation path the protocol took this round
 	// (e.g. the Datalog engine's cold/monotone/dred/recompute, or the SQL
-	// executor's warm/cold); empty when the protocol does not report one.
-	// The adaptive cost model's per-round choices become observable here.
+	// executor's sql-ivm/sql-ivm-build/sql-warm/sql-cold); empty when the
+	// protocol does not report one. The adaptive cost models' per-round
+	// choices become observable here.
 	Strategy string
 }
 
@@ -194,4 +197,26 @@ func (c *Collector) Summarise() Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("rounds=%d executed=%d aborted=%d mean_pending=%.1f mean_qualified=%.1f mean_round=%s total_round=%s",
 		s.Rounds, s.Executed, s.Aborted, s.MeanPending, s.MeanQualified, s.MeanRoundDuration, s.TotalRoundTime)
+}
+
+// StrategyString renders the per-strategy round counts as
+// "name=count name=count ...", sorted by name ("" when no strategy was
+// reported) — the one-line view of the adaptive cost models' choices.
+func (s Summary) StrategyString() string {
+	if len(s.Strategies) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s.Strategies))
+	for n := range s.Strategies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.Strategies[n])
+	}
+	return b.String()
 }

@@ -90,3 +90,29 @@ func TestEmptyCollector(t *testing.T) {
 		t.Errorf("empty summary: %+v", s)
 	}
 }
+
+// TestStrategyCounting: per-round strategy labels aggregate into Summary.
+// Strategies and render deterministically via StrategyString — the SQL
+// executor's sql-ivm / sql-warm rounds and the Datalog engine's dred rounds
+// land in the same map.
+func TestStrategyCounting(t *testing.T) {
+	c := NewCollector()
+	for _, s := range []string{"sql-ivm", "sql-ivm", "sql-warm", "dred", "sql-ivm-build", ""} {
+		c.AddRound(RoundStats{Pending: 1, Strategy: s})
+	}
+	sum := c.Summarise()
+	if sum.Strategies["sql-ivm"] != 2 || sum.Strategies["sql-warm"] != 1 ||
+		sum.Strategies["dred"] != 1 || sum.Strategies["sql-ivm-build"] != 1 {
+		t.Fatalf("strategies: %v", sum.Strategies)
+	}
+	if _, ok := sum.Strategies[""]; ok {
+		t.Fatal("unreported strategy counted")
+	}
+	want := "dred=1 sql-ivm=2 sql-ivm-build=1 sql-warm=1"
+	if got := sum.StrategyString(); got != want {
+		t.Fatalf("StrategyString = %q, want %q", got, want)
+	}
+	if got := NewCollector().Summarise().StrategyString(); got != "" {
+		t.Fatalf("empty StrategyString = %q", got)
+	}
+}

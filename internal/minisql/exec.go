@@ -2,7 +2,6 @@ package minisql
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/ra"
@@ -19,103 +18,29 @@ func Run(q *Query, cat Catalog) (*relation.Relation, error) {
 
 // RunOpts executes a query with explicit operator options: a worker pool for
 // parallel scan/filter/join loops, a fan-out cutoff, or the nested-loop
-// oracle mode (see ra.Options). nil opts selects the defaults. Catalog
-// relations keep their cached equality indexes across calls (relation.
-// EqIndex), so repeated queries over long-lived tables — the SQL protocol's
-// patched requests/history relations — skip the per-round hash build. The
-// index caching makes execution a mutation of the catalog relations:
-// concurrent Run/RunOpts calls over a shared relation are not safe (the
-// scheduler serialises rounds; independent callers need separate catalogs).
+// oracle mode (see ra.Options). nil opts selects the defaults. The query is
+// compiled against the catalog's schemas (CompilePlan) and the plan
+// evaluated bottom-up; long-lived callers can compile once and re-evaluate
+// the plan themselves. Catalog relations keep their cached equality indexes
+// across calls (relation.EqIndex), so repeated queries over long-lived
+// tables — the SQL protocol's patched requests/history relations — skip the
+// per-round hash build. The index caching makes execution a mutation of the
+// catalog relations: concurrent Run/RunOpts calls over a shared relation are
+// not safe (the scheduler serialises rounds; independent callers need
+// separate catalogs).
 func RunOpts(q *Query, cat Catalog, opts *ra.Options) (*relation.Relation, error) {
-	ex := &executor{cat: make(Catalog, len(cat)), ra: opts}
+	lc := make(Catalog, len(cat))
+	schemas := make(map[string]*relation.Schema, len(cat))
 	for k, v := range cat {
-		ex.cat[strings.ToLower(k)] = v
+		k = strings.ToLower(k)
+		lc[k] = v
+		schemas[k] = v.Schema()
 	}
-	return ex.evalQuery(q)
-}
-
-type executor struct {
-	cat Catalog
-	ra  *ra.Options
-}
-
-func (ex *executor) evalQuery(q *Query) (*relation.Relation, error) {
-	// CTEs extend the catalog for the rest of this query (and are visible to
-	// later CTEs, as in SQL).
-	if len(q.With) > 0 {
-		saved := ex.cat
-		ex.cat = make(Catalog, len(saved)+len(q.With))
-		for k, v := range saved {
-			ex.cat[k] = v
-		}
-		defer func() { ex.cat = saved }()
-		for _, cte := range q.With {
-			r, err := ex.evalQuery(cte.Query)
-			if err != nil {
-				return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
-			}
-			ex.cat[cte.Name] = r
-		}
-	}
-	rel, err := ex.evalSetExpr(q.Body)
+	p, err := CompilePlan(q, schemas)
 	if err != nil {
 		return nil, err
 	}
-	if len(q.OrderBy) > 0 {
-		specs := make([]ra.SortSpec, len(q.OrderBy))
-		for i, o := range q.OrderBy {
-			cr, ok := o.Expr.(*ColRef)
-			if !ok {
-				return nil, fmt.Errorf("minisql: ORDER BY supports column references only")
-			}
-			pos, _, err := resolveCol(rel.Schema(), cr)
-			if err != nil && cr.Qual != "" {
-				// Output columns are unqualified; a qualified ORDER BY ref
-				// (ORDER BY r.ta) falls back to the bare name.
-				pos, _, err = resolveCol(rel.Schema(), &ColRef{Name: cr.Name})
-			}
-			if err != nil {
-				return nil, err
-			}
-			specs[i] = ra.SortSpec{Pos: pos, Desc: o.Desc}
-		}
-		rel = ra.OrderBy(rel, specs)
-	}
-	if q.Limit >= 0 {
-		rel = ra.Limit(rel, q.Limit)
-	}
-	return rel, nil
-}
-
-func (ex *executor) evalSetExpr(se SetExpr) (*relation.Relation, error) {
-	switch n := se.(type) {
-	case *Select:
-		return ex.evalSelect(n)
-	case *SetOp:
-		l, err := ex.evalSetExpr(n.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := ex.evalSetExpr(n.R)
-		if err != nil {
-			return nil, err
-		}
-		switch n.Op {
-		case OpUnion:
-			u, err := ra.UnionAll(l, r)
-			if err != nil {
-				return nil, err
-			}
-			if !n.All {
-				u = u.Distinct()
-			}
-			return u, nil
-		default:
-			return ra.Except(l, r)
-		}
-	default:
-		return nil, fmt.Errorf("minisql: unknown set expression %T", se)
-	}
+	return p.Eval(lc, opts)
 }
 
 // conjunct is one top-level AND-ed predicate with bookkeeping.
@@ -152,136 +77,6 @@ func hasExists(e Expr) bool {
 	}
 }
 
-func (ex *executor) evalSelect(sel *Select) (*relation.Relation, error) {
-	if len(sel.From) == 0 {
-		// SELECT of constants: one row, no FROM.
-		one := relation.New(relation.NewSchema())
-		one.MustAppend(relation.Tuple{})
-		return ex.project(sel, one)
-	}
-	conjs := splitConjuncts(sel.Where, nil)
-	var plain, existsConjs []*conjunct
-	for _, c := range conjs {
-		if hasExists(c.e) {
-			existsConjs = append(existsConjs, c)
-		} else {
-			plain = append(plain, c)
-		}
-	}
-	cur, leftover, err := ex.joinChain(sel.From, plain)
-	if err != nil {
-		return nil, err
-	}
-	if len(leftover) > 0 {
-		return nil, fmt.Errorf("minisql: predicate %v references unknown columns", leftover[0].e)
-	}
-	for _, c := range existsConjs {
-		cur, err = ex.applyExists(cur, c.e)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if needsGrouping(sel) {
-		return ex.projectGrouped(sel, cur)
-	}
-	return ex.project(sel, cur)
-}
-
-// joinChain evaluates the FROM items left to right, consuming WHERE conjuncts
-// as early filters and hash-join keys where possible, and applying all
-// remaining resolvable conjuncts at the end. Conjuncts it cannot resolve are
-// returned for the caller (correlated predicates of an EXISTS subquery).
-func (ex *executor) joinChain(from []FromItem, conjs []*conjunct) (*relation.Relation, []*conjunct, error) {
-	cur, err := ex.evalFromItem(from[0])
-	if err != nil {
-		return nil, nil, err
-	}
-	cur, err = ex.applyResolvable(cur, conjs)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, item := range from[1:] {
-		next, err := ex.evalFromItem(item)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := checkDisjointAliases(cur.Schema(), next.Schema()); err != nil {
-			return nil, nil, err
-		}
-		switch item.Join {
-		case JoinLeft, JoinInner:
-			onConjs := splitConjuncts(item.On, nil)
-			keys, residual, err := extractKeys(cur.Schema(), next.Schema(), onConjs)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, c := range onConjs {
-				if c.done {
-					continue
-				}
-				// Non-equi ON conjuncts join the residual.
-				cc, err := compileExpr(c.e, concat(cur.Schema(), next.Schema()))
-				if err != nil {
-					return nil, nil, err
-				}
-				if residual == nil {
-					residual = cc
-				} else {
-					residual = ra.And{L: residual, R: cc}
-				}
-				c.done = true
-			}
-			if item.Join == JoinLeft {
-				cur = ex.ra.LeftJoin(cur, next, keys, residual)
-			} else {
-				cur = ex.ra.HashJoin(cur, next, keys, residual)
-			}
-		default: // comma join: consume WHERE equi-join keys
-			next, err = ex.applyResolvable(next, conjs)
-			if err != nil {
-				return nil, nil, err
-			}
-			keys, _, err := extractKeys(cur.Schema(), next.Schema(), conjs)
-			if err != nil {
-				return nil, nil, err
-			}
-			cur = ex.ra.HashJoin(cur, next, keys, nil)
-		}
-		cur, err = ex.applyResolvable(cur, conjs)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	var leftover []*conjunct
-	for _, c := range conjs {
-		if !c.done {
-			leftover = append(leftover, c)
-		}
-	}
-	return cur, leftover, nil
-}
-
-// applyResolvable filters rel by every pending conjunct whose columns all
-// resolve in rel's schema, marking them consumed.
-func (ex *executor) applyResolvable(rel *relation.Relation, conjs []*conjunct) (*relation.Relation, error) {
-	var preds []ra.Expr
-	for _, c := range conjs {
-		if c.done {
-			continue
-		}
-		compiled, err := compileExpr(c.e, rel.Schema())
-		if err != nil {
-			continue // not yet resolvable; a later join may provide columns
-		}
-		preds = append(preds, compiled)
-		c.done = true
-	}
-	for _, p := range preds {
-		rel = ex.ra.Select(rel, p)
-	}
-	return rel, nil
-}
-
 // extractKeys pulls equality conjuncts of the form left.col = right.col out
 // of the pending conjuncts, where one side resolves only in the left schema
 // and the other only in the right schema.
@@ -316,33 +111,6 @@ func extractKeys(l, r *relation.Schema, conjs []*conjunct) ([]ra.EquiKey, ra.Exp
 		}
 	}
 	return keys, nil, nil
-}
-
-func (ex *executor) evalFromItem(item FromItem) (*relation.Relation, error) {
-	var base *relation.Relation
-	if item.Table != "" {
-		r, ok := ex.cat[item.Table]
-		if !ok {
-			return nil, fmt.Errorf("minisql: unknown table %q", item.Table)
-		}
-		base = r
-	} else {
-		r, err := ex.evalQuery(item.Sub)
-		if err != nil {
-			return nil, err
-		}
-		base = r
-	}
-	// Qualify every column as alias.col.
-	names := make([]string, base.Schema().Len())
-	for i := 0; i < base.Schema().Len(); i++ {
-		n := base.Schema().Col(i).Name
-		if j := strings.LastIndexByte(n, '.'); j >= 0 {
-			n = n[j+1:]
-		}
-		names[i] = item.Alias + "." + n
-	}
-	return ra.Rename(base, names)
 }
 
 func checkDisjointAliases(l, r *relation.Schema) error {
@@ -472,76 +240,6 @@ func compileExpr(e Expr, s *relation.Schema) (ra.Expr, error) {
 	}
 }
 
-// applyExists rewrites a [NOT] EXISTS conjunct into a hash semi/anti join of
-// the current relation against the subquery's FROM, extracting correlated
-// equality predicates as join keys (including keys implied by every branch
-// of an OR) and compiling the rest as a residual predicate.
-func (ex *executor) applyExists(cur *relation.Relation, e Expr) (*relation.Relation, error) {
-	negate := false
-	for {
-		if n, ok := e.(*Not); ok {
-			negate = !negate
-			e = n.E
-			continue
-		}
-		break
-	}
-	x, ok := e.(*Exists)
-	if !ok {
-		return nil, fmt.Errorf("minisql: unsupported EXISTS placement in %T", e)
-	}
-	if x.Negate {
-		negate = !negate
-	}
-	sub := x.Sub
-	if len(sub.With) > 0 {
-		return nil, fmt.Errorf("minisql: WITH inside EXISTS not supported")
-	}
-	innerSel, ok := sub.Body.(*Select)
-	if !ok {
-		return nil, fmt.Errorf("minisql: set operations inside EXISTS not supported")
-	}
-	conjs := splitConjuncts(innerSel.Where, nil)
-	for _, c := range conjs {
-		if hasExists(c.e) {
-			return nil, fmt.Errorf("minisql: nested EXISTS not supported")
-		}
-	}
-	inner, leftover, err := ex.joinChain(innerSel.From, conjs)
-	if err != nil {
-		return nil, err
-	}
-	// Correlated conjuncts: direct equalities become keys; everything else is
-	// a residual over (outer ++ inner). Equalities implied by every disjunct
-	// of an OR are additionally hoisted as keys (the residual keeps the OR,
-	// which is redundant but harmless).
-	both := concat(cur.Schema(), inner.Schema())
-	var keys []ra.EquiKey
-	var residual ra.Expr
-	for _, c := range leftover {
-		if b, ok := c.e.(*Binary); ok && b.Op == BEq {
-			if k, ok2 := correlatedKey(cur.Schema(), inner.Schema(), b); ok2 {
-				keys = append(keys, k)
-				continue
-			}
-		}
-		keys = append(keys, hoistImpliedKeys(cur.Schema(), inner.Schema(), c.e)...)
-		cc, err := compileExpr(c.e, both)
-		if err != nil {
-			return nil, fmt.Errorf("minisql: correlated predicate %v: %w", c.e, err)
-		}
-		if residual == nil {
-			residual = cc
-		} else {
-			residual = ra.And{L: residual, R: cc}
-		}
-	}
-	if negate {
-		return ex.ra.AntiJoin(cur, inner, keys, residual), nil
-	}
-	return ex.ra.SemiJoin(cur, inner, keys, residual), nil
-}
-
 // correlatedKey recognises outer.col = inner.col (either orientation).
 func correlatedKey(outer, inner *relation.Schema, b *Binary) (ra.EquiKey, bool) {
 	lc, lok := b.L.(*ColRef)
@@ -597,82 +295,6 @@ func hoistImpliedKeys(outer, inner *relation.Schema, e Expr) []ra.EquiKey {
 		}
 	}
 	return nil
-}
-
-// project applies the SELECT list and DISTINCT.
-func (ex *executor) project(sel *Select, rel *relation.Relation) (*relation.Relation, error) {
-	var items []ra.NamedExpr
-	usedNames := make(map[string]int)
-	uniq := func(name string) string {
-		if name == "" {
-			name = "col"
-		}
-		n := usedNames[name]
-		usedNames[name] = n + 1
-		if n == 0 {
-			return name
-		}
-		return name + "_" + strconv.Itoa(n+1)
-	}
-	for _, it := range sel.Items {
-		if it.Star {
-			s := rel.Schema()
-			for i := 0; i < s.Len(); i++ {
-				full := s.Col(i).Name
-				alias, col, hasDot := strings.Cut(full, ".")
-				if !hasDot {
-					col = full
-					alias = ""
-				}
-				if it.Qualifier != "" && alias != it.Qualifier {
-					continue
-				}
-				items = append(items, ra.NamedExpr{
-					Name: uniq(col),
-					Kind: s.Col(i).Kind,
-					E:    ra.Col{Pos: i, Name: col},
-				})
-			}
-			if it.Qualifier != "" {
-				found := false
-				for i := 0; i < rel.Schema().Len(); i++ {
-					if strings.HasPrefix(rel.Schema().Col(i).Name, it.Qualifier+".") {
-						found = true
-						break
-					}
-				}
-				if !found {
-					return nil, fmt.Errorf("minisql: unknown alias %q in %s.*", it.Qualifier, it.Qualifier)
-				}
-			}
-			continue
-		}
-		compiled, err := compileExpr(it.Expr, rel.Schema())
-		if err != nil {
-			return nil, err
-		}
-		name := it.Alias
-		if name == "" {
-			if cr, ok := it.Expr.(*ColRef); ok {
-				name = cr.Name
-			} else {
-				name = "col"
-			}
-		}
-		items = append(items, ra.NamedExpr{
-			Name: uniq(name),
-			Kind: exprKind(it.Expr, rel.Schema()),
-			E:    compiled,
-		})
-	}
-	out, err := ex.ra.Project(rel, items)
-	if err != nil {
-		return nil, err
-	}
-	if sel.Distinct {
-		out = out.Distinct()
-	}
-	return out, nil
 }
 
 func exprKind(e Expr, s *relation.Schema) relation.Kind {

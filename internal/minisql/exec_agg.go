@@ -121,10 +121,10 @@ func rewriteGrouped(e Expr, groupCols map[string]string, aggCols map[string]stri
 	}
 }
 
-// projectGrouped evaluates the aggregate path: materialise group keys and
-// aggregate inputs, group, apply HAVING, then project the SELECT items over
-// the grouped relation.
-func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relation.Relation, error) {
+// projectGrouped compiles the aggregate path: a projection materialising
+// group keys and aggregate inputs, a grouping node, HAVING as a filter over
+// the grouped schema, then the SELECT items as a final projection.
+func (c *compiler) projectGrouped(sel *Select, in *planNode) (*planNode, error) {
 	// 1. Collect aggregates from SELECT items and HAVING.
 	seen := make(map[string]*FuncCall)
 	var aggs []*FuncCall
@@ -142,13 +142,13 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 	var mid []ra.NamedExpr
 	groupCols := make(map[string]string, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
-		compiled, err := compileExpr(g, rel.Schema())
+		compiled, err := compileExpr(g, in.schema)
 		if err != nil {
 			return nil, err
 		}
 		name := "__g" + strconv.Itoa(i)
 		groupCols[exprString(g)] = name
-		mid = append(mid, ra.NamedExpr{Name: name, Kind: exprKind(g, rel.Schema()), E: compiled})
+		mid = append(mid, ra.NamedExpr{Name: name, Kind: exprKind(g, in.schema), E: compiled})
 	}
 	aggCols := make(map[string]string, len(aggs))
 	var specs []ra.AggSpec
@@ -176,37 +176,43 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 			return nil, fmt.Errorf("minisql: unknown aggregate %s", fc.Name)
 		}
 		if !fc.Star {
-			compiled, err := compileExpr(fc.Arg, rel.Schema())
+			compiled, err := compileExpr(fc.Arg, in.schema)
 			if err != nil {
 				return nil, err
 			}
 			argName := "__arg" + strconv.Itoa(i)
-			mid = append(mid, ra.NamedExpr{Name: argName, Kind: exprKind(fc.Arg, rel.Schema()), E: compiled})
+			mid = append(mid, ra.NamedExpr{Name: argName, Kind: exprKind(fc.Arg, in.schema), E: compiled})
 		}
 		specs = append(specs, spec)
 	}
-	midRel, err := ex.ra.Project(rel, mid)
-	if err != nil {
-		return nil, err
+	midCols := make([]relation.Column, len(mid))
+	for i, it := range mid {
+		midCols[i] = relation.Column{Name: it.Name, Kind: it.Kind}
 	}
+	midNode := c.add(&planNode{op: opProject, schema: relation.NewSchema(midCols...), l: in, items: mid})
 
-	// 3. Group. Aggregate argument positions follow the group columns in
-	// midRel; ra.GroupBy re-evaluates them by position.
+	// 3. Group. Aggregate argument positions follow the group columns in the
+	// mid projection; ra.GroupBy re-evaluates them by position. The grouped
+	// schema mirrors ra.GroupBy's: group columns, then one column per
+	// aggregate (any-kind for MIN/MAX, whose outputs carry input values).
 	groupPos := make([]int, len(sel.GroupBy))
 	for i := range sel.GroupBy {
 		groupPos[i] = i
 	}
 	argPos := len(sel.GroupBy)
+	groupedCols := make([]relation.Column, 0, len(groupPos)+len(specs))
+	groupedCols = append(groupedCols, midCols[:len(groupPos)]...)
 	for i, fc := range aggs {
 		if !fc.Star {
 			specs[i].E = ra.Col{Pos: argPos}
 			argPos++
 		}
+		groupedCols = append(groupedCols, relation.Column{Name: specs[i].Name, Kind: ra.AggOutputKind(specs[i].Func)})
 	}
-	grouped, err := ra.GroupBy(midRel, groupPos, specs)
-	if err != nil {
-		return nil, err
-	}
+	grouped := c.add(&planNode{
+		op: opGroupBy, schema: relation.NewSchema(groupedCols...),
+		l: midNode, groupPos: groupPos, aggs: specs,
+	})
 
 	// 4. HAVING over the grouped schema.
 	if sel.Having != nil {
@@ -214,11 +220,11 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 		if hasAggregate(rewritten) {
 			return nil, fmt.Errorf("minisql: HAVING aggregate not computable: %v", exprString(sel.Having))
 		}
-		pred, err := compileExpr(rewritten, grouped.Schema())
+		pred, err := compileExpr(rewritten, grouped.schema)
 		if err != nil {
 			return nil, fmt.Errorf("minisql: HAVING: %w", err)
 		}
-		grouped = ex.ra.Select(grouped, pred)
+		grouped = c.add(&planNode{op: opSelect, schema: grouped.schema, l: grouped, preds: []ra.Expr{pred}})
 	}
 
 	// 5. Final projection.
@@ -237,7 +243,7 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 		if hasAggregate(rewritten) {
 			return nil, fmt.Errorf("minisql: expression %s mixes grouped and ungrouped terms", exprString(it.Expr))
 		}
-		compiled, err := compileExpr(rewritten, grouped.Schema())
+		compiled, err := compileExpr(rewritten, grouped.schema)
 		if err != nil {
 			return nil, fmt.Errorf("minisql: select item %s must be a GROUP BY expression or aggregate: %w",
 				exprString(it.Expr), err)
@@ -253,14 +259,15 @@ func (ex *executor) projectGrouped(sel *Select, rel *relation.Relation) (*relati
 				name = "col"
 			}
 		}
-		items = append(items, ra.NamedExpr{Name: uniq(name), Kind: groupedKind(it.Expr, rel.Schema()), E: compiled})
+		items = append(items, ra.NamedExpr{Name: uniq(name), Kind: groupedKind(it.Expr, in.schema), E: compiled})
 	}
-	out, err := ex.ra.Project(grouped, items)
-	if err != nil {
-		return nil, err
+	outCols := make([]relation.Column, len(items))
+	for i, it := range items {
+		outCols[i] = relation.Column{Name: it.Name, Kind: it.Kind}
 	}
+	out := c.add(&planNode{op: opProject, schema: relation.NewSchema(outCols...), l: grouped, items: items})
 	if sel.Distinct {
-		out = out.Distinct()
+		out = c.add(&planNode{op: opDistinct, schema: out.schema, l: out})
 	}
 	return out, nil
 }

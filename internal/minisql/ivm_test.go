@@ -1,0 +1,255 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// The delta-maintained executor is property-tested against the cold (full
+// re-run) executor and the nested-loop oracle: over random catalogs, random
+// queries of every maintainable shape (multi-table equi-joins, [NOT] EXISTS,
+// LEFT JOIN with IS NULL, UNION/UNION ALL/EXCEPT, DISTINCT, GROUP BY
+// aggregates, CTEs referenced more than once, FROM subqueries) and random
+// insert/delete delta sequences, the IVM's maintained result must equal the
+// cold executor's bag — which must itself equal the nested-loop oracle's —
+// after every round, sequentially and with a worker pool.
+
+// randIVMQuery renders a random maintainable query over tables t1, t2, t3.
+func randIVMQuery(rng *rand.Rand) string {
+	switch rng.Intn(6) {
+	case 0:
+		// The join/EXISTS generator shared with the executor oracle test.
+		return randQuery(rng)
+	case 1:
+		// LEFT JOIN, optionally anti-join-shaped via IS NULL (the
+		// WLockedObjects pattern of Listing 1).
+		s := "SELECT x.a, x.b, y.c FROM t1 x LEFT JOIN t2 y ON x.a = y.a"
+		if rng.Intn(2) == 0 {
+			s += fmt.Sprintf(" AND y.b >= %d", rng.Intn(4))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s += " WHERE y.c IS NULL"
+		case 1:
+			s += fmt.Sprintf(" WHERE x.b > %d", rng.Intn(4))
+		}
+		return s
+	case 2:
+		// Set operations (Listing 1's EXCEPT-of-UNIONs shape).
+		op := []string{"UNION", "UNION ALL", "EXCEPT"}[rng.Intn(3)]
+		l := fmt.Sprintf("SELECT x.a, x.b FROM t1 x WHERE x.c >= %d", rng.Intn(4))
+		r := fmt.Sprintf("SELECT y.a, y.b FROM t2 y WHERE y.c <= %d", 3+rng.Intn(5))
+		return "(" + l + ") " + op + " (" + r + ")"
+	case 3:
+		// Grouped aggregates; deletes exercise the MIN/MAX group recompute.
+		s := "SELECT x.a, COUNT(*) AS n, SUM(x.c) AS s, MIN(x.b) AS lo, MAX(x.c) AS hi, AVG(x.c) AS av FROM t1 x"
+		if rng.Intn(2) == 0 {
+			s += fmt.Sprintf(" WHERE x.c >= %d", rng.Intn(3))
+		}
+		s += " GROUP BY x.a"
+		if rng.Intn(2) == 0 {
+			s += " HAVING COUNT(*) >= 2"
+		}
+		return s
+	case 4:
+		// Global aggregate: one row even over an emptied table.
+		return fmt.Sprintf("SELECT COUNT(*) AS n, SUM(x.a) AS s, MIN(x.c) AS lo FROM t1 x WHERE x.b <> %d", rng.Intn(4))
+	case 5:
+		// A CTE read twice (the view cache must share, not duplicate) over a
+		// grouped FROM subquery.
+		if rng.Intn(2) == 0 {
+			return "WITH v AS (SELECT x.a AS a, x.c AS c FROM t1 x WHERE x.c > 1) " +
+				"SELECT p.a, q.c FROM v p, v q WHERE p.a = q.a AND p.c <= q.c"
+		}
+		return "SELECT s.a, s.n FROM (SELECT x.a AS a, COUNT(*) AS n FROM t1 x GROUP BY x.a) s WHERE s.n >= 2"
+	}
+	panic("unreachable")
+}
+
+// mirrorCatalog rebuilds fresh relations from the tuple mirrors (the cold
+// executors always see ground truth rebuilt from scratch).
+func mirrorCatalog(mirror map[string][]relation.Tuple) Catalog {
+	cat := make(Catalog, len(mirror))
+	for name, rows := range mirror {
+		r := relation.New(relation.NewSchema(
+			relation.Column{Name: "a", Kind: relation.KindInt},
+			relation.Column{Name: "b", Kind: relation.KindInt},
+			relation.Column{Name: "c", Kind: relation.KindInt},
+		))
+		for _, t := range rows {
+			r.MustAppend(t)
+		}
+		cat[name] = r
+	}
+	return cat
+}
+
+// randDeltas draws a random delta per table — inserts, deletes of currently
+// present rows, and occasionally a cancelling insert+delete of the same
+// tuple — and applies it to the mirrors.
+func randDeltas(rng *rand.Rand, mirror map[string][]relation.Tuple) map[string]Delta {
+	out := make(map[string]Delta, len(mirror))
+	for _, name := range []string{"t1", "t2", "t3"} {
+		var d Delta
+		for k := 0; k < rng.Intn(4); k++ {
+			t := randTableRow(rng)
+			d.Ins = append(d.Ins, t)
+			mirror[name] = append(mirror[name], t)
+		}
+		for k := 0; k < rng.Intn(3); k++ {
+			rows := mirror[name]
+			if len(rows) == 0 {
+				break
+			}
+			i := rng.Intn(len(rows))
+			d.Del = append(d.Del, rows[i])
+			mirror[name] = append(rows[:i], rows[i+1:]...)
+		}
+		if rng.Intn(4) == 0 {
+			// Net no-op churn: the same tuple inserted and deleted.
+			t := randTableRow(rng)
+			d.Ins = append(d.Ins, t)
+			d.Del = append(d.Del, t)
+		}
+		out[name] = d
+	}
+	return out
+}
+
+func runIVMProperty(t *testing.T, opts *ra.Options, seeds, rounds int) {
+	t.Helper()
+	nested := &ra.Options{NestedLoop: true}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mirror := map[string][]relation.Tuple{}
+		for _, name := range []string{"t1", "t2", "t3"} {
+			for i, n := 0, 5+rng.Intn(25); i < n; i++ {
+				mirror[name] = append(mirror[name], randTableRow(rng))
+			}
+		}
+		src := randIVMQuery(rng)
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse %q: %v", seed, src, err)
+		}
+		cat := mirrorCatalog(mirror)
+		schemas := map[string]*relation.Schema{}
+		for k, v := range cat {
+			schemas[k] = v.Schema()
+		}
+		plan, err := CompilePlan(q, schemas)
+		if err != nil {
+			t.Fatalf("seed %d: compile %q: %v", seed, src, err)
+		}
+		m, err := NewIVM(plan, cat, opts)
+		if err != nil {
+			t.Fatalf("seed %d: NewIVM %q: %v", seed, src, err)
+		}
+		for step := 0; step < rounds; step++ {
+			d := randDeltas(rng, mirror)
+			if err := m.Apply(d); err != nil {
+				t.Fatalf("seed %d step %d: apply %q: %v", seed, step, src, err)
+			}
+			got, err := m.Result()
+			if err != nil {
+				t.Fatalf("seed %d step %d: result %q: %v", seed, step, src, err)
+			}
+			fresh := mirrorCatalog(mirror)
+			cold, err := RunOpts(q, fresh, opts)
+			if err != nil {
+				t.Fatalf("seed %d step %d: cold %q: %v", seed, step, src, err)
+			}
+			oracle, err := RunOpts(q, fresh, nested)
+			if err != nil {
+				t.Fatalf("seed %d step %d: oracle %q: %v", seed, step, src, err)
+			}
+			if !cold.Equal(oracle) {
+				t.Fatalf("seed %d step %d: cold executor diverged from nested-loop oracle on %q\ncold:\n%s\noracle:\n%s",
+					seed, step, src, cold, oracle)
+			}
+			if !got.Equal(cold) {
+				t.Fatalf("seed %d step %d: IVM diverged from cold executor on %q\nivm:\n%s\ncold:\n%s",
+					seed, step, src, got, cold)
+			}
+			if plan.root.op == opOrderBy {
+				rows := got.Rows()
+				for i := 1; i < len(rows); i++ {
+					for _, sp := range plan.root.sorts {
+						c := rows[i-1][sp.Pos].Compare(rows[i][sp.Pos])
+						if sp.Desc {
+							c = -c
+						}
+						if c > 0 {
+							t.Fatalf("seed %d step %d: IVM result not sorted at row %d for %q", seed, step, i, src)
+						}
+						if c < 0 {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIVMMatchesColdAndOracle: sequential delta maintenance tracks the cold
+// executor and the nested-loop oracle across randomized delta sequences.
+func TestIVMMatchesColdAndOracle(t *testing.T) {
+	runIVMProperty(t, nil, 60, 8)
+}
+
+// TestIVMMatchesColdAndOracleParallel: the same property with the operator
+// pool enabled (initial materialisation and cold runs fan out; -race guards
+// the shared state).
+func TestIVMMatchesColdAndOracleParallel(t *testing.T) {
+	par := &ra.Options{Pool: pool.New(4), MinParRows: 1}
+	defer par.Pool.Shutdown()
+	runIVMProperty(t, par, 15, 6)
+}
+
+// TestIVMRefusesLimit: LIMIT has no delta rule; the constructor must refuse
+// so callers fall back to full re-evaluation.
+func TestIVMRefusesLimit(t *testing.T) {
+	q, err := Parse("SELECT x.a FROM t1 x ORDER BY a LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := mirrorCatalog(map[string][]relation.Tuple{"t1": {randTableRow(rand.New(rand.NewSource(1)))}})
+	plan, err := CompilePlan(q, map[string]*relation.Schema{"t1": cat["t1"].Schema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIVM(plan, cat, nil); err == nil {
+		t.Fatal("NewIVM accepted a LIMIT plan")
+	}
+}
+
+// TestIVMDivergentDeltaErrors: deleting a tuple beyond its maintained count
+// must surface as an error (the protocol's cue to rebuild cold).
+func TestIVMDivergentDeltaErrors(t *testing.T) {
+	rows := map[string][]relation.Tuple{"t1": {{relation.Int(1), relation.Int(2), relation.Int(3)}}, "t2": nil, "t3": nil}
+	cat := mirrorCatalog(rows)
+	q, err := Parse("SELECT x.a FROM t1 x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompilePlan(q, map[string]*relation.Schema{
+		"t1": cat["t1"].Schema(), "t2": cat["t2"].Schema(), "t3": cat["t3"].Schema(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewIVM(plan, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := relation.Tuple{relation.Int(9), relation.Int(9), relation.Int(9)}
+	if err := m.Apply(map[string]Delta{"t1": {Del: []relation.Tuple{bogus}}}); err == nil {
+		t.Fatal("divergent delete accepted")
+	}
+}

@@ -1,0 +1,607 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// The executor is a compile-then-evaluate pipeline: CompilePlan lowers a
+// parsed Query against the base-table schemas into a tree of relational
+// operator nodes (all name resolution, conjunct placement, join-key
+// extraction and EXISTS rewriting happens here, once), and Plan.Eval runs
+// the tree bottom-up through the ra operators. Splitting the two lets the
+// incremental view maintenance engine (ivm.go) reuse the exact cold plan as
+// its view graph: every node the cold evaluator materialises transiently is
+// a view the IVM materialises persistently and patches with delta rules, so
+// the two executors cannot diverge on planning decisions.
+
+// planOp discriminates plan node types.
+type planOp uint8
+
+// Plan node operators.
+const (
+	opScan     planOp = iota // base table (cte < 0) or CTE slot output
+	opRename                 // alias-qualified column names over the child
+	opSelect                 // filter by every pred (ANDed)
+	opProject                // projection items
+	opJoin                   // inner hash equi-join + residual
+	opLeftJoin               // left outer equi-join (residual joins matching)
+	opSemi                   // hash semi- (anti=false) or anti-join (anti=true)
+	opUnionAll               // bag concatenation
+	opExcept                 // SQL EXCEPT (set semantics)
+	opDistinct               // duplicate elimination
+	opGroupBy                // grouping + aggregates
+	opOrderBy                // sort (content-neutral)
+	opLimit                  // first-n prefix (content-significant)
+	opConst                  // one zero-column row (SELECT without FROM)
+)
+
+// planNode is one relational operator with its compile-time output schema.
+// l is the only child of unary operators; binary operators use l and r.
+type planNode struct {
+	op     planOp
+	id     int // position in Plan.nodes (children precede parents)
+	schema *relation.Schema
+	l, r   *planNode
+
+	table    string         // opScan: lower-cased base table name
+	cte      int            // opScan: CTE slot, -1 for base tables
+	names    []string       // opRename
+	preds    []ra.Expr      // opSelect, applied in order
+	pred     ra.Expr        // opJoin/opLeftJoin/opSemi residual (may be nil)
+	keys     []ra.EquiKey   // opJoin/opLeftJoin/opSemi equi-keys
+	anti     bool           // opSemi: NOT EXISTS
+	items    []ra.NamedExpr // opProject
+	groupPos []int          // opGroupBy: key positions in the child
+	aggs     []ra.AggSpec   // opGroupBy
+	sorts    []ra.SortSpec  // opOrderBy
+	limit    int            // opLimit
+}
+
+// Plan is a query compiled against fixed base-table schemas. It is immutable
+// after compilation and may be evaluated any number of times (the SQL
+// protocol compiles its qualification query once and reuses the plan every
+// round).
+type Plan struct {
+	root  *planNode
+	ctes  []*planNode // CTE bodies in declaration order; slot i may use j < i
+	nodes []*planNode // every node, children before parents
+}
+
+// CompilePlan lowers q against the given base-table schemas (keys are
+// lower-cased table names). All static errors — unknown tables or columns,
+// unsupported constructs — surface here; evaluation can then only fail on
+// data-dependent conditions.
+func CompilePlan(q *Query, tables map[string]*relation.Schema) (*Plan, error) {
+	c := &compiler{plan: &Plan{}, scope: make(map[string]scopeEntry, len(tables))}
+	for name, s := range tables {
+		c.scope[strings.ToLower(name)] = scopeEntry{schema: s, cte: -1}
+	}
+	root, err := c.query(q)
+	if err != nil {
+		return nil, err
+	}
+	c.plan.root = root
+	return c.plan, nil
+}
+
+// scopeEntry is one name visible to FROM: a base table or an earlier CTE.
+type scopeEntry struct {
+	schema *relation.Schema
+	cte    int // -1 for base tables
+}
+
+type compiler struct {
+	plan  *Plan
+	scope map[string]scopeEntry
+}
+
+// add registers a node in evaluation (topological) order.
+func (c *compiler) add(n *planNode) *planNode {
+	n.id = len(c.plan.nodes)
+	c.plan.nodes = append(c.plan.nodes, n)
+	return n
+}
+
+func (c *compiler) query(q *Query) (*planNode, error) {
+	// CTEs extend the scope for the rest of this query (and are visible to
+	// later CTEs, as in SQL).
+	if len(q.With) > 0 {
+		saved := c.scope
+		c.scope = make(map[string]scopeEntry, len(saved)+len(q.With))
+		for k, v := range saved {
+			c.scope[k] = v
+		}
+		defer func() { c.scope = saved }()
+		for _, cte := range q.With {
+			n, err := c.query(cte.Query)
+			if err != nil {
+				return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
+			}
+			slot := len(c.plan.ctes)
+			c.plan.ctes = append(c.plan.ctes, n)
+			c.scope[cte.Name] = scopeEntry{schema: n.schema, cte: slot}
+		}
+	}
+	n, err := c.setExpr(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		specs := make([]ra.SortSpec, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			cr, ok := o.Expr.(*ColRef)
+			if !ok {
+				return nil, fmt.Errorf("minisql: ORDER BY supports column references only")
+			}
+			pos, _, err := resolveCol(n.schema, cr)
+			if err != nil && cr.Qual != "" {
+				// Output columns are unqualified; a qualified ORDER BY ref
+				// (ORDER BY r.ta) falls back to the bare name.
+				pos, _, err = resolveCol(n.schema, &ColRef{Name: cr.Name})
+			}
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = ra.SortSpec{Pos: pos, Desc: o.Desc}
+		}
+		n = c.add(&planNode{op: opOrderBy, schema: n.schema, l: n, sorts: specs})
+	}
+	if q.Limit >= 0 {
+		n = c.add(&planNode{op: opLimit, schema: n.schema, l: n, limit: q.Limit})
+	}
+	return n, nil
+}
+
+func (c *compiler) setExpr(se SetExpr) (*planNode, error) {
+	switch n := se.(type) {
+	case *Select:
+		return c.sel(n)
+	case *SetOp:
+		l, err := c.setExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.setExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		if l.schema.Len() != r.schema.Len() {
+			return nil, fmt.Errorf("minisql: set operation arity mismatch %d vs %d", l.schema.Len(), r.schema.Len())
+		}
+		switch n.Op {
+		case OpUnion:
+			u := c.add(&planNode{op: opUnionAll, schema: l.schema, l: l, r: r})
+			if !n.All {
+				u = c.add(&planNode{op: opDistinct, schema: u.schema, l: u})
+			}
+			return u, nil
+		default:
+			return c.add(&planNode{op: opExcept, schema: l.schema, l: l, r: r}), nil
+		}
+	default:
+		return nil, fmt.Errorf("minisql: unknown set expression %T", se)
+	}
+}
+
+func (c *compiler) sel(sel *Select) (*planNode, error) {
+	if len(sel.From) == 0 {
+		// SELECT of constants: one row, no FROM.
+		one := c.add(&planNode{op: opConst, schema: relation.NewSchema()})
+		return c.project(sel, one)
+	}
+	conjs := splitConjuncts(sel.Where, nil)
+	var plain, existsConjs []*conjunct
+	for _, cj := range conjs {
+		if hasExists(cj.e) {
+			existsConjs = append(existsConjs, cj)
+		} else {
+			plain = append(plain, cj)
+		}
+	}
+	cur, leftover, err := c.joinChain(sel.From, plain)
+	if err != nil {
+		return nil, err
+	}
+	if len(leftover) > 0 {
+		return nil, fmt.Errorf("minisql: predicate %v references unknown columns", leftover[0].e)
+	}
+	for _, cj := range existsConjs {
+		cur, err = c.applyExists(cur, cj.e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if needsGrouping(sel) {
+		return c.projectGrouped(sel, cur)
+	}
+	return c.project(sel, cur)
+}
+
+// joinChain compiles the FROM items left to right, consuming WHERE conjuncts
+// as early filters and hash-join keys where possible, and applying all
+// remaining resolvable conjuncts at the end. Conjuncts it cannot resolve are
+// returned for the caller (correlated predicates of an EXISTS subquery).
+func (c *compiler) joinChain(from []FromItem, conjs []*conjunct) (*planNode, []*conjunct, error) {
+	cur, err := c.fromItem(from[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	cur = c.applyResolvable(cur, conjs)
+	for _, item := range from[1:] {
+		next, err := c.fromItem(item)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := checkDisjointAliases(cur.schema, next.schema); err != nil {
+			return nil, nil, err
+		}
+		switch item.Join {
+		case JoinLeft, JoinInner:
+			onConjs := splitConjuncts(item.On, nil)
+			keys, residual, err := extractKeys(cur.schema, next.schema, onConjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, cj := range onConjs {
+				if cj.done {
+					continue
+				}
+				// Non-equi ON conjuncts join the residual.
+				cc, err := compileExpr(cj.e, concat(cur.schema, next.schema))
+				if err != nil {
+					return nil, nil, err
+				}
+				if residual == nil {
+					residual = cc
+				} else {
+					residual = ra.And{L: residual, R: cc}
+				}
+				cj.done = true
+			}
+			op := opJoin
+			if item.Join == JoinLeft {
+				op = opLeftJoin
+			}
+			cur = c.add(&planNode{
+				op: op, schema: joinSchema(cur.schema, next.schema),
+				l: cur, r: next, keys: keys, pred: residual,
+			})
+		default: // comma join: consume WHERE equi-join keys
+			next = c.applyResolvable(next, conjs)
+			keys, _, err := extractKeys(cur.schema, next.schema, conjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = c.add(&planNode{
+				op: opJoin, schema: joinSchema(cur.schema, next.schema),
+				l: cur, r: next, keys: keys,
+			})
+		}
+		cur = c.applyResolvable(cur, conjs)
+	}
+	var leftover []*conjunct
+	for _, cj := range conjs {
+		if !cj.done {
+			leftover = append(leftover, cj)
+		}
+	}
+	return cur, leftover, nil
+}
+
+// applyResolvable wraps n in a filter by every pending conjunct whose columns
+// all resolve in n's schema, marking them consumed.
+func (c *compiler) applyResolvable(n *planNode, conjs []*conjunct) *planNode {
+	var preds []ra.Expr
+	for _, cj := range conjs {
+		if cj.done {
+			continue
+		}
+		compiled, err := compileExpr(cj.e, n.schema)
+		if err != nil {
+			continue // not yet resolvable; a later join may provide columns
+		}
+		preds = append(preds, compiled)
+		cj.done = true
+	}
+	if len(preds) == 0 {
+		return n
+	}
+	return c.add(&planNode{op: opSelect, schema: n.schema, l: n, preds: preds})
+}
+
+func (c *compiler) fromItem(item FromItem) (*planNode, error) {
+	var base *planNode
+	if item.Table != "" {
+		ent, ok := c.scope[item.Table]
+		if !ok {
+			return nil, fmt.Errorf("minisql: unknown table %q", item.Table)
+		}
+		base = c.add(&planNode{op: opScan, schema: ent.schema, table: item.Table, cte: ent.cte})
+	} else {
+		sub, err := c.query(item.Sub)
+		if err != nil {
+			return nil, err
+		}
+		base = sub
+	}
+	// Qualify every column as alias.col.
+	names := make([]string, base.schema.Len())
+	for i := 0; i < base.schema.Len(); i++ {
+		n := base.schema.Col(i).Name
+		if j := strings.LastIndexByte(n, '.'); j >= 0 {
+			n = n[j+1:]
+		}
+		names[i] = item.Alias + "." + n
+	}
+	cols := base.schema.Columns()
+	for i := range cols {
+		cols[i].Name = names[i]
+	}
+	return c.add(&planNode{
+		op: opRename, schema: relation.NewSchema(cols...), l: base, names: names,
+	}), nil
+}
+
+// applyExists rewrites a [NOT] EXISTS conjunct into a hash semi/anti join of
+// the current node against the subquery's FROM, extracting correlated
+// equality predicates as join keys (including keys implied by every branch
+// of an OR) and compiling the rest as a residual predicate.
+func (c *compiler) applyExists(cur *planNode, e Expr) (*planNode, error) {
+	negate := false
+	for {
+		if n, ok := e.(*Not); ok {
+			negate = !negate
+			e = n.E
+			continue
+		}
+		break
+	}
+	x, ok := e.(*Exists)
+	if !ok {
+		return nil, fmt.Errorf("minisql: unsupported EXISTS placement in %T", e)
+	}
+	if x.Negate {
+		negate = !negate
+	}
+	sub := x.Sub
+	if len(sub.With) > 0 {
+		return nil, fmt.Errorf("minisql: WITH inside EXISTS not supported")
+	}
+	innerSel, ok := sub.Body.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("minisql: set operations inside EXISTS not supported")
+	}
+	conjs := splitConjuncts(innerSel.Where, nil)
+	for _, cj := range conjs {
+		if hasExists(cj.e) {
+			return nil, fmt.Errorf("minisql: nested EXISTS not supported")
+		}
+	}
+	inner, leftover, err := c.joinChain(innerSel.From, conjs)
+	if err != nil {
+		return nil, err
+	}
+	// Correlated conjuncts: direct equalities become keys; everything else is
+	// a residual over (outer ++ inner). Equalities implied by every disjunct
+	// of an OR are additionally hoisted as keys (the residual keeps the OR,
+	// which is redundant but harmless).
+	both := concat(cur.schema, inner.schema)
+	var keys []ra.EquiKey
+	var residual ra.Expr
+	for _, cj := range leftover {
+		if b, ok := cj.e.(*Binary); ok && b.Op == BEq {
+			if k, ok2 := correlatedKey(cur.schema, inner.schema, b); ok2 {
+				keys = append(keys, k)
+				continue
+			}
+		}
+		keys = append(keys, hoistImpliedKeys(cur.schema, inner.schema, cj.e)...)
+		cc, err := compileExpr(cj.e, both)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: correlated predicate %v: %w", cj.e, err)
+		}
+		if residual == nil {
+			residual = cc
+		} else {
+			residual = ra.And{L: residual, R: cc}
+		}
+	}
+	return c.add(&planNode{
+		op: opSemi, schema: cur.schema, l: cur, r: inner,
+		keys: keys, pred: residual, anti: negate,
+	}), nil
+}
+
+// project compiles the SELECT list and DISTINCT.
+func (c *compiler) project(sel *Select, n *planNode) (*planNode, error) {
+	var items []ra.NamedExpr
+	usedNames := make(map[string]int)
+	uniq := func(name string) string {
+		if name == "" {
+			name = "col"
+		}
+		k := usedNames[name]
+		usedNames[name] = k + 1
+		if k == 0 {
+			return name
+		}
+		return name + "_" + fmt.Sprint(k+1)
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			s := n.schema
+			for i := 0; i < s.Len(); i++ {
+				full := s.Col(i).Name
+				alias, col, hasDot := strings.Cut(full, ".")
+				if !hasDot {
+					col = full
+					alias = ""
+				}
+				if it.Qualifier != "" && alias != it.Qualifier {
+					continue
+				}
+				items = append(items, ra.NamedExpr{
+					Name: uniq(col),
+					Kind: s.Col(i).Kind,
+					E:    ra.Col{Pos: i, Name: col},
+				})
+			}
+			if it.Qualifier != "" {
+				found := false
+				for i := 0; i < n.schema.Len(); i++ {
+					if strings.HasPrefix(n.schema.Col(i).Name, it.Qualifier+".") {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("minisql: unknown alias %q in %s.*", it.Qualifier, it.Qualifier)
+				}
+			}
+			continue
+		}
+		compiled, err := compileExpr(it.Expr, n.schema)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = "col"
+			}
+		}
+		items = append(items, ra.NamedExpr{
+			Name: uniq(name),
+			Kind: exprKind(it.Expr, n.schema),
+			E:    compiled,
+		})
+	}
+	cols := make([]relation.Column, len(items))
+	for i, it := range items {
+		cols[i] = relation.Column{Name: it.Name, Kind: it.Kind}
+	}
+	out := c.add(&planNode{op: opProject, schema: relation.NewSchema(cols...), l: n, items: items})
+	if sel.Distinct {
+		out = c.add(&planNode{op: opDistinct, schema: out.schema, l: out})
+	}
+	return out, nil
+}
+
+// joinSchema mirrors the ra join operators' output schema: left columns, then
+// right columns with name clashes disambiguated by an "r." prefix (the SQL
+// planner always pre-qualifies names, so clashes only arise in hand-built
+// plans).
+func joinSchema(l, r *relation.Schema) *relation.Schema {
+	cols := make([]relation.Column, 0, l.Len()+r.Len())
+	cols = append(cols, l.Columns()...)
+	for _, c := range r.Columns() {
+		if _, clash := l.Index(c.Name); clash {
+			c.Name = "r." + c.Name
+		}
+		cols = append(cols, c)
+	}
+	return relation.NewSchema(cols...)
+}
+
+// planEval evaluates a plan bottom-up through the ra operators.
+type planEval struct {
+	plan    *Plan
+	cat     Catalog
+	opts    *ra.Options
+	cte     []*relation.Relation
+	capture []*relation.Relation // per-node results for the IVM, when non-nil
+}
+
+// Eval runs the plan against a catalog (keys lower-cased) under the given
+// operator options. The catalog's relations must match the schemas the plan
+// was compiled against.
+func (p *Plan) Eval(cat Catalog, opts *ra.Options) (*relation.Relation, error) {
+	return p.eval(cat, opts, nil)
+}
+
+func (p *Plan) eval(cat Catalog, opts *ra.Options, capture []*relation.Relation) (*relation.Relation, error) {
+	e := &planEval{plan: p, cat: cat, opts: opts, cte: make([]*relation.Relation, len(p.ctes)), capture: capture}
+	// CTEs evaluate eagerly in declaration order, as in SQL; a CTE may read
+	// any earlier slot.
+	for i, n := range p.ctes {
+		r, err := e.node(n)
+		if err != nil {
+			return nil, err
+		}
+		e.cte[i] = r
+	}
+	return e.node(p.root)
+}
+
+func (e *planEval) node(n *planNode) (rel *relation.Relation, err error) {
+	defer func() {
+		if err == nil && e.capture != nil {
+			e.capture[n.id] = rel
+		}
+	}()
+	switch n.op {
+	case opScan:
+		if n.cte >= 0 {
+			return e.cte[n.cte], nil
+		}
+		r, ok := e.cat[n.table]
+		if !ok {
+			return nil, fmt.Errorf("minisql: unknown table %q", n.table)
+		}
+		return r, nil
+	case opConst:
+		one := relation.New(relation.NewSchema())
+		one.MustAppend(relation.Tuple{})
+		return one, nil
+	}
+	l, err := e.node(n.l)
+	if err != nil {
+		return nil, err
+	}
+	var r *relation.Relation
+	if n.r != nil {
+		if r, err = e.node(n.r); err != nil {
+			return nil, err
+		}
+	}
+	switch n.op {
+	case opRename:
+		return ra.Rename(l, n.names)
+	case opSelect:
+		for _, p := range n.preds {
+			l = e.opts.Select(l, p)
+		}
+		return l, nil
+	case opProject:
+		return e.opts.Project(l, n.items)
+	case opJoin:
+		return e.opts.HashJoin(l, r, n.keys, n.pred), nil
+	case opLeftJoin:
+		return e.opts.LeftJoin(l, r, n.keys, n.pred), nil
+	case opSemi:
+		if n.anti {
+			return e.opts.AntiJoin(l, r, n.keys, n.pred), nil
+		}
+		return e.opts.SemiJoin(l, r, n.keys, n.pred), nil
+	case opUnionAll:
+		return ra.UnionAll(l, r)
+	case opExcept:
+		return ra.Except(l, r)
+	case opDistinct:
+		return l.Distinct(), nil
+	case opGroupBy:
+		return ra.GroupBy(l, n.groupPos, n.aggs)
+	case opOrderBy:
+		return ra.OrderBy(l, n.sorts), nil
+	case opLimit:
+		return ra.Limit(l, n.limit), nil
+	default:
+		return nil, fmt.Errorf("minisql: unknown plan operator %d", n.op)
+	}
+}

@@ -3,7 +3,9 @@ package protocol
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/datalog"
 	"repro/internal/minisql"
 	"repro/internal/pool"
@@ -32,16 +34,44 @@ type SQLProtocol struct {
 	histRel    *relation.Relation
 	byKey      map[request.Key]request.Request
 
+	// The compiled plan (shared by every evaluation path) and the
+	// materialized-view cache over it, keyed by query shape: the plan is
+	// recompiled, and the views discarded, only when the base relations'
+	// schemas change. On warm rounds the views are patched with the round's
+	// deltas through the relational delta rules (minisql.IVM) instead of
+	// re-running the query; the adaptive cost model below decides per round
+	// whether that beats a full re-evaluation.
+	plan           *minisql.Plan
+	planShape      string
+	ivm            *minisql.IVM
+	ivmUnsupported bool
+
+	// Adaptive warm-round cost model (the Datalog engine's strategyCost,
+	// shared via internal/costmodel): observed ns per churned tuple for
+	// delta maintenance vs ns per standing tuple for full re-evaluation.
+	// forceStrategy pins one path for tests and ablations ("ivm", "warm").
+	ivmCost       costmodel.EWMA
+	coldCost      costmodel.EWMA
+	forceStrategy string
+
 	// Operator options: a worker pool when SetParallelism enabled one, and
 	// the nested-loop oracle switch (benchmarks and property tests compare
 	// the hash path against it).
 	opts *ra.Options
 
 	// lastStrategy names the evaluation path of the last Qualify call
-	// (StrategyReporter): "sql-warm" when the cached relations were patched
-	// in place, "sql-cold" for a full rebuild.
+	// (StrategyReporter): "sql-ivm" when the view cache was delta-
+	// maintained, "sql-ivm-build" when it was (re)materialized, "sql-warm"
+	// when the query re-ran over the patched cached relations, "sql-cold"
+	// for a full rebuild.
 	lastStrategy string
 }
+
+// sqlIVMChurnFactor is the static bootstrap rule of the warm-round cost
+// model: delta maintenance is chosen while churn * factor < standing size,
+// until measured per-unit costs exist (mirrors the Datalog engine's
+// dredChurnFactor).
+const sqlIVMChurnFactor = 4
 
 // NewSQL parses the query once and reuses the plan every round.
 func NewSQL(name, sql string) (*SQLProtocol, error) {
@@ -102,9 +132,10 @@ func (p *SQLProtocol) SetNestedLoop(on bool) {
 func (p *SQLProtocol) LastStrategy() string { return p.lastStrategy }
 
 // Qualify implements Protocol: materialise both relations and run the query.
-// It invalidates any incremental state.
+// It invalidates any incremental state, including the view cache.
 func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
 	p.warm = false
+	p.ivm = nil
 	p.lastStrategy = "sql-cold"
 	reqRel, histRel, byKey := materialise(pending, history)
 	return p.run(reqRel, histRel, byKey)
@@ -123,7 +154,11 @@ func materialise(pending, history []request.Request) (*relation.Relation, *relat
 // QualifyIncremental implements IncrementalProtocol: the cached requests and
 // history relations are patched with the round's appends and removals (by
 // unique request id), and the byKey restoration map is no longer rebuilt
-// from scratch when pending is unchanged.
+// from scratch when pending is unchanged. On warm rounds the adaptive cost
+// model picks between patching the materialized view cache with the round's
+// deltas (sql-ivm) and re-running the query over the patched relations
+// (sql-warm); the first warm round an IVM path is chosen pays the view
+// materialization (sql-ivm-build).
 func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error) {
 	if p.warm {
 		// Pending removals precede adds chronologically (see Deltas):
@@ -146,13 +181,137 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 		}
 	}
 	if !p.warm {
+		// Cold rebuild: the deltas are no longer exact relative to any
+		// maintained state, so the view cache goes too (see the
+		// IncrementalProtocol contract).
 		p.pendingRel, p.histRel, p.byKey = materialise(pending, history)
+		p.ivm = nil
 		p.warm = true
 		p.lastStrategy = "sql-cold"
+		return p.run(p.pendingRel, p.histRel, p.byKey)
+	}
+
+	churn := len(d.PendingAdded) + len(d.PendingRemoved) + len(d.HistoryAppended) + len(d.HistoryRemoved)
+	standing := p.pendingRel.Len() + p.histRel.Len()
+	if p.chooseIVM(churn, standing) {
+		if p.ivm == nil {
+			if out, ok := p.buildIVM(); ok {
+				return out, nil
+			}
+		} else {
+			// The timed window spans delta propagation through result
+			// conversion — the same end-to-end span the sql-warm observation
+			// times via p.run + finish, so the two per-unit estimates stay
+			// comparable.
+			start := time.Now()
+			err := p.ivm.Apply(map[string]minisql.Delta{
+				"requests": {Ins: toTuples(d.PendingAdded), Del: toTuples(d.PendingRemoved)},
+				"history":  {Ins: toTuples(d.HistoryAppended), Del: toTuples(d.HistoryRemoved)},
+			})
+			if err == nil {
+				var rel *relation.Relation
+				if rel, err = p.ivm.Result(); err == nil {
+					var out []request.Request
+					if out, err = p.finish(rel, p.byKey); err == nil {
+						elapsed := float64(time.Since(start).Nanoseconds())
+						p.ivmCost.Observe(elapsed, churn)
+						// Relax the unmeasured side toward the static-
+						// consistent estimate (ivmPer = coldPer * factor, as
+						// in the Datalog engine and costmodel.Choose's
+						// borrowing rule), so a stale spike decays and the
+						// strategy gets re-tried.
+						p.coldCost.DecayToward(p.ivmCost.PerUnit / sqlIVMChurnFactor)
+						p.lastStrategy = "sql-ivm"
+						return out, nil
+					}
+				}
+			}
+			// Divergence (or a result error): drop the views and answer from
+			// the patched relations; the next warm round rematerializes.
+			p.ivm = nil
+		}
 	} else {
+		// The cost model picked full re-evaluation: the views would be
+		// stale after this round, so drop them.
+		p.ivm = nil
+	}
+	start := time.Now()
+	out, err := p.run(p.pendingRel, p.histRel, p.byKey)
+	if err == nil {
+		elapsed := float64(time.Since(start).Nanoseconds())
+		p.coldCost.Observe(elapsed, standing)
+		p.ivmCost.DecayToward(p.coldCost.PerUnit * sqlIVMChurnFactor)
 		p.lastStrategy = "sql-warm"
 	}
-	return p.run(p.pendingRel, p.histRel, p.byKey)
+	return out, err
+}
+
+// sqlIVMBuildHysteresis scales the churn a round must amortize before the
+// view cache is (re)materialized: building pays a full evaluation plus
+// per-node bag construction up front, so an alternating trickle/bulk
+// workload must not rebuild on every other round. Once the cache exists,
+// the plain cost comparison decides.
+const sqlIVMBuildHysteresis = 4
+
+// chooseIVM is the warm-round strategy decision (see sqlIVMChurnFactor).
+func (p *SQLProtocol) chooseIVM(churn, standing int) bool {
+	switch p.forceStrategy {
+	case "ivm":
+		return !p.ivmUnsupported
+	case "warm":
+		return false
+	}
+	if p.ivmUnsupported || standing == 0 {
+		return false
+	}
+	effChurn := churn
+	if p.ivm == nil {
+		effChurn = churn * sqlIVMBuildHysteresis
+	}
+	return costmodel.Choose(&p.ivmCost, &p.coldCost, effChurn, standing, sqlIVMChurnFactor)
+}
+
+// buildIVM materializes the view cache from the current patched relations
+// and answers the round from it. A build failure (a query shape without
+// delta rules, e.g. LIMIT) disables the IVM path for this protocol instance;
+// the caller falls through to the full re-run.
+func (p *SQLProtocol) buildIVM() ([]request.Request, bool) {
+	plan, err := p.compiledPlan(p.pendingRel.Schema(), p.histRel.Schema())
+	if err != nil {
+		p.ivmUnsupported = true
+		return nil, false
+	}
+	cat := minisql.Catalog{"requests": p.pendingRel, "history": p.histRel}
+	m, err := minisql.NewIVM(plan, cat, p.opts)
+	if err != nil {
+		p.ivmUnsupported = true
+		return nil, false
+	}
+	rel, err := m.Result()
+	if err != nil {
+		p.ivmUnsupported = true
+		return nil, false
+	}
+	out, err := p.finish(rel, p.byKey)
+	if err != nil {
+		p.ivmUnsupported = true
+		return nil, false
+	}
+	p.ivm = m
+	p.lastStrategy = "sql-ivm-build"
+	return out, true
+}
+
+// toTuples converts requests to their five-column relational form.
+func toTuples(rs []request.Request) []relation.Tuple {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]relation.Tuple, len(rs))
+	for i, r := range rs {
+		out[i] = r.Tuple()
+	}
+	return out
 }
 
 // deleteByID removes the rows of rel whose id column matches a removed
@@ -168,19 +327,47 @@ func deleteByID(rel *relation.Relation, removed []request.Request) {
 	rel.Delete(func(t relation.Tuple) bool { return ids[t[0].AsInt()] })
 }
 
+// compiledPlan returns the cached plan for the given base schemas, compiling
+// on first use or when the query shape (schema fingerprint) changed — which
+// also invalidates the view cache built over the old plan.
+func (p *SQLProtocol) compiledPlan(reqS, histS *relation.Schema) (*minisql.Plan, error) {
+	shape := reqS.String() + "|" + histS.String()
+	if p.plan == nil || p.planShape != shape {
+		plan, err := minisql.CompilePlan(p.query, map[string]*relation.Schema{
+			"requests": reqS, "history": histS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.plan, p.planShape = plan, shape
+		// The view cache and the IVM-supportability verdict both belong to
+		// the replaced plan.
+		p.ivm = nil
+		p.ivmUnsupported = false
+	}
+	return p.plan, nil
+}
+
 func (p *SQLProtocol) run(requests, history *relation.Relation, byKey map[request.Key]request.Request) ([]request.Request, error) {
-	cat := minisql.Catalog{"requests": requests, "history": history}
-	out, err := minisql.RunOpts(p.query, cat, p.opts)
+	plan, err := p.compiledPlan(requests.Schema(), history.Schema())
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
 	}
+	out, err := plan.Eval(minisql.Catalog{"requests": requests, "history": history}, p.opts)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
+	}
+	return p.finish(out, byKey)
+}
+
+// finish converts a query result to requests and restores the SLA fields
+// lost through the five-column relation from the pending batch, so
+// downstream ordering and accounting keep working.
+func (p *SQLProtocol) finish(out *relation.Relation, byKey map[request.Key]request.Request) ([]request.Request, error) {
 	qualified, err := request.FromRelation(out)
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: bad query output: %w", p.name, err)
 	}
-	// Requests lose their SLA fields through the five-column relation;
-	// restore them from the pending batch so downstream ordering and
-	// accounting keep working.
 	for i := range qualified {
 		if orig, ok := byKey[qualified[i].Key()]; ok {
 			qualified[i] = orig

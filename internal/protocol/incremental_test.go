@@ -5,8 +5,14 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/costmodel"
 	"repro/internal/request"
 )
+
+// costmodelEWMA builds a pre-seeded cost estimate for strategy-choice tests.
+func costmodelEWMA(perUnit float64, samples int) costmodel.EWMA {
+	return costmodel.EWMA{PerUnit: perUnit, Samples: samples}
+}
 
 // driveIncremental simulates the scheduler's round loop against one
 // incremental protocol instance and checks every round's qualified set
@@ -126,6 +132,194 @@ func TestSQLQualifyIncrementalParallelAndNested(t *testing.T) {
 	}
 	if got := cold.LastStrategy(); got != "sql-cold" {
 		t.Fatalf("cold Qualify LastStrategy = %q, want sql-cold", got)
+	}
+}
+
+// TestSQLIVMQualifyIncrementalMatchesCold: with the delta-maintained view
+// cache forced on, every round's qualified set still matches a cold Qualify
+// on a fresh twin — the protocol-level equivalence of the SQL IVM path,
+// sequential and parallel.
+func TestSQLIVMQualifyIncrementalMatchesCold(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		ivm := SS2PLSQL()
+		ivm.forceStrategy = "ivm"
+		driveIncremental(t, ivm, func() Protocol { return SS2PLSQL() }, seed)
+		if got := ivm.LastStrategy(); got != "sql-ivm" {
+			t.Fatalf("seed %d: LastStrategy = %q, want sql-ivm", seed, got)
+		}
+	}
+	par := SS2PLSQL()
+	par.forceStrategy = "ivm"
+	par.SetParallelism(4)
+	par.opts.MinParRows = 1
+	driveIncremental(t, par, func() Protocol { return SS2PLSQL() }, 21)
+	if got := par.LastStrategy(); got != "sql-ivm" {
+		t.Fatalf("parallel: LastStrategy = %q, want sql-ivm", got)
+	}
+}
+
+// TestSQLIVMBuildThenMaintain: the first warm round an IVM path is chosen
+// pays the materialization (sql-ivm-build), subsequent rounds delta-maintain
+// (sql-ivm), and a cold interleaving drops the cache.
+func TestSQLIVMBuildThenMaintain(t *testing.T) {
+	p := SS2PLSQL()
+	p.forceStrategy = "ivm"
+	var pending []request.Request
+	for i := int64(1); i <= 6; i++ {
+		pending = append(pending,
+			request.Request{ID: 3*i - 2, TA: i, IntraTA: 0, Op: request.Read, Object: i % 3},
+			request.Request{ID: 3*i - 1, TA: i, IntraTA: 1, Op: request.Write, Object: (i + 1) % 3},
+			request.Request{ID: 3 * i, TA: i, IntraTA: 2, Op: request.Commit, Object: request.NoObject},
+		)
+	}
+	if _, err := p.QualifyIncremental(pending, nil, Deltas{PendingAdded: pending}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastStrategy(); got != "sql-cold" {
+		t.Fatalf("first call: %q, want sql-cold", got)
+	}
+	if _, err := p.QualifyIncremental(pending, nil, Deltas{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastStrategy(); got != "sql-ivm-build" {
+		t.Fatalf("second call: %q, want sql-ivm-build", got)
+	}
+	if _, err := p.QualifyIncremental(pending, nil, Deltas{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastStrategy(); got != "sql-ivm" {
+		t.Fatalf("third call: %q, want sql-ivm", got)
+	}
+	// A direct Qualify invalidates the cache; the next incremental round is
+	// a cold rebuild, then the cache rematerializes.
+	if _, err := p.Qualify(pending[:3], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.QualifyIncremental(pending, nil, Deltas{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastStrategy(); got != "sql-cold" {
+		t.Fatalf("after interleaving: %q, want sql-cold", got)
+	}
+	got, err := p.QualifyIncremental(pending, nil, Deltas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.LastStrategy(); s != "sql-ivm-build" {
+		t.Fatalf("rematerialization: %q, want sql-ivm-build", s)
+	}
+	want, err := SS2PLSQL().Qualify(pending, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after rematerialization: %v want %v", got, want)
+	}
+}
+
+// TestSQLAdaptiveStrategyChoice: on a large standing instance with trickle
+// churn the static bootstrap rule picks delta maintenance; a bulk round
+// (churn comparable to the standing size) falls back to full re-evaluation
+// and drops the view cache.
+func TestSQLAdaptiveStrategyChoice(t *testing.T) {
+	p := SS2PLSQL()
+	var pending, history []request.Request
+	id := int64(1)
+	for ta := int64(1); ta <= 120; ta++ {
+		for k, op := range []request.Op{request.Read, request.Write, request.Commit} {
+			r := request.Request{ID: id, TA: ta, IntraTA: int64(k), Op: op, Object: ta % 40}
+			if op == request.Commit {
+				r.Object = request.NoObject
+			}
+			id++
+			if ta <= 60 {
+				history = append(history, r)
+			} else {
+				pending = append(pending, r)
+			}
+		}
+	}
+	if _, err := p.QualifyIncremental(pending, history, Deltas{PendingAdded: pending}); err != nil {
+		t.Fatal(err)
+	}
+	// Trickle churn: one new transaction against ~360 standing rows.
+	add := []request.Request{{ID: id, TA: 500, IntraTA: 0, Op: request.Read, Object: 1}}
+	pending = append(pending, add...)
+	if _, err := p.QualifyIncremental(pending, history, Deltas{PendingAdded: add}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastStrategy(); got != "sql-ivm-build" {
+		t.Fatalf("trickle round: %q, want sql-ivm-build", got)
+	}
+	// Bulk round: replace the whole pending set; the static rule says
+	// recompute.
+	removed := pending
+	var fresh []request.Request
+	for ta := int64(600); ta < 800; ta++ {
+		fresh = append(fresh, request.Request{ID: id, TA: ta, IntraTA: 0, Op: request.Write, Object: ta % 40})
+		id++
+	}
+	if _, err := p.QualifyIncremental(fresh, history, Deltas{PendingAdded: fresh, PendingRemoved: removed}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastStrategy(); got != "sql-warm" {
+		t.Fatalf("bulk round: %q, want sql-warm", got)
+	}
+}
+
+// TestSQLCostModelMeasuredPath: once per-unit costs are measured, the
+// strategy choice and the decay of the unmeasured side must stay consistent
+// with the static rule's cost relation (ivmPer = coldPer * factor) — the
+// same invariant the Datalog engine maintains. A bulk round must pick the
+// full re-run even after many cheap sql-ivm rounds have been observed.
+func TestSQLCostModelMeasuredPath(t *testing.T) {
+	p := SS2PLSQL()
+	// Measured: delta maintenance costs 100 ns per churned tuple, full
+	// re-evaluation 100/factor ns per standing tuple — exactly the
+	// static-consistent relation, where the decision must match the static
+	// rule on both sides of the boundary.
+	p.ivmCost = costmodelEWMA(100, 4)
+	p.coldCost = costmodelEWMA(100.0/sqlIVMChurnFactor, 4)
+	// No view cache exists yet, so the build hysteresis scales the churn:
+	// the boundary sits at churn * hysteresis * factor ≈ standing.
+	if !p.chooseIVM(1, 100) {
+		t.Fatal("trickle churn (1*4*4 < 100) should build the view cache")
+	}
+	if p.chooseIVM(60, 100) {
+		t.Fatal("bulk churn should pick the full re-run")
+	}
+	if p.chooseIVM(10, 100) {
+		t.Fatal("borderline churn must not trigger a rebuild (hysteresis)")
+	}
+	// With only IVM measurements, an inflated cold estimate must decay
+	// toward ivmPer/factor (below it here), so bulk rounds keep falling
+	// back instead of being predicted 16x too expensive.
+	p.coldCost = costmodelEWMA(1e6, 4)
+	p.forceStrategy = "ivm"
+	var pending []request.Request
+	for i := int64(1); i <= 4; i++ {
+		pending = append(pending, request.Request{ID: i, TA: i, IntraTA: 0, Op: request.Read, Object: i})
+	}
+	if _, err := p.QualifyIncremental(pending, nil, Deltas{PendingAdded: pending}); err != nil {
+		t.Fatal(err) // cold rebuild
+	}
+	if _, err := p.QualifyIncremental(pending, nil, Deltas{}); err != nil {
+		t.Fatal(err) // sql-ivm-build
+	}
+	before := p.coldCost.PerUnit
+	add := []request.Request{{ID: 99, TA: 99, IntraTA: 0, Op: request.Read, Object: 9}}
+	if _, err := p.QualifyIncremental(append(pending, add...), nil, Deltas{PendingAdded: add}); err != nil {
+		t.Fatal(err) // sql-ivm round: observes ivmCost, decays coldCost
+	}
+	if p.LastStrategy() != "sql-ivm" {
+		t.Fatalf("strategy %q, want sql-ivm", p.LastStrategy())
+	}
+	if p.coldCost.PerUnit >= before {
+		t.Fatalf("inflated cold estimate did not decay: %v -> %v", before, p.coldCost.PerUnit)
+	}
+	target := p.ivmCost.PerUnit / sqlIVMChurnFactor
+	if p.coldCost.PerUnit < target {
+		t.Fatalf("cold estimate decayed past the static-consistent target %v: %v", target, p.coldCost.PerUnit)
 	}
 }
 

@@ -1,8 +1,6 @@
 package ra
 
 import (
-	"fmt"
-
 	"repro/internal/relation"
 )
 
@@ -30,32 +28,130 @@ type AggSpec struct {
 	Name string
 }
 
+// AggOutputKind returns the output column kind of an aggregate: MIN/MAX
+// carry their input's values, which may be strings, so they get an any-kind
+// column; everything else is an int. The single source of the rule shared by
+// GroupBy's output schema, the SQL planner and the IVM's group views.
+func AggOutputKind(f AggFunc) relation.Kind {
+	if f == Min || f == Max {
+		return relation.KindNull
+	}
+	return relation.KindInt
+}
+
+// GroupAcc accumulates one group's aggregate state: the single
+// implementation of the per-group fold and output-row construction, shared
+// by GroupBy (cold evaluation, one row at a time) and the SQL executor's
+// incremental view maintenance (counted distinct tuples). Keeping both
+// evaluators on this one fold is what guarantees a delta-maintained
+// aggregate view can never drift from a cold re-evaluation.
+type GroupAcc struct {
+	n      int64   // group size (weighted)
+	counts []int64 // per-agg non-null count
+	sums   []int64
+	mins   []relation.Value
+	maxs   []relation.Value
+}
+
+// NewGroupAcc creates an empty accumulator for len(aggs) aggregates.
+func NewGroupAcc(naggs int) *GroupAcc {
+	return &GroupAcc{
+		counts: make([]int64, naggs),
+		sums:   make([]int64, naggs),
+		mins:   make([]relation.Value, naggs),
+		maxs:   make([]relation.Value, naggs),
+	}
+}
+
+// Add folds k copies of tuple t into the group (k > 0).
+func (g *GroupAcc) Add(t relation.Tuple, k int64, aggs []AggSpec) {
+	g.n += k
+	for i, a := range aggs {
+		if a.Func == CountStar {
+			continue
+		}
+		v := a.E.Eval(t)
+		if v.IsNull() {
+			continue
+		}
+		first := g.counts[i] == 0
+		g.counts[i] += k
+		if v.Kind() == relation.KindInt {
+			g.sums[i] += v.AsInt() * k
+		}
+		if first {
+			g.mins[i], g.maxs[i] = v, v
+		} else {
+			if v.Compare(g.mins[i]) < 0 {
+				g.mins[i] = v
+			}
+			if v.Compare(g.maxs[i]) > 0 {
+				g.maxs[i] = v
+			}
+		}
+	}
+}
+
+// N returns the (weighted) group size.
+func (g *GroupAcc) N() int64 { return g.n }
+
+// Row builds the group's output tuple: the key columns followed by one value
+// per aggregate (SQL semantics: COUNT of an empty group is 0, every other
+// aggregate is NULL).
+func (g *GroupAcc) Row(key relation.Tuple, aggs []AggSpec) relation.Tuple {
+	t := make(relation.Tuple, 0, len(key)+len(aggs))
+	t = append(t, key...)
+	for i, a := range aggs {
+		switch a.Func {
+		case Count:
+			t = append(t, relation.Int(g.counts[i]))
+		case CountStar:
+			t = append(t, relation.Int(g.n))
+		case Sum:
+			if g.counts[i] == 0 {
+				t = append(t, relation.Null())
+			} else {
+				t = append(t, relation.Int(g.sums[i]))
+			}
+		case Min:
+			if g.counts[i] == 0 {
+				t = append(t, relation.Null())
+			} else {
+				t = append(t, g.mins[i])
+			}
+		case Max:
+			if g.counts[i] == 0 {
+				t = append(t, relation.Null())
+			} else {
+				t = append(t, g.maxs[i])
+			}
+		default: // Avg
+			if g.counts[i] == 0 {
+				t = append(t, relation.Null())
+			} else {
+				t = append(t, relation.Int(g.sums[i]/g.counts[i]))
+			}
+		}
+	}
+	return t
+}
+
 // GroupBy groups r by the given column positions and computes aggregates.
-// The output schema is the group columns (with their original names) followed
-// by the aggregate columns (all KindInt).
+// The output schema is the group columns (with their original names)
+// followed by the aggregate columns (kinds per AggOutputKind).
 func GroupBy(r *relation.Relation, groupCols []int, aggs []AggSpec) (*relation.Relation, error) {
 	cols := make([]relation.Column, 0, len(groupCols)+len(aggs))
 	for _, g := range groupCols {
 		cols = append(cols, r.Schema().Col(g))
 	}
 	for _, a := range aggs {
-		kind := relation.KindInt
-		if a.Func == Min || a.Func == Max {
-			// Min/max carry their input's values, which may be strings; an
-			// any-kind column accepts either.
-			kind = relation.KindNull
-		}
-		cols = append(cols, relation.Column{Name: a.Name, Kind: kind})
+		cols = append(cols, relation.Column{Name: a.Name, Kind: AggOutputKind(a.Func)})
 	}
 	out := relation.New(relation.NewSchema(cols...))
 
 	type state struct {
-		key    relation.Tuple
-		counts []int64 // per-agg non-null count
-		sums   []int64
-		mins   []relation.Value
-		maxs   []relation.Value
-		n      int64 // group size
+		key relation.Tuple
+		acc *GroupAcc
 	}
 	groups := make(map[string]*state)
 	var order []string
@@ -68,94 +164,23 @@ func GroupBy(r *relation.Relation, groupCols []int, aggs []AggSpec) (*relation.R
 		k := key.Key()
 		st, ok := groups[k]
 		if !ok {
-			st = &state{
-				key:    key,
-				counts: make([]int64, len(aggs)),
-				sums:   make([]int64, len(aggs)),
-				mins:   make([]relation.Value, len(aggs)),
-				maxs:   make([]relation.Value, len(aggs)),
-			}
+			st = &state{key: key, acc: NewGroupAcc(len(aggs))}
 			groups[k] = st
 			order = append(order, k)
 		}
-		st.n++
-		for i, a := range aggs {
-			if a.Func == CountStar {
-				continue
-			}
-			v := a.E.Eval(t)
-			if v.IsNull() {
-				continue
-			}
-			st.counts[i]++
-			if v.Kind() == relation.KindInt {
-				st.sums[i] += v.AsInt()
-			}
-			if st.counts[i] == 1 {
-				st.mins[i], st.maxs[i] = v, v
-			} else {
-				if v.Compare(st.mins[i]) < 0 {
-					st.mins[i] = v
-				}
-				if v.Compare(st.maxs[i]) > 0 {
-					st.maxs[i] = v
-				}
-			}
-		}
+		st.acc.Add(t, 1, aggs)
 	}
 
 	// A global aggregate (no group columns) over an empty input still yields
 	// one row, per SQL.
 	if len(groupCols) == 0 && len(order) == 0 {
-		groups[""] = &state{
-			key:    relation.Tuple{},
-			counts: make([]int64, len(aggs)),
-			sums:   make([]int64, len(aggs)),
-			mins:   make([]relation.Value, len(aggs)),
-			maxs:   make([]relation.Value, len(aggs)),
-		}
+		groups[""] = &state{key: relation.Tuple{}, acc: NewGroupAcc(len(aggs))}
 		order = append(order, "")
 	}
 
 	for _, k := range order {
 		st := groups[k]
-		t := make(relation.Tuple, 0, len(groupCols)+len(aggs))
-		t = append(t, st.key...)
-		for i, a := range aggs {
-			switch a.Func {
-			case Count:
-				t = append(t, relation.Int(st.counts[i]))
-			case CountStar:
-				t = append(t, relation.Int(st.n))
-			case Sum:
-				if st.counts[i] == 0 {
-					t = append(t, relation.Null())
-				} else {
-					t = append(t, relation.Int(st.sums[i]))
-				}
-			case Min:
-				if st.counts[i] == 0 {
-					t = append(t, relation.Null())
-				} else {
-					t = append(t, st.mins[i])
-				}
-			case Max:
-				if st.counts[i] == 0 {
-					t = append(t, relation.Null())
-				} else {
-					t = append(t, st.maxs[i])
-				}
-			case Avg:
-				if st.counts[i] == 0 {
-					t = append(t, relation.Null())
-				} else {
-					t = append(t, relation.Int(st.sums[i]/st.counts[i]))
-				}
-			default:
-				return nil, fmt.Errorf("ra: unknown aggregate %v", a.Func)
-			}
-		}
-		if err := out.Append(t); err != nil {
+		if err := out.Append(st.acc.Row(st.key, aggs)); err != nil {
 			return nil, err
 		}
 	}

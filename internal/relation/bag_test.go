@@ -1,0 +1,117 @@
+package relation
+
+import "testing"
+
+func bagSchema() *Schema {
+	return NewSchema(
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindInt},
+	)
+}
+
+func TestBagCountsAndFlatten(t *testing.T) {
+	b := NewBag(bagSchema())
+	t1 := Tuple{Int(1), Int(2)}
+	t2 := Tuple{Int(1), Int(3)}
+	if got := b.Add(t1, 1); got != 1 {
+		t.Fatalf("add: count %d", got)
+	}
+	if got := b.Add(t1, 2); got != 3 {
+		t.Fatalf("re-add: count %d", got)
+	}
+	b.Add(t2, 1)
+	if b.Len() != 4 || b.DistinctLen() != 2 {
+		t.Fatalf("len %d distinct %d", b.Len(), b.DistinctLen())
+	}
+	if b.Count(t1) != 3 || b.Count(t2) != 1 || b.Count(Tuple{Int(9), Int(9)}) != 0 {
+		t.Fatalf("counts: %d %d", b.Count(t1), b.Count(t2))
+	}
+	rel := b.Relation()
+	if rel.Len() != 4 {
+		t.Fatalf("flatten: %d rows", rel.Len())
+	}
+	// Remove more copies than present: refused, bag unchanged.
+	if _, ok := b.Remove(t2, 2); ok {
+		t.Fatal("over-remove accepted")
+	}
+	if b.Count(t2) != 1 {
+		t.Fatalf("over-remove mutated: %d", b.Count(t2))
+	}
+	if n, ok := b.Remove(t1, 3); !ok || n != 0 {
+		t.Fatalf("remove to zero: %d %v", n, ok)
+	}
+	if b.Count(t1) != 0 || b.Len() != 1 || b.DistinctLen() != 1 {
+		t.Fatalf("after removal: count %d len %d distinct %d", b.Count(t1), b.Len(), b.DistinctLen())
+	}
+	if _, ok := b.Remove(t1, 1); ok {
+		t.Fatal("removing an absent tuple accepted")
+	}
+}
+
+func TestBagIndexMaintained(t *testing.T) {
+	b := NewBag(bagSchema())
+	ix := b.Index([]int{0})
+	probe := func(key Value) int {
+		total := 0
+		for _, c := range ix.CandidatesHash(Tuple{key}.HashCols([]int{0})) {
+			if c.Tuple()[0].Equal(key) {
+				total += c.Count()
+			}
+		}
+		return total
+	}
+	b.Add(Tuple{Int(1), Int(2)}, 2)
+	b.Add(Tuple{Int(1), Int(3)}, 1)
+	b.Add(Tuple{Int(2), Int(2)}, 1)
+	if got := probe(Int(1)); got != 3 {
+		t.Fatalf("probe after adds: %d", got)
+	}
+	// Index built after the fact sees the same cells.
+	ix2 := b.Index([]int{0, 1})
+	if got := len(ix2.CandidatesHash(Tuple{Int(1), Int(2)}.HashCols([]int{0, 1}))); got != 1 {
+		t.Fatalf("late index: %d candidates", got)
+	}
+	// Removal to zero unlinks from every index; partial removal keeps the cell.
+	b.Remove(Tuple{Int(1), Int(2)}, 1)
+	if got := probe(Int(1)); got != 2 {
+		t.Fatalf("probe after partial removal: %d", got)
+	}
+	b.Remove(Tuple{Int(1), Int(2)}, 1)
+	b.Remove(Tuple{Int(1), Int(3)}, 1)
+	if got := probe(Int(1)); got != 0 {
+		t.Fatalf("probe after unlink: %d", got)
+	}
+	if got := probe(Int(2)); got != 1 {
+		t.Fatalf("unrelated key disturbed: %d", got)
+	}
+	// NULL keys are never indexed.
+	b.Add(Tuple{Null(), Int(7)}, 1)
+	if b.Count(Tuple{Null(), Int(7)}) != 1 {
+		t.Fatal("null-key tuple not counted")
+	}
+	found := false
+	for _, bucket := range ix.buckets {
+		for _, c := range bucket {
+			if c.Tuple()[0].IsNull() {
+				found = true
+			}
+		}
+	}
+	if found {
+		t.Fatal("null key linked into index")
+	}
+}
+
+func TestBagOfRelation(t *testing.T) {
+	r := New(bagSchema())
+	r.MustAppend(Tuple{Int(1), Int(1)})
+	r.MustAppend(Tuple{Int(1), Int(1)})
+	r.MustAppend(Tuple{Int(2), Int(1)})
+	b := BagOf(r)
+	if b.Len() != 3 || b.DistinctLen() != 2 || b.Count(Tuple{Int(1), Int(1)}) != 2 {
+		t.Fatalf("bagof: len %d distinct %d", b.Len(), b.DistinctLen())
+	}
+	if !b.Relation().Equal(r) {
+		t.Fatal("flatten does not round-trip")
+	}
+}

@@ -1,0 +1,128 @@
+package rules_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/minisql"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// The rule texts are the paper's artifact: every protocol definition must
+// parse, compile and expose the predicates the scheduler contracts on
+// (`qualified` mirroring the request EDB; `wound` for wound-wait). A typo in
+// any constant would otherwise only surface as a panic inside the protocol
+// constructors.
+
+// datalogRules maps each Datalog protocol text to the arity its request EDB
+// and qualified predicate carry.
+var datalogRules = []struct {
+	name  string
+	src   string
+	arity int
+}{
+	{"ss2pl", rules.SS2PLDatalog, 5},
+	{"2pl", rules.TwoPLDatalog, 5},
+	{"sla", rules.SLAPriorityDatalog, 7},
+	{"relaxed", rules.RelaxedReadsDatalog, 5},
+	{"fcfs", rules.FCFSDatalog, 5},
+	{"woundwait", rules.WoundWaitDatalog, 5},
+	{"rationing", rules.ConsistencyRationingDatalog, 5},
+}
+
+// TestDatalogRulesCompile: every rule text parses, the program compiles into
+// an engine (stratification, arity and safety checks run there), and a
+// trivial evaluation derives a qualified fact of the documented arity.
+func TestDatalogRulesCompile(t *testing.T) {
+	for _, tc := range datalogRules {
+		prog, err := datalog.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		eng, err := datalog.NewEngine(prog)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.name, err)
+		}
+		// One unblocked read request; empty history. Every protocol must
+		// qualify it.
+		req := relation.Tuple{
+			relation.Int(1), relation.Int(1), relation.Int(0),
+			relation.String("r"), relation.Int(7),
+		}
+		for len(req) < tc.arity {
+			req = append(req, relation.Int(0)) // SLA columns of the extended EDB
+		}
+		if err := eng.SetEDB("request", []relation.Tuple{req}); err != nil {
+			t.Fatalf("%s: bind request/%d: %v", tc.name, tc.arity, err)
+		}
+		if err := eng.SetEDB("history", nil); err != nil {
+			t.Fatalf("%s: bind history: %v", tc.name, err)
+		}
+		if strings.Contains(tc.src, "objclass") {
+			if err := eng.SetEDB("objclass", nil); err != nil {
+				t.Fatalf("%s: bind objclass: %v", tc.name, err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("%s: run: %v", tc.name, err)
+		}
+		q := eng.Facts("qualified")
+		if q.Len() != 1 {
+			t.Fatalf("%s: qualified %d rows, want 1", tc.name, q.Len())
+		}
+		if got := len(q.Row(0)); got != tc.arity {
+			t.Fatalf("%s: qualified arity %d, want %d", tc.name, got, tc.arity)
+		}
+	}
+}
+
+// TestWoundWaitDefinesWound: the wound-wait text must derive its abort
+// decision through the `wound` predicate the scheduler reads.
+func TestWoundWaitDefinesWound(t *testing.T) {
+	if !strings.Contains(rules.WoundWaitDatalog, "wound(") {
+		t.Fatal("wound-wait rules do not define wound/1")
+	}
+}
+
+// TestListingOneSQLCompiles: the paper's Listing 1 parses and compiles into
+// an executor plan against the request schema — and the plan is view-
+// maintainable (no LIMIT), which the warm SQL round depends on.
+func TestListingOneSQLCompiles(t *testing.T) {
+	q, err := minisql.Parse(rules.ListingOneSQL)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reqSchema := relation.NewSchema(
+		relation.Column{Name: "id", Kind: relation.KindInt},
+		relation.Column{Name: "ta", Kind: relation.KindInt},
+		relation.Column{Name: "intrata", Kind: relation.KindInt},
+		relation.Column{Name: "operation", Kind: relation.KindString},
+		relation.Column{Name: "object", Kind: relation.KindInt},
+	)
+	plan, err := minisql.CompilePlan(q, map[string]*relation.Schema{
+		"requests": reqSchema, "history": reqSchema,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cat := minisql.Catalog{
+		"requests": relation.New(reqSchema),
+		"history":  relation.New(reqSchema),
+	}
+	cat["requests"].MustAppend(relation.Tuple{
+		relation.Int(1), relation.Int(1), relation.Int(0),
+		relation.String("r"), relation.Int(7),
+	})
+	out, err := plan.Eval(cat, nil)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if out.Len() != 1 || out.Schema().Len() != reqSchema.Len() {
+		t.Fatalf("Listing 1 over one unblocked request: %s", out)
+	}
+	if _, err := minisql.NewIVM(plan, cat, nil); err != nil {
+		t.Fatalf("Listing 1 is not view-maintainable: %v", err)
+	}
+}

@@ -12,10 +12,12 @@ cd "$(dirname "$0")/.."
 
 GUARD_FACTOR="${GUARD_FACTOR:-2}"
 # Guarded benches: the Datalog warm round (the steady-state hot path), the
-# 300-client Datalog cold round, and the 300-client SQL-backend round.
+# 300-client Datalog cold round, the 300-client SQL-backend round, and the
+# delta-maintained SQL warm round (the view-cache win).
 GUARDED='BenchmarkDatalogIncrementalRound/warm
 BenchmarkSS2PLQueryDatalog/clients=300
-BenchmarkSS2PLQuerySQL/clients=300'
+BenchmarkSS2PLQuerySQL/clients=300
+BenchmarkSQLIncrementalRound/warm'
 
 latest=$( (ls BENCH_*.json 2>/dev/null || true) | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
 if [ -z "${latest}" ]; then
