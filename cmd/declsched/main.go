@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/request"
 	"repro/internal/scheduler"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -35,6 +36,8 @@ func main() {
 	check := flag.Bool("check", false, "verify conflict serializability of the executed schedule")
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "protocol evaluation workers (-1 = all cores, 0 = single-threaded default)")
+	syncRounds := flag.Bool("syncrounds", false, "serialize qualify and execute (disable the round pipeline)")
+	execDelay := flag.Duration("execdelay", 0, "synthetic per-statement server latency (models a remote server; the pipeline overlaps it with qualification)")
 	flag.Parse()
 
 	var proto protocol.Protocol
@@ -73,7 +76,12 @@ func main() {
 	if *passthrough {
 		mode = scheduler.PassThrough
 	}
-	srv := storage.NewServer(storage.Config{Rows: int(*objects)})
+	scfg := storage.Config{Rows: int(*objects)}
+	if *execDelay > 0 {
+		d := *execDelay
+		scfg.ExecDelay = func(request.Request) time.Duration { return d }
+	}
+	srv := storage.NewServer(scfg)
 	engine, err := scheduler.NewEngine(scheduler.Config{
 		Protocol:    proto,
 		Server:      srv,
@@ -85,6 +93,7 @@ func main() {
 		log.Fatal(err)
 	}
 	mw := scheduler.NewMiddleware(engine, trig, metrics.NewCollector())
+	mw.SetSynchronous(*syncRounds)
 	mw.Start()
 
 	cfg := workload.Config{
@@ -126,6 +135,10 @@ func main() {
 	lat := &mw.Collector().Latency
 	fmt.Printf("request latency      mean=%s p99<=%s max=%s\n",
 		time.Duration(lat.Mean()), time.Duration(lat.Quantile(0.99)), time.Duration(lat.Max()))
+	if ex := &mw.Collector().Exec; ex.Count() > 0 {
+		fmt.Printf("exec leg (overlap)   batches=%d mean=%s max=%s\n",
+			ex.Count(), time.Duration(ex.Mean()), time.Duration(ex.Max()))
+	}
 
 	if *check {
 		if err := protocol.CheckSerializable(engine.History().Log()); err != nil {

@@ -29,6 +29,7 @@ func main() {
 	rows := flag.Int("rows", 100000, "server table rows")
 	fill := flag.Int("fill", 16, "trigger fill level")
 	every := flag.Duration("every", time.Millisecond, "trigger max delay")
+	syncRounds := flag.Bool("sync", false, "serialize qualify and execute (disable the round pipeline)")
 	flag.Parse()
 
 	var proto protocol.Protocol
@@ -55,6 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	mw := scheduler.NewMiddleware(engine, scheduler.HybridTrigger{Level: *fill, Every: *every}, metrics.NewCollector())
+	mw.SetSynchronous(*syncRounds)
 	mw.Start()
 	s, err := netproto.Listen(*addr, mw)
 	if err != nil {

@@ -33,6 +33,17 @@
 // (pending, history), a cold evaluation remains the fallback and the
 // correctness oracle, and custom protocols built with NewDatalogProtocol or
 // NewSQLProtocol get the warm path automatically.
+//
+// # Pipelined rounds
+//
+// The middleware runs rounds pipelined: a round's scheduling decision
+// (admit, qualify, resolve victims, commit to the indexed pending and
+// history stores of internal/store) settles all state the next round's
+// qualification reads, so server execution is deferred to an executor
+// goroutine and overlaps the next qualification. Clients still see one
+// synchronous Submit per request; deadlock and starvation victims are
+// notified at scheduling time. The fully serialized loop remains available
+// as the property-tested oracle (scheduler.Middleware.SetSynchronous).
 package repro
 
 import (

@@ -29,14 +29,14 @@ func run(proto protocol.Protocol, label string) {
 	mw.Start()
 	defer mw.Stop()
 
-	// TxnsPerClient is kept low deliberately: the demo's clients do not
-	// retry, and the engine's deadlock victim policy only fires on rounds
-	// where nothing qualifies — under sustained contention a blocked
-	// transaction can starve while others keep making progress (see
-	// ROADMAP.md open items). Three transactions per client drains reliably
-	// and still shows the SLA effect.
+	// 12 clients × 6 transactions without retries: this workload used to
+	// wedge — the deadlock victim policy only fired on rounds where nothing
+	// qualified, so a blocked no-retry client could starve forever while
+	// others kept progressing. The scheduler's waiting-age bound (abort the
+	// oldest blocked transaction after scheduler.DefaultStarveAfter rounds
+	// without progress) now guarantees every client drains.
 	gen, err := workload.NewGenerator(workload.Config{
-		Clients: 12, TxnsPerClient: 3,
+		Clients: 12, TxnsPerClient: 6,
 		ReadsPerTxn: 2, WritesPerTxn: 2,
 		Objects: 64, Seed: 11,
 		Classes: []workload.Class{

@@ -73,6 +73,12 @@ type Engine struct {
 
 	facts map[string]*factSet
 	edb   map[string][]relation.Tuple
+	// edbIdx indexes e.edb[pred] positions by tuple hash once a predicate
+	// receives its first warm delta: insert dedup and delete become O(1) per
+	// churned tuple instead of a delete-set build plus a full-slice rewrite
+	// per round. An indexed predicate's rows are engine-owned, dense and
+	// duplicate-free; SetEDB drops the index along with the rows.
+	edbIdx map[string]*edbIndex
 
 	// dirty marks predicates whose EDB was replaced wholesale via SetEDB
 	// since the last run; their retained fact sets are stale.
@@ -168,6 +174,7 @@ func NewEngine(prog *Program) (*Engine, error) {
 		numStrata:    numStrata,
 		idb:          prog.IDB(),
 		edb:          make(map[string][]relation.Tuple),
+		edbIdx:       make(map[string]*edbIndex),
 		masks:        make(map[string][][]int),
 		dependents:   make(map[string][]string),
 		negatedPreds: make(map[string]bool),
@@ -291,6 +298,7 @@ func (e *Engine) SetEDB(pred string, rows []relation.Tuple) error {
 		}
 	}
 	e.edb[pred] = rows
+	delete(e.edbIdx, pred) // the index belonged to the replaced rows
 	e.dirty[pred] = true
 	return nil
 }
@@ -422,16 +430,7 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 	warm := e.warm
 	e.warm = false
 	for pred, d := range changed {
-		// When warm, the predicate's fact set is its current tuple set: use
-		// it to drop re-inserts of present tuples so the bookkeeping rows
-		// keep set semantics instead of accumulating duplicates.
-		var present func(relation.Tuple) bool
-		if warm && !e.dirty[pred] {
-			if f, ok := e.facts[pred]; ok {
-				present = f.contains
-			}
-		}
-		e.edb[pred] = applyDelta(e.edb[pred], d, present)
+		e.applyEDBDelta(pred, d)
 	}
 	if !warm || e.Naive {
 		return e.Run()
@@ -649,39 +648,100 @@ func (e *Engine) recomputeAffected(changed map[string]EDBDelta, affected map[str
 	return nil
 }
 
-// applyDelta updates the bookkeeping EDB rows (the cold-run source of truth)
-// for one predicate. present, when non-nil, reports current membership so
-// re-inserts of present tuples are dropped (set semantics). The
-// caller-supplied slice from SetEDB is never mutated.
-func applyDelta(rows []relation.Tuple, d EDBDelta, present func(relation.Tuple) bool) []relation.Tuple {
-	if len(d.Insert) > 0 {
-		// Full slice expression: never clobber a caller-owned backing array.
-		rows = rows[:len(rows):len(rows)]
-		var batch *relation.TupleSet
-		if present != nil {
-			batch = relation.NewTupleSet(len(d.Insert))
-		}
-		for _, t := range d.Insert {
-			if present != nil && (present(t) || !batch.Add(t)) {
-				continue
+// edbIndex maps tuple hashes to positions in a predicate's bookkeeping rows.
+type edbIndex struct {
+	buckets map[uint64][]int32
+}
+
+// applyEDBDelta updates the bookkeeping EDB rows (the cold-run source of
+// truth) for one predicate: inserts of present tuples are dropped and
+// deletes remove their tuple, so the rows keep set semantics. The first
+// delta for a predicate copies the rows into an engine-owned deduplicated
+// slice and builds the hash index; from then on maintenance hashes only the
+// delta's tuples (the flat-slice version rebuilt the whole slice through a
+// delete set every deleting round).
+func (e *Engine) applyEDBDelta(pred string, d EDBDelta) {
+	if len(d.Insert) == 0 && len(d.Delete) == 0 {
+		return
+	}
+	rows := e.edb[pred]
+	ix := e.edbIdx[pred]
+	if ix == nil {
+		// Build: dedup-copy the rows (the SetEDB slice is caller-owned and
+		// may hold duplicates; the index owns its dense, distinct version).
+		ix = &edbIndex{buckets: make(map[uint64][]int32, len(rows)+len(d.Insert))}
+		owned := make([]relation.Tuple, 0, len(rows)+len(d.Insert))
+		for _, t := range rows {
+			if ix.insert(owned, t) {
+				owned = append(owned, t)
 			}
+		}
+		rows = owned
+		e.edbIdx[pred] = ix
+	}
+	for _, t := range d.Insert {
+		if ix.insert(rows, t) {
 			rows = append(rows, t)
 		}
 	}
-	if len(d.Delete) > 0 {
-		del := relation.NewTupleSet(len(d.Delete))
-		for _, t := range d.Delete {
-			del.Add(t)
+	for _, t := range d.Delete {
+		pos, ok := ix.remove(rows, t)
+		if !ok {
+			continue
 		}
-		kept := make([]relation.Tuple, 0, len(rows))
-		for _, t := range rows {
-			if !del.Contains(t) {
-				kept = append(kept, t)
-			}
+		last := int32(len(rows) - 1)
+		if pos != last {
+			moved := rows[last]
+			rows[pos] = moved
+			ix.repoint(moved, last, pos)
 		}
-		rows = kept
+		rows[last] = nil
+		rows = rows[:last]
 	}
-	return rows
+	e.edb[pred] = rows
+}
+
+// insert registers t at position len(rows) unless an equal tuple is already
+// indexed, reporting whether the caller should append it.
+func (ix *edbIndex) insert(rows []relation.Tuple, t relation.Tuple) bool {
+	h := t.Hash()
+	for _, p := range ix.buckets[h] {
+		if rows[p].Equal(t) {
+			return false
+		}
+	}
+	ix.buckets[h] = append(ix.buckets[h], int32(len(rows)))
+	return true
+}
+
+// remove unlinks t from the index and returns its row position.
+func (ix *edbIndex) remove(rows []relation.Tuple, t relation.Tuple) (int32, bool) {
+	h := t.Hash()
+	b := ix.buckets[h]
+	for i, p := range b {
+		if rows[p].Equal(t) {
+			b[i] = b[len(b)-1]
+			if len(b) == 1 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = b[:len(b)-1]
+			}
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// repoint rewrites moved's index entry after a swap-remove moved it from
+// position from to position to.
+func (ix *edbIndex) repoint(moved relation.Tuple, from, to int32) {
+	b := ix.buckets[moved.Hash()]
+	for i, p := range b {
+		if p == from {
+			b[i] = to
+			return
+		}
+	}
 }
 
 // affectedClosure returns the predicates reachable from roots in the

@@ -197,7 +197,7 @@ func TestParallelRunIncrementalMatchesSequential(t *testing.T) {
 					t.Fatal(err)
 				}
 				for pred, d := range changed {
-					edb[pred] = applyDelta(edb[pred], d, nil)
+					edb[pred] = applyDeltaMirror(edb[pred], d)
 				}
 				assertEnginesAgree(t, par, seq, prog,
 					fmt.Sprintf("program %d seed %d step %d", pi, seed, step))
@@ -249,7 +249,7 @@ func TestDRedForcedMatchesColdOracle(t *testing.T) {
 				sawDRed = true
 			}
 			for pred, d := range changed {
-				edb[pred] = applyDelta(edb[pred], d, nil)
+				edb[pred] = applyDeltaMirror(edb[pred], d)
 			}
 			checkAgainstOracle(t, e, prog, edb, preds, fmt.Sprintf("seed %d step %d", seed, step))
 			checkFactSetConsistency(t, e)

@@ -94,7 +94,12 @@ type RoundStats struct {
 	Victims   int
 	Duration  time.Duration // protocol evaluation time only
 	Total     time.Duration // queue drain + protocol + bookkeeping + execution
-	History   int           // live history size after the round
+	// Exec is the server execution time of the round's batch. The
+	// synchronous engine includes it in Total; under the pipelined round
+	// loop it overlaps later rounds' qualification and is reported through
+	// the collector's Exec histogram when the batch completes.
+	Exec    time.Duration
+	History int // live history size after the round
 	// Strategy names the evaluation path the protocol took this round
 	// (e.g. the Datalog engine's cold/monotone/dred/recompute, or the SQL
 	// executor's sql-ivm/sql-ivm-build/sql-warm/sql-cold); empty when the
@@ -110,6 +115,12 @@ type Collector struct {
 	executed  int64
 	aborted   int64
 	Latency   Histogram // per-request middleware latency (ns)
+	// Exec records per-batch server execution times (ns) as reported by the
+	// pipelined executor when a round's batch completes — the "execute" leg
+	// that overlaps qualification, measured separately so the overlap is
+	// observable (round throughput ≈ max(mean round, mean exec), not their
+	// sum).
+	Exec      Histogram
 	startedAt time.Time
 }
 

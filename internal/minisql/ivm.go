@@ -2,6 +2,7 @@ package minisql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/ra"
@@ -33,14 +34,20 @@ import (
 //
 // LIMIT has no delta rule (its content depends on physical row order), so
 // NewIVM refuses plans containing it and the caller falls back to full
-// re-evaluation. The maintained result's row order is unspecified; the
-// root-level ORDER BY is re-applied on every Result call, so queries whose
-// sort keys are total (Listing 1's ORDER BY id) stay deterministic.
+// re-evaluation. Intermediate views' row order is unspecified; a root-level
+// ORDER BY is maintained incrementally (orderedRoot): the sorted cell list
+// absorbs each round's root delta by binary search instead of re-sorting the
+// full result on every Result call, which was the dominant residual cost of
+// a warm round. Ties in the sort keys break by whole-tuple comparison — a
+// total order, so every ordering is a valid ORDER BY result and maintenance
+// is deterministic; for total sort keys (Listing 1's ORDER BY id) it is
+// exactly the re-sort's order.
 type IVM struct {
 	plan   *Plan
 	opts   *ra.Options
 	views  []*view          // node id -> view; pass-through nodes alias their source
 	tables map[string]*view // base-table views shared by every scan of the table
+	order  *orderedRoot     // maintained root ORDER BY, nil when the root is unsorted
 }
 
 // Delta is a bag-valued change to one base table: Ins tuples are added, Del
@@ -111,6 +118,9 @@ func NewIVM(p *Plan, cat Catalog, opts *ra.Options) (*IVM, error) {
 			m.views[n.id] = v
 		}
 	}
+	if root := p.root; root.op == opOrderBy {
+		m.order = newOrderedRoot(root.sorts, m.views[root.id].bag)
+	}
 	// Pre-build the indexes the delta rules probe, so the first Apply does
 	// not pay the builds inside its timed round.
 	for _, n := range m.plan.nodes {
@@ -128,16 +138,17 @@ func NewIVM(p *Plan, cat Catalog, opts *ra.Options) (*IVM, error) {
 	return m, nil
 }
 
-// Result flattens the maintained root view, re-applying the root-level
-// ORDER BY. Row order is otherwise unspecified.
+// Result flattens the maintained root view. With a root-level ORDER BY the
+// incrementally maintained sorted cells are emitted directly — no re-sort;
+// otherwise row order is unspecified.
 func (m *IVM) Result() (*relation.Relation, error) {
 	root := m.plan.root
+	if m.order != nil {
+		return m.order.relation(root.schema), nil
+	}
 	rel, err := m.views[root.id].bag.Relation().WithSchema(root.schema)
 	if err != nil {
 		return nil, fmt.Errorf("minisql: ivm: %w", err)
-	}
-	if root.op == opOrderBy {
-		rel = ra.OrderBy(rel, root.sorts)
 	}
 	return rel, nil
 }
@@ -227,7 +238,102 @@ func (m *IVM) Apply(deltas map[string]Delta) error {
 			return fmt.Errorf("minisql: ivm: node %d: %w", n.id, err)
 		}
 	}
+	if m.order != nil {
+		if err := m.order.apply(outs[m.plan.root.id]); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// orderedRoot maintains the root ORDER BY result as a sorted list of counted
+// cells. Cells are ordered by the sort specs with a whole-tuple tie-break
+// (Value.Compare is total and agrees with Equal, so the order is total and
+// binary search identifies a tuple's unique cell). Each round's root delta
+// is merged in O(churn · (log n + move)) instead of re-sorting all n rows.
+type orderedRoot struct {
+	sorts []ra.SortSpec
+	cells []orderedCell
+	total int // row count, summed over cell counts
+}
+
+type orderedCell struct {
+	t relation.Tuple
+	n int
+}
+
+// newOrderedRoot sorts the materialised root bag once (the build round).
+func newOrderedRoot(sorts []ra.SortSpec, bag *relation.Bag) *orderedRoot {
+	o := &orderedRoot{sorts: sorts, cells: make([]orderedCell, 0, bag.DistinctLen())}
+	bag.EachCell(func(c *relation.BagCell) {
+		o.cells = append(o.cells, orderedCell{t: c.Tuple(), n: c.Count()})
+		o.total += c.Count()
+	})
+	sort.Slice(o.cells, func(i, j int) bool { return o.cmp(o.cells[i].t, o.cells[j].t) < 0 })
+	return o
+}
+
+// cmp is the total cell order: sort specs first, then the remaining columns
+// lexicographically. cmp == 0 implies tuple equality.
+func (o *orderedRoot) cmp(a, b relation.Tuple) int {
+	for _, s := range o.sorts {
+		c := a[s.Pos].Compare(b[s.Pos])
+		if s.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// apply merges a net signed delta into the sorted cells.
+func (o *orderedRoot) apply(d *sdelta) error {
+	for _, c := range d.cells {
+		if c.n == 0 {
+			continue
+		}
+		i := sort.Search(len(o.cells), func(i int) bool { return o.cmp(o.cells[i].t, c.t) >= 0 })
+		if i < len(o.cells) && o.cmp(o.cells[i].t, c.t) == 0 {
+			o.cells[i].n += c.n
+			o.total += c.n
+			switch {
+			case o.cells[i].n == 0:
+				o.cells = append(o.cells[:i], o.cells[i+1:]...)
+			case o.cells[i].n < 0:
+				return fmt.Errorf("minisql: ivm: ordered root count below zero for %s", c.t)
+			}
+			continue
+		}
+		if c.n < 0 {
+			return fmt.Errorf("minisql: ivm: ordered root delta removes absent %s", c.t)
+		}
+		o.cells = append(o.cells, orderedCell{})
+		copy(o.cells[i+1:], o.cells[i:])
+		o.cells[i] = orderedCell{t: c.t, n: c.n}
+		o.total += c.n
+	}
+	return nil
+}
+
+// relation emits the sorted rows (each cell repeated by its count) under the
+// given schema.
+func (o *orderedRoot) relation(s *relation.Schema) *relation.Relation {
+	rows := make([]relation.Tuple, 0, o.total)
+	for _, c := range o.cells {
+		for i := 0; i < c.n; i++ {
+			rows = append(rows, c.t)
+		}
+	}
+	out := relation.New(s)
+	out.AppendTrusted(rows...)
+	return out
 }
 
 // sdelta is a signed counted multiset: the net form every delta rule works

@@ -5,10 +5,14 @@
 //
 //	client -> server:  REQ <ta> <intrata> <op> <object> [<priority>]
 //	                   PING
+//	                   STATS
 //	server -> client:  OK <value>      the request executed
 //	                   ABORTED         the transaction was a deadlock victim
 //	                   ERR <message>   malformed request or scheduler failure
 //	                   PONG            reply to PING
+//	                   STATS <summary> one-line scheduler summary (rounds,
+//	                                   executed, strategies), for smoke tests
+//	                                   and operational probes
 //
 // op is one of r, w, c, a (paper Table 2). Each connection is one client
 // worker: requests on a connection are processed strictly in order, blocking
@@ -104,6 +108,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch {
 		case line == "PING":
 			if !reply("PONG") {
+				return
+			}
+		case line == "STATS":
+			sum := s.mw.Collector().Summarise()
+			stats := "STATS " + sum.String()
+			if strat := sum.StrategyString(); strat != "" {
+				stats += " strategies[" + strat + "]"
+			}
+			if !reply(stats) {
 				return
 			}
 		case line == "QUIT":
@@ -211,6 +224,26 @@ func (c *Client) Ping() error {
 		return fmt.Errorf("netproto: unexpected reply %q", line)
 	}
 	return nil
+}
+
+// Stats round-trips the scheduler's one-line summary (rounds, executed,
+// per-strategy round counts).
+func (c *Client) Stats() (string, error) {
+	if _, err := c.w.WriteString("STATS\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "STATS ") {
+		return "", fmt.Errorf("netproto: unexpected reply %q", line)
+	}
+	return strings.TrimPrefix(line, "STATS "), nil
 }
 
 // Submit sends one request and blocks until the scheduler executed it.

@@ -605,16 +605,26 @@ func (p *DatalogProtocol) QualifyIncremental(pending, history []request.Request,
 	changed := make(map[string]datalog.EDBDelta, 2)
 	if len(d.PendingAdded) > 0 || len(d.PendingRemoved) > 0 {
 		var ed datalog.EDBDelta
-		for _, r := range d.PendingAdded {
-			ed.Insert = append(ed.Insert, p.reqTuple(r))
+		if n := len(d.PendingAdded); n > 0 {
+			ed.Insert = make([]relation.Tuple, 0, n)
+			for _, r := range d.PendingAdded {
+				ed.Insert = append(ed.Insert, p.reqTuple(r))
+			}
 		}
-		for _, r := range d.PendingRemoved {
-			ed.Delete = append(ed.Delete, p.reqTuple(r))
+		if n := len(d.PendingRemoved); n > 0 {
+			ed.Delete = make([]relation.Tuple, 0, n)
+			for _, r := range d.PendingRemoved {
+				ed.Delete = append(ed.Delete, p.reqTuple(r))
+			}
 		}
 		// EDBDelta applies Insert before Delete, but pending removals
 		// precede adds chronologically: an identical tuple removed and
-		// re-added is net present, so cancel it out of both sides.
-		if len(ed.Insert) > 0 && len(ed.Delete) > 0 {
+		// re-added is net present, so cancel it out of both sides. Request
+		// IDs are globally unique, so disjoint ID ranges prove the two sides
+		// share no tuple — the common case (removals are last round's
+		// executed requests, adds are this round's fresh admissions) skips
+		// the set build entirely.
+		if len(ed.Insert) > 0 && len(ed.Delete) > 0 && idRangesOverlap(d.PendingAdded, d.PendingRemoved) {
 			ins := relation.NewTupleSet(len(ed.Insert))
 			for _, t := range ed.Insert {
 				ins.Add(t)
@@ -643,11 +653,17 @@ func (p *DatalogProtocol) QualifyIncremental(pending, history []request.Request,
 	}
 	if len(d.HistoryAppended) > 0 || len(d.HistoryRemoved) > 0 {
 		var ed datalog.EDBDelta
-		for _, r := range d.HistoryAppended {
-			ed.Insert = append(ed.Insert, r.Tuple())
+		if n := len(d.HistoryAppended); n > 0 {
+			ed.Insert = make([]relation.Tuple, 0, n)
+			for _, r := range d.HistoryAppended {
+				ed.Insert = append(ed.Insert, r.Tuple())
+			}
 		}
-		for _, r := range d.HistoryRemoved {
-			ed.Delete = append(ed.Delete, r.Tuple())
+		if n := len(d.HistoryRemoved); n > 0 {
+			ed.Delete = make([]relation.Tuple, 0, n)
+			for _, r := range d.HistoryRemoved {
+				ed.Delete = append(ed.Delete, r.Tuple())
+			}
 		}
 		changed["history"] = ed
 	}
@@ -656,6 +672,29 @@ func (p *DatalogProtocol) QualifyIncremental(pending, history []request.Request,
 		return nil, fmt.Errorf("protocol %s: %w", p.name, err)
 	}
 	return p.collect(p.byKey)
+}
+
+// idRangesOverlap reports whether the [min,max] ID ranges of two request
+// slices intersect. IDs are assigned consecutively on admission, so
+// non-overlapping ranges guarantee the slices share no request — the cheap
+// certificate that lets the delta-cancellation pass skip its set build.
+func idRangesOverlap(a, b []request.Request) bool {
+	minA, maxA := idRange(a)
+	minB, maxB := idRange(b)
+	return minA <= maxB && minB <= maxA
+}
+
+func idRange(rs []request.Request) (min, max int64) {
+	min, max = rs[0].ID, rs[0].ID
+	for _, r := range rs[1:] {
+		if r.ID < min {
+			min = r.ID
+		}
+		if r.ID > max {
+			max = r.ID
+		}
+	}
+	return min, max
 }
 
 // collect reads the qualified predicate, restores the SLA fields from the

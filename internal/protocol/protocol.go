@@ -7,7 +7,8 @@
 package protocol
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/request"
 )
@@ -32,6 +33,11 @@ type Protocol interface {
 // PendingRemoved and PendingAdded is net present; history appends happened
 // before history removals (execute, then GC, in the same round), so a
 // request in both HistoryAppended and HistoryRemoved is net absent.
+//
+// The slices are views into the stores' change logs: they are valid only for
+// the duration of the qualification call, and protocols that need the
+// requests afterwards must copy them (the built-in protocols convert them to
+// tuples or relation rows immediately).
 type Deltas struct {
 	PendingAdded    []request.Request
 	PendingRemoved  []request.Request
@@ -84,16 +90,16 @@ type StrategyReporter interface {
 // ByID orders requests by global arrival number, the default execution order
 // (Listing 1's ORDER BY id).
 func ByID(rs []request.Request) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+	slices.SortFunc(rs, func(a, b request.Request) int { return cmp.Compare(a.ID, b.ID) })
 }
 
 // ByPriorityThenID orders by descending SLA priority, then arrival number.
 func ByPriorityThenID(rs []request.Request) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Priority != rs[j].Priority {
-			return rs[i].Priority > rs[j].Priority
+	slices.SortFunc(rs, func(a, b request.Request) int {
+		if a.Priority != b.Priority {
+			return cmp.Compare(b.Priority, a.Priority)
 		}
-		return rs[i].ID < rs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 

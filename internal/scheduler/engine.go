@@ -7,18 +7,26 @@
 // database (with garbage collection) and returns results to the clients. A
 // non-scheduling pass-through mode forwards requests unscheduled so that the
 // real declarative-scheduling overhead can be measured (Section 3.3).
+//
+// A round is five explicit stages — admit, qualify, resolve, commit,
+// execute — over the indexed stores of internal/store. Everything the next
+// round's qualification depends on (pending membership, history membership,
+// the change log the incremental protocols consume) is settled by the commit
+// stage; the execute stage only performs server I/O. The synchronous Engine
+// runs all five back to back; Pipeline overlaps round N's execute with round
+// N+1's qualification (see pipeline.go).
 package scheduler
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/history"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/relation"
 	"repro/internal/request"
 	"repro/internal/storage"
+	"repro/internal/store"
 )
 
 // Mode selects scheduling or pass-through operation.
@@ -57,7 +65,23 @@ type Config struct {
 	// that many cores (< 0 selects GOMAXPROCS, 0 leaves the protocol's
 	// default, 1 forces single-threaded).
 	Parallelism int
+	// StarveAfter is the waiting-age bound: a transaction whose pending
+	// requests have gone this many rounds without any of them qualifying is
+	// resolved — first by precise deadlock detection over the waits-for
+	// graph, then, if no cycle explains the wait, by aborting the oldest
+	// blocked transaction. This closes the starvation hole of the pure
+	// nothing-qualified victim policy, under which a blocked transaction
+	// could wait forever while other clients kept making progress. A
+	// request deferred by the MaxBatch cap counts as progress — admission
+	// control is operator policy, not protocol blocking. 0 selects
+	// DefaultStarveAfter; negative disables the bound.
+	StarveAfter int
 }
+
+// DefaultStarveAfter is the default waiting-age bound in rounds. Rounds are
+// sub-millisecond to a few milliseconds, so the default tolerates long lock
+// queues while bounding a wedged client's wait to well under a second.
+const DefaultStarveAfter = 100
 
 // Executed describes one executed request with its server result.
 type Executed struct {
@@ -69,7 +93,8 @@ type Executed struct {
 // RoundResult reports what one scheduling round did.
 type RoundResult struct {
 	Executed []Executed
-	// Victims lists transactions aborted to break deadlocks this round.
+	// Victims lists transactions aborted to break deadlocks or starvation
+	// this round.
 	Victims []int64
 	Stats   metrics.RoundStats
 }
@@ -78,19 +103,16 @@ type RoundResult struct {
 // pending-request store, the history database and the protocol. It is not
 // safe for concurrent use; Middleware adds the concurrent client front-end.
 type Engine struct {
-	cfg           Config
-	hist          *history.Store
-	pending       []request.Request
-	queue         []request.Request
-	rounds        int
-	nextID        int64
-	lastQualified []request.Request
+	cfg     Config
+	hist    *store.History
+	pending *store.Pending
+	queue   []request.Request
+	rounds  int
+	nextID  int64
 
-	// deltas accumulates every change to the pending store and the history
-	// since the last protocol call, so incremental protocols can warm-start
-	// instead of re-materialising both relations each round (see
-	// protocol.IncrementalProtocol).
-	deltas protocol.Deltas
+	starveAfter   int
+	lastQualified []request.Request
+	progressed    map[int64]bool // per-round scratch for the waiting-age clocks
 }
 
 // NewEngine validates the config and creates an engine.
@@ -106,15 +128,25 @@ func NewEngine(cfg Config) (*Engine, error) {
 			pp.SetParallelism(cfg.Parallelism) // < 0 selects GOMAXPROCS
 		}
 	}
-	return &Engine{cfg: cfg, hist: history.New(cfg.KeepLog), nextID: 1}, nil
+	starve := cfg.StarveAfter
+	if starve == 0 {
+		starve = DefaultStarveAfter
+	}
+	return &Engine{
+		cfg:         cfg,
+		hist:        store.NewHistory(cfg.KeepLog),
+		pending:     store.NewPending(),
+		nextID:      1,
+		starveAfter: starve,
+	}, nil
 }
 
 // History exposes the history store (experiments inspect it).
-func (e *Engine) History() *history.Store { return e.hist }
+func (e *Engine) History() *store.History { return e.hist }
 
 // PendingLen returns the pending-store size (requests admitted but not yet
 // qualified).
-func (e *Engine) PendingLen() int { return len(e.pending) }
+func (e *Engine) PendingLen() int { return e.pending.Len() }
 
 // QueueLen returns the incoming-queue size.
 func (e *Engine) QueueLen() int { return len(e.queue) }
@@ -130,124 +162,257 @@ func (e *Engine) Enqueue(rs ...request.Request) {
 	}
 }
 
-// Round runs one scheduling round: drain queue into pending, qualify,
-// resolve deadlocks if nothing qualified, execute the batch, update history.
+// execStep is one unit of deferred server work: optional write compensations
+// (a victim's rollback) followed by one scheduled request. Victim abort
+// records carry waiter == false — no client is waiting on them.
+type execStep struct {
+	req    request.Request
+	undo   []int64 // objects whose executed writes are compensated first
+	victim bool
+}
+
+// execPlan is the server work of one round, in execution order. The plan is
+// self-contained (it copies nothing from the stores), so the execute stage
+// can run while later rounds mutate scheduler state.
+type execPlan struct {
+	round int
+	steps []execStep
+}
+
+// Round runs one complete scheduling round synchronously: admit the queue
+// into the pending store, qualify, resolve victims, commit the bookkeeping
+// and execute the batch on the server.
 func (e *Engine) Round() (RoundResult, error) {
+	res, plan, err := e.schedule()
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	executed, err := e.execute(plan)
+	res.Executed = executed
+	res.Stats.Exec = time.Since(start)
+	res.Stats.Total += res.Stats.Exec
+	return res, err
+}
+
+// schedule runs the synchronous stages of a round — admit, qualify, resolve,
+// commit — and returns the round's execution plan. After schedule returns,
+// the stores (and therefore the next round's qualification inputs) are fully
+// updated; only server I/O remains.
+func (e *Engine) schedule() (RoundResult, execPlan, error) {
 	start := time.Now()
 	e.rounds++
-	// Step 1-2: empty the incoming queue into the pending request store "as
-	// a batch job".
-	e.pending = append(e.pending, e.queue...)
-	e.deltas.PendingAdded = append(e.deltas.PendingAdded, e.queue...)
+
+	// Stage 1 — admit: empty the incoming queue into the pending request
+	// store "as a batch job".
+	e.pending.Admit(e.queue...)
 	e.queue = e.queue[:0]
 
 	var res RoundResult
-	res.Stats.Pending = len(e.pending)
+	res.Stats.Pending = e.pending.Len()
 
-	var qualified []request.Request
-	evalStart := time.Now()
-	switch e.cfg.Mode {
-	case PassThrough:
-		qualified = append(qualified, e.pending...)
-		protocol.ByID(qualified)
-	default:
-		var err error
-		if ip, ok := e.cfg.Protocol.(protocol.IncrementalProtocol); ok {
-			qualified, err = ip.QualifyIncremental(e.pending, e.hist.Live(), e.deltas)
-		} else {
-			qualified, err = e.cfg.Protocol.Qualify(e.pending, e.hist.Live())
-		}
-		if err != nil {
-			return res, fmt.Errorf("scheduler: round %d: %w", e.rounds, err)
-		}
+	// Stage 2 — qualify: evaluate the protocol over pending and history,
+	// feeding incremental protocols the stores' accumulated change log.
+	qualified, err := e.qualify(&res)
+	if err != nil {
+		return res, execPlan{}, err
 	}
-	// The protocol consumed the accumulated change set; start the next one.
-	e.deltas = protocol.Deltas{}
-	res.Stats.Duration = time.Since(evalStart)
-	if sr, ok := e.cfg.Protocol.(protocol.StrategyReporter); ok && e.cfg.Mode == Scheduling {
-		res.Stats.Strategy = sr.LastStrategy()
-	}
+	// Waiting-age bookkeeping runs on the protocol's full qualified set,
+	// before admission control: the bound covers protocol-blocked waits
+	// ("rounds without any request qualifying", see Config.StarveAfter). A
+	// request cut by the MaxBatch cap is schedulable — deferring it is the
+	// operator's admission policy (under a priority order, deliberately so)
+	// and must not get the transaction shot as a starvation victim.
+	e.observeProgress(qualified)
 	if e.cfg.MaxBatch > 0 && len(qualified) > e.cfg.MaxBatch {
 		// Admission control: defer the tail (the protocol's order is a
 		// priority order, so the cap keeps the most urgent requests).
 		qualified = qualified[:e.cfg.MaxBatch]
 	}
 
+	// Stage 3 — resolve: decide which transactions abort this round.
+	victims := e.resolve(qualified)
+	if len(victims) > 0 && len(qualified) > 0 {
+		// A victim aborts and rolls back this round: none of its requests
+		// may reach the server, even ones that qualified (reachable since
+		// the starvation bound can pick victims while the batch is moving).
+		kept := qualified[:0]
+		vs := make(map[int64]bool, len(victims))
+		for _, ta := range victims {
+			vs[ta] = true
+		}
+		for _, r := range qualified {
+			if !vs[r.TA] {
+				kept = append(kept, r)
+			}
+		}
+		qualified = kept
+	}
+
+	// Stage 4 — commit: apply every bookkeeping consequence to the stores
+	// and lay out the server work. History membership is settled here —
+	// before any server call — which is what lets Pipeline qualify round
+	// N+1 while round N is still executing.
+	plan := e.commit(&res, qualified, victims)
+
+	e.lastQualified = qualified
+	res.Stats.Qualified = len(qualified)
+	res.Stats.Victims = len(res.Victims)
+	res.Stats.History = e.hist.Len()
+	res.Stats.Total = time.Since(start)
+	return res, plan, nil
+}
+
+// qualify evaluates the protocol (stage 2) and advances the waiting-age
+// clocks of the pending store.
+func (e *Engine) qualify(res *RoundResult) ([]request.Request, error) {
+	var qualified []request.Request
+	evalStart := time.Now()
+	switch e.cfg.Mode {
+	case PassThrough:
+		qualified = append(qualified, e.pending.Live()...)
+		protocol.ByID(qualified)
+	default:
+		var err error
+		if ip, ok := e.cfg.Protocol.(protocol.IncrementalProtocol); ok {
+			var d protocol.Deltas
+			e.pending.Deltas(&d)
+			e.hist.Deltas(&d)
+			qualified, err = ip.QualifyIncremental(e.pending.Live(), e.hist.Live(), d)
+		} else {
+			qualified, err = e.cfg.Protocol.Qualify(e.pending.Live(), e.hist.Live())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: round %d: %w", e.rounds, err)
+		}
+	}
+	// The protocol consumed the accumulated change set; start the next one.
+	e.pending.ResetDeltas()
+	e.hist.ResetDeltas()
+	res.Stats.Duration = time.Since(evalStart)
+	if sr, ok := e.cfg.Protocol.(protocol.StrategyReporter); ok && e.cfg.Mode == Scheduling {
+		res.Stats.Strategy = sr.LastStrategy()
+	}
+	return qualified, nil
+}
+
+// observeProgress advances the pending store's waiting-age clocks:
+// transactions with a request in the protocol's qualified set made progress;
+// the rest keep (or start) their blocked clock.
+func (e *Engine) observeProgress(qualified []request.Request) {
+	var progressed map[int64]bool
+	if len(qualified) > 0 {
+		if e.progressed == nil {
+			e.progressed = make(map[int64]bool, len(qualified))
+		} else {
+			clear(e.progressed)
+		}
+		progressed = e.progressed
+		for _, r := range qualified {
+			progressed[r.TA] = true
+		}
+	}
+	e.pending.ObserveRound(e.rounds, progressed)
+}
+
+// resolve (stage 3) returns the transactions to abort this round:
+// protocol-declared wounds first, then reactive deadlock detection when the
+// round is fully blocked, then the waiting-age starvation bound.
+func (e *Engine) resolve(qualified []request.Request) []int64 {
+	if e.cfg.Mode != Scheduling {
+		return nil
+	}
 	// Protocol-declared aborts (wound-wait style prevention): the protocol's
 	// own wound decision takes precedence over reactive deadlock detection.
-	var victims []int64
-	if w, ok := e.cfg.Protocol.(protocol.Wounder); ok && e.cfg.Mode == Scheduling {
-		victims = w.Wounded()
+	if w, ok := e.cfg.Protocol.(protocol.Wounder); ok {
+		if victims := w.Wounded(); len(victims) > 0 {
+			return victims
+		}
 	}
 	// Deadlock resolution: a non-empty pending store with an empty qualified
 	// set means the protocol is blocked; abort the youngest member of each
 	// waits-for cycle, exactly like the native scheduler's victim policy.
-	if len(victims) == 0 && len(qualified) == 0 && len(e.pending) > 0 && e.cfg.Mode == Scheduling {
-		victims = protocol.DeadlockVictims(e.pending, e.hist.Live())
-	}
-	if len(victims) > 0 {
-		for _, ta := range victims {
-			ab := request.Request{
-				ID: e.nextID, TA: ta, IntraTA: victimIntra, Op: request.Abort,
-				Object: request.NoObject,
-			}
-			e.nextID++
-			res.Victims = append(res.Victims, ta)
-			// Roll the victim back: compensate every write it had executed.
-			for _, h := range e.hist.Live() {
-				if h.TA == ta && h.Op == request.Write {
-					if err := e.cfg.Server.UndoWrite(h.Object); err != nil {
-						return res, err
-					}
-				}
-			}
-			if _, err := e.cfg.Server.ExecScheduled(ab); err != nil {
-				return res, err
-			}
-			e.hist.Append(ab)
-			e.deltas.HistoryAppended = append(e.deltas.HistoryAppended, ab)
-			// Drop the victim's pending requests; its client is notified via
-			// the Victims list.
-			kept := e.pending[:0]
-			for _, p := range e.pending {
-				if p.TA != ta {
-					kept = append(kept, p)
-				} else {
-					e.deltas.PendingRemoved = append(e.deltas.PendingRemoved, p)
-				}
-			}
-			e.pending = kept
+	if len(qualified) == 0 && e.pending.Len() > 0 {
+		if victims := protocol.DeadlockVictims(e.pending.Live(), e.hist.Live()); len(victims) > 0 {
+			return victims
 		}
-		res.Stats.Victims = len(res.Victims)
 	}
+	// Starvation bound: when the oldest waiter has gone StarveAfter rounds
+	// without progress while the batch kept moving, the nothing-qualified
+	// policy above would never fire. Prefer precise cycle victims (an
+	// undetected deadlock among a subset of the batch); abort the oldest
+	// waiter itself only when no cycle explains the wait.
+	if e.starveAfter > 0 {
+		if ta, since, ok := e.pending.OldestBlocked(); ok && e.rounds-since >= e.starveAfter {
+			if victims := protocol.DeadlockVictims(e.pending.Live(), e.hist.Live()); len(victims) > 0 {
+				return victims
+			}
+			return []int64{ta}
+		}
+	}
+	return nil
+}
 
-	// Step 4: send qualified requests to the server as a batch; insert them
-	// into the history and delete them from the pending store.
-	qualifiedKeys := protocol.KeySet(qualified)
+// commit (stage 4) applies the round's decisions to the stores — victim
+// abort records and pending drops, qualified history membership and pending
+// removal, garbage collection — and returns the execution plan.
+func (e *Engine) commit(res *RoundResult, qualified []request.Request, victims []int64) execPlan {
+	plan := execPlan{round: e.rounds}
+	if len(victims) > 0 || len(qualified) > 0 {
+		plan.steps = make([]execStep, 0, len(victims)+len(qualified))
+	}
+	for _, ta := range victims {
+		ab := request.Request{
+			ID: e.nextID, TA: ta, IntraTA: victimIntra, Op: request.Abort,
+			Object: request.NoObject,
+		}
+		e.nextID++
+		res.Victims = append(res.Victims, ta)
+		// Roll the victim back: compensate every write it had executed. The
+		// per-TA history index makes this O(|TA's writes|); the undo runs on
+		// the server strictly after those writes (the plan preserves
+		// execution order, and Pipeline's executor is FIFO).
+		plan.steps = append(plan.steps, execStep{req: ab, undo: e.hist.WritesOf(ta), victim: true})
+		e.hist.Append(ab)
+		// Drop the victim's pending requests; its client is notified via
+		// the Victims list.
+		e.pending.RemoveTA(ta)
+	}
 	for _, r := range qualified {
-		v, err := e.cfg.Server.ExecScheduled(r)
-		res.Executed = append(res.Executed, Executed{Request: r, Value: v, Err: err})
+		plan.steps = append(plan.steps, execStep{req: r})
 		e.hist.Append(r)
-		e.deltas.HistoryAppended = append(e.deltas.HistoryAppended, r)
+		e.pending.Remove(r.Key())
 	}
-	kept := e.pending[:0]
-	for _, p := range e.pending {
-		if !qualifiedKeys[p.Key()] {
-			kept = append(kept, p)
-		} else {
-			e.deltas.PendingRemoved = append(e.deltas.PendingRemoved, p)
-		}
-	}
-	e.pending = kept
-
 	if e.cfg.GCEvery >= 0 && (e.cfg.GCEvery <= 1 || e.rounds%e.cfg.GCEvery == 0) {
-		e.deltas.HistoryRemoved = append(e.deltas.HistoryRemoved, e.hist.GCRemoved()...)
+		e.hist.GC()
 	}
-	e.lastQualified = qualified
-	res.Stats.Qualified = len(res.Executed)
-	res.Stats.History = e.hist.Len()
-	res.Stats.Total = time.Since(start)
-	return res, nil
+	return plan
+}
+
+// execute (stage 5) performs the plan's server work in order. Per-request
+// server errors are reported in the Executed entries; a failing write
+// compensation is fatal (the stores and the server have diverged).
+func (e *Engine) execute(plan execPlan) ([]Executed, error) {
+	var out []Executed
+	if n := len(plan.steps); n > 0 {
+		out = make([]Executed, 0, n)
+	}
+	for _, step := range plan.steps {
+		for _, obj := range step.undo {
+			if err := e.cfg.Server.UndoWrite(obj); err != nil {
+				return out, err
+			}
+		}
+		v, err := e.cfg.Server.ExecScheduled(step.req)
+		if step.victim {
+			if err != nil {
+				return out, err
+			}
+			continue
+		}
+		out = append(out, Executed{Request: step.req, Value: v, Err: err})
+	}
+	return out, nil
 }
 
 // victimIntra marks scheduler-injected abort requests; it is far above any

@@ -10,12 +10,17 @@ import (
 )
 
 // ErrTxnAborted is delivered to clients whose transaction was aborted as a
-// deadlock victim; the client must restart the transaction under a new TA.
+// deadlock or starvation victim; the client must restart the transaction
+// under a new TA.
 var ErrTxnAborted = errors.New("scheduler: transaction aborted as deadlock victim")
 
 // ErrStopped is delivered when the middleware shuts down with requests in
 // flight.
 var ErrStopped = errors.New("scheduler: middleware stopped")
+
+// errSuperseded answers a client whose (TA, IntraTA) request was resubmitted
+// before the first submission was answered; the newest submission wins.
+var errSuperseded = errors.New("scheduler: request superseded by a duplicate submission")
 
 // Result is the middleware's reply to one submitted request.
 type Result struct {
@@ -27,10 +32,20 @@ type Result struct {
 // each connected client talks to its own client worker, which forwards
 // requests into the incoming queue; a scheduler loop fires rounds according
 // to the trigger policy and routes results back.
+//
+// Rounds run pipelined by default: the loop schedules a round (admit,
+// qualify, resolve, commit) and moves on — server execution happens on the
+// pipeline's executor goroutine and the batch's results are routed to the
+// waiting clients when its completion arrives, in execution order. Victims
+// are known at scheduling time and are notified immediately, without waiting
+// for the server. SetSynchronous restores the fully serialized round loop
+// (the property-test oracle and the baseline of the overlap benchmark).
 type Middleware struct {
 	engine    *Engine
 	trigger   Trigger
 	collector *metrics.Collector
+	syncMode  bool
+	pipe      *Pipeline
 
 	mu      sync.Mutex
 	waiters map[request.Key]chan Result
@@ -67,6 +82,11 @@ func NewMiddleware(engine *Engine, trigger Trigger, collector *metrics.Collector
 // Collector returns the metrics collector.
 func (m *Middleware) Collector() *metrics.Collector { return m.collector }
 
+// SetSynchronous selects the fully serialized round loop (qualify and
+// execute back to back on the scheduler goroutine) instead of the pipelined
+// default. Must be called before Start.
+func (m *Middleware) SetSynchronous(on bool) { m.syncMode = on }
+
 // Start launches the scheduler loop.
 func (m *Middleware) Start() { go m.loop() }
 
@@ -90,29 +110,42 @@ func (m *Middleware) Submit(r request.Request) Result {
 
 func (m *Middleware) loop() {
 	defer close(m.stopped)
+	if !m.syncMode {
+		m.pipe = NewPipeline(m.engine)
+	}
 	ticker := time.NewTicker(200 * time.Microsecond)
 	defer ticker.Stop()
 	lastRound := time.Now()
 	stamps := make(map[request.Key]time.Time)
+	var batch []submission
+	var reqs []request.Request
 
-	runRound := func() {
-		res, err := m.engine.Round()
-		lastRound = time.Now()
-		if err != nil {
-			// A protocol failure is fatal for the round; fail everything
-			// pending so clients do not hang.
-			m.mu.Lock()
-			for k, ch := range m.waiters {
-				ch <- Result{Err: err}
-				delete(m.waiters, k)
-			}
-			m.byTA = make(map[int64][]request.Key)
-			m.mu.Unlock()
+	// failAll fails every registered waiter (round error or shutdown).
+	failAll := func(err error) {
+		m.mu.Lock()
+		for k, ch := range m.waiters {
+			ch <- Result{Err: err}
+			delete(m.waiters, k)
+			delete(stamps, k)
+		}
+		m.byTA = make(map[int64][]request.Key)
+		m.mu.Unlock()
+	}
+
+	// deliver routes one completed batch to its waiting clients, in
+	// execution order. Requests without a waiter (scheduler-internal, or
+	// failed rounds already swept) are skipped.
+	deliver := func(c Completion) {
+		if c.Err != nil {
+			// The executor diverged from the stores (failed compensation):
+			// everything in flight is undefined, exactly like a failed
+			// synchronous round.
+			failAll(c.Err)
 			return
 		}
-		m.collector.AddRound(res.Stats)
+		m.collector.Exec.Observe(c.Exec.Nanoseconds())
 		m.mu.Lock()
-		for _, ex := range res.Executed {
+		for _, ex := range c.Executed {
 			k := ex.Request.Key()
 			if ch, ok := m.waiters[k]; ok {
 				ch <- Result{Value: ex.Value, Err: ex.Err}
@@ -122,8 +155,22 @@ func (m *Middleware) loop() {
 					delete(stamps, k)
 				}
 			}
+			if ex.Request.Op.IsTermination() {
+				delete(m.byTA, ex.Request.TA)
+			}
 		}
-		for _, ta := range res.Victims {
+		m.mu.Unlock()
+	}
+
+	// notifyVictims unblocks the clients of aborted transactions — under
+	// the pipeline this happens at scheduling time, before the server has
+	// even seen the round's batch.
+	notifyVictims := func(victims []int64) {
+		if len(victims) == 0 {
+			return
+		}
+		m.mu.Lock()
+		for _, ta := range victims {
 			for _, k := range m.byTA[ta] {
 				if ch, ok := m.waiters[k]; ok {
 					ch <- Result{Err: ErrTxnAborted}
@@ -134,6 +181,38 @@ func (m *Middleware) loop() {
 			delete(m.byTA, ta)
 		}
 		m.mu.Unlock()
+	}
+
+	runRound := func() {
+		var res RoundResult
+		var err error
+		if m.pipe != nil {
+			res, err = m.pipe.Round(deliver)
+		} else {
+			res, err = m.engine.Round()
+		}
+		lastRound = time.Now()
+		if err != nil {
+			// A protocol failure is fatal for the round; fail everything
+			// pending so clients do not hang.
+			failAll(err)
+			return
+		}
+		m.collector.AddRound(res.Stats)
+		if m.pipe == nil && (len(res.Executed) > 0 || len(res.Victims) > 0) {
+			// Serialized loop: results exist already; route them before the
+			// victim notifications, as the synchronous loop always has. Only
+			// rounds with server work observe an exec leg — the pipeline
+			// likewise completes empty rounds inline without a completion,
+			// so the two modes' Exec histograms stay comparable.
+			deliver(Completion{Round: m.engine.Rounds(), Executed: res.Executed, Exec: res.Stats.Exec})
+		}
+		notifyVictims(res.Victims)
+	}
+
+	var pipeDone <-chan Completion
+	if m.pipe != nil {
+		pipeDone = m.pipe.Completions()
 	}
 
 	for {
@@ -147,21 +226,49 @@ func (m *Middleware) loop() {
 					break
 				}
 			}
+			if m.pipe != nil {
+				m.pipe.Stop()
+				for c := range m.pipe.Completions() {
+					deliver(c)
+				}
+			}
+			failAll(ErrStopped)
+			return
+		case c := <-pipeDone:
+			deliver(c)
+		case sub := <-m.submits:
+			// Batch admission: drain every submission already queued, so a
+			// burst costs one waiter-registration lock and one Enqueue call
+			// instead of one of each per request.
+			batch = append(batch[:0], sub)
+		drain:
+			for {
+				select {
+				case s := <-m.submits:
+					batch = append(batch, s)
+				default:
+					break drain
+				}
+			}
+			reqs = reqs[:0]
 			m.mu.Lock()
-			for k, ch := range m.waiters {
-				ch <- Result{Err: ErrStopped}
-				delete(m.waiters, k)
+			for _, s := range batch {
+				k := s.req.Key()
+				if prev, ok := m.waiters[k]; ok {
+					// Duplicate (TA, IntraTA) submission: the newest wins in
+					// the pending store; answer the superseded client rather
+					// than leaving it waiting on a reply that never comes.
+					prev <- Result{Err: errSuperseded}
+				}
+				m.waiters[k] = s.reply
+				m.byTA[s.req.TA] = append(m.byTA[s.req.TA], k)
 			}
 			m.mu.Unlock()
-			return
-		case sub := <-m.submits:
-			k := sub.req.Key()
-			m.mu.Lock()
-			m.waiters[k] = sub.reply
-			m.byTA[sub.req.TA] = append(m.byTA[sub.req.TA], k)
-			m.mu.Unlock()
-			stamps[k] = sub.stamp
-			m.engine.Enqueue(sub.req)
+			for _, s := range batch {
+				stamps[s.req.Key()] = s.stamp
+				reqs = append(reqs, s.req)
+			}
+			m.engine.Enqueue(reqs...)
 			if m.trigger.Fire(m.engine.QueueLen(), time.Since(lastRound)) {
 				runRound()
 			}

@@ -1,0 +1,156 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+)
+
+// Pipeline overlaps a round's server execution with the next round's
+// qualification. Engine.schedule settles every input the next qualification
+// needs — pending membership, history membership, the protocols' change
+// log — before any server call, so the only work left in a round's tail is
+// I/O against the (possibly remote) storage server. Pipeline runs that tail
+// on a dedicated executor goroutine: Round returns as soon as the round is
+// scheduled, and the batch's results arrive later on Completions, in round
+// order. Remote-server latency (internal/netproto front-ends talking to a
+// slow internal/storage) then costs pipeline fill instead of stalling every
+// round: steady-state round throughput is limited by max(qualify, execute)
+// rather than their sum.
+//
+// Ordering guarantees: batches execute FIFO in round order, and a victim's
+// write compensations are part of the round that aborted it, so they run
+// strictly after the batches that executed those writes. Exactly the
+// synchronous engine's server-visible order.
+//
+// A Pipeline owns its engine: while it is running, no other caller may use
+// the engine. The synchronous Engine.Round remains available on engines not
+// wrapped in a pipeline — it is the oracle the pipelined path is
+// property-tested against.
+type Pipeline struct {
+	engine *Engine
+	jobs   chan execPlan
+	done   chan Completion
+
+	mu      sync.Mutex
+	fatal   error
+	stopped bool
+}
+
+// Completion delivers the deferred tail of one round: the executed requests
+// with their server results, in execution order.
+type Completion struct {
+	Round    int
+	Executed []Executed
+	// Exec is the server execution span of the batch (the overlapped leg).
+	Exec time.Duration
+	// Err is a fatal executor error (a failed write compensation): the
+	// server and the stores have diverged and the pipeline stops executing.
+	Err error
+}
+
+// pipelineDepth bounds how many scheduled-but-unexecuted rounds may be in
+// flight. When the executor falls this far behind, Round blocks handing over
+// the plan (draining completions meanwhile) — natural backpressure that
+// degrades toward the synchronous engine's behavior instead of growing an
+// unbounded backlog of promised executions.
+const pipelineDepth = 32
+
+// NewPipeline wraps an engine. The executor goroutine starts immediately;
+// callers must Stop the pipeline and drain Completions to release it.
+func NewPipeline(engine *Engine) *Pipeline {
+	p := &Pipeline{
+		engine: engine,
+		jobs:   make(chan execPlan, pipelineDepth),
+		done:   make(chan Completion, pipelineDepth),
+	}
+	go p.run()
+	return p
+}
+
+// Engine returns the wrapped engine. Callers may inspect it (history, RTE,
+// queue lengths) but must not run rounds on it directly.
+func (p *Pipeline) Engine() *Engine { return p.engine }
+
+// Completions delivers each round's executed batch, in round order. The
+// channel closes after Stop once the last in-flight batch has been
+// delivered.
+func (p *Pipeline) Completions() <-chan Completion { return p.done }
+
+// Round schedules one round (admit, qualify, resolve, commit) and hands its
+// server work to the executor. The returned RoundResult carries the round's
+// victims and stats; Executed stays empty — results arrive on Completions.
+// Rounds that schedule no server work complete inline and produce no
+// completion. While waiting for executor capacity, completions are delivered
+// through deliver (which therefore must not call back into the pipeline);
+// deliver may be nil only for callers that drain Completions concurrently.
+func (p *Pipeline) Round(deliver func(Completion)) (RoundResult, error) {
+	if err := p.Err(); err != nil {
+		// The executor diverged (failed compensation): the stores no longer
+		// describe the server. Refuse further rounds with the sticky error
+		// instead of promising executions that will never complete.
+		return RoundResult{}, err
+	}
+	res, plan, err := p.engine.schedule()
+	if err != nil {
+		return res, err
+	}
+	if len(plan.steps) == 0 {
+		return res, nil
+	}
+	if deliver == nil {
+		p.jobs <- plan
+		return res, nil
+	}
+	for {
+		select {
+		case p.jobs <- plan:
+			return res, nil
+		case c := <-p.done:
+			deliver(c)
+		}
+	}
+}
+
+// run is the executor: it performs each round's server work in round order
+// and reports completions.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	for plan := range p.jobs {
+		if err := p.Err(); err != nil {
+			// Drain without executing after a fatal divergence, but still
+			// report each plan so no waiter is left hanging.
+			p.done <- Completion{Round: plan.round, Err: err}
+			continue
+		}
+		start := time.Now()
+		executed, err := p.engine.execute(plan)
+		c := Completion{Round: plan.round, Executed: executed, Exec: time.Since(start), Err: err}
+		if err != nil {
+			p.mu.Lock()
+			p.fatal = err
+			p.mu.Unlock()
+		}
+		p.done <- c
+	}
+}
+
+// Err returns the executor's fatal error, if any.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fatal
+}
+
+// Stop lets the executor finish the in-flight work and exit; no Round calls
+// may follow. The caller must then drain Completions (the channel closes
+// after the last batch) — the executor blocks on undelivered completions,
+// not drops them.
+func (p *Pipeline) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	close(p.jobs)
+}

@@ -1,0 +1,451 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/request"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// randExecDelay derives a deterministic pseudo-random per-request server
+// latency from the request ID, so both engines of an equivalence pair see
+// the same (virtual) remote server.
+func randExecDelay(seed int64, maxMicros uint64) func(request.Request) time.Duration {
+	return func(r request.Request) time.Duration {
+		h := uint64(r.ID)*0x9E3779B97F4A7C15 + uint64(seed)*0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		return time.Duration(h%maxMicros) * time.Microsecond
+	}
+}
+
+type execTrace struct {
+	id    int64
+	value int64
+	fail  bool
+}
+
+// TestPipelinedMatchesSynchronous is the equivalence property test of the
+// pipelined round loop: over random workloads fed in lockstep chunks, with
+// random per-request server latencies, the pipelined engine must produce
+// exactly the synchronous engine's behavior — per-round victims and
+// qualified counts, the executed sequence with its server results, the final
+// history and pending stores, and the server table state — sequentially and
+// with a parallel protocol (run under -race in CI).
+func TestPipelinedMatchesSynchronous(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		for seed := int64(0); seed < 6; seed++ {
+			t.Run(fmt.Sprintf("par=%d/seed=%d", parallelism, seed), func(t *testing.T) {
+				gen, err := workload.NewGenerator(workload.Config{
+					Clients: 6, TxnsPerClient: 4,
+					ReadsPerTxn: 2, WritesPerTxn: 2,
+					Objects: 16, Seed: seed + 1, // few objects: conflicts, victims
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Per-client closed-loop feeds, as the middleware's client
+				// workers behave: one outstanding request per client, the next
+				// submitted only after the previous executed (or its TA died).
+				// Open-loop feeding would violate the paper's client model —
+				// a commit would qualify while earlier operations of its own
+				// transaction are still blocked.
+				var clients [][]request.Request
+				taClient := map[int64]int{}
+				for _, q := range gen.ClientQueues() {
+					var rs []request.Request
+					for _, tx := range q {
+						taClient[tx.TA] = len(clients)
+						rs = append(rs, tx.Requests...)
+					}
+					clients = append(clients, rs)
+				}
+				cursor := make([]int, len(clients))
+				inflight := make([]bool, len(clients))
+
+				mk := func() (*Engine, *storage.Server) {
+					srv := storage.NewServer(storage.Config{
+						Rows:      16,
+						ExecDelay: randExecDelay(seed, 30),
+					})
+					e, err := NewEngine(Config{
+						Protocol:    protocol.SS2PLDatalog(),
+						Server:      srv,
+						KeepLog:     true,
+						Parallelism: parallelism,
+						StarveAfter: 12, // small bound: the starvation path must run too
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return e, srv
+				}
+				syncEng, syncSrv := mk()
+				pipeEng, pipeSrv := mk()
+				pipe := NewPipeline(pipeEng)
+
+				var syncExec, pipeExec []execTrace
+				collect := func(c Completion) {
+					if c.Err != nil {
+						t.Errorf("pipeline executor failed: %v", c.Err)
+						return
+					}
+					for _, ex := range c.Executed {
+						pipeExec = append(pipeExec, execTrace{id: ex.Request.ID, value: ex.Value, fail: ex.Err != nil})
+					}
+				}
+
+				// Aborted transactions stop submitting (a real client would
+				// restart under a fresh TA; this script simply moves on to the
+				// client's next transaction).
+				dead := map[int64]bool{}
+				for round := 0; round < 600; round++ {
+					idle := true
+					for c := range clients {
+						if inflight[c] {
+							idle = false
+							continue
+						}
+						// Skip over requests of dead transactions, then submit
+						// the client's next request to both engines.
+						for cursor[c] < len(clients[c]) && dead[clients[c][cursor[c]].TA] {
+							cursor[c]++
+						}
+						if cursor[c] >= len(clients[c]) {
+							continue
+						}
+						r := clients[c][cursor[c]]
+						cursor[c]++
+						syncEng.Enqueue(r)
+						pipeEng.Enqueue(r)
+						inflight[c] = true
+						idle = false
+					}
+					if idle {
+						break
+					}
+					sres, err := syncEng.Round()
+					if err != nil {
+						t.Fatal(err)
+					}
+					pres, err := pipe.Round(collect)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fmt.Sprint(sres.Victims) != fmt.Sprint(pres.Victims) {
+						t.Fatalf("round %d: victims diverged: sync %v pipe %v", round, sres.Victims, pres.Victims)
+					}
+					for _, ta := range sres.Victims {
+						dead[ta] = true
+						inflight[taClient[ta]] = false
+					}
+					if sres.Stats.Qualified != pres.Stats.Qualified || sres.Stats.Pending != pres.Stats.Pending {
+						t.Fatalf("round %d: stats diverged: sync %+v pipe %+v", round, sres.Stats, pres.Stats)
+					}
+					for _, ex := range sres.Executed {
+						syncExec = append(syncExec, execTrace{id: ex.Request.ID, value: ex.Value, fail: ex.Err != nil})
+						inflight[taClient[ex.Request.TA]] = false
+					}
+				}
+				pipe.Stop()
+				for c := range pipe.Completions() {
+					collect(c)
+				}
+
+				if syncEng.PendingLen() != 0 {
+					t.Fatalf("workload did not drain: %d pending", syncEng.PendingLen())
+				}
+				if fmt.Sprint(syncExec) != fmt.Sprint(pipeExec) {
+					t.Fatalf("executed traces diverged:\nsync: %v\npipe: %v", syncExec, pipeExec)
+				}
+				if got, want := pipeSrv.Checksum(), syncSrv.Checksum(); got != want {
+					t.Fatalf("server checksums diverged: pipe %d sync %d", got, want)
+				}
+				sortByID := func(rs []request.Request) []request.Request {
+					out := append([]request.Request(nil), rs...)
+					sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+					return out
+				}
+				if fmt.Sprint(sortByID(pipeEng.History().Live())) != fmt.Sprint(sortByID(syncEng.History().Live())) {
+					t.Fatal("history stores diverged")
+				}
+				if fmt.Sprint(pipeEng.History().Log()) != fmt.Sprint(syncEng.History().Log()) {
+					t.Fatal("execution logs diverged")
+				}
+				if err := protocol.CheckSerializable(pipeEng.History().Log()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestStarvationBoundAbortsOldestBlocked reproduces the ROADMAP-recorded
+// starvation bug shape: one transaction blocked behind a lock holder that
+// never finishes, while fresh transactions keep qualifying every round — so
+// the nothing-qualified deadlock policy never fires. The waiting-age bound
+// must abort the starving waiter (no waits-for cycle exists), unblocking its
+// client.
+func TestStarvationBoundAbortsOldestBlocked(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 64})
+	e, err := NewEngine(Config{
+		Protocol:    protocol.SS2PLDatalog(),
+		Server:      srv,
+		StarveAfter: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ta1 takes a write lock on object 1 and never commits.
+	e.Enqueue(request.Request{TA: 1, IntraTA: 0, Op: request.Write, Object: 1})
+	if _, err := e.Round(); err != nil {
+		t.Fatal(err)
+	}
+	// ta2 wants object 1: blocked for as long as ta1 holds the lock.
+	e.Enqueue(request.Request{TA: 2, IntraTA: 0, Op: request.Write, Object: 1})
+	nextTA := int64(3)
+	var victims []int64
+	for round := 0; round < 20 && len(victims) == 0; round++ {
+		// An unrelated transaction qualifies every round: the batch keeps
+		// moving, so the nothing-qualified victim policy can never fire.
+		e.Enqueue(request.Request{TA: nextTA, IntraTA: 0, Op: request.Write, Object: 2 + nextTA%50})
+		e.Enqueue(request.Request{TA: nextTA, IntraTA: 1, Op: request.Commit, Object: request.NoObject})
+		nextTA++
+		res, err := e.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Executed) == 0 {
+			t.Fatalf("round %d: batch stalled (test premise broken)", round)
+		}
+		victims = append(victims, res.Victims...)
+	}
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("starvation bound aborted %v, want [2] (the starving waiter)", victims)
+	}
+	if e.PendingLen() != 0 {
+		t.Fatalf("victim's pending request not dropped: %d left", e.PendingLen())
+	}
+}
+
+// TestStarvationBoundPrefersCycleVictims: when the oldest waiter's wait is
+// explained by an undetected deadlock cycle among a subset of the batch
+// (other clients progressing), the bound fires the precise cycle policy
+// instead of shooting the waiter.
+func TestStarvationBoundPrefersCycleVictims(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 64})
+	e, err := NewEngine(Config{
+		Protocol:    protocol.SS2PLDatalog(),
+		Server:      srv,
+		StarveAfter: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ta1 and ta2 deadlock: each holds one object, each wants the other's.
+	e.Enqueue(
+		request.Request{TA: 1, IntraTA: 0, Op: request.Write, Object: 1},
+		request.Request{TA: 2, IntraTA: 0, Op: request.Write, Object: 2},
+	)
+	if _, err := e.Round(); err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(
+		request.Request{TA: 1, IntraTA: 1, Op: request.Write, Object: 2},
+		request.Request{TA: 2, IntraTA: 1, Op: request.Write, Object: 1},
+	)
+	// Keep unrelated transactions flowing so the nothing-qualified policy
+	// stays silent and only the waiting-age bound can intervene.
+	nextTA := int64(3)
+	var victims []int64
+	for round := 0; round < 20 && len(victims) == 0; round++ {
+		e.Enqueue(request.Request{TA: nextTA, IntraTA: 0, Op: request.Write, Object: 3 + nextTA%50})
+		e.Enqueue(request.Request{TA: nextTA, IntraTA: 1, Op: request.Commit, Object: request.NoObject})
+		nextTA++
+		res, err := e.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims = append(victims, res.Victims...)
+	}
+	// The cycle's youngest member, not the oldest waiter (ta1).
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("victims %v, want [2] (cycle policy)", victims)
+	}
+	// ta1 must proceed now.
+	drained := false
+	for round := 0; round < 10; round++ {
+		res, err := e.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ex := range res.Executed {
+			if ex.Request.TA == 1 {
+				drained = true
+			}
+		}
+		if drained {
+			break
+		}
+	}
+	if !drained {
+		t.Fatal("survivor still blocked after cycle resolution")
+	}
+}
+
+// TestVictimQualifiedRequestDoesNotExecute: the starvation bound can pick a
+// victim in a round where that victim also has a qualified request (its
+// other request sits in an undetected cycle while the batch keeps moving).
+// The victim's qualified request must be dropped from the batch — executing
+// it after the abort's rollback would write as an aborted transaction, never
+// to be compensated.
+func TestVictimQualifiedRequestDoesNotExecute(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 4096})
+	e, err := NewEngine(Config{
+		Protocol:    protocol.SS2PLDatalog(),
+		Server:      srv,
+		StarveAfter: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ta1 and ta2 deadlock on objects 1 and 2.
+	e.Enqueue(
+		request.Request{TA: 1, IntraTA: 0, Op: request.Write, Object: 1},
+		request.Request{TA: 2, IntraTA: 0, Op: request.Write, Object: 2},
+	)
+	if _, err := e.Round(); err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(
+		request.Request{TA: 1, IntraTA: 1, Op: request.Write, Object: 2},
+		request.Request{TA: 2, IntraTA: 1, Op: request.Write, Object: 1},
+	)
+	// Every round: ta2 also writes a fresh uncontended object (so it has a
+	// qualified request in the victim round), and a filler transaction
+	// commits (so the nothing-qualified policy never fires and only the
+	// waiting-age bound can resolve the cycle).
+	nextTA := int64(3)
+	intra := int64(2)
+	freeObj := int64(100)
+	var sawVictim bool
+	for round := 0; round < 20 && !sawVictim; round++ {
+		e.Enqueue(request.Request{TA: 2, IntraTA: intra, Op: request.Write, Object: freeObj})
+		intra++
+		e.Enqueue(request.Request{TA: nextTA, IntraTA: 0, Op: request.Write, Object: 2000 + nextTA})
+		e.Enqueue(request.Request{TA: nextTA, IntraTA: 1, Op: request.Commit, Object: request.NoObject})
+		nextTA++
+		res, err := e.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Victims) > 0 {
+			sawVictim = true
+			if res.Victims[0] != 2 {
+				t.Fatalf("victims %v, want [2] (cycle's youngest)", res.Victims)
+			}
+			for _, ex := range res.Executed {
+				if ex.Request.TA == 2 {
+					t.Fatalf("victim's qualified request executed after its abort: %v", ex.Request)
+				}
+			}
+		}
+		freeObj++
+	}
+	if !sawVictim {
+		t.Fatal("waiting-age bound never fired")
+	}
+	// Every write ta2 ever executed was compensated by the rollback: all its
+	// free objects (and object 2) are back to zero.
+	for obj := int64(100); obj < freeObj; obj++ {
+		if v := srv.Get(obj); v != 0 {
+			t.Fatalf("object %d = %d after ta2's rollback, want 0", obj, v)
+		}
+	}
+	if v := srv.Get(2); v != 0 {
+		t.Fatalf("object 2 = %d after ta2's rollback, want 0", v)
+	}
+}
+
+// TestMiddlewarePipelinedSlowServer runs the closed loop against a slow
+// server: the pipelined loop must stay correct under -race, answer every
+// client, and record overlapped execution legs in the collector.
+func TestMiddlewarePipelinedSlowServer(t *testing.T) {
+	srv := storage.NewServer(storage.Config{
+		Rows:      50,
+		ExecDelay: func(request.Request) time.Duration { return 200 * time.Microsecond },
+	})
+	e, err := NewEngine(Config{
+		Protocol: protocol.SS2PLDatalog(),
+		Server:   srv,
+		KeepLog:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMiddleware(e, FillTrigger{Level: 4}, metrics.NewCollector())
+	m.Start()
+	gen, err := workload.NewGenerator(workload.Config{
+		Clients: 8, TxnsPerClient: 3, ReadsPerTxn: 2, WritesPerTxn: 2, Objects: 50, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkload(m, gen.ClientQueues(), 5)
+	m.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommittedTxns == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := protocol.CheckSerializable(e.History().Log()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Collector().Exec.Count() == 0 {
+		t.Fatal("no overlapped execution legs recorded")
+	}
+}
+
+// TestMiddlewareNoRetryContentionDrains is the slatiers regression: clients
+// that never retry, under heavy write contention. Before the waiting-age
+// bound a blocked no-retry client could starve forever (the victim policy
+// only fired on fully blocked rounds); now every client must get an answer —
+// commit or abort — and the run must terminate.
+func TestMiddlewareNoRetryContentionDrains(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 8})
+	e, err := NewEngine(Config{
+		Protocol:    protocol.SS2PLDatalog(),
+		Server:      srv,
+		KeepLog:     true,
+		StarveAfter: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMiddleware(e, HybridTrigger{Level: 8, Every: time.Millisecond}, metrics.NewCollector())
+	m.Start()
+	defer m.Stop()
+	gen, err := workload.NewGenerator(workload.Config{
+		Clients: 12, TxnsPerClient: 6, ReadsPerTxn: 2, WritesPerTxn: 2,
+		Objects: 8, Seed: 11, // 12 writers over 8 objects: constant conflicts
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkload(m, gen.ClientQueues(), 0) // no retries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CommittedTxns + res.AbortedTxns; got != 12*6 {
+		t.Fatalf("answered %d of %d transactions", got, 12*6)
+	}
+	if err := protocol.CheckSerializable(e.History().Log()); err != nil {
+		t.Fatal(err)
+	}
+}

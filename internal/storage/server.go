@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lock"
 	"repro/internal/request"
@@ -36,6 +37,12 @@ type Config struct {
 	// StatementWork is a synthetic CPU cost per statement in arbitrary spin
 	// units; 0 means raw speed.
 	StatementWork int
+	// ExecDelay, when set, is slept before each externally scheduled
+	// statement (ExecScheduled), modelling the round-trip and service time
+	// of a remote server. It is how the pipeline tests and the overlap
+	// benchmark make execution slow relative to qualification without
+	// burning CPU the qualification leg needs.
+	ExecDelay func(r request.Request) time.Duration
 }
 
 // Server is the storage server.
@@ -178,6 +185,11 @@ func (sess *Session) finish(commit bool) {
 // the middleware guarantees the batch is conflict-free (external scheduling
 // mode). Termination requests only update counters.
 func (s *Server) ExecScheduled(r request.Request) (int64, error) {
+	if s.cfg.ExecDelay != nil {
+		if d := s.cfg.ExecDelay(r); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	switch r.Op {
 	case request.Commit:
 		s.commits.Add(1)

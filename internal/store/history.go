@@ -1,0 +1,206 @@
+// The history store: all relevant prior executed requests, from which "all
+// necessary information about the current database state etc. can be
+// obtained" (paper Figure 1). Under SS2PL the relevant entries are exactly
+// those of unfinished transactions — committed and aborted transactions hold
+// no locks — so garbage collection drops whole transactions once terminated
+// (the paper's experiment likewise fills the history "without requests of
+// committed transactions").
+
+package store
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/request"
+)
+
+// History holds the live history, indexed per transaction, and optionally
+// the full execution log. Like Pending, removal swap-compacts a dense slice
+// and every mutation is logged in protocol.Deltas shape, so garbage
+// collection is O(rows of newly finished transactions) instead of a full
+// live scan, and a deadlock victim's executed writes are enumerable in
+// O(|TA's rows|) for rollback.
+type History struct {
+	live []request.Request
+	// byTA maps each live transaction to the positions of its rows in live.
+	// GC and victim rollback both address the history by transaction; the
+	// index makes them proportional to the transaction, not the store.
+	byTA     map[int64][]int32
+	finished map[int64]bool
+	// gcQueue lists transactions that terminated since the last GC, so a GC
+	// pass visits exactly the newly finished transactions instead of
+	// scanning every live one.
+	gcQueue []int64
+
+	deltas protocol.Deltas
+	// appendedAt maps request ID -> position in the current window's
+	// appended log. A transaction that executes and commits within one
+	// round is appended and garbage-collected inside the same delta window —
+	// net absent per the Deltas contract — so the removal cancels the
+	// append in place and the protocols never see the no-op pair. Request
+	// IDs are the paper's globally unique consecutive request numbers.
+	appendedAt map[int64]int32
+
+	keepLog bool
+	log     []request.Request
+}
+
+// NewHistory creates a store. With keepLog, every appended request is also
+// retained in an append-only log (used by tests to verify serializability;
+// the paper's scheduler would not keep it).
+func NewHistory(keepLog bool) *History {
+	return &History{
+		byTA:       make(map[int64][]int32),
+		finished:   make(map[int64]bool),
+		keepLog:    keepLog,
+		appendedAt: make(map[int64]int32),
+	}
+}
+
+// Append records executed requests in execution order, logging them as
+// HistoryAppended.
+func (s *History) Append(rs ...request.Request) {
+	for _, r := range rs {
+		s.byTA[r.TA] = append(s.byTA[r.TA], int32(len(s.live)))
+		s.live = append(s.live, r)
+		if r.Op.IsTermination() {
+			s.finished[r.TA] = true
+			s.gcQueue = append(s.gcQueue, r.TA)
+		} else if s.finished[r.TA] {
+			// Out-of-order arrival for an already finished transaction:
+			// queue it so the next GC collects the late row.
+			s.gcQueue = append(s.gcQueue, r.TA)
+		}
+		if s.keepLog {
+			s.log = append(s.log, r)
+		}
+		s.appendedAt[r.ID] = int32(len(s.deltas.HistoryAppended))
+		s.deltas.HistoryAppended = append(s.deltas.HistoryAppended, r)
+	}
+}
+
+// Live returns the live history slice (order unspecified — removal compacts
+// by swapping). Callers must not mutate it, and must not retain it across
+// store mutations. The execution-ordered view is Log.
+func (s *History) Live() []request.Request { return s.live }
+
+// Log returns the full execution log (nil unless keepLog).
+func (s *History) Log() []request.Request { return s.log }
+
+// Len returns the live history size.
+func (s *History) Len() int { return len(s.live) }
+
+// Finished reports whether ta has terminated.
+func (s *History) Finished(ta int64) bool { return s.finished[ta] }
+
+// WritesOf returns the objects of ta's executed writes, one entry per write
+// (rollback compensates each executed write exactly once). O(|TA's rows|).
+func (s *History) WritesOf(ta int64) []int64 {
+	var out []int64
+	for _, pos := range s.byTA[ta] {
+		if r := s.live[pos]; r.Op == request.Write {
+			out = append(out, r.Object)
+		}
+	}
+	return out
+}
+
+// GC removes every request belonging to a finished transaction, logging each
+// as HistoryRemoved, and returns how many were removed. The execution log is
+// unaffected. A pass visits only the transactions that terminated since the
+// previous GC (rows of an already collected transaction that arrive
+// out-of-order re-queue it via Append's termination check — late rows carry
+// no termination, so Append re-queues on lookup instead).
+func (s *History) GC() int {
+	n := 0
+	for _, ta := range s.gcQueue {
+		if _, ok := s.byTA[ta]; ok {
+			n += s.removeTA(ta)
+		}
+	}
+	s.gcQueue = s.gcQueue[:0]
+	return n
+}
+
+// removeTA drops all of ta's rows from the live slice, fixing the index
+// entries of rows swapped into the holes.
+func (s *History) removeTA(ta int64) int {
+	positions := s.byTA[ta]
+	delete(s.byTA, ta)
+	n := 0
+	// Remove from the highest position down, so a swap never moves a row
+	// that is itself scheduled for removal.
+	sortPositionsDesc(positions)
+	for _, pos := range positions {
+		r := s.live[pos]
+		s.logRemoval(r)
+		last := int32(len(s.live) - 1)
+		if pos != last {
+			moved := s.live[last]
+			s.live[pos] = moved
+			s.repoint(moved.TA, last, pos)
+		}
+		s.live[last] = request.Request{} // do not pin the removed request
+		s.live = s.live[:last]
+		n++
+	}
+	return n
+}
+
+// logRemoval records r's removal in the change log. A removal of a request
+// appended within the same window cancels the append instead (net absent).
+func (s *History) logRemoval(r request.Request) {
+	pos, ok := s.appendedAt[r.ID]
+	if !ok {
+		s.deltas.HistoryRemoved = append(s.deltas.HistoryRemoved, r)
+		return
+	}
+	delete(s.appendedAt, r.ID)
+	ap := s.deltas.HistoryAppended
+	last := int32(len(ap) - 1)
+	if pos != last {
+		moved := ap[last]
+		ap[pos] = moved
+		s.appendedAt[moved.ID] = pos
+	}
+	ap[last] = request.Request{}
+	s.deltas.HistoryAppended = ap[:last]
+}
+
+// repoint updates ta's index entry for the row moved from position from to
+// position to. Linear in the transaction's row count, which is bounded by
+// transaction length.
+func (s *History) repoint(ta int64, from, to int32) {
+	ps := s.byTA[ta]
+	for i, p := range ps {
+		if p == from {
+			ps[i] = to
+			return
+		}
+	}
+}
+
+// sortPositionsDesc sorts a small position list descending (insertion sort:
+// the lists are transaction-sized, and the positions arrive mostly
+// ascending, i.e. near-reversed — short and cheap either way).
+func sortPositionsDesc(ps []int32) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] > ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Deltas appends the change log accumulated since the last ResetDeltas call
+// onto d. The slices alias the store's log buffers: they are valid until the
+// next mutation after ResetDeltas.
+func (s *History) Deltas(d *protocol.Deltas) {
+	d.HistoryAppended = s.deltas.HistoryAppended
+	d.HistoryRemoved = s.deltas.HistoryRemoved
+}
+
+// ResetDeltas starts a new change-log window, reusing the log buffers.
+func (s *History) ResetDeltas() {
+	s.deltas.HistoryAppended = s.deltas.HistoryAppended[:0]
+	s.deltas.HistoryRemoved = s.deltas.HistoryRemoved[:0]
+	clear(s.appendedAt)
+}

@@ -1,0 +1,231 @@
+// Package store implements the scheduler's two request stores as indexed,
+// delta-emitting data structures: the pending-request store (admitted but not
+// yet executed requests, paper Figure 1's "pending requests" relation) and
+// the history database (executed requests of unfinished transactions). Both
+// keep their own change log in the shape the protocols consume
+// (protocol.Deltas), so the scheduling engine no longer hand-maintains delta
+// slices: every Admit/Remove/Append/GC is the event, and the accumulated log
+// between two qualification calls *is* the round delta.
+//
+// The pending store is sharded by request-key hash and indexed three ways —
+// by request key (O(1) admit/remove, replacing the per-round key-set rebuild
+// and full-slice compaction of the flat store), by transaction (dropping a
+// deadlock victim's requests is O(|TA's pending|)), and by a dense
+// swap-remove slice that doubles as the materialised relation handed to
+// protocols (order unspecified; every protocol orders its own output). It
+// also tracks the round at which each waiting transaction last made
+// progress, which is the bookkeeping behind the scheduler's waiting-age
+// starvation bound.
+package store
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/request"
+)
+
+// pendingShards is the shard count of the key index. Sharding bounds the
+// rehash cost of any single admit burst and is the unit a future concurrent
+// admission path would lock; 16 maps cost nothing on the single-threaded
+// round loop.
+const pendingShards = 16
+
+// Pending is the indexed pending-request store. Not safe for concurrent use;
+// the scheduler serialises all store mutations on its round loop.
+type Pending struct {
+	// reqs is the dense backing slice: removal swaps the last element into
+	// the hole, so admit and remove are O(1) and the slice is always a valid
+	// materialisation of the store (in unspecified order).
+	reqs   []request.Request
+	shards [pendingShards]map[request.Key]int32
+	byTA   map[int64][]request.Key
+
+	// blockedSince records, per transaction with pending requests, the round
+	// at which it last made progress (had a request qualify) or was admitted
+	// — the waiting-age clock of the starvation bound.
+	blockedSince map[int64]int
+
+	deltas protocol.Deltas
+	// addedAt maps request ID -> position in the current window's added
+	// log. A request admitted and removed within one delta window (a
+	// duplicate-key replacement, or a victim drop in the admission round)
+	// is net absent, so the removal cancels the addition in place — the
+	// consumers' assumption that all of a window's removals precede its
+	// additions stays true.
+	addedAt map[int64]int32
+}
+
+// NewPending creates an empty store.
+func NewPending() *Pending {
+	p := &Pending{
+		byTA:         make(map[int64][]request.Key),
+		blockedSince: make(map[int64]int),
+		addedAt:      make(map[int64]int32),
+	}
+	for i := range p.shards {
+		p.shards[i] = make(map[request.Key]int32)
+	}
+	return p
+}
+
+func shardOf(k request.Key) int {
+	h := uint64(k.TA)*0x9E3779B97F4A7C15 ^ uint64(k.IntraTA)*0xFF51AFD7ED558CCD
+	return int((h ^ h>>32) & (pendingShards - 1))
+}
+
+// Len returns the number of pending requests.
+func (p *Pending) Len() int { return len(p.reqs) }
+
+// Live returns the dense backing slice (order unspecified). Callers must not
+// mutate it, and must not retain it across store mutations.
+func (p *Pending) Live() []request.Request { return p.reqs }
+
+// Admit inserts requests, logging them as PendingAdded. Requests are keyed
+// by (TA, IntraTA); admitting a key that is already present replaces the
+// old request (newest submission wins — clients can resubmit over the
+// network), logging the replacement as a removal plus an addition so the
+// incremental protocols' mirrors stay exact.
+func (p *Pending) Admit(rs ...request.Request) {
+	for _, r := range rs {
+		k := r.Key()
+		s := p.shards[shardOf(k)]
+		if _, dup := s[k]; dup {
+			p.Remove(k)
+		}
+		s[k] = int32(len(p.reqs))
+		p.reqs = append(p.reqs, r)
+		if _, ok := p.blockedSince[r.TA]; !ok {
+			p.blockedSince[r.TA] = -1 // clock starts at the next observed round
+		}
+		p.byTA[r.TA] = append(p.byTA[r.TA], k)
+		p.addedAt[r.ID] = int32(len(p.deltas.PendingAdded))
+		p.deltas.PendingAdded = append(p.deltas.PendingAdded, r)
+	}
+}
+
+// Remove deletes the request with key k, logging it as PendingRemoved. It
+// reports whether the key was present.
+func (p *Pending) Remove(k request.Key) bool {
+	s := p.shards[shardOf(k)]
+	pos, ok := s[k]
+	if !ok {
+		return false
+	}
+	r := p.reqs[pos]
+	p.unlink(s, k, pos)
+	p.dropTAKey(r.TA, k)
+	p.logRemoval(r)
+	return true
+}
+
+// logRemoval records r's removal in the change log; a removal of a request
+// added within the same window cancels the addition instead (net absent).
+func (p *Pending) logRemoval(r request.Request) {
+	pos, ok := p.addedAt[r.ID]
+	if !ok {
+		p.deltas.PendingRemoved = append(p.deltas.PendingRemoved, r)
+		return
+	}
+	delete(p.addedAt, r.ID)
+	ad := p.deltas.PendingAdded
+	last := int32(len(ad) - 1)
+	if pos != last {
+		moved := ad[last]
+		ad[pos] = moved
+		p.addedAt[moved.ID] = pos
+	}
+	ad[last] = request.Request{}
+	p.deltas.PendingAdded = ad[:last]
+}
+
+// RemoveTA deletes every pending request of transaction ta (the deadlock- and
+// starvation-victim path), logging each as PendingRemoved. It returns how
+// many were removed.
+func (p *Pending) RemoveTA(ta int64) int {
+	keys := p.byTA[ta]
+	for _, k := range keys {
+		s := p.shards[shardOf(k)]
+		if pos, ok := s[k]; ok {
+			p.logRemoval(p.reqs[pos])
+			p.unlink(s, k, pos)
+		}
+	}
+	n := len(keys)
+	delete(p.byTA, ta)
+	delete(p.blockedSince, ta)
+	return n
+}
+
+// unlink removes position pos (known to hold key k in shard s) from the
+// dense slice, fixing up the index entry of the row swapped into the hole.
+func (p *Pending) unlink(s map[request.Key]int32, k request.Key, pos int32) {
+	delete(s, k)
+	last := int32(len(p.reqs) - 1)
+	if pos != last {
+		moved := p.reqs[last]
+		p.reqs[pos] = moved
+		p.shards[shardOf(moved.Key())][moved.Key()] = pos
+	}
+	p.reqs[last] = request.Request{} // do not pin the removed request
+	p.reqs = p.reqs[:last]
+}
+
+// dropTAKey removes k from ta's key list, releasing the transaction's
+// tracking state when its last pending request is gone.
+func (p *Pending) dropTAKey(ta int64, k request.Key) {
+	keys := p.byTA[ta]
+	for i, kk := range keys {
+		if kk == k {
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			break
+		}
+	}
+	if len(keys) == 0 {
+		delete(p.byTA, ta)
+		delete(p.blockedSince, ta)
+	} else {
+		p.byTA[ta] = keys
+	}
+}
+
+// ObserveRound advances the waiting-age clocks after a qualification:
+// transactions that progressed this round (or whose clock had not started)
+// restart their clock at round; the rest keep their first blocked round.
+// progressed may be nil (nothing qualified).
+func (p *Pending) ObserveRound(round int, progressed map[int64]bool) {
+	for ta, since := range p.blockedSince {
+		if since < 0 || progressed[ta] {
+			p.blockedSince[ta] = round
+		}
+	}
+}
+
+// OldestBlocked returns the transaction that has waited the longest without
+// progress (smallest last-progress round, ties to the smallest TA) and the
+// round its wait started. ok is false when nothing is waiting.
+func (p *Pending) OldestBlocked() (ta int64, since int, ok bool) {
+	for t, s := range p.blockedSince {
+		if s < 0 {
+			continue // admitted this round; clock not started yet
+		}
+		if !ok || s < since || (s == since && t < ta) {
+			ta, since, ok = t, s, true
+		}
+	}
+	return ta, since, ok
+}
+
+// Deltas returns the change log accumulated since the last ResetDeltas call,
+// appended onto d. The returned slices alias the store's log buffers: they
+// are valid until the next mutation after ResetDeltas.
+func (p *Pending) Deltas(d *protocol.Deltas) {
+	d.PendingAdded = p.deltas.PendingAdded
+	d.PendingRemoved = p.deltas.PendingRemoved
+}
+
+// ResetDeltas starts a new change-log window, reusing the log buffers.
+func (p *Pending) ResetDeltas() {
+	p.deltas.PendingAdded = p.deltas.PendingAdded[:0]
+	p.deltas.PendingRemoved = p.deltas.PendingRemoved[:0]
+	clear(p.addedAt)
+}

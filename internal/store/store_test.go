@@ -1,0 +1,276 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/request"
+)
+
+func TestHistoryAppendAndGC(t *testing.T) {
+	s := NewHistory(true)
+	s.Append(
+		request.Request{ID: 1, TA: 1, Op: request.Write, Object: 3},
+		request.Request{ID: 2, TA: 2, Op: request.Read, Object: 4},
+		request.Request{ID: 3, TA: 1, Op: request.Commit, Object: request.NoObject},
+	)
+	if s.Len() != 3 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	if !s.Finished(1) || s.Finished(2) {
+		t.Error("finished tracking wrong")
+	}
+	removed := s.GC()
+	if removed != 2 || s.Len() != 1 {
+		t.Fatalf("GC removed %d, left %d", removed, s.Len())
+	}
+	if s.Live()[0].TA != 2 {
+		t.Errorf("wrong survivor: %v", s.Live())
+	}
+	if len(s.Log()) != 3 {
+		t.Errorf("log must be unaffected by GC: %d", len(s.Log()))
+	}
+}
+
+func TestHistoryGCIdempotent(t *testing.T) {
+	s := NewHistory(false)
+	s.Append(request.Request{ID: 1, TA: 1, Op: request.Write, Object: 0})
+	if n := s.GC(); n != 0 {
+		t.Fatalf("GC of live txn removed %d", n)
+	}
+	s.Append(request.Request{ID: 2, TA: 1, Op: request.Abort, Object: request.NoObject})
+	if n := s.GC(); n != 2 {
+		t.Fatalf("GC after abort removed %d", n)
+	}
+	if n := s.GC(); n != 0 {
+		t.Fatalf("second GC removed %d", n)
+	}
+	if s.Log() != nil {
+		t.Error("log kept despite keepLog=false")
+	}
+}
+
+func TestHistoryLateArrivalOfFinishedTA(t *testing.T) {
+	// A request of an already-finished TA (out-of-order arrival) is
+	// collected on the next GC.
+	s := NewHistory(false)
+	s.Append(request.Request{ID: 1, TA: 5, Op: request.Commit, Object: request.NoObject})
+	s.GC()
+	s.Append(request.Request{ID: 2, TA: 5, Op: request.Read, Object: 1})
+	if n := s.GC(); n != 1 {
+		t.Fatalf("late arrival not collected: %d", n)
+	}
+}
+
+func TestHistoryWritesOf(t *testing.T) {
+	s := NewHistory(false)
+	s.Append(
+		request.Request{ID: 1, TA: 1, Op: request.Write, Object: 3},
+		request.Request{ID: 2, TA: 1, Op: request.Read, Object: 4},
+		request.Request{ID: 3, TA: 2, Op: request.Write, Object: 5},
+		request.Request{ID: 4, TA: 1, Op: request.Write, Object: 3},
+	)
+	got := s.WritesOf(1)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 3 || got[1] != 3 {
+		t.Fatalf("WritesOf(1) = %v, want [3 3]", got)
+	}
+	if s.WritesOf(9) != nil {
+		t.Fatal("WritesOf of unknown TA must be empty")
+	}
+}
+
+func TestHistoryDeltaLog(t *testing.T) {
+	s := NewHistory(false)
+	// A transaction appended and collected within one window is net absent:
+	// the change log must cancel the pair, not report a no-op insert+delete.
+	s.Append(
+		request.Request{ID: 1, TA: 1, Op: request.Write, Object: 3},
+		request.Request{ID: 2, TA: 1, Op: request.Commit, Object: request.NoObject},
+		request.Request{ID: 3, TA: 2, Op: request.Read, Object: 1},
+	)
+	s.GC()
+	var d protocol.Deltas
+	s.Deltas(&d)
+	if len(d.HistoryAppended) != 1 || d.HistoryAppended[0].ID != 3 || len(d.HistoryRemoved) != 0 {
+		t.Fatalf("same-window append+GC not cancelled: +%v -%v", d.HistoryAppended, d.HistoryRemoved)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("live after GC: %d", s.Len())
+	}
+	s.ResetDeltas()
+	// Across windows the removal is a real event.
+	s.Append(request.Request{ID: 4, TA: 2, Op: request.Commit, Object: request.NoObject})
+	s.GC()
+	d = protocol.Deltas{}
+	s.Deltas(&d)
+	if len(d.HistoryAppended) != 0 || len(d.HistoryRemoved) != 1 || d.HistoryRemoved[0].ID != 3 {
+		t.Fatalf("cross-window removal wrong: +%v -%v", d.HistoryAppended, d.HistoryRemoved)
+	}
+}
+
+func TestPendingAdmitRemove(t *testing.T) {
+	p := NewPending()
+	r1 := request.Request{ID: 1, TA: 1, IntraTA: 0, Op: request.Read, Object: 7}
+	r2 := request.Request{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 8}
+	r3 := request.Request{ID: 3, TA: 1, IntraTA: 1, Op: request.Write, Object: 9}
+	p.Admit(r1, r2, r3)
+	if p.Len() != 3 {
+		t.Fatalf("len: %d", p.Len())
+	}
+	if !p.Remove(r2.Key()) {
+		t.Fatal("remove of present key failed")
+	}
+	if p.Remove(r2.Key()) {
+		t.Fatal("remove of absent key succeeded")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len after remove: %d", p.Len())
+	}
+	// Same-window admit+remove pairs net out of the change log entirely.
+	var d protocol.Deltas
+	p.Deltas(&d)
+	if len(d.PendingAdded) != 2 || len(d.PendingRemoved) != 0 {
+		t.Fatalf("same-window delta not netted: +%d -%d", len(d.PendingAdded), len(d.PendingRemoved))
+	}
+	p.ResetDeltas()
+	// Across windows the removals are real events.
+	if n := p.RemoveTA(1); n != 2 {
+		t.Fatalf("RemoveTA removed %d of 2", n)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("len after RemoveTA: %d", p.Len())
+	}
+	d = protocol.Deltas{}
+	p.Deltas(&d)
+	if len(d.PendingAdded) != 0 || len(d.PendingRemoved) != 2 {
+		t.Fatalf("cross-window delta log: +%d -%d", len(d.PendingAdded), len(d.PendingRemoved))
+	}
+}
+
+func TestPendingDuplicateKeyReplaces(t *testing.T) {
+	p := NewPending()
+	p.Admit(request.Request{ID: 1, TA: 7, IntraTA: 0, Op: request.Read, Object: 3})
+	p.ResetDeltas()
+	// A resubmission of the same (TA, IntraTA) replaces the old request.
+	p.Admit(request.Request{ID: 2, TA: 7, IntraTA: 0, Op: request.Write, Object: 4})
+	if p.Len() != 1 || p.Live()[0].ID != 2 {
+		t.Fatalf("duplicate admit: %v", p.Live())
+	}
+	var d protocol.Deltas
+	p.Deltas(&d)
+	if len(d.PendingRemoved) != 1 || d.PendingRemoved[0].ID != 1 ||
+		len(d.PendingAdded) != 1 || d.PendingAdded[0].ID != 2 {
+		t.Fatalf("replacement delta wrong: +%v -%v", d.PendingAdded, d.PendingRemoved)
+	}
+	p.ResetDeltas()
+	// Same-window duplicate: the replaced request's add cancels — consumers
+	// see only the survivor, never a remove of something they were not told
+	// about followed by its add.
+	p.Admit(
+		request.Request{ID: 3, TA: 8, IntraTA: 0, Op: request.Read, Object: 5},
+		request.Request{ID: 4, TA: 8, IntraTA: 0, Op: request.Write, Object: 6},
+	)
+	d = protocol.Deltas{}
+	p.Deltas(&d)
+	if len(d.PendingAdded) != 1 || d.PendingAdded[0].ID != 4 || len(d.PendingRemoved) != 0 {
+		t.Fatalf("same-window replacement not cancelled: +%v -%v", d.PendingAdded, d.PendingRemoved)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len: %d", p.Len())
+	}
+}
+
+func TestPendingBlockedClock(t *testing.T) {
+	p := NewPending()
+	p.Admit(request.Request{ID: 1, TA: 1, IntraTA: 0, Op: request.Write, Object: 1})
+	if _, _, ok := p.OldestBlocked(); ok {
+		t.Fatal("clock started before first observed round")
+	}
+	p.ObserveRound(10, nil)
+	ta, since, ok := p.OldestBlocked()
+	if !ok || ta != 1 || since != 10 {
+		t.Fatalf("oldest blocked: ta%d since %d ok %v", ta, since, ok)
+	}
+	p.Admit(request.Request{ID: 2, TA: 2, IntraTA: 0, Op: request.Write, Object: 1})
+	p.ObserveRound(11, nil)
+	// TA 1 still oldest; TA 2's clock started at 11.
+	if ta, since, _ := p.OldestBlocked(); ta != 1 || since != 10 {
+		t.Fatalf("oldest blocked: ta%d since %d", ta, since)
+	}
+	// TA 1 progresses: its clock restarts and TA 2 becomes oldest.
+	p.ObserveRound(12, map[int64]bool{1: true})
+	if ta, since, _ := p.OldestBlocked(); ta != 2 || since != 11 {
+		t.Fatalf("after progress: ta%d since %d", ta, since)
+	}
+	// Removing TA 2's only request releases its tracking state.
+	p.Remove(request.Key{TA: 2, IntraTA: 0})
+	if ta, _, _ := p.OldestBlocked(); ta != 1 {
+		t.Fatalf("after remove: ta%d", ta)
+	}
+}
+
+// TestPendingRandomizedMirror drives the store with random admits and
+// removals against a map mirror: the dense slice, the key index and the
+// delta log must stay consistent throughout.
+func TestPendingRandomizedMirror(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPending()
+	mirror := map[request.Key]request.Request{}
+	nextID := int64(1)
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) > 0 || len(mirror) == 0 {
+			r := request.Request{
+				ID: nextID, TA: rng.Int63n(50), IntraTA: nextID, // unique keys
+				Op: request.Read, Object: rng.Int63n(100),
+			}
+			nextID++
+			p.Admit(r)
+			mirror[r.Key()] = r
+		} else if rng.Intn(4) == 0 {
+			// Remove a whole transaction.
+			var ta int64 = -1
+			for k := range mirror {
+				ta = k.TA
+				break
+			}
+			want := 0
+			for k := range mirror {
+				if k.TA == ta {
+					delete(mirror, k)
+					want++
+				}
+			}
+			if got := p.RemoveTA(ta); got != want {
+				t.Fatalf("step %d: RemoveTA(%d) = %d, want %d", step, ta, got, want)
+			}
+		} else {
+			var k request.Key
+			for kk := range mirror {
+				k = kk
+				break
+			}
+			delete(mirror, k)
+			if !p.Remove(k) {
+				t.Fatalf("step %d: present key %v not removed", step, k)
+			}
+		}
+		if p.Len() != len(mirror) {
+			t.Fatalf("step %d: len %d != mirror %d", step, p.Len(), len(mirror))
+		}
+	}
+	for _, r := range p.Live() {
+		m, ok := mirror[r.Key()]
+		if !ok || m.ID != r.ID {
+			t.Fatalf("live row %v not in mirror", r)
+		}
+	}
+	var d protocol.Deltas
+	p.Deltas(&d)
+	if len(d.PendingAdded)-len(d.PendingRemoved) != len(mirror) {
+		t.Fatalf("delta log does not net to the store: +%d -%d live %d",
+			len(d.PendingAdded), len(d.PendingRemoved), len(mirror))
+	}
+}

@@ -12,12 +12,14 @@ cd "$(dirname "$0")/.."
 
 GUARD_FACTOR="${GUARD_FACTOR:-2}"
 # Guarded benches: the Datalog warm round (the steady-state hot path), the
-# 300-client Datalog cold round, the 300-client SQL-backend round, and the
-# delta-maintained SQL warm round (the view-cache win).
+# 300-client Datalog cold round, the 300-client SQL-backend round, the
+# delta-maintained SQL warm round (the view-cache win), and the full
+# middleware round (the scheduler-core store/pipeline win).
 GUARDED='BenchmarkDatalogIncrementalRound/warm
 BenchmarkSS2PLQueryDatalog/clients=300
 BenchmarkSS2PLQuerySQL/clients=300
-BenchmarkSQLIncrementalRound/warm'
+BenchmarkSQLIncrementalRound/warm
+BenchmarkMiddlewareRound'
 
 latest=$( (ls BENCH_*.json 2>/dev/null || true) | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
 if [ -z "${latest}" ]; then
@@ -40,10 +42,14 @@ while IFS= read -r bench; do
         continue
     fi
     # go test splits the -bench regex on "/" and matches per segment:
-    # anchor each segment of the bench path separately.
-    top="${bench%%/*}"
-    sub="${bench#*/}"
-    raw=$(go test -run='^$' -bench="^${top}\$/^${sub}\$" -benchtime="${BENCHTIME:-1s}" .)
+    # anchor each segment of the bench path separately (top-level benches
+    # have no sub-segment).
+    if [ "${bench#*/}" = "${bench}" ]; then
+        pattern="^${bench}\$"
+    else
+        pattern="^${bench%%/*}\$/^${bench#*/}\$"
+    fi
+    raw=$(go test -run='^$' -bench="${pattern}" -benchtime="${BENCHTIME:-1s}" .)
     echo "${raw}"
     short="${bench#Benchmark}"
     now=$(echo "${raw}" | awk -v b="${short}" 'index($1, b) {

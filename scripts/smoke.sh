@@ -53,17 +53,62 @@ run "${bin}/dlrun" -sql -rel "requests=${reqs}" "${sql}"
 run "${bin}/experiments" -run table1
 run "${bin}/experiments" -run table2
 
-# schedserver: bring the network front end up, then stop it with the signal
-# it handles (SIGINT); -k escalates to SIGKILL (exit 124/137) if the server
-# wedges in its shutdown path, so the job fails fast instead of hanging.
-echo "smoke: schedserver (2s, SIGINT)"
-timeout -s INT -k 5 2 "${bin}/schedserver" -addr 127.0.0.1:7997 -rows 64 > /dev/null || {
-    status=$?
-    if [ "${status}" -ne 0 ] && [ "${status}" -ne 124 ]; then
+# schedserver + netproto client: bring the network front end up (pipelined
+# rounds by default, then the -sync serialized loop), drive it over the wire
+# — a transaction end to end plus the STATS probe — and stop it with the
+# signal it handles (SIGINT).
+netproto_pair() {
+    port="$1"; shift
+    echo "smoke: schedserver $* (netproto pair on :${port})"
+    "${bin}/schedserver" -addr "127.0.0.1:${port}" -rows 64 "$@" > /dev/null &
+    srv=$!
+    # Wait for the listener, then run one write+commit transaction and a
+    # STATS probe through bash's /dev/tcp client.
+    ok=""
+    for _ in $(seq 1 50); do
+        if exec 3<>"/dev/tcp/127.0.0.1/${port}" 2>/dev/null; then
+            ok=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "${ok}" ]; then
+        echo "smoke: schedserver did not come up on :${port}"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    printf 'PING\nREQ 7 0 w 5\nREQ 7 1 c -1\nSTATS\nQUIT\n' >&3
+    # Watchdog on every blocking step: a wedged scheduler (the very path this
+    # smoke guards) must fail the job fast, not hang it.
+    pong=""; w=""; c=""; stats=""
+    read -t 30 -r pong <&3 && read -t 30 -r w <&3 && read -t 30 -r c <&3 && read -t 30 -r stats <&3 || true
+    exec 3<&- 3>&-
+    case "${pong}/${w}/${c}/${stats}" in
+        PONG/"OK 1"/"OK 0"/STATS\ *) ;;
+        *)
+            echo "smoke: netproto replies wrong or timed out: '${pong}' '${w}' '${c}' '${stats}'"
+            kill -9 "${srv}" 2>/dev/null || true
+            exit 1
+            ;;
+    esac
+    kill -INT "${srv}"
+    for _ in $(seq 1 100); do
+        kill -0 "${srv}" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "${srv}" 2>/dev/null; then
+        echo "smoke: schedserver wedged in shutdown; killing"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    wait "${srv}" || {
+        status=$?
         echo "smoke: schedserver exited ${status}"
         exit "${status}"
-    fi
+    }
 }
+netproto_pair 7997
+netproto_pair 7998 -sync
 
 # examples: each is a self-contained demo.
 for ex in quickstart adaptive reservation slatiers; do
