@@ -6,6 +6,7 @@
 //	declsched [-protocol ss2pl|ss2pl-sql|2pl|sla|relaxed|fcfs|adaptive]
 //	          [-clients 32] [-txns 4] [-reads 20] [-writes 20]
 //	          [-objects 100000] [-zipf 0] [-trigger hybrid|time|fill]
+//	          [-partitions 1] [-hotkeys 0] [-hotfrac 0.8] [-hotskew 0]
 //	          [-passthrough] [-check]
 package main
 
@@ -38,27 +39,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "protocol evaluation workers (-1 = all cores, 0 = single-threaded default)")
 	syncRounds := flag.Bool("syncrounds", false, "serialize qualify and execute (disable the round pipeline)")
 	execDelay := flag.Duration("execdelay", 0, "synthetic per-statement server latency (models a remote server; the pipeline overlaps it with qualification)")
+	partitions := flag.Int("partitions", 1, "partition the round loop into N object-hashed shards (protocol must factor by object)")
+	hotKeys := flag.Int64("hotkeys", 0, "hot-key workload: size of the hot set (0 = uniform)")
+	hotFrac := flag.Float64("hotfrac", 0.8, "hot-key workload: fraction of statements hitting the hot set")
+	hotSkew := flag.Float64("hotskew", 0, "hot-key workload: Zipf skew within the hot set (>1), 0 = uniform")
 	flag.Parse()
 
-	var proto protocol.Protocol
-	switch *protoName {
-	case "ss2pl":
-		proto = protocol.SS2PLDatalog()
-	case "ss2pl-sql":
-		proto = protocol.SS2PLSQL()
-	case "2pl":
-		proto = protocol.TwoPLDatalog()
-	case "sla":
-		proto = protocol.SLAPriorityDatalog()
-	case "relaxed":
-		proto = protocol.RelaxedReadsDatalog()
-	case "fcfs":
-		proto = protocol.FCFS{}
-	case "adaptive":
-		proto = protocol.NewAdaptive(protocol.SS2PLDatalog(), protocol.RelaxedReadsDatalog(), *clients*2)
-	default:
-		log.Fatalf("unknown protocol %q", *protoName)
+	mkProto := func() protocol.Protocol {
+		switch *protoName {
+		case "ss2pl":
+			return protocol.SS2PLDatalog()
+		case "ss2pl-sql":
+			return protocol.SS2PLSQL()
+		case "2pl":
+			return protocol.TwoPLDatalog()
+		case "sla":
+			return protocol.SLAPriorityDatalog()
+		case "relaxed":
+			return protocol.RelaxedReadsDatalog()
+		case "fcfs":
+			return protocol.FCFS{}
+		case "adaptive":
+			return protocol.NewAdaptive(protocol.SS2PLDatalog(), protocol.RelaxedReadsDatalog(), *clients*2)
+		default:
+			log.Fatalf("unknown protocol %q", *protoName)
+			return nil
+		}
 	}
+	proto := mkProto()
 
 	var trig scheduler.Trigger
 	switch *trigName {
@@ -82,17 +90,35 @@ func main() {
 		scfg.ExecDelay = func(request.Request) time.Duration { return d }
 	}
 	srv := storage.NewServer(scfg)
-	engine, err := scheduler.NewEngine(scheduler.Config{
+	base := scheduler.Config{
 		Protocol:    proto,
 		Server:      srv,
 		Mode:        mode,
 		KeepLog:     *check,
 		Parallelism: *parallel,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	mw := scheduler.NewMiddleware(engine, trig, metrics.NewCollector())
+	var mw *scheduler.Middleware
+	var engine *scheduler.Engine
+	var parted *scheduler.PartitionedEngine
+	if *partitions > 1 {
+		var err error
+		parted, err = scheduler.NewPartitionedEngine(scheduler.PartitionedConfig{
+			Base:       base,
+			Partitions: *partitions,
+			Factory:    mkProto,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mw = scheduler.NewPartitionedMiddleware(parted, trig, metrics.NewCollector())
+	} else {
+		var err error
+		engine, err = scheduler.NewEngine(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mw = scheduler.NewMiddleware(engine, trig, metrics.NewCollector())
+	}
 	mw.SetSynchronous(*syncRounds)
 	mw.Start()
 
@@ -100,6 +126,10 @@ func main() {
 		Clients: *clients, TxnsPerClient: *txns,
 		ReadsPerTxn: *reads, WritesPerTxn: *writes,
 		Objects: *objects, ZipfS: *zipf, Seed: *seed,
+		HotKeys: *hotKeys, HotFrac: *hotFrac, HotSkew: *hotSkew,
+	}
+	if *hotKeys == 0 {
+		cfg.HotFrac, cfg.HotSkew = 0, 0
 	}
 	if *protoName == "sla" {
 		cfg.Classes = []workload.Class{
@@ -139,9 +169,21 @@ func main() {
 		fmt.Printf("exec leg (overlap)   batches=%d mean=%s max=%s\n",
 			ex.Count(), time.Duration(ex.Mean()), time.Duration(ex.Max()))
 	}
+	if parted != nil {
+		fmt.Printf("cross-partition txns %d\n", sum.Cross)
+		for _, ps := range mw.Collector().PartitionSummaries() {
+			fmt.Printf("  %s\n", ps)
+		}
+	}
 
 	if *check {
-		if err := protocol.CheckSerializable(engine.History().Log()); err != nil {
+		var schedule []request.Request
+		if parted != nil {
+			schedule = parted.MergedLog()
+		} else {
+			schedule = engine.History().Log()
+		}
+		if err := protocol.CheckSerializable(schedule); err != nil {
 			log.Fatalf("serializability check FAILED: %v", err)
 		}
 		fmt.Println("serializability      OK (conflict graph acyclic)")

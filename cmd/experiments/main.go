@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, table1, table2, figure2, declovh, crossover, productivity, sensitivity")
+	run := flag.String("run", "all", "experiment to run: all, table1, table2, figure2, declovh, crossover, productivity, sensitivity, partitionskew")
 	scale := flag.Float64("scale", 0.25, "fraction of the paper's 240s virtual budget for simulations")
 	reps := flag.Int("reps", 3, "repetitions for timed declarative rounds")
 	flag.Parse()
@@ -71,6 +71,15 @@ func main() {
 		ran = true
 		points := experiments.Sensitivity(300, *scale)
 		fmt.Println(experiments.FormatSensitivity(points))
+	}
+	if want("partitionskew") {
+		ran = true
+		points, err := experiments.PartitionSkew([]int{1, 2, 4, 8}, 32)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "partitionskew:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatPartitionSkew(points))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

@@ -30,32 +30,50 @@ func main() {
 	fill := flag.Int("fill", 16, "trigger fill level")
 	every := flag.Duration("every", time.Millisecond, "trigger max delay")
 	syncRounds := flag.Bool("sync", false, "serialize qualify and execute (disable the round pipeline)")
+	partitions := flag.Int("partitions", 1, "partition the round loop into N object-hashed shards (protocol must factor by object)")
 	flag.Parse()
 
-	var proto protocol.Protocol
-	switch *protoName {
-	case "ss2pl":
-		proto = protocol.SS2PLDatalog()
-	case "ss2pl-sql":
-		proto = protocol.SS2PLSQL()
-	case "2pl":
-		proto = protocol.TwoPLDatalog()
-	case "sla":
-		proto = protocol.SLAPriorityDatalog()
-	case "relaxed":
-		proto = protocol.RelaxedReadsDatalog()
-	case "fcfs":
-		proto = protocol.FCFS{}
-	default:
-		log.Fatalf("unknown protocol %q", *protoName)
+	mkProto := func() protocol.Protocol {
+		switch *protoName {
+		case "ss2pl":
+			return protocol.SS2PLDatalog()
+		case "ss2pl-sql":
+			return protocol.SS2PLSQL()
+		case "2pl":
+			return protocol.TwoPLDatalog()
+		case "sla":
+			return protocol.SLAPriorityDatalog()
+		case "relaxed":
+			return protocol.RelaxedReadsDatalog()
+		case "fcfs":
+			return protocol.FCFS{}
+		default:
+			log.Fatalf("unknown protocol %q", *protoName)
+			return nil
+		}
 	}
+	proto := mkProto()
 
 	srv := storage.NewServer(storage.Config{Rows: *rows})
-	engine, err := scheduler.NewEngine(scheduler.Config{Protocol: proto, Server: srv})
-	if err != nil {
-		log.Fatal(err)
+	trig := scheduler.HybridTrigger{Level: *fill, Every: *every}
+	var mw *scheduler.Middleware
+	if *partitions > 1 {
+		parted, err := scheduler.NewPartitionedEngine(scheduler.PartitionedConfig{
+			Base:       scheduler.Config{Protocol: proto, Server: srv},
+			Partitions: *partitions,
+			Factory:    mkProto,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mw = scheduler.NewPartitionedMiddleware(parted, trig, metrics.NewCollector())
+	} else {
+		engine, err := scheduler.NewEngine(scheduler.Config{Protocol: proto, Server: srv})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mw = scheduler.NewMiddleware(engine, trig, metrics.NewCollector())
 	}
-	mw := scheduler.NewMiddleware(engine, scheduler.HybridTrigger{Level: *fill, Every: *every}, metrics.NewCollector())
 	mw.SetSynchronous(*syncRounds)
 	mw.Start()
 	s, err := netproto.Listen(*addr, mw)
@@ -71,4 +89,7 @@ func main() {
 	s.Close()
 	mw.Stop()
 	fmt.Println(mw.Collector().Summarise())
+	for _, ps := range mw.Collector().PartitionSummaries() {
+		fmt.Println(" ", ps)
+	}
 }

@@ -106,12 +106,26 @@ type RoundStats struct {
 	// protocol does not report one. The adaptive cost models' per-round
 	// choices become observable here.
 	Strategy string
+	// Partition identifies which round loop produced this record under the
+	// partitioned scheduler: a shard index for per-shard records (recorded
+	// via AddPartitionRound), MergedPartition for the merged per-round
+	// record. Single-loop records leave it zero.
+	Partition int
+	// Cross counts the cross-partition terminations committed this round
+	// (terminations sequenced to more than one shard). Always zero on a
+	// single loop.
+	Cross int
 }
+
+// MergedPartition marks a RoundStats record as the merged view of one
+// partitioned super-round (as opposed to one shard's share of it).
+const MergedPartition = -1
 
 // Collector accumulates scheduler statistics. It is safe for concurrent use.
 type Collector struct {
 	mu        sync.Mutex
 	rounds    []RoundStats
+	partRounds map[int][]RoundStats
 	executed  int64
 	aborted   int64
 	Latency   Histogram // per-request middleware latency (ns)
@@ -136,6 +150,27 @@ func (c *Collector) AddRound(rs RoundStats) {
 	c.executed += int64(rs.Qualified)
 	c.aborted += int64(rs.Victims)
 	c.mu.Unlock()
+}
+
+// AddPartitionRound records one shard's share of a partitioned super-round.
+// These feed the per-partition summaries only; the merged per-round record
+// goes through AddRound so the aggregate counters count each request once.
+func (c *Collector) AddPartitionRound(rs RoundStats) {
+	c.mu.Lock()
+	if c.partRounds == nil {
+		c.partRounds = make(map[int][]RoundStats)
+	}
+	c.partRounds[rs.Partition] = append(c.partRounds[rs.Partition], rs)
+	c.mu.Unlock()
+}
+
+// PartitionRounds returns a copy of one shard's round records.
+func (c *Collector) PartitionRounds(partition int) []RoundStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RoundStats, len(c.partRounds[partition]))
+	copy(out, c.partRounds[partition])
+	return out
 }
 
 // Rounds returns a copy of the per-round records.
@@ -170,6 +205,9 @@ type Summary struct {
 	MeanQualified     float64
 	MeanRoundDuration time.Duration
 	TotalRoundTime    time.Duration
+	// Cross totals the cross-partition terminations committed (0 on a
+	// single loop).
+	Cross int64
 	// Strategies counts rounds per reported evaluation strategy (rounds
 	// without a reported strategy are not counted).
 	Strategies map[string]int
@@ -189,6 +227,7 @@ func (c *Collector) Summarise() Summary {
 		pend += int64(r.Pending)
 		qual += int64(r.Qualified)
 		dur += r.Duration
+		s.Cross += int64(r.Cross)
 		if r.Strategy != "" {
 			if s.Strategies == nil {
 				s.Strategies = make(map[string]int)
@@ -202,6 +241,54 @@ func (c *Collector) Summarise() Summary {
 	s.MeanRoundDuration = dur / time.Duration(n)
 	s.TotalRoundTime = dur
 	return s
+}
+
+// PartitionSummary is one shard's aggregate view under the partitioned
+// scheduler.
+type PartitionSummary struct {
+	Partition int
+	// Rounds counts the super-rounds in which this shard was active (had
+	// queued or pending work).
+	Rounds int
+	// Qualified and Victims total the shard's committed requests (replica
+	// copies of cross-partition terminations count in every shard they
+	// released locks in) and the victims whose abort touched the shard.
+	Qualified int64
+	Victims   int64
+	MeanPending  float64
+	MeanDuration time.Duration // mean protocol evaluation time per active round
+}
+
+// PartitionSummaries aggregates the per-shard records, sorted by partition
+// index. Empty when AddPartitionRound was never called (single-loop runs).
+func (c *Collector) PartitionSummaries() []PartitionSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PartitionSummary, 0, len(c.partRounds))
+	for p, rounds := range c.partRounds {
+		ps := PartitionSummary{Partition: p, Rounds: len(rounds)}
+		var pend int64
+		var dur time.Duration
+		for _, r := range rounds {
+			ps.Qualified += int64(r.Qualified)
+			ps.Victims += int64(r.Victims)
+			pend += int64(r.Pending)
+			dur += r.Duration
+		}
+		if len(rounds) > 0 {
+			ps.MeanPending = float64(pend) / float64(len(rounds))
+			ps.MeanDuration = dur / time.Duration(len(rounds))
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Partition < out[j].Partition })
+	return out
+}
+
+// String renders one shard's summary line.
+func (s PartitionSummary) String() string {
+	return fmt.Sprintf("partition=%d rounds=%d qualified=%d victims=%d mean_pending=%.1f mean_round=%s",
+		s.Partition, s.Rounds, s.Qualified, s.Victims, s.MeanPending, s.MeanDuration)
 }
 
 // String renders the summary.

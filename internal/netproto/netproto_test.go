@@ -219,3 +219,63 @@ func TestServerCloseUnblocksAccept(t *testing.T) {
 		t.Error("dial succeeded after close")
 	}
 }
+
+// TestPartitionedServerConcurrentClients runs the wire protocol against the
+// partitioned middleware: concurrent clients whose transactions straddle
+// shards (two fixed rows plus the commit) must all land, and the schedule
+// must stay serializable across the merged shard logs.
+func TestPartitionedServerConcurrentClients(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 64})
+	pe, err := scheduler.NewPartitionedEngine(scheduler.PartitionedConfig{
+		Base:       scheduler.Config{Server: srv, KeepLog: true, StarveAfter: 50},
+		Partitions: 4,
+		Factory:    func() protocol.Protocol { return protocol.SS2PLDatalog() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := scheduler.NewPartitionedMiddleware(pe, scheduler.HybridTrigger{Level: 4, Every: time.Millisecond}, metrics.NewCollector())
+	mw.Start()
+	s, err := Listen("127.0.0.1:0", mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		mw.Stop()
+	})
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(ta int64) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			tx := request.NewBuilder(ta, nil).Write(1).Write(2).Commit()
+			for {
+				aborted, err := c.RunTransaction(tx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !aborted {
+					return
+				}
+				ta += 100
+				tx = request.NewBuilder(ta, nil).Write(1).Write(2).Commit()
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	if srv.Get(1) != clients || srv.Get(2) != clients {
+		t.Errorf("rows: %d %d, want %d each", srv.Get(1), srv.Get(2), clients)
+	}
+	if err := protocol.CheckSerializable(pe.MergedLog()); err != nil {
+		t.Error(err)
+	}
+}

@@ -65,6 +65,11 @@ type SQLProtocol struct {
 	// when the query re-ran over the patched cached relations, "sql-cold"
 	// for a full rebuild.
 	lastStrategy string
+
+	// decomposable claims per-object decomposability (see
+	// protocol.ObjectDecomposable). Only constructors of vetted rule texts
+	// set it; arbitrary NewSQL queries stay conservatively unclaimed.
+	decomposable bool
 }
 
 // sqlIVMChurnFactor is the static bootstrap rule of the warm-round cost
@@ -88,11 +93,18 @@ func SS2PLSQL() *SQLProtocol {
 	if err != nil {
 		panic(err) // embedded text; a failure is a build error
 	}
+	// Listing 1's lock and block subqueries correlate requests and history
+	// on the same object only; terminations carry no object and always
+	// qualify.
+	p.decomposable = true
 	return p
 }
 
 // Name implements Protocol.
 func (p *SQLProtocol) Name() string { return p.name }
+
+// ObjectDecomposable implements the marker (see protocol.ObjectDecomposable).
+func (p *SQLProtocol) ObjectDecomposable() bool { return p.decomposable }
 
 // SetParallelism implements Parallelizable: large scan/filter/join loops of
 // the mini-SQL executor fan out across n workers (n <= 0 selects GOMAXPROCS,
@@ -393,6 +405,14 @@ type DatalogProtocol struct {
 	// byKey restores the SLA fields lost through the relational form.
 	warm  bool
 	byKey map[request.Key]request.Request
+
+	// decomposable claims per-object decomposability (see
+	// protocol.ObjectDecomposable). Only constructors of vetted rule texts
+	// set it: SS2PL, 2PL, relaxed reads and FCFS join requests and history
+	// on the same object only, while SLA priority (global beats relation)
+	// and wound-wait (wounds derived in one partition must block in
+	// another) do not factor by object.
+	decomposable bool
 }
 
 // NewDatalogProtocol compiles the program once. If extended is true the
@@ -423,12 +443,16 @@ func mustDatalog(name, src string, extended bool, order func([]request.Request))
 
 // SS2PLDatalog is the SS2PL protocol in the Datalog scheduler language.
 func SS2PLDatalog() *DatalogProtocol {
-	return mustDatalog("ss2pl-datalog", rules.SS2PLDatalog, false, nil)
+	p := mustDatalog("ss2pl-datalog", rules.SS2PLDatalog, false, nil)
+	p.decomposable = true
+	return p
 }
 
 // TwoPLDatalog is the non-strict 2PL variant.
 func TwoPLDatalog() *DatalogProtocol {
-	return mustDatalog("2pl-datalog", rules.TwoPLDatalog, false, nil)
+	p := mustDatalog("2pl-datalog", rules.TwoPLDatalog, false, nil)
+	p.decomposable = true
+	return p
 }
 
 // SLAPriorityDatalog is SS2PL with SLA-priority conflict resolution and
@@ -439,12 +463,16 @@ func SLAPriorityDatalog() *DatalogProtocol {
 
 // RelaxedReadsDatalog is the relaxed-consistency protocol (lock-free reads).
 func RelaxedReadsDatalog() *DatalogProtocol {
-	return mustDatalog("relaxed-datalog", rules.RelaxedReadsDatalog, false, nil)
+	p := mustDatalog("relaxed-datalog", rules.RelaxedReadsDatalog, false, nil)
+	p.decomposable = true
+	return p
 }
 
 // FCFSDatalog qualifies everything, declaratively.
 func FCFSDatalog() *DatalogProtocol {
-	return mustDatalog("fcfs-datalog", rules.FCFSDatalog, false, nil)
+	p := mustDatalog("fcfs-datalog", rules.FCFSDatalog, false, nil)
+	p.decomposable = true
+	return p
 }
 
 // WoundWaitDatalog is SS2PL with wound-wait deadlock prevention: the
@@ -485,6 +513,9 @@ func (p *DatalogProtocol) Wounded() []int64 {
 
 // Name implements Protocol.
 func (p *DatalogProtocol) Name() string { return p.name }
+
+// ObjectDecomposable implements the marker (see protocol.ObjectDecomposable).
+func (p *DatalogProtocol) ObjectDecomposable() bool { return p.decomposable }
 
 // EngineStats exposes the evaluation statistics of the last Qualify call.
 func (p *DatalogProtocol) EngineStats() datalog.RunStats { return p.engine.Stats }

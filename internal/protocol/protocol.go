@@ -112,6 +112,29 @@ func KeySet(rs []request.Request) map[request.Key]bool {
 	return out
 }
 
+// ObjectDecomposable is implemented by protocols whose qualification
+// decision factors by object: whether a pending request qualifies depends
+// only on the pending requests and history rows of the same object (plus
+// terminations, which carry no object and always qualify). Evaluating such a
+// protocol independently per object-hash partition produces exactly its
+// global qualified set — the property the partitioned scheduler
+// (internal/scheduler.PartitionedEngine) relies on. Protocols that join
+// across objects — SLA priority's global beats relation, wound-wait's wound
+// derivation — must not claim it.
+type ObjectDecomposable interface {
+	// ObjectDecomposable reports whether the protocol's decision factors by
+	// object.
+	ObjectDecomposable() bool
+}
+
+// IsObjectDecomposable reports whether p claims per-object decomposability.
+// Protocols that do not implement the marker are conservatively treated as
+// not decomposable.
+func IsObjectDecomposable(p Protocol) bool {
+	od, ok := p.(ObjectDecomposable)
+	return ok && od.ObjectDecomposable()
+}
+
 // FCFS qualifies every pending request in arrival order. It is the
 // protocol-level expression of the scheduler's non-scheduling mode: the
 // middleware forwards everything and the server's own scheduler (or nothing)
@@ -120,6 +143,10 @@ type FCFS struct{}
 
 // Name implements Protocol.
 func (FCFS) Name() string { return "fcfs" }
+
+// ObjectDecomposable implements the marker: FCFS qualifies everything, which
+// trivially factors by object.
+func (FCFS) ObjectDecomposable() bool { return true }
 
 // Qualify implements Protocol.
 func (FCFS) Qualify(pending, _ []request.Request) ([]request.Request, error) {
@@ -164,6 +191,12 @@ func (a *Adaptive) Active(pendingLen int) Protocol {
 		return a.Relaxed
 	}
 	return a.Strict
+}
+
+// ObjectDecomposable implements the marker: the adaptive pair factors by
+// object only when both constituents do.
+func (a *Adaptive) ObjectDecomposable() bool {
+	return IsObjectDecomposable(a.Strict) && IsObjectDecomposable(a.Relaxed)
 }
 
 // Qualify implements Protocol.

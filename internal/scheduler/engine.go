@@ -113,6 +113,12 @@ type Engine struct {
 	starveAfter   int
 	lastQualified []request.Request
 	progressed    map[int64]bool // per-round scratch for the waiting-age clocks
+
+	// replicas marks pending keys that are replica copies of cross-partition
+	// terminations (partition.go): they qualify and enter history here so
+	// this shard's locks release, but the home shard owns their execution.
+	// nil on a standalone engine.
+	replicas map[request.Key]bool
 }
 
 // NewEngine validates the config and creates an engine.
@@ -169,6 +175,10 @@ type execStep struct {
 	req    request.Request
 	undo   []int64 // objects whose executed writes are compensated first
 	victim bool
+	// noServer skips the server call (but not the compensations): a victim
+	// abort record replicated to a non-home shard compensates that shard's
+	// executed writes, while the home shard performs the abort itself.
+	noServer bool
 }
 
 // execPlan is the server work of one round, in execution order. The plan is
@@ -353,13 +363,24 @@ func (e *Engine) resolve(qualified []request.Request) []int64 {
 	return nil
 }
 
+// abortOp is one victim abort as applied to one engine: the abort record to
+// append (the single-loop engine assigns its ID; the partitioned sequencer
+// preassigns it) and whether this engine performs the server-side abort call.
+// The single loop always does; in a partitioned round only the victim's home
+// shard calls the server while every other touched shard compensates the
+// writes it executed locally.
+type abortOp struct {
+	rec        request.Request
+	execServer bool
+}
+
 // commit (stage 4) applies the round's decisions to the stores — victim
 // abort records and pending drops, qualified history membership and pending
 // removal, garbage collection — and returns the execution plan.
 func (e *Engine) commit(res *RoundResult, qualified []request.Request, victims []int64) execPlan {
-	plan := execPlan{round: e.rounds}
-	if len(victims) > 0 || len(qualified) > 0 {
-		plan.steps = make([]execStep, 0, len(victims)+len(qualified))
+	var aborts []abortOp
+	if len(victims) > 0 {
+		aborts = make([]abortOp, 0, len(victims))
 	}
 	for _, ta := range victims {
 		ab := request.Request{
@@ -368,20 +389,58 @@ func (e *Engine) commit(res *RoundResult, qualified []request.Request, victims [
 		}
 		e.nextID++
 		res.Victims = append(res.Victims, ta)
+		aborts = append(aborts, abortOp{rec: ab, execServer: true})
+	}
+	return e.commitPlan(qualified, aborts)
+}
+
+// commitPlan is the store side of commit, shared by the single loop and the
+// partitioned shards: victim abort records and pending drops, qualified
+// history membership and pending removal, garbage collection.
+func (e *Engine) commitPlan(qualified []request.Request, aborts []abortOp) execPlan {
+	plan := execPlan{round: e.rounds}
+	if len(aborts) > 0 || len(qualified) > 0 {
+		plan.steps = make([]execStep, 0, len(aborts)+len(qualified))
+	}
+	for _, ab := range aborts {
+		ta := ab.rec.TA
 		// Roll the victim back: compensate every write it had executed. The
 		// per-TA history index makes this O(|TA's writes|); the undo runs on
 		// the server strictly after those writes (the plan preserves
-		// execution order, and Pipeline's executor is FIFO).
-		plan.steps = append(plan.steps, execStep{req: ab, undo: e.hist.WritesOf(ta), victim: true})
-		e.hist.Append(ab)
+		// execution order, and the executors are FIFO per engine).
+		plan.steps = append(plan.steps, execStep{req: ab.rec, undo: e.hist.WritesOf(ta), victim: true, noServer: !ab.execServer})
+		if ab.execServer {
+			e.hist.Append(ab.rec)
+		} else {
+			e.hist.AppendReplica(ab.rec)
+		}
 		// Drop the victim's pending requests; its client is notified via
 		// the Victims list.
 		e.pending.RemoveTA(ta)
+		if e.replicas != nil {
+			// A victim's pending cross-partition termination copies die with
+			// its pending requests; drop their replica marks too.
+			for k := range e.replicas {
+				if k.TA == ta {
+					delete(e.replicas, k)
+				}
+			}
+		}
 	}
 	for _, r := range qualified {
+		k := r.Key()
+		if e.replicas != nil && e.replicas[k] {
+			// Replica copy of a cross-partition termination: enter history
+			// (releasing this shard's locks) without server work — the home
+			// shard executes it and answers the client.
+			delete(e.replicas, k)
+			e.hist.AppendReplica(r)
+			e.pending.Remove(k)
+			continue
+		}
 		plan.steps = append(plan.steps, execStep{req: r})
 		e.hist.Append(r)
-		e.pending.Remove(r.Key())
+		e.pending.Remove(k)
 	}
 	if e.cfg.GCEvery >= 0 && (e.cfg.GCEvery <= 1 || e.rounds%e.cfg.GCEvery == 0) {
 		e.hist.GC()
@@ -402,6 +461,9 @@ func (e *Engine) execute(plan execPlan) ([]Executed, error) {
 			if err := e.cfg.Server.UndoWrite(obj); err != nil {
 				return out, err
 			}
+		}
+		if step.noServer {
+			continue
 		}
 		v, err := e.cfg.Server.ExecScheduled(step.req)
 		if step.victim {

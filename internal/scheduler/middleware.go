@@ -40,19 +40,33 @@ type Result struct {
 // are known at scheduling time and are notified immediately, without waiting
 // for the server. SetSynchronous restores the fully serialized round loop
 // (the property-test oracle and the baseline of the overlap benchmark).
+//
+// A Middleware wraps either a single Engine or a PartitionedEngine
+// (NewPartitionedMiddleware). On the single engine, Submit hands requests to
+// the loop goroutine, which admits them in batches; on the partitioned
+// engine, Submit enqueues directly into the per-shard admission queues —
+// concurrent submissions from many client workers shard-route in parallel
+// without serializing through the loop.
 type Middleware struct {
 	engine    *Engine
+	parted    *PartitionedEngine
 	trigger   Trigger
 	collector *metrics.Collector
 	syncMode  bool
 	pipe      *Pipeline
 
 	mu      sync.Mutex
-	waiters map[request.Key]chan Result
+	waiters map[request.Key]waiter
 	byTA    map[int64][]request.Key
 	submits chan submission
+	notify  chan struct{}
 	stop    chan struct{}
 	stopped chan struct{}
+}
+
+type waiter struct {
+	ch    chan Result
+	stamp time.Time
 }
 
 type submission struct {
@@ -64,16 +78,32 @@ type submission struct {
 // NewMiddleware wraps an engine with a trigger policy. The collector may be
 // nil.
 func NewMiddleware(engine *Engine, trigger Trigger, collector *metrics.Collector) *Middleware {
+	m := newMiddleware(trigger, collector)
+	m.engine = engine
+	return m
+}
+
+// NewPartitionedMiddleware wraps a partitioned engine: Submit routes
+// requests into the shard admission queues directly (concurrent admission),
+// and the loop runs super-rounds — pipelined onto the per-shard executors by
+// default, or fully serialized under SetSynchronous.
+func NewPartitionedMiddleware(pe *PartitionedEngine, trigger Trigger, collector *metrics.Collector) *Middleware {
+	m := newMiddleware(trigger, collector)
+	m.parted = pe
+	return m
+}
+
+func newMiddleware(trigger Trigger, collector *metrics.Collector) *Middleware {
 	if collector == nil {
 		collector = metrics.NewCollector()
 	}
 	return &Middleware{
-		engine:    engine,
 		trigger:   trigger,
 		collector: collector,
-		waiters:   make(map[request.Key]chan Result),
+		waiters:   make(map[request.Key]waiter),
 		byTA:      make(map[int64][]request.Key),
 		submits:   make(chan submission, 1024),
+		notify:    make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		stopped:   make(chan struct{}),
 	}
@@ -88,7 +118,13 @@ func (m *Middleware) Collector() *metrics.Collector { return m.collector }
 func (m *Middleware) SetSynchronous(on bool) { m.syncMode = on }
 
 // Start launches the scheduler loop.
-func (m *Middleware) Start() { go m.loop() }
+func (m *Middleware) Start() {
+	if m.parted != nil {
+		go m.partitionedLoop()
+		return
+	}
+	go m.loop()
+}
 
 // Stop shuts the loop down and fails in-flight requests with ErrStopped.
 func (m *Middleware) Stop() {
@@ -99,6 +135,9 @@ func (m *Middleware) Stop() {
 // Submit sends one request and blocks until it executed (or its transaction
 // aborted). Safe for concurrent use by many client workers.
 func (m *Middleware) Submit(r request.Request) Result {
+	if m.parted != nil {
+		return m.submitPartitioned(r)
+	}
 	reply := make(chan Result, 1)
 	select {
 	case m.submits <- submission{req: r, reply: reply, stamp: time.Now()}:
@@ -106,6 +145,113 @@ func (m *Middleware) Submit(r request.Request) Result {
 		return Result{Err: ErrStopped}
 	}
 	return <-reply
+}
+
+// submitPartitioned registers the waiter and routes the request into its
+// shard's admission queue without passing through the loop goroutine — the
+// concurrent admission path. The loop is only poked (non-blocking) so its
+// trigger can evaluate the new fill level.
+func (m *Middleware) submitPartitioned(r request.Request) Result {
+	select {
+	case <-m.stopped:
+		return Result{Err: ErrStopped}
+	default:
+	}
+	reply := make(chan Result, 1)
+	k := r.Key()
+	m.mu.Lock()
+	if prev, ok := m.waiters[k]; ok {
+		// Duplicate (TA, IntraTA) submission: the newest wins in the pending
+		// store; answer the superseded client rather than leaving it waiting
+		// on a reply that never comes.
+		prev.ch <- Result{Err: errSuperseded}
+	} else {
+		m.byTA[r.TA] = append(m.byTA[r.TA], k)
+	}
+	m.waiters[k] = waiter{ch: reply, stamp: time.Now()}
+	m.mu.Unlock()
+	m.parted.Enqueue(r)
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+	select {
+	case res := <-reply:
+		return res
+	case <-m.stopped:
+		// The loop exited; if it failed our waiter on the way out the reply
+		// is buffered, otherwise (we registered after its final sweep)
+		// withdraw the registration ourselves.
+		select {
+		case res := <-reply:
+			return res
+		default:
+		}
+		m.mu.Lock()
+		if w, ok := m.waiters[k]; ok && w.ch == reply {
+			delete(m.waiters, k)
+		}
+		m.mu.Unlock()
+		return Result{Err: ErrStopped}
+	}
+}
+
+// failAll fails every registered waiter (round error or shutdown).
+func (m *Middleware) failAll(err error) {
+	m.mu.Lock()
+	for k, w := range m.waiters {
+		w.ch <- Result{Err: err}
+		delete(m.waiters, k)
+	}
+	m.byTA = make(map[int64][]request.Key)
+	m.mu.Unlock()
+}
+
+// deliver routes one completed batch to its waiting clients, in execution
+// order. Requests without a waiter (scheduler-internal, or failed rounds
+// already swept) are skipped.
+func (m *Middleware) deliver(c Completion) {
+	if c.Err != nil {
+		// The executor diverged from the stores (failed compensation):
+		// everything in flight is undefined, exactly like a failed
+		// synchronous round.
+		m.failAll(c.Err)
+		return
+	}
+	m.collector.Exec.Observe(c.Exec.Nanoseconds())
+	m.mu.Lock()
+	for _, ex := range c.Executed {
+		k := ex.Request.Key()
+		if w, ok := m.waiters[k]; ok {
+			w.ch <- Result{Value: ex.Value, Err: ex.Err}
+			delete(m.waiters, k)
+			m.collector.Latency.Observe(time.Since(w.stamp).Nanoseconds())
+		}
+		if ex.Request.Op.IsTermination() {
+			delete(m.byTA, ex.Request.TA)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// notifyVictims unblocks the clients of aborted transactions — under the
+// pipelined loops this happens at scheduling time, before the server has
+// even seen the round's batch.
+func (m *Middleware) notifyVictims(victims []int64) {
+	if len(victims) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, ta := range victims {
+		for _, k := range m.byTA[ta] {
+			if w, ok := m.waiters[k]; ok {
+				w.ch <- Result{Err: ErrTxnAborted}
+				delete(m.waiters, k)
+			}
+		}
+		delete(m.byTA, ta)
+	}
+	m.mu.Unlock()
 }
 
 func (m *Middleware) loop() {
@@ -116,78 +262,14 @@ func (m *Middleware) loop() {
 	ticker := time.NewTicker(200 * time.Microsecond)
 	defer ticker.Stop()
 	lastRound := time.Now()
-	stamps := make(map[request.Key]time.Time)
 	var batch []submission
 	var reqs []request.Request
-
-	// failAll fails every registered waiter (round error or shutdown).
-	failAll := func(err error) {
-		m.mu.Lock()
-		for k, ch := range m.waiters {
-			ch <- Result{Err: err}
-			delete(m.waiters, k)
-			delete(stamps, k)
-		}
-		m.byTA = make(map[int64][]request.Key)
-		m.mu.Unlock()
-	}
-
-	// deliver routes one completed batch to its waiting clients, in
-	// execution order. Requests without a waiter (scheduler-internal, or
-	// failed rounds already swept) are skipped.
-	deliver := func(c Completion) {
-		if c.Err != nil {
-			// The executor diverged from the stores (failed compensation):
-			// everything in flight is undefined, exactly like a failed
-			// synchronous round.
-			failAll(c.Err)
-			return
-		}
-		m.collector.Exec.Observe(c.Exec.Nanoseconds())
-		m.mu.Lock()
-		for _, ex := range c.Executed {
-			k := ex.Request.Key()
-			if ch, ok := m.waiters[k]; ok {
-				ch <- Result{Value: ex.Value, Err: ex.Err}
-				delete(m.waiters, k)
-				if t, ok := stamps[k]; ok {
-					m.collector.Latency.Observe(time.Since(t).Nanoseconds())
-					delete(stamps, k)
-				}
-			}
-			if ex.Request.Op.IsTermination() {
-				delete(m.byTA, ex.Request.TA)
-			}
-		}
-		m.mu.Unlock()
-	}
-
-	// notifyVictims unblocks the clients of aborted transactions — under
-	// the pipeline this happens at scheduling time, before the server has
-	// even seen the round's batch.
-	notifyVictims := func(victims []int64) {
-		if len(victims) == 0 {
-			return
-		}
-		m.mu.Lock()
-		for _, ta := range victims {
-			for _, k := range m.byTA[ta] {
-				if ch, ok := m.waiters[k]; ok {
-					ch <- Result{Err: ErrTxnAborted}
-					delete(m.waiters, k)
-					delete(stamps, k)
-				}
-			}
-			delete(m.byTA, ta)
-		}
-		m.mu.Unlock()
-	}
 
 	runRound := func() {
 		var res RoundResult
 		var err error
 		if m.pipe != nil {
-			res, err = m.pipe.Round(deliver)
+			res, err = m.pipe.Round(m.deliver)
 		} else {
 			res, err = m.engine.Round()
 		}
@@ -195,7 +277,7 @@ func (m *Middleware) loop() {
 		if err != nil {
 			// A protocol failure is fatal for the round; fail everything
 			// pending so clients do not hang.
-			failAll(err)
+			m.failAll(err)
 			return
 		}
 		m.collector.AddRound(res.Stats)
@@ -205,9 +287,9 @@ func (m *Middleware) loop() {
 			// rounds with server work observe an exec leg — the pipeline
 			// likewise completes empty rounds inline without a completion,
 			// so the two modes' Exec histograms stay comparable.
-			deliver(Completion{Round: m.engine.Rounds(), Executed: res.Executed, Exec: res.Stats.Exec})
+			m.deliver(Completion{Round: m.engine.Rounds(), Executed: res.Executed, Exec: res.Stats.Exec})
 		}
-		notifyVictims(res.Victims)
+		m.notifyVictims(res.Victims)
 	}
 
 	var pipeDone <-chan Completion
@@ -229,13 +311,13 @@ func (m *Middleware) loop() {
 			if m.pipe != nil {
 				m.pipe.Stop()
 				for c := range m.pipe.Completions() {
-					deliver(c)
+					m.deliver(c)
 				}
 			}
-			failAll(ErrStopped)
+			m.failAll(ErrStopped)
 			return
 		case c := <-pipeDone:
-			deliver(c)
+			m.deliver(c)
 		case sub := <-m.submits:
 			// Batch admission: drain every submission already queued, so a
 			// burst costs one waiter-registration lock and one Enqueue call
@@ -258,14 +340,14 @@ func (m *Middleware) loop() {
 					// Duplicate (TA, IntraTA) submission: the newest wins in
 					// the pending store; answer the superseded client rather
 					// than leaving it waiting on a reply that never comes.
-					prev <- Result{Err: errSuperseded}
+					prev.ch <- Result{Err: errSuperseded}
+				} else {
+					m.byTA[s.req.TA] = append(m.byTA[s.req.TA], k)
 				}
-				m.waiters[k] = s.reply
-				m.byTA[s.req.TA] = append(m.byTA[s.req.TA], k)
+				m.waiters[k] = waiter{ch: s.reply, stamp: s.stamp}
 			}
 			m.mu.Unlock()
 			for _, s := range batch {
-				stamps[s.req.Key()] = s.stamp
 				reqs = append(reqs, s.req)
 			}
 			m.engine.Enqueue(reqs...)
@@ -282,6 +364,79 @@ func (m *Middleware) loop() {
 				// and a fill-level trigger must not starve a queue that
 				// stays below its level (the paper's triggers are policies
 				// for *when* to run early, not for whether to run at all).
+				runRound()
+			}
+		}
+	}
+}
+
+// partitionedLoop is the round loop over a PartitionedEngine. Admission
+// happened concurrently in Submit; the loop only fires super-rounds and
+// routes completions — pipelined onto the per-shard executors by default.
+func (m *Middleware) partitionedLoop() {
+	defer close(m.stopped)
+	pe := m.parted
+	var pipeDone <-chan Completion
+	if !m.syncMode {
+		pe.StartExecutors()
+		pipeDone = pe.Completions()
+	}
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+	lastRound := time.Now()
+
+	runRound := func() {
+		var res RoundResult
+		var err error
+		if m.syncMode {
+			res, err = pe.Round()
+		} else {
+			res, err = pe.RoundDeferred(m.deliver)
+		}
+		lastRound = time.Now()
+		if err != nil {
+			m.failAll(err)
+			return
+		}
+		m.collector.AddRound(res.Stats)
+		for _, ps := range pe.ShardStats() {
+			m.collector.AddPartitionRound(ps)
+		}
+		if m.syncMode && (len(res.Executed) > 0 || len(res.Victims) > 0) {
+			m.deliver(Completion{Round: pe.Rounds(), Executed: res.Executed, Exec: res.Stats.Exec})
+		}
+		m.notifyVictims(res.Victims)
+	}
+
+	for {
+		select {
+		case <-m.stop:
+			for pe.QueueLen() > 0 || pe.PendingLen() > 0 {
+				before := pe.QueueLen() + pe.PendingLen()
+				runRound()
+				if pe.QueueLen()+pe.PendingLen() >= before {
+					break
+				}
+			}
+			if !m.syncMode {
+				pe.StopExecutors()
+				for c := range pe.Completions() {
+					m.deliver(c)
+				}
+			}
+			m.failAll(ErrStopped)
+			return
+		case c := <-pipeDone:
+			m.deliver(c)
+		case <-m.notify:
+			if m.trigger.Fire(pe.QueueLen(), time.Since(lastRound)) {
+				runRound()
+			}
+		case <-ticker.C:
+			if m.trigger.Fire(pe.QueueLen(), time.Since(lastRound)) {
+				runRound()
+			} else if (pe.PendingLen() > 0 || pe.QueueLen() > 0) &&
+				time.Since(lastRound) > 2*time.Millisecond {
 				runRound()
 			}
 		}

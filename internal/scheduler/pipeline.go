@@ -46,6 +46,9 @@ type Completion struct {
 	// Err is a fatal executor error (a failed write compensation): the
 	// server and the stores have diverged and the pipeline stops executing.
 	Err error
+	// Partition is the shard whose executor produced this completion under
+	// the partitioned scheduler; always 0 on the single-loop pipeline.
+	Partition int
 }
 
 // pipelineDepth bounds how many scheduled-but-unexecuted rounds may be in

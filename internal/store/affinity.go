@@ -1,0 +1,137 @@
+// The transaction-affinity index of the partitioned scheduler: which shards
+// a transaction has touched (its admitted requests' partitions — a superset
+// of the shards holding its history rows, since requests execute where they
+// were admitted) and which shard currently holds each pending request key.
+// The index is what routes cross-partition terminations (a commit or abort
+// must release locks in every touched shard) and what detects a duplicate
+// (TA, IntraTA) submission whose object — and therefore partition — changed,
+// so the stale copy can be revoked from the shard that holds it.
+
+package store
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/request"
+)
+
+// affinityStripes is the lock-striping factor. Admission is concurrent (many
+// client workers route at once); striping by transaction keeps unrelated
+// transactions off each other's lock while keeping a transaction's whole
+// record — shard mask and per-request placements — under one lock.
+const affinityStripes = 16
+
+// Affinity tracks per-transaction shard masks and per-key shard placements.
+// Safe for concurrent use.
+type Affinity struct {
+	stripes [affinityStripes]affinityStripe
+}
+
+type affinityStripe struct {
+	mu  sync.Mutex
+	tas map[int64]*taAffinity
+}
+
+type taAffinity struct {
+	// shards is the bitmask of partitions this transaction has touched.
+	// Partition counts are capped at 64 (partition.go), so one word is
+	// always enough.
+	shards uint64
+	// keyShard maps the transaction's pending request numbers (IntraTA) to
+	// the shard each was routed to, for cross-shard duplicate replacement.
+	keyShard map[int64]int32
+}
+
+// NewAffinity creates an empty index.
+func NewAffinity() *Affinity {
+	a := &Affinity{}
+	for i := range a.stripes {
+		a.stripes[i].tas = make(map[int64]*taAffinity)
+	}
+	return a
+}
+
+func (a *Affinity) stripe(ta int64) *affinityStripe {
+	h := uint64(ta) * 0x9E3779B97F4A7C15
+	return &a.stripes[(h^h>>32)&(affinityStripes-1)]
+}
+
+// Route records that request key k was routed to shard, marking the shard
+// touched. If the key was previously routed to a different shard (a
+// duplicate submission whose object moved partitions), it returns that shard
+// with moved=true so the caller can revoke the stale copy.
+func (a *Affinity) Route(k request.Key, shard int) (prev int, moved bool) {
+	s := a.stripe(k.TA)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ta := s.tas[k.TA]
+	if ta == nil {
+		ta = &taAffinity{keyShard: make(map[int64]int32, 4)}
+		s.tas[k.TA] = ta
+	}
+	ta.shards |= 1 << uint(shard)
+	if old, ok := ta.keyShard[k.IntraTA]; ok && int(old) != shard {
+		ta.keyShard[k.IntraTA] = int32(shard)
+		return int(old), true
+	}
+	ta.keyShard[k.IntraTA] = int32(shard)
+	return 0, false
+}
+
+// Touch marks shard touched by ta without placing a key (termination copies
+// are tracked by the cross-partition sequencer, not per shard).
+func (a *Affinity) Touch(ta int64, shard int) {
+	s := a.stripe(ta)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.tas[ta]
+	if rec == nil {
+		rec = &taAffinity{keyShard: make(map[int64]int32, 4)}
+		s.tas[ta] = rec
+	}
+	rec.shards |= 1 << uint(shard)
+}
+
+// ShardsOf returns the bitmask of shards ta has touched (0 if unknown).
+func (a *Affinity) ShardsOf(ta int64) uint64 {
+	s := a.stripe(ta)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec := s.tas[ta]; rec != nil {
+		return rec.shards
+	}
+	return 0
+}
+
+// Drop forgets a transaction (it terminated — committed, aborted or was
+// chosen as a victim — so no further requests will route under its number).
+func (a *Affinity) Drop(ta int64) {
+	s := a.stripe(ta)
+	s.mu.Lock()
+	delete(s.tas, ta)
+	s.mu.Unlock()
+}
+
+// Len returns the number of tracked transactions (tests and diagnostics).
+func (a *Affinity) Len() int {
+	n := 0
+	for i := range a.stripes {
+		s := &a.stripes[i]
+		s.mu.Lock()
+		n += len(s.tas)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// ShardList expands a shard bitmask into ascending shard indices, appending
+// onto dst.
+func ShardList(mask uint64, dst []int) []int {
+	for mask != 0 {
+		s := bits.TrailingZeros64(mask)
+		dst = append(dst, s)
+		mask &^= 1 << uint(s)
+	}
+	return dst
+}

@@ -78,6 +78,18 @@ func (s *History) Append(rs ...request.Request) {
 	}
 }
 
+// AppendReplica records a replica copy of a cross-partition termination: the
+// row is live history (it releases the transaction's locks in this shard and
+// queues it for GC, and the protocols see it via the change log) but is kept
+// out of the execution log — the termination executed once, on its home
+// shard, and merged per-shard logs must contain it once.
+func (s *History) AppendReplica(r request.Request) {
+	keep := s.keepLog
+	s.keepLog = false
+	s.Append(r)
+	s.keepLog = keep
+}
+
 // Live returns the live history slice (order unspecified — removal compacts
 // by swapping). Callers must not mutate it, and must not retain it across
 // store mutations. The execution-ordered view is Log.

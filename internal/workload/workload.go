@@ -34,6 +34,18 @@ type Config struct {
 	// ZipfS enables skewed access when > 1 (s parameter of rand.Zipf);
 	// 0 or 1 means uniform, the paper's setting.
 	ZipfS float64
+	// HotKeys carves a hot set out of the table: when > 0, each statement
+	// draws from objects [0, HotKeys) with probability HotFrac and uniformly
+	// from the cold remainder otherwise. Under an object-partitioned
+	// scheduler the hot set hashes to few shards, so this is the skew
+	// stressor for partition imbalance. Mutually exclusive with ZipfS.
+	HotKeys int64
+	// HotFrac is the probability of a statement hitting the hot set
+	// (required in (0, 1] when HotKeys > 0).
+	HotFrac float64
+	// HotSkew optionally skews draws within the hot set (s parameter of
+	// rand.Zipf, > 1); 0 means uniform across the hot keys.
+	HotSkew float64
 	// Classes optionally assigns SLA classes round-robin by weight; empty
 	// means no classes (all priority 0).
 	Classes []Class
@@ -67,6 +79,23 @@ func (c Config) Validate() error {
 	if c.ZipfS != 0 && c.ZipfS <= 1 {
 		return fmt.Errorf("workload: ZipfS must be > 1 (or 0 for uniform), got %g", c.ZipfS)
 	}
+	if c.HotKeys < 0 {
+		return fmt.Errorf("workload: HotKeys must be non-negative, got %d", c.HotKeys)
+	}
+	if c.HotKeys > 0 {
+		if c.ZipfS != 0 {
+			return fmt.Errorf("workload: HotKeys and ZipfS are mutually exclusive")
+		}
+		if c.HotKeys >= c.Objects {
+			return fmt.Errorf("workload: HotKeys %d must leave a cold remainder of the %d objects", c.HotKeys, c.Objects)
+		}
+		if c.HotFrac <= 0 || c.HotFrac > 1 {
+			return fmt.Errorf("workload: HotFrac must be in (0, 1] when HotKeys > 0, got %g", c.HotFrac)
+		}
+		if c.HotSkew != 0 && c.HotSkew <= 1 {
+			return fmt.Errorf("workload: HotSkew must be > 1 (or 0 for uniform), got %g", c.HotSkew)
+		}
+	}
 	for _, cl := range c.Classes {
 		if cl.Weight <= 0 {
 			return fmt.Errorf("workload: class %q has non-positive weight", cl.Name)
@@ -80,6 +109,7 @@ type Generator struct {
 	cfg     Config
 	rng     *rand.Rand
 	zipf    *rand.Zipf
+	hotZipf *rand.Zipf
 	nextTA  int64
 	nextID  int64
 	classIx []Class // expanded by weight
@@ -99,6 +129,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.ZipfS > 1 {
 		g.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
 	}
+	if cfg.HotKeys > 0 && cfg.HotSkew > 1 {
+		g.hotZipf = rand.NewZipf(rng, cfg.HotSkew, 1, uint64(cfg.HotKeys-1))
+	}
 	for _, cl := range cfg.Classes {
 		for i := 0; i < cl.Weight; i++ {
 			g.classIx = append(g.classIx, cl)
@@ -108,6 +141,15 @@ func NewGenerator(cfg Config) (*Generator, error) {
 }
 
 func (g *Generator) object() int64 {
+	if g.cfg.HotKeys > 0 {
+		if g.rng.Float64() < g.cfg.HotFrac {
+			if g.hotZipf != nil {
+				return int64(g.hotZipf.Uint64())
+			}
+			return g.rng.Int63n(g.cfg.HotKeys)
+		}
+		return g.cfg.HotKeys + g.rng.Int63n(g.cfg.Objects-g.cfg.HotKeys)
+	}
 	if g.zipf != nil {
 		return int64(g.zipf.Uint64())
 	}

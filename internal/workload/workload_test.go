@@ -105,6 +105,60 @@ func TestZipfSkewConcentrates(t *testing.T) {
 	}
 }
 
+func TestHotKeyWorkloadConcentratesAndStaysDeterministic(t *testing.T) {
+	mk := func() (*Generator, error) {
+		return NewGenerator(Config{
+			Clients: 1, TxnsPerClient: 100, ReadsPerTxn: 10, WritesPerTxn: 0,
+			Objects: 1000, HotKeys: 8, HotFrac: 0.8, HotSkew: 1.5, Seed: 11,
+		})
+	}
+	g, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, total := 0, 0
+	for _, q := range g.ClientQueues() {
+		for _, tx := range q {
+			for _, r := range tx.Requests {
+				if r.Op != request.Read {
+					continue
+				}
+				if r.Object < 0 || r.Object >= 1000 {
+					t.Fatalf("object out of range: %v", r)
+				}
+				if r.Object < 8 {
+					hot++
+				}
+				total++
+			}
+		}
+	}
+	// 80% of draws target the 8 hot keys; allow generous sampling slack.
+	if hot*10 < total*7 {
+		t.Errorf("hot set drew %d of %d accesses, want ~80%%", hot, total)
+	}
+	if hot == total {
+		t.Error("cold remainder never drawn")
+	}
+	g2, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, c := Flatten(g2.ClientQueues()), Flatten(g3.ClientQueues())
+	if len(b) != len(c) {
+		t.Fatal("lengths differ")
+	}
+	for i := range b {
+		if b[i] != c[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, b[i], c[i])
+		}
+	}
+}
+
 func TestClassesAssignedByWeight(t *testing.T) {
 	g, err := NewGenerator(Config{
 		Clients: 4, TxnsPerClient: 2, ReadsPerTxn: 1, WritesPerTxn: 0, Objects: 10, Seed: 1,
@@ -138,6 +192,12 @@ func TestConfigValidation(t *testing.T) {
 		{Clients: 1, Objects: 10},
 		{Clients: 1, Objects: 10, ReadsPerTxn: 1, ZipfS: 0.5},
 		{Clients: 1, Objects: 10, ReadsPerTxn: 1, Classes: []Class{{Name: "x", Weight: 0}}},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: -1},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 10, HotFrac: 0.5},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 1.5},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 0.5, HotSkew: 0.5},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 0.5, ZipfS: 2},
 	}
 	for i, cfg := range bad {
 		if _, err := NewGenerator(cfg); err == nil {

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # bench_guard.sh — regression gate for the round hot paths. Runs the guarded
-# benchmarks and fails (exit 1) if any ns/op is more than GUARD_FACTOR
-# (default 2) times the figure committed in the newest BENCH_<n>.json, so a
-# PR cannot silently lose the warm-start, cold-round or SQL-backend wins.
-# CI boxes are noisy and heterogeneous; 2x is deliberately loose — it catches
-# "the hot path fell off a cliff", not percent-level drift (the trajectory
-# table in ROADMAP.md tracks that). A guarded bench missing from the baseline
-# file is skipped, so the guard degrades gracefully against old baselines.
+# benchmarks and fails (exit 1) if any ns/op — or allocs/op — is more than
+# GUARD_FACTOR (default 2) times the figure committed in the newest
+# BENCH_<n>.json, so a PR cannot silently lose the warm-start, cold-round or
+# SQL-backend wins. Allocations are deterministic where wall time is noisy,
+# so the allocs gate is the sharper tripwire for "a hot path started
+# allocating per row" regressions (the warm rounds sit at 593 / 985
+# allocs/op). CI boxes are noisy and heterogeneous; 2x is deliberately
+# loose — it catches "the hot path fell off a cliff", not percent-level
+# drift (the trajectory table in ROADMAP.md tracks that). A guarded bench
+# missing from the baseline file is skipped, as is the allocs gate for
+# baselines that predate allocation tracking, so the guard degrades
+# gracefully against old baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,16 +32,21 @@ if [ -z "${latest}" ]; then
     exit 0
 fi
 
-fail=0
-while IFS= read -r bench; do
-    base=$(awk -v bench="${bench}" '
+json_field() { # json_field <bench> <field>
+    awk -v bench="$1" -v field="$2" '
         $0 ~ "\"bench\": \"" bench "\"" {
-            if (match($0, /"ns_per_op": *[0-9.]+/)) {
+            if (match($0, "\"" field "\": *[0-9.]+")) {
                 v = substr($0, RSTART, RLENGTH)
                 sub(/.*: */, "", v)
                 print v
             }
-        }' "BENCH_${latest}.json")
+        }' "BENCH_${latest}.json"
+}
+
+fail=0
+while IFS= read -r bench; do
+    base=$(json_field "${bench}" ns_per_op)
+    base_allocs=$(json_field "${bench}" allocs_per_op)
     if [ -z "${base}" ]; then
         echo "bench_guard: ${bench} not in BENCH_${latest}.json; skipping"
         continue
@@ -49,11 +59,14 @@ while IFS= read -r bench; do
     else
         pattern="^${bench%%/*}\$/^${bench#*/}\$"
     fi
-    raw=$(go test -run='^$' -bench="${pattern}" -benchtime="${BENCHTIME:-1s}" .)
+    raw=$(go test -run='^$' -bench="${pattern}" -benchmem -benchtime="${BENCHTIME:-1s}" .)
     echo "${raw}"
     short="${bench#Benchmark}"
     now=$(echo "${raw}" | awk -v b="${short}" 'index($1, b) {
         for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+    }' | head -1)
+    now_allocs=$(echo "${raw}" | awk -v b="${short}" 'index($1, b) {
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
     }' | head -1)
     if [ -z "${now}" ]; then
         echo "bench_guard: ${bench} produced no ns/op line"
@@ -69,6 +82,20 @@ while IFS= read -r bench; do
         printf "bench_guard: OK (%.2fx of baseline)\n", now / base
     }'; then
         fail=1
+    fi
+    # The allocation gate: skip against baselines without allocation figures
+    # (allocs_per_op 0 means the bench predates -benchmem tracking).
+    if [ -n "${base_allocs}" ] && [ "${base_allocs}" != "0" ] && [ -n "${now_allocs}" ]; then
+        echo "bench_guard: ${bench} now ${now_allocs} allocs/op, baseline ${base_allocs} allocs/op"
+        if ! awk -v now="${now_allocs}" -v base="${base_allocs}" -v f="${GUARD_FACTOR}" 'BEGIN {
+            if (now > base * f) {
+                printf "bench_guard: FAIL — %.0f allocs/op is more than %sx the %.0f allocs/op baseline\n", now, f, base
+                exit 1
+            }
+            printf "bench_guard: OK (%.2fx of baseline allocs)\n", now / base
+        }'; then
+            fail=1
+        fi
     fi
 done <<EOF
 ${GUARDED}

@@ -28,6 +28,9 @@ run() {
 run "${bin}/declsched" -clients 4 -txns 2 -reads 2 -writes 2 -objects 64 -check
 run "${bin}/declsched" -protocol ss2pl-sql -clients 4 -txns 2 -reads 2 -writes 2 -objects 64
 run "${bin}/declsched" -protocol fcfs -passthrough -clients 2 -txns 1 -reads 1 -writes 1 -objects 16
+# The partitioned round loop: sharded scheduler over a hot-key workload, with
+# the merged-log serializability check on.
+run "${bin}/declsched" -partitions 4 -clients 4 -txns 2 -reads 2 -writes 2 -objects 64 -hotkeys 8 -check
 
 # dlrun: a two-fact Datalog program, and Listing 1 shaped mini-SQL.
 prog="${bin}/prog.dl"
@@ -109,6 +112,7 @@ netproto_pair() {
 }
 netproto_pair 7997
 netproto_pair 7998 -sync
+netproto_pair 7999 -partitions 4
 
 # examples: each is a self-contained demo.
 for ex in quickstart adaptive reservation slatiers; do
