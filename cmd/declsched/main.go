@@ -43,6 +43,9 @@ func main() {
 	hotKeys := flag.Int64("hotkeys", 0, "hot-key workload: size of the hot set (0 = uniform)")
 	hotFrac := flag.Float64("hotfrac", 0.8, "hot-key workload: fraction of statements hitting the hot set")
 	hotSkew := flag.Float64("hotskew", 0, "hot-key workload: Zipf skew within the hot set (>1), 0 = uniform")
+	durable := flag.Bool("durable", false, "journal committed state to -dir (write-ahead log + checkpoints)")
+	dir := flag.String("dir", "", "durable storage directory (required with -durable)")
+	syncEvery := flag.Int("sync-every", 1, "fsync the journal every N commit batches (group commit)")
 	flag.Parse()
 
 	mkProto := func() protocol.Protocol {
@@ -84,12 +87,18 @@ func main() {
 	if *passthrough {
 		mode = scheduler.PassThrough
 	}
-	scfg := storage.Config{Rows: int(*objects)}
+	scfg := storage.Config{Rows: int(*objects), Durable: *durable, Dir: *dir, SyncEvery: *syncEvery}
+	if *durable && *dir == "" {
+		log.Fatal("-durable requires -dir")
+	}
 	if *execDelay > 0 {
 		d := *execDelay
 		scfg.ExecDelay = func(request.Request) time.Duration { return d }
 	}
-	srv := storage.NewServer(scfg)
+	srv, err := storage.Open(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := scheduler.Config{
 		Protocol:    proto,
 		Server:      srv,
@@ -150,6 +159,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	stmts, commits, aborts := srv.Stats()
 	sum := mw.Collector().Summarise()
@@ -174,6 +186,9 @@ func main() {
 		for _, ps := range mw.Collector().PartitionSummaries() {
 			fmt.Printf("  %s\n", ps)
 		}
+	}
+	if d := srv.Durability(); d != nil {
+		fmt.Printf("durability           %s\n", d)
 	}
 
 	if *check {

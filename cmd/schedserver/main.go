@@ -31,6 +31,11 @@ func main() {
 	every := flag.Duration("every", time.Millisecond, "trigger max delay")
 	syncRounds := flag.Bool("sync", false, "serialize qualify and execute (disable the round pipeline)")
 	partitions := flag.Int("partitions", 1, "partition the round loop into N object-hashed shards (protocol must factor by object)")
+	durable := flag.Bool("durable", false, "journal committed state to -dir and recover it on restart")
+	dir := flag.String("dir", "", "durable storage directory (required with -durable)")
+	syncEvery := flag.Int("sync-every", 1, "fsync the journal every N commit batches (group commit)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-connection read deadline (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle for this long (0 = never)")
 	flag.Parse()
 
 	mkProto := func() protocol.Protocol {
@@ -54,7 +59,14 @@ func main() {
 	}
 	proto := mkProto()
 
-	srv := storage.NewServer(storage.Config{Rows: *rows})
+	scfg := storage.Config{Rows: *rows, Durable: *durable, Dir: *dir, SyncEvery: *syncEvery}
+	if *durable && *dir == "" {
+		log.Fatal("-durable requires -dir")
+	}
+	srv, err := storage.Open(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	trig := scheduler.HybridTrigger{Level: *fill, Every: *every}
 	var mw *scheduler.Middleware
 	if *partitions > 1 {
@@ -76,11 +88,17 @@ func main() {
 	}
 	mw.SetSynchronous(*syncRounds)
 	mw.Start()
-	s, err := netproto.Listen(*addr, mw)
+	s, err := netproto.ListenOpts(*addr, mw, netproto.Options{
+		ReadTimeout: *readTimeout,
+		IdleTimeout: *idleTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("declarative scheduler (%s) listening on %s\n", proto.Name(), s.Addr())
+	if srv.Durable() {
+		fmt.Printf("durable storage in %s (sync every %d commit batches)\n", *dir, *syncEvery)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -88,8 +106,14 @@ func main() {
 	fmt.Println("\nshutting down")
 	s.Close()
 	mw.Stop()
+	if err := srv.Close(); err != nil {
+		log.Printf("storage close: %v", err)
+	}
 	fmt.Println(mw.Collector().Summarise())
 	for _, ps := range mw.Collector().PartitionSummaries() {
 		fmt.Println(" ", ps)
+	}
+	if d := srv.Durability(); d != nil {
+		fmt.Println(" ", d)
 	}
 }

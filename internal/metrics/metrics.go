@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -295,6 +296,44 @@ func (s PartitionSummary) String() string {
 func (s Summary) String() string {
 	return fmt.Sprintf("rounds=%d executed=%d aborted=%d mean_pending=%.1f mean_qualified=%.1f mean_round=%s total_round=%s",
 		s.Rounds, s.Executed, s.Aborted, s.MeanPending, s.MeanQualified, s.MeanRoundDuration, s.TotalRoundTime)
+}
+
+// Durability counts the journal and recovery work of the durable storage
+// backend. All fields are atomics so the journal writer, the checkpointer
+// and readers (stats endpoints, tests) touch them without a lock. The zero
+// value is ready to use.
+type Durability struct {
+	// BytesJournaled and RecordsJournaled count what the write-ahead
+	// journal appended (header bytes included, torn tails excluded —
+	// partially written records are counted only by the byte prefix that
+	// reached the file).
+	BytesJournaled   atomic.Int64
+	RecordsJournaled atomic.Int64
+	// Syncs counts fsyncs of the journal file (group commit amortizes
+	// these: one per SyncEvery commit-batch boundaries, not per record).
+	Syncs atomic.Int64
+	// Checkpoints counts completed checkpoints; CheckpointBytes totals the
+	// page-file bytes they wrote.
+	Checkpoints     atomic.Int64
+	CheckpointBytes atomic.Int64
+	// TornRecords counts journal records discarded at recovery because the
+	// tail was torn (short final record or CRC mismatch) — everything from
+	// the first invalid frame onward.
+	TornRecords atomic.Int64
+	// ReplayedRecords counts journal records scanned by the last recovery;
+	// ReplayNanos is how long that replay took. After a checkpoint only the
+	// journal tail remains, so ReplayedRecords is the observable for the
+	// "recovery replays only the tail" invariant.
+	ReplayedRecords atomic.Int64
+	ReplayNanos     atomic.Int64
+}
+
+// String renders the counters as a one-line summary.
+func (d *Durability) String() string {
+	return fmt.Sprintf("journaled=%dB/%drec syncs=%d checkpoints=%d (%dB) replayed=%drec in %s torn=%d",
+		d.BytesJournaled.Load(), d.RecordsJournaled.Load(), d.Syncs.Load(),
+		d.Checkpoints.Load(), d.CheckpointBytes.Load(),
+		d.ReplayedRecords.Load(), time.Duration(d.ReplayNanos.Load()), d.TornRecords.Load())
 }
 
 // StrategyString renders the per-strategy round counts as

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/request"
 	"repro/internal/scheduler"
@@ -36,24 +37,46 @@ import (
 // transaction was aborted as a deadlock victim.
 var ErrAborted = errors.New("netproto: transaction aborted by scheduler")
 
+// Options configures a server's connection handling. The zero value keeps
+// the original behaviour: no deadlines, connections live until they close
+// or error.
+type Options struct {
+	// IdleTimeout reaps a connection that has not sent a request for this
+	// long: the read blocks with a deadline and the worker exits when it
+	// fires. Zero disables reaping.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds the wait for the next request line when
+	// IdleTimeout is unset (a coarser single knob). Zero means no limit.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write, so a client that stops reading
+	// cannot wedge its worker. Zero means no limit.
+	WriteTimeout time.Duration
+}
+
 // Server accepts client connections and forwards their requests to the
 // middleware.
 type Server struct {
-	mw *scheduler.Middleware
-	ln net.Listener
+	mw   *scheduler.Middleware
+	ln   net.Listener
+	opts Options
 
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// Listen starts serving on addr (e.g. "127.0.0.1:0").
+// Listen starts serving on addr (e.g. "127.0.0.1:0") with no deadlines.
 func Listen(addr string, mw *scheduler.Middleware) (*Server, error) {
+	return ListenOpts(addr, mw, Options{})
+}
+
+// ListenOpts starts serving on addr with explicit connection options.
+func ListenOpts(addr string, mw *scheduler.Middleware, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: %w", err)
 	}
-	s := &Server{mw: mw, ln: ln}
+	s := &Server{mw: mw, ln: ln, opts: opts}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -95,12 +118,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	reply := func(line string) bool {
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if _, err := w.WriteString(line + "\n"); err != nil {
 			return false
 		}
 		return w.Flush() == nil
 	}
-	for sc.Scan() {
+	for {
+		// Arm the idle reaper: when the deadline fires mid-read, Scan fails
+		// and the worker exits, closing the connection.
+		if wait := s.opts.IdleTimeout; wait > 0 {
+			conn.SetReadDeadline(time.Now().Add(wait))
+		} else if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		if !sc.Scan() {
+			return
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
@@ -187,9 +223,24 @@ func parseReq(line string) (request.Request, error) {
 // Client is one connection to the scheduler. It is not safe for concurrent
 // use: like a database connection, it carries one request at a time.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
+}
+
+// SetTimeout bounds every subsequent round-trip (write plus reply read):
+// instead of hanging on a dead or wedged server, Submit, Ping and Stats
+// return a timeout error. Zero restores unbounded waits.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// arm sets the connection deadline for one round-trip.
+func (c *Client) arm() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
 }
 
 // Dial connects to a scheduler server.
@@ -210,6 +261,7 @@ func (c *Client) Close() error {
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
+	c.arm()
 	if _, err := c.w.WriteString("PING\n"); err != nil {
 		return err
 	}
@@ -229,6 +281,7 @@ func (c *Client) Ping() error {
 // Stats round-trips the scheduler's one-line summary (rounds, executed,
 // per-strategy round counts).
 func (c *Client) Stats() (string, error) {
+	c.arm()
 	if _, err := c.w.WriteString("STATS\n"); err != nil {
 		return "", err
 	}
@@ -250,19 +303,20 @@ func (c *Client) Stats() (string, error) {
 // It returns the server-side result value, ErrAborted if the transaction was
 // a deadlock victim, or a protocol error.
 func (c *Client) Submit(r request.Request) (int64, error) {
+	c.arm()
 	line := fmt.Sprintf("REQ %d %d %s %d", r.TA, r.IntraTA, r.Op, r.Object)
 	if r.Priority != 0 {
 		line += " " + strconv.FormatInt(r.Priority, 10)
 	}
 	if _, err := c.w.WriteString(line + "\n"); err != nil {
-		return 0, err
+		return 0, fmt.Errorf("netproto: submit: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return 0, err
+		return 0, fmt.Errorf("netproto: submit: %w", err)
 	}
 	reply, err := c.r.ReadString('\n')
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("netproto: submit: %w", err)
 	}
 	reply = strings.TrimSpace(reply)
 	switch {

@@ -1,0 +1,225 @@
+package netproto
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/request"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+)
+
+// startServerOn wires a full middleware stack around an existing storage
+// server — used by the durability tests to serve a recovered store — with
+// explicit connection options.
+func startServerOn(t *testing.T, srv *storage.Server, opts Options) (*Server, func()) {
+	t.Helper()
+	engine, err := scheduler.NewEngine(scheduler.Config{
+		Protocol: protocol.SS2PLDatalog(),
+		Server:   srv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := scheduler.NewMiddleware(engine, scheduler.HybridTrigger{Level: 4, Every: time.Millisecond}, metrics.NewCollector())
+	mw.Start()
+	s, err := ListenOpts("127.0.0.1:0", mw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		s.Close()
+		mw.Stop()
+	}
+	return s, stop
+}
+
+// fakeServer accepts one connection and lets script drive it; it returns
+// the listener address.
+func fakeServer(t *testing.T, script func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		script(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func TestSubmitTimesOutOnWedgedServer(t *testing.T) {
+	// The server accepts and then never replies: without a timeout Submit
+	// would hang forever.
+	addr := fakeServer(t, func(conn net.Conn) {
+		io.Copy(io.Discard, conn) // read and ignore everything
+		conn.Close()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err = c.Submit(request.Request{TA: 1, Op: request.Write, Object: 1})
+	if err == nil {
+		t.Fatal("Submit returned nil against a wedged server")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net timeout error, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Submit took %v, the timeout did not bound the wait", d)
+	}
+}
+
+func TestSubmitFailsCleanlyWhenServerDiesMidRequest(t *testing.T) {
+	dead := make(chan struct{})
+	addr := fakeServer(t, func(conn net.Conn) {
+		buf := make([]byte, 1)
+		conn.Read(buf) // wait for the request to start arriving, then die
+		conn.Close()
+		close(dead)
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(2 * time.Second)
+	_, err = c.Submit(request.Request{TA: 1, Op: request.Write, Object: 1})
+	if err == nil {
+		t.Fatal("Submit returned nil after the server died mid-request")
+	}
+	<-dead
+}
+
+func TestErrAbortedPropagates(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		buf := make([]byte, 256)
+		conn.Read(buf)
+		conn.Write([]byte("ABORTED\n"))
+		conn.Close()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Submit(request.Request{TA: 1, Op: request.Commit, Object: request.NoObject})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+}
+
+func TestIdleConnectionReaped(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 8})
+	s, stop := startServerOn(t, srv, Options{IdleTimeout: 50 * time.Millisecond})
+	defer stop()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping on a fresh connection: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond) // well past the idle deadline
+	c.SetTimeout(2 * time.Second)
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded on a connection the server should have reaped")
+	}
+}
+
+func TestWriteTimeoutDoesNotAffectPromptClients(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 8})
+	s, stop := startServerOn(t, srv, Options{
+		ReadTimeout:  time.Second,
+		WriteTimeout: time.Second,
+	})
+	defer stop()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx := request.NewBuilder(1, nil).Write(3).Commit()
+	if aborted, err := c.RunTransaction(tx); err != nil || aborted {
+		t.Fatalf("aborted=%v err=%v", aborted, err)
+	}
+	if srv.Get(3) != 1 {
+		t.Errorf("row 3 = %d", srv.Get(3))
+	}
+}
+
+// TestReconnectAfterRestart is the end-to-end durability loop: commit over
+// the wire, tear the whole stack down, recover the directory, serve it
+// again, and read the committed state back over a fresh connection.
+func TestReconnectAfterRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	srv, err := storage.Open(storage.Config{Rows: 16, Durable: true, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, stop := startServerOn(t, srv, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := request.NewBuilder(1, nil).Write(5).Write(5).Commit()
+	if aborted, err := c.RunTransaction(tx); err != nil || aborted {
+		t.Fatalf("aborted=%v err=%v", aborted, err)
+	}
+	// Leave a second transaction uncommitted, then take the stack down.
+	if _, err := c.Submit(request.Request{TA: 2, Op: request.Write, Object: 6}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	stop()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal")); err != nil {
+		t.Fatalf("journal missing after shutdown: %v", err)
+	}
+
+	rec, err := storage.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, stop2 := startServerOn(t, rec, Options{})
+	defer stop2()
+	c2, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, err := c2.Submit(request.Request{TA: 3, Op: request.Read, Object: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Errorf("recovered row 5 = %d, want 2", v)
+	}
+	v, err = c2.Submit(request.Request{TA: 3, IntraTA: 1, Op: request.Read, Object: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("uncommitted row 6 = %d, want 0 after recovery", v)
+	}
+}

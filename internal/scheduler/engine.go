@@ -179,6 +179,12 @@ type execStep struct {
 	// abort record replicated to a non-home shard compensates that shard's
 	// executed writes, while the home shard performs the abort itself.
 	noServer bool
+	// expectWrites arms the durable journal's commit gate for a commit
+	// step: how many writes the transaction has in (global) history, i.e.
+	// how many write records must be journaled before its commit record
+	// may be. Zero when volatile, for non-commit steps, and for writeless
+	// commits.
+	expectWrites int
 }
 
 // execPlan is the server work of one round, in execution order. The plan is
@@ -391,17 +397,24 @@ func (e *Engine) commit(res *RoundResult, qualified []request.Request, victims [
 		res.Victims = append(res.Victims, ta)
 		aborts = append(aborts, abortOp{rec: ab, execServer: true})
 	}
-	return e.commitPlan(qualified, aborts)
+	return e.commitPlan(qualified, aborts, nil)
 }
 
 // commitPlan is the store side of commit, shared by the single loop and the
 // partitioned shards: victim abort records and pending drops, qualified
 // history membership and pending removal, garbage collection.
-func (e *Engine) commitPlan(qualified []request.Request, aborts []abortOp) execPlan {
+//
+// commitWrites, set only by the partitioned sequencer on a durable server,
+// maps a committing transaction to its global journaled-write expectation
+// (writes summed across all shards' histories); nil means this engine's own
+// history is the whole truth (the single loop), and the count is taken from
+// it before the termination row lands.
+func (e *Engine) commitPlan(qualified []request.Request, aborts []abortOp, commitWrites map[int64]int) execPlan {
 	plan := execPlan{round: e.rounds}
 	if len(aborts) > 0 || len(qualified) > 0 {
 		plan.steps = make([]execStep, 0, len(aborts)+len(qualified))
 	}
+	durable := e.cfg.Server.Durable()
 	for _, ab := range aborts {
 		ta := ab.rec.TA
 		// Roll the victim back: compensate every write it had executed. The
@@ -438,12 +451,26 @@ func (e *Engine) commitPlan(qualified []request.Request, aborts []abortOp) execP
 			e.pending.Remove(k)
 			continue
 		}
-		plan.steps = append(plan.steps, execStep{req: r})
+		step := execStep{req: r}
+		if durable && r.Op == request.Commit {
+			// Arm the commit gate before the termination row lands (and
+			// before GC can collect the write rows the count is taken from).
+			if commitWrites != nil {
+				step.expectWrites = commitWrites[r.TA]
+			} else {
+				step.expectWrites = e.hist.WriteCountOf(r.TA)
+			}
+		}
+		plan.steps = append(plan.steps, step)
 		e.hist.Append(r)
 		e.pending.Remove(k)
 	}
 	if e.cfg.GCEvery >= 0 && (e.cfg.GCEvery <= 1 || e.rounds%e.cfg.GCEvery == 0) {
 		e.hist.GC()
+		// History GC is the checkpoint trigger of the durable mode: the
+		// stores just shed finished transactions, so fold the journal into
+		// the page file too (rate-limited by journal growth inside).
+		e.cfg.Server.MaybeCheckpoint()
 	}
 	return plan
 }
@@ -458,12 +485,15 @@ func (e *Engine) execute(plan execPlan) ([]Executed, error) {
 	}
 	for _, step := range plan.steps {
 		for _, obj := range step.undo {
-			if err := e.cfg.Server.UndoWrite(obj); err != nil {
+			if err := e.cfg.Server.UndoWriteFor(step.req.TA, obj); err != nil {
 				return out, err
 			}
 		}
 		if step.noServer {
 			continue
+		}
+		if step.expectWrites > 0 {
+			e.cfg.Server.ExpectWrites(step.req.TA, step.expectWrites)
 		}
 		v, err := e.cfg.Server.ExecScheduled(step.req)
 		if step.victim {
@@ -473,6 +503,12 @@ func (e *Engine) execute(plan execPlan) ([]Executed, error) {
 			continue
 		}
 		out = append(out, Executed{Request: step.req, Value: v, Err: err})
+	}
+	// Commit-batch boundary: the durable journal flushes (and, per the
+	// group-commit policy, fsyncs) before the batch's results can reach any
+	// client. No-op on a volatile server.
+	if err := e.cfg.Server.EndBatch(); err != nil {
+		return out, err
 	}
 	return out, nil
 }

@@ -576,8 +576,18 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 	// Settle committed terminations: count cross-partition commits, release
 	// routing state, and dedupe replica copies out of the merged Qualified
 	// count (each committed request counts once, as on the single loop).
+	// On a durable server this is also where each committing transaction's
+	// global journaled-write expectation is fixed — summed across every
+	// shard's history while the sequencer is still single-threaded, before
+	// any shard appends the termination row or garbage-collects. The
+	// shards' executors run concurrently, so without this gate count a home
+	// shard could journal a commit before another shard journals one of the
+	// transaction's earlier writes, and a crash between the two would lose
+	// an acked commit's write.
 	seenKey := make(map[request.Key]bool)
 	dupCopies := 0
+	var commitWrites map[int64]int
+	durable := pe.cfg.Server.Durable()
 	for _, s := range pe.active {
 		for _, r := range pe.qual[s] {
 			if !r.Op.IsTermination() {
@@ -589,6 +599,18 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 				continue
 			}
 			seenKey[k] = true
+			if durable && r.Op == request.Commit {
+				n := 0
+				for _, sh := range pe.shards {
+					n += sh.hist.WriteCountOf(r.TA)
+				}
+				if n > 0 {
+					if commitWrites == nil {
+						commitWrites = make(map[int64]int)
+					}
+					commitWrites[r.TA] = n
+				}
+			}
 			if _, ok := pe.cross[k]; ok {
 				res.Stats.Cross++
 				delete(pe.cross, k)
@@ -599,10 +621,12 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 	pe.crossMu.Unlock()
 
 	// Stage 4 per shard — commit: replica copies enter history without
-	// server work; victim aborts compensate shard-local writes.
+	// server work; victim aborts compensate shard-local writes. The
+	// commitWrites map is read-only from here on, so the parallel shards
+	// share it safely.
 	pe.forShards(commitShards, func(s int) error {
 		e := pe.shards[s]
-		pe.plans[s] = e.commitPlan(pe.qual[s], aborts[s])
+		pe.plans[s] = e.commitPlan(pe.qual[s], aborts[s], commitWrites)
 		e.lastQualified = pe.qual[s]
 		sr := &shardRes[s]
 		sr.stats.Partition = s

@@ -1,0 +1,365 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/request"
+)
+
+func wreq(ta, obj int64) request.Request {
+	return request.Request{TA: ta, Op: request.Write, Object: obj}
+}
+
+func creq(ta int64) request.Request {
+	return request.Request{TA: ta, Op: request.Commit, Object: request.NoObject}
+}
+
+func areq(ta int64) request.Request {
+	return request.Request{TA: ta, Op: request.Abort, Object: request.NoObject}
+}
+
+func openDurable(t *testing.T, dir string, rows int) *Server {
+	t.Helper()
+	s, err := Open(Config{Rows: rows, Durable: true, Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func mustExec(t *testing.T, s *Server, r request.Request) {
+	t.Helper()
+	if _, err := s.ExecScheduled(r); err != nil {
+		t.Fatalf("ExecScheduled(%v): %v", r, err)
+	}
+}
+
+func wantRows(t *testing.T, s *Server, want map[int64]int64) {
+	t.Helper()
+	snap := s.Snapshot()
+	for i, v := range snap {
+		if v != want[int64(i)] {
+			t.Fatalf("row %d = %d, want %d", i, v, want[int64(i)])
+		}
+	}
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	mustExec(t, s, wreq(1, 3))
+	mustExec(t, s, wreq(1, 3))
+	mustExec(t, s, wreq(1, 5))
+	mustExec(t, s, creq(1))
+	mustExec(t, s, wreq(2, 0)) // uncommitted at "crash"
+	if err := s.EndBatch(); err != nil {
+		t.Fatalf("EndBatch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	wantRows(t, r, map[int64]int64{3: 2, 5: 1}) // ta2's write dropped
+	if got := r.RecoveredCommits(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RecoveredCommits = %v, want [1]", got)
+	}
+	if _, commits, _ := r.Stats(); commits != 1 {
+		t.Fatalf("recovered commits = %d, want 1", commits)
+	}
+	if s.Checksum() == r.Checksum() {
+		t.Fatalf("checksums equal but ta2's uncommitted write must be dropped")
+	}
+}
+
+func TestRecoveryDropsAborted(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	// Victim flow: write, compensate, abort.
+	mustExec(t, s, wreq(1, 2))
+	if err := s.UndoWriteFor(1, 2); err != nil {
+		t.Fatalf("UndoWriteFor: %v", err)
+	}
+	mustExec(t, s, areq(1))
+	// Voluntary abort after a write (no compensation was scheduled): the
+	// recovery contract still drops the transaction entirely.
+	mustExec(t, s, wreq(2, 4))
+	mustExec(t, s, areq(2))
+	mustExec(t, s, wreq(3, 6))
+	mustExec(t, s, creq(3))
+	s.EndBatch()
+	s.Close()
+
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	wantRows(t, r, map[int64]int64{6: 1})
+	if _, _, aborts := r.Stats(); aborts != 2 {
+		t.Fatalf("recovered aborts = %d, want 2", aborts)
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	mustExec(t, s, wreq(1, 1))
+	mustExec(t, s, creq(1))
+	mustExec(t, s, wreq(2, 2))
+	mustExec(t, s, creq(2))
+	s.EndBatch()
+	s.Close()
+
+	// Tear the file mid-way through ta2's commit record: header + 3 full
+	// records + half of the fourth.
+	path := filepath.Join(dir, journalFileName)
+	if err := os.Truncate(path, recordSize*4+recordSize/2); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	// ta1 committed inside the valid prefix; ta2's commit is torn, so its
+	// write must not survive.
+	wantRows(t, r, map[int64]int64{1: 1})
+	if got := r.Durability().TornRecords.Load(); got != 1 {
+		t.Fatalf("TornRecords = %d, want 1", got)
+	}
+}
+
+func TestCorruptMiddleRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	mustExec(t, s, wreq(1, 1))
+	mustExec(t, s, creq(1))
+	mustExec(t, s, wreq(2, 2))
+	mustExec(t, s, creq(2))
+	s.EndBatch()
+	s.Close()
+
+	// Flip a byte inside record 3 (ta2's write): everything from there on
+	// is discarded, even though the final record is intact.
+	path := filepath.Join(dir, journalFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordSize*3+10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	wantRows(t, r, map[int64]int64{1: 1})
+	if got := r.Durability().TornRecords.Load(); got != 2 {
+		t.Fatalf("TornRecords = %d, want 2 (corrupt record + the good one after it)", got)
+	}
+}
+
+func TestCrashAtProducesTornTailAndKeepsAckedCommits(t *testing.T) {
+	dir := t.TempDir()
+	// Header (32) + 2 records (64) + 7 bytes: ta1's write and commit fit,
+	// ta2's write tears.
+	s, err := Open(Config{Rows: 8, Durable: true, Dir: dir, CrashAt: recordSize*3 + 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, wreq(1, 1))
+	mustExec(t, s, creq(1)) // acked before the crash point
+	if _, err := s.ExecScheduled(wreq(2, 2)); !errors.Is(err, errJournalDead) {
+		t.Fatalf("write across the crash point: err = %v, want journal death", err)
+	}
+	if err := s.EndBatch(); !errors.Is(err, errJournalDead) {
+		t.Fatalf("EndBatch after death: err = %v, want sticky journal death", err)
+	}
+	s.Close()
+
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	wantRows(t, r, map[int64]int64{1: 1})
+	if got := r.Durability().TornRecords.Load(); got != 1 {
+		t.Fatalf("TornRecords = %d, want 1", got)
+	}
+}
+
+func TestCheckpointTailReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	mustExec(t, s, wreq(1, 1))
+	mustExec(t, s, creq(1))
+	mustExec(t, s, wreq(2, 2)) // still active at the checkpoint → ATT
+	s.EndBatch()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	mustExec(t, s, creq(2)) // ATT transaction commits in the tail
+	mustExec(t, s, wreq(3, 3))
+	mustExec(t, s, creq(3))
+	mustExec(t, s, wreq(4, 4)) // uncommitted at crash
+	s.EndBatch()
+	s.Close()
+
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	wantRows(t, r, map[int64]int64{1: 1, 2: 1, 3: 1})
+	// Only the 4 post-checkpoint records replay (c2, w3, c3, w4) — the
+	// pre-checkpoint prefix is served by the page file.
+	if got := r.Durability().ReplayedRecords.Load(); got != 4 {
+		t.Fatalf("ReplayedRecords = %d, want 4", got)
+	}
+	// ta1 committed before the checkpoint: folded, not re-enumerated.
+	if got := r.RecoveredCommits(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("RecoveredCommits = %v, want [2 3]", got)
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	mustExec(t, s, wreq(1, 1))
+	mustExec(t, s, creq(1))
+	mustExec(t, s, wreq(2, 2))
+	s.EndBatch()
+	s.Close()
+
+	r1, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := r1.Snapshot()
+	r1.Close()
+	r2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	snap2 := r2.Snapshot()
+	for i := range snap1 {
+		if snap1[i] != snap2[i] {
+			t.Fatalf("row %d: first recovery %d, second %d", i, snap1[i], snap2[i])
+		}
+	}
+	if got := r2.Durability().ReplayedRecords.Load(); got != 0 {
+		t.Fatalf("second recovery replayed %d records, want 0 (recovery checkpoints)", got)
+	}
+}
+
+func TestCommitGateWaitsForJournaledWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	defer s.Close()
+	// Simulate the partitioned race: the home shard executes ta1's commit
+	// while another shard still owes two write records.
+	s.ExpectWrites(1, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.ExecScheduled(creq(1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("commit finished before its writes were journaled (err=%v)", err)
+	default:
+	}
+	mustExec(t, s, wreq(1, 1))
+	mustExec(t, s, wreq(1, 2))
+	if err := <-done; err != nil {
+		t.Fatalf("gated commit: %v", err)
+	}
+	s.EndBatch()
+	s.Close()
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	wantRows(t, r, map[int64]int64{1: 1, 2: 1})
+}
+
+func TestCommitGateReleasedByJournalDeath(t *testing.T) {
+	dir := t.TempDir()
+	// The first append (a write crossing byte 33) kills the journal; the
+	// gated commit waiting for a second write must fail, not wedge.
+	s, err := Open(Config{Rows: 8, Durable: true, Dir: dir, CrashAt: recordSize + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectWrites(1, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.ExecScheduled(creq(1))
+		done <- err
+	}()
+	if _, err := s.ExecScheduled(wreq(1, 1)); !errors.Is(err, errJournalDead) {
+		t.Fatalf("write: err = %v, want journal death", err)
+	}
+	if err := <-done; !errors.Is(err, errJournalDead) {
+		t.Fatalf("gated commit after journal death: err = %v, want journal death", err)
+	}
+}
+
+func TestSnapshotAndForEachRow(t *testing.T) {
+	s := NewServer(Config{Rows: 4})
+	mustExec(t, s, wreq(1, 2))
+	mustExec(t, s, wreq(1, 2))
+	mustExec(t, s, wreq(1, 3))
+	snap := s.Snapshot()
+	if len(snap) != 4 || snap[2] != 2 || snap[3] != 1 || snap[0] != 0 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	var rows, sum int64
+	s.ForEachRow(func(row, val int64) bool {
+		rows++
+		sum += val
+		return true
+	})
+	if rows != 4 || sum != 3 {
+		t.Fatalf("ForEachRow visited %d rows, sum %d", rows, sum)
+	}
+	rows = 0
+	s.ForEachRow(func(row, val int64) bool {
+		rows++
+		return false
+	})
+	if rows != 1 {
+		t.Fatalf("ForEachRow ignored early stop: %d visits", rows)
+	}
+}
+
+func TestOpenRejectsRowMismatchAndVolatilePanics(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, 8)
+	s.Close()
+	if _, err := Open(Config{Rows: 16, Durable: true, Dir: dir}); err == nil {
+		t.Fatal("Open with mismatched rows must fail")
+	}
+	if _, err := Recover(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("Recover of a missing dir must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer with Durable must panic")
+		}
+	}()
+	NewServer(Config{Rows: 8, Durable: true, Dir: dir})
+}

@@ -43,6 +43,28 @@ type Config struct {
 	// benchmark make execution slow relative to qualification without
 	// burning CPU the qualification leg needs.
 	ExecDelay func(r request.Request) time.Duration
+
+	// Durable selects the durable storage mode: externally scheduled work
+	// is write-ahead journaled to Dir and survives a crash via
+	// Open/Recover. Durable servers must be built with Open, not NewServer;
+	// the internal-scheduling Session path and RunSingleUser stay volatile
+	// (they exist to measure the native scheduler, not to persist).
+	Durable bool
+	// Dir is the durable directory (journal + checkpoint page file).
+	Dir string
+	// SyncEvery is the group-commit factor: fsync the journal every n-th
+	// commit-batch boundary (0 or 1 = every batch that carried a commit;
+	// larger values trade a bounded window of acked-but-unsynced commits
+	// for fewer syncs).
+	SyncEvery int
+	// CheckpointEvery is the journal growth in bytes that makes the
+	// scheduler-triggered MaybeCheckpoint actually checkpoint (default
+	// 1 MiB).
+	CheckpointEvery int64
+	// CrashAt arms the journal's fault-injection hook: the append stream
+	// dies when it crosses this logical byte offset, leaving a torn tail
+	// exactly as a power cut would (0 = disabled). Tests only.
+	CrashAt int64
 }
 
 // Server is the storage server.
@@ -54,10 +76,18 @@ type Server struct {
 	statements atomic.Int64
 	commits    atomic.Int64
 	aborts     atomic.Int64
+
+	// dur is the durable half (journal, checkpoints, recovery bookkeeping);
+	// nil on a volatile server, which keeps the hot paths branch-cheap.
+	dur *durableState
 }
 
-// NewServer creates a server with all rows zero.
+// NewServer creates a volatile server with all rows zero. Durable
+// configurations must go through Open (which can fail).
 func NewServer(cfg Config) *Server {
+	if cfg.Durable {
+		panic("storage: NewServer cannot build a durable server; use Open")
+	}
 	if cfg.Rows <= 0 {
 		cfg.Rows = 1
 	}
@@ -90,6 +120,27 @@ func (s *Server) Checksum() int64 {
 
 // Get reads a row without any locking (diagnostics only).
 func (s *Server) Get(row int64) int64 { return s.table[row].Load() }
+
+// Snapshot copies the full table — row-exact state comparison for recovery
+// verification and future replication, where Checksum's fold would hide
+// compensating errors.
+func (s *Server) Snapshot() []int64 {
+	out := make([]int64, len(s.table))
+	for i := range s.table {
+		out[i] = s.table[i].Load()
+	}
+	return out
+}
+
+// ForEachRow calls f for every row in ascending order until f returns
+// false — the iterator form of Snapshot, allocation-free.
+func (s *Server) ForEachRow(f func(row, val int64) bool) {
+	for i := range s.table {
+		if !f(int64(i), s.table[i].Load()) {
+			return
+		}
+	}
+}
 
 func (s *Server) work() {
 	// Volatile-ish spin so the loop is not optimised away.
@@ -192,26 +243,50 @@ func (s *Server) ExecScheduled(r request.Request) (int64, error) {
 	}
 	switch r.Op {
 	case request.Commit:
+		if s.dur != nil {
+			if err := s.dur.commitTA(r.TA); err != nil {
+				return 0, err
+			}
+		}
 		s.commits.Add(1)
 		return 0, nil
 	case request.Abort:
+		if s.dur != nil {
+			if err := s.dur.abortTA(r.TA); err != nil {
+				return 0, err
+			}
+		}
 		s.aborts.Add(1)
 		return 0, nil
 	default:
-		return s.apply(r)
+		v, err := s.apply(r)
+		if s.dur != nil && r.Op == request.Write {
+			if jerr := s.dur.noteWrite(r.TA, r.Object, err == nil); jerr != nil {
+				return v, jerr
+			}
+		}
+		return v, err
 	}
 }
 
-// UndoWrite compensates one executed write of an aborting transaction
+// UndoWriteFor compensates one executed write of aborting transaction ta
 // (writes are increments, so undo is an exact decrement). The scheduler
-// calls this for each write a deadlock victim had already executed.
-func (s *Server) UndoWrite(object int64) error {
+// calls this for each write a deadlock victim had already executed; in
+// durable mode the compensation is journaled against ta.
+func (s *Server) UndoWriteFor(ta, object int64) error {
 	if object < 0 || object >= int64(s.cfg.Rows) {
 		return fmt.Errorf("storage: undo object %d out of range [0,%d)", object, s.cfg.Rows)
 	}
 	s.table[object].Add(-1)
+	if s.dur != nil {
+		return s.dur.undoWrite(ta, object)
+	}
 	return nil
 }
+
+// UndoWrite is UndoWriteFor without transaction attribution (volatile
+// callers that predate the journal).
+func (s *Server) UndoWrite(object int64) error { return s.UndoWriteFor(0, object) }
 
 // ExecBatch executes a scheduled batch back to back ("executed as a batch
 // job, whereby we expect a performance improvement").

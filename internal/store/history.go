@@ -116,6 +116,20 @@ func (s *History) WritesOf(ta int64) []int64 {
 	return out
 }
 
+// WriteCountOf returns how many executed writes ta has in the live history,
+// without materialising them — the durable journal's commit gate uses it
+// (a commit record may not be journaled before that many of ta's write
+// records are). O(|TA's rows|), allocation-free.
+func (s *History) WriteCountOf(ta int64) int {
+	n := 0
+	for _, pos := range s.byTA[ta] {
+		if s.live[pos].Op == request.Write {
+			n++
+		}
+	}
+	return n
+}
+
 // GC removes every request belonging to a finished transaction, logging each
 // as HistoryRemoved, and returns how many were removed. The execution log is
 // unaffected. A pass visits only the transactions that terminated since the
