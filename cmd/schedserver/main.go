@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -36,6 +37,12 @@ func main() {
 	syncEvery := flag.Int("sync-every", 1, "fsync the journal every N commit batches (group commit)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-connection read deadline (0 = none)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle for this long (0 = never)")
+	maxQueued := flag.Int("max-queued", 4096, "admission cap: reject new transactions with BUSY beyond this many unanswered submissions (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "per-connection inflight cap on the multiplexed protocol (0 = default)")
+	shedBudget := flag.Duration("shed-budget", 0, "shed low-priority work when qualify latency exceeds this budget, everything past 2x (0 = no shedding)")
+	resubmitWindow := flag.Int("resubmit-window", 65536, "remember terminal outcomes of this many transactions for idempotent reconnect-resubmit (0 = off)")
+	starveAfter := flag.Int("starve-after", 0, "abort transactions whose oldest pending request waited this many rounds (0 = default bound, negative = never)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for finishing admitted work")
 	flag.Parse()
 
 	mkProto := func() protocol.Protocol {
@@ -68,10 +75,19 @@ func main() {
 		log.Fatal(err)
 	}
 	trig := scheduler.HybridTrigger{Level: *fill, Every: *every}
+	base := scheduler.Config{
+		Protocol:           proto,
+		Server:             srv,
+		MaxQueued:          *maxQueued,
+		MaxInflightPerConn: *maxInflight,
+		ShedLatencyBudget:  *shedBudget,
+		ResubmitWindow:     *resubmitWindow,
+		StarveAfter:        *starveAfter,
+	}
 	var mw *scheduler.Middleware
 	if *partitions > 1 {
 		parted, err := scheduler.NewPartitionedEngine(scheduler.PartitionedConfig{
-			Base:       scheduler.Config{Protocol: proto, Server: srv},
+			Base:       base,
 			Partitions: *partitions,
 			Factory:    mkProto,
 		})
@@ -80,7 +96,7 @@ func main() {
 		}
 		mw = scheduler.NewPartitionedMiddleware(parted, trig, metrics.NewCollector())
 	} else {
-		engine, err := scheduler.NewEngine(scheduler.Config{Protocol: proto, Server: srv})
+		engine, err := scheduler.NewEngine(base)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,12 +116,18 @@ func main() {
 		fmt.Printf("durable storage in %s (sync every %d commit batches)\n", *dir, *syncEvery)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	// Graceful drain on SIGTERM/SIGINT: stop accepting (GOAWAY to mux
+	// clients), reject new transactions with SHUTTING_DOWN while admitted
+	// work runs to termination (bounded by -drain-timeout), then close the
+	// storage server so the journal's final fsync covers everything
+	// acknowledged.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nshutting down")
+	fmt.Println("\ndraining: rejecting new work, finishing admitted transactions")
+	s.StopAccepting()
+	mw.DrainAndStop(*drainTimeout)
 	s.Close()
-	mw.Stop()
 	if err := srv.Close(); err != nil {
 		log.Printf("storage close: %v", err)
 	}

@@ -68,6 +68,10 @@ func (h *Histogram) Max() int64 {
 func (h *Histogram) Quantile(q float64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -86,6 +90,37 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.max
+}
+
+// HistogramSnapshot is a point-in-time view of one histogram: the counters
+// and the tail quantiles, captured atomically.
+type HistogramSnapshot struct {
+	Count int64
+	Mean  int64
+	Max   int64
+	P50   int64
+	P90   int64
+	P99   int64
+	P999  int64
+}
+
+// Snapshot captures the histogram's counters and quantiles atomically.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.snapshotLocked()
+}
+
+func (h *Histogram) snapshotLocked() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / h.count
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	s.P999 = h.quantileLocked(0.999)
+	return s
 }
 
 // RoundStats describes one scheduling round.
@@ -218,6 +253,10 @@ type Summary struct {
 func (c *Collector) Summarise() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.summariseLocked()
+}
+
+func (c *Collector) summariseLocked() Summary {
 	s := Summary{Rounds: len(c.rounds), Executed: c.executed, Aborted: c.aborted}
 	if len(c.rounds) == 0 {
 		return s
@@ -242,6 +281,42 @@ func (c *Collector) Summarise() Summary {
 	s.MeanRoundDuration = dur / time.Duration(n)
 	s.TotalRoundTime = dur
 	return s
+}
+
+// Snapshot is one consistent view of a Collector: the aggregate summary and
+// both histograms, captured in a single critical section.
+type Snapshot struct {
+	Summary Summary
+	Latency HistogramSnapshot // per-request middleware latency (ns)
+	Exec    HistogramSnapshot // per-batch server execution time (ns)
+}
+
+// Snapshot captures the round counters and both histograms while holding all
+// three locks at once, so concurrent observers (the STATS wire command, the
+// load harness's mid-run scrapes) never see torn state — e.g. an executed
+// count from one round paired with a latency count from the previous one.
+// Lock order is collector then histograms; nothing acquires the other way,
+// so the nesting cannot deadlock.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Latency.mu.Lock()
+	defer c.Latency.mu.Unlock()
+	c.Exec.mu.Lock()
+	defer c.Exec.mu.Unlock()
+	return Snapshot{
+		Summary: c.summariseLocked(),
+		Latency: c.Latency.snapshotLocked(),
+		Exec:    c.Exec.snapshotLocked(),
+	}
+}
+
+// String renders the snapshot as one STATS line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("%s latency_p50=%s latency_p99=%s latency_p999=%s exec_batches=%d exec_p99=%s",
+		s.Summary,
+		time.Duration(s.Latency.P50), time.Duration(s.Latency.P99), time.Duration(s.Latency.P999),
+		s.Exec.Count, time.Duration(s.Exec.P99))
 }
 
 // PartitionSummary is one shard's aggregate view under the partitioned

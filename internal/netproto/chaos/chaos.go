@@ -1,0 +1,231 @@
+// Package chaos is a wire-level fault-injection proxy for the scheduler's
+// network front end: it sits between clients and a netproto server and
+// perturbs the byte streams — injected latency, stalled reads, mid-response
+// connection kills, torn frames and corrupted bytes — so the protocol's
+// robustness claims (every request one terminal outcome, reconnect-resubmit
+// idempotent, CRC catches corruption) are tested against the failures that
+// actually happen on networks, the same way the storage crash matrix tests
+// the journal against torn writes.
+//
+// The proxy deliberately knows nothing about the frame format: faults land
+// at arbitrary byte boundaries, which is exactly what makes torn frames
+// interesting.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-chunk fault probabilities. A "chunk" is one read off one
+// direction of one proxied connection (up to a few KiB), so probabilities
+// compose over a connection's lifetime: small per-chunk rates yield frequent
+// whole-connection faults under sustained load. The zero value forwards
+// bytes untouched.
+type Config struct {
+	// Seed makes a run's fault schedule reproducible (each connection
+	// derives its own stream from it deterministically).
+	Seed uint64
+	// LatencyP delays a chunk by a uniform duration up to MaxLatency.
+	LatencyP   float64
+	MaxLatency time.Duration
+	// StallP holds a chunk for StallFor before forwarding — long enough to
+	// trip client round-trip timeouts, unlike ordinary latency.
+	StallP   float64
+	StallFor time.Duration
+	// KillP closes both sides mid-stream: the classic lost-response fault.
+	KillP float64
+	// TearP forwards a prefix of the chunk, then kills the connection — a
+	// torn frame, detected by the receiver as a short read or CRC mismatch.
+	TearP float64
+	// CorruptP flips one byte of the chunk — caught by the frame CRC.
+	CorruptP float64
+}
+
+// Stats counts the faults a proxy injected.
+type Stats struct {
+	Conns, Delays, Stalls, Kills, Tears, Corruptions int64
+}
+
+// Proxy is one listening fault injector in front of a target address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	cfg    Config
+
+	conns, delays, stalls, kills, tears, corruptions atomic.Int64
+	nextConn                                         atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	live   map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on 127.0.0.1 forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, cfg: cfg, live: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address — point clients here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns the fault counters so tests can assert the schedule they
+// configured actually fired.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:       p.conns.Load(),
+		Delays:      p.delays.Load(),
+		Stalls:      p.stalls.Load(),
+		Kills:       p.kills.Load(),
+		Tears:       p.tears.Load(),
+		Corruptions: p.corruptions.Load(),
+	}
+}
+
+// Close stops the proxy and severs every proxied connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.live {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.live[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.live, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.conns.Add(1)
+		id := p.nextConn.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(client, id)
+		}()
+	}
+}
+
+// serve proxies one connection with two fault-injecting pumps. Either pump
+// killing the pair ends both.
+func (p *Proxy) serve(client net.Conn, id uint64) {
+	defer client.Close()
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	if !p.track(client) || !p.track(server) {
+		return
+	}
+	defer p.untrack(client)
+	defer p.untrack(server)
+
+	// Each direction gets its own deterministic fault stream derived from
+	// the seed and connection ID, so a failing schedule replays exactly.
+	var wg sync.WaitGroup
+	kill := func() {
+		client.Close()
+		server.Close()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pump(server, client, rand.NewPCG(p.cfg.Seed, id*2), kill)
+	}()
+	go func() {
+		defer wg.Done()
+		p.pump(client, server, rand.NewPCG(p.cfg.Seed, id*2+1), kill)
+	}()
+	wg.Wait()
+}
+
+// pump copies src to dst, injecting the configured faults per chunk.
+func (p *Proxy) pump(dst, src net.Conn, pcg *rand.PCG, kill func()) {
+	rng := rand.New(pcg)
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			switch {
+			case p.roll(rng, p.cfg.KillP):
+				p.kills.Add(1)
+				kill()
+				return
+			case p.roll(rng, p.cfg.TearP):
+				p.tears.Add(1)
+				if cut := n / 2; cut > 0 {
+					dst.Write(chunk[:cut])
+				}
+				kill()
+				return
+			case p.roll(rng, p.cfg.CorruptP):
+				p.corruptions.Add(1)
+				chunk[rng.IntN(n)] ^= 0xff
+			case p.roll(rng, p.cfg.StallP) && p.cfg.StallFor > 0:
+				p.stalls.Add(1)
+				time.Sleep(p.cfg.StallFor)
+			case p.roll(rng, p.cfg.LatencyP) && p.cfg.MaxLatency > 0:
+				p.delays.Add(1)
+				time.Sleep(time.Duration(rng.Int64N(int64(p.cfg.MaxLatency))))
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				kill()
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				kill()
+				return
+			}
+			// Half-close: propagate the write-side shutdown when possible so
+			// the peer sees EOF, keeping the other direction alive.
+			if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite()
+			} else {
+				kill()
+			}
+			return
+		}
+	}
+}
+
+func (p *Proxy) roll(rng *rand.Rand, prob float64) bool {
+	return prob > 0 && rng.Float64() < prob
+}

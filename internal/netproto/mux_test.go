@@ -1,0 +1,258 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/request"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+)
+
+// startMuxServer brings up a middleware with the resubmit cache on (the
+// production configuration of the mux front end).
+func startMuxServer(t *testing.T, cfgTweak func(*scheduler.Config)) (*Server, *storage.Server, *scheduler.Middleware) {
+	t.Helper()
+	srv := storage.NewServer(storage.Config{Rows: 256})
+	cfg := scheduler.Config{
+		Protocol:       protocol.SS2PLDatalog(),
+		Server:         srv,
+		KeepLog:        true,
+		ResubmitWindow: 4096,
+	}
+	if cfgTweak != nil {
+		cfgTweak(&cfg)
+	}
+	engine, err := scheduler.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := scheduler.NewMiddleware(engine, scheduler.HybridTrigger{Level: 4, Every: time.Millisecond}, metrics.NewCollector())
+	mw.Start()
+	s, err := Listen("127.0.0.1:0", mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		mw.Stop()
+	})
+	return s, srv, mw
+}
+
+func TestMuxManyLogicalClientsOneConn(t *testing.T) {
+	s, srv, _ := startMuxServer(t, nil)
+	c, err := DialMux(s.Addr(), MuxOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 32 logical clients share one connection; each runs sequential
+	// transactions incrementing its own row, so responses interleave across
+	// clients (out-of-order on the wire) while each client's view stays
+	// ordered.
+	const clients, txns = 32, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; n < txns; n++ {
+				ta := int64(1 + id*txns + n)
+				tx := request.NewBuilder(ta, nil).Write(int64(id)).Commit()
+				if aborted, err := c.RunTransaction(tx); err != nil {
+					errs <- fmt.Errorf("client %d txn %d: %v", id, n, err)
+					return
+				} else if aborted {
+					errs <- fmt.Errorf("client %d txn %d aborted on disjoint row", id, n)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i := 0; i < clients; i++ {
+		if got := srv.Get(int64(i)); got != txns {
+			t.Errorf("row %d = %d, want %d", i, got, txns)
+		}
+	}
+}
+
+func TestMuxBatchSubmission(t *testing.T) {
+	s, srv, _ := startMuxServer(t, nil)
+	c, err := DialMux(s.Addr(), MuxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Independent single-write transactions in one wire frame.
+	var reqs []request.Request
+	for ta := int64(1); ta <= 8; ta++ {
+		reqs = append(reqs, request.Request{TA: ta, IntraTA: 0, Op: request.Write, Object: 100 + ta})
+	}
+	res, err := c.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+	}
+	for ta := int64(1); ta <= 8; ta++ {
+		if _, err := c.Submit(request.Request{TA: ta, IntraTA: 1, Op: request.Commit, Object: request.NoObject}); err != nil {
+			t.Fatalf("commit %d: %v", ta, err)
+		}
+	}
+	for ta := int64(1); ta <= 8; ta++ {
+		if srv.Get(100+ta) != 1 {
+			t.Errorf("row %d = %d, want 1", 100+ta, srv.Get(100+ta))
+		}
+	}
+}
+
+func TestMuxPingStatsAndLineCoexist(t *testing.T) {
+	s, _, _ := startMuxServer(t, nil)
+
+	mc, err := DialMux(s.Addr(), MuxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	if err := mc.Ping(); err != nil {
+		t.Fatalf("mux ping: %v", err)
+	}
+
+	// The same port still speaks the line protocol.
+	lc, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.Ping(); err != nil {
+		t.Fatalf("line ping: %v", err)
+	}
+
+	if _, err := mc.Submit(request.Request{TA: 9, Op: request.Write, Object: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Submit(request.Request{TA: 9, IntraTA: 1, Op: request.Commit, Object: request.NoObject}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == "" {
+		t.Fatal("empty mux stats")
+	}
+}
+
+func TestMuxReconnectResubmitIsIdempotent(t *testing.T) {
+	s, srv, _ := startMuxServer(t, nil)
+	c, err := DialMux(s.Addr(), MuxOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Execute a write, then kill the connection underneath the client and
+	// resubmit the same (TA, IntraTA): the resubmit cache must answer
+	// without executing twice.
+	if _, err := c.Submit(request.Request{TA: 5, Op: request.Write, Object: 42}); err != nil {
+		t.Fatal(err)
+	}
+	c.forceReconnect()
+	if _, err := c.Submit(request.Request{TA: 5, IntraTA: 0, Op: request.Write, Object: 42}); err != nil {
+		t.Fatalf("resubmit after reconnect: %v", err)
+	}
+	if _, err := c.Submit(request.Request{TA: 5, IntraTA: 1, Op: request.Commit, Object: request.NoObject}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Get(42); got != 1 {
+		t.Errorf("row 42 = %d after idempotent resubmit, want 1", got)
+	}
+}
+
+func TestMuxGoawayOnStopAccepting(t *testing.T) {
+	s, _, mw := startMuxServer(t, nil)
+	c, err := DialMux(s.Addr(), MuxOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	s.StopAccepting()
+	mw.BeginDrain()
+
+	// The goaway is asynchronous; once observed, new submissions fail with
+	// ErrShuttingDown client-side. Until then the drain rejects them
+	// server-side with the same error.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Submit(request.Request{TA: 77, Op: request.Write, Object: 1})
+		if errors.Is(err, ErrShuttingDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit after drain: got %v, want ErrShuttingDown", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMuxBusyOnInflightCap(t *testing.T) {
+	// Cap the per-conn inflight at 1 and wedge the scheduler behind a slow
+	// trigger so the first request parks; the second must bounce with BUSY
+	// (and the NoRetry client surfaces it).
+	s, _, _ := startMuxServer(t, func(cfg *scheduler.Config) {
+		cfg.MaxInflightPerConn = 1
+	})
+	c, err := DialMux(s.Addr(), MuxOptions{Timeout: 5 * time.Second, NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two writes of one transaction launched together: at most one can be
+	// inflight. Retry the race a few times — scheduling may answer the
+	// first before the second arrives.
+	sawBusy := false
+	for round := 0; round < 20 && !sawBusy; round++ {
+		ta := int64(1000 + round)
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = c.Submit(request.Request{TA: ta, IntraTA: int64(i), Op: request.Write, Object: int64(200 + i)})
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if errors.Is(err, ErrBusy) {
+				sawBusy = true
+			}
+		}
+		c.Submit(request.Request{TA: ta, IntraTA: 2, Op: request.Abort, Object: request.NoObject})
+	}
+	if !sawBusy {
+		t.Error("never observed BUSY under a 1-request inflight cap")
+	}
+}

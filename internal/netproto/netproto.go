@@ -8,21 +8,35 @@
 //	                   STATS
 //	server -> client:  OK <value>      the request executed
 //	                   ABORTED         the transaction was a deadlock victim
+//	                   BUSY <ms>       admission control rejected the request;
+//	                                   retry after the hinted backoff
+//	                   SHUTTING_DOWN   the server is draining; go elsewhere
 //	                   ERR <message>   malformed request or scheduler failure
 //	                   PONG            reply to PING
 //	                   STATS <summary> one-line scheduler summary (rounds,
-//	                                   executed, strategies), for smoke tests
-//	                                   and operational probes
+//	                                   executed, latency tails, strategies),
+//	                                   captured as a single consistent
+//	                                   snapshot, for smoke tests and
+//	                                   operational probes
 //
 // op is one of r, w, c, a (paper Table 2). Each connection is one client
 // worker: requests on a connection are processed strictly in order, blocking
 // until the scheduler executes them — exactly the paper's client model.
+//
+// The same port also speaks a multiplexed binary protocol (see frame.go):
+// the server peeks the first byte of a connection — binary frames start with
+// 0x00, line commands with an ASCII letter — and dispatches. MuxClient
+// carries many concurrent logical clients over one connection with
+// out-of-order responses matched by correlation ID; that is the
+// production-connection-count path, while the line protocol stays for
+// debuggability (smoke tests drive it from bash).
 package netproto
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"strconv"
 	"strings"
@@ -36,6 +50,16 @@ import (
 // ErrAborted is returned by Client.Submit when the server reports the
 // transaction was aborted as a deadlock victim.
 var ErrAborted = errors.New("netproto: transaction aborted by scheduler")
+
+// ErrBusy is returned when the server's admission control rejected the
+// request and the client's retry budget is exhausted (or retries are
+// disabled). The transaction was never admitted — nothing to clean up.
+var ErrBusy = errors.New("netproto: server busy")
+
+// ErrShuttingDown is returned when the server is draining: it will finish
+// admitted work but accepts nothing new. Clients should fail over, not
+// retry.
+var ErrShuttingDown = errors.New("netproto: server shutting down")
 
 // Options configures a server's connection handling. The zero value keeps
 // the original behaviour: no deadlines, connections live until they close
@@ -60,9 +84,11 @@ type Server struct {
 	ln   net.Listener
 	opts Options
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	muxConns map[*muxConn]struct{}
+	wg       sync.WaitGroup
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") with no deadlines.
@@ -76,7 +102,13 @@ func ListenOpts(addr string, mw *scheduler.Middleware, opts Options) (*Server, e
 	if err != nil {
 		return nil, fmt.Errorf("netproto: %w", err)
 	}
-	s := &Server{mw: mw, ln: ln, opts: opts}
+	s := &Server{
+		mw:       mw,
+		ln:       ln,
+		opts:     opts,
+		conns:    make(map[net.Conn]struct{}),
+		muxConns: make(map[*muxConn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -85,15 +117,71 @@ func ListenOpts(addr string, mw *scheduler.Middleware, opts Options) (*Server, e
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and closes the listener; in-flight connections
-// finish their current request and terminate.
+// StopAccepting begins the graceful drain: the listener closes (connection
+// attempts are refused) and every multiplexed connection is sent GOAWAY so
+// its clients stop submitting here. Existing connections stay up — admitted
+// work still needs its responses. The full drain sequence is StopAccepting,
+// then Middleware.DrainAndStop, then Close.
+func (s *Server) StopAccepting() {
+	s.ln.Close()
+	s.mu.Lock()
+	for mc := range s.muxConns {
+		mc.goaway()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops accepting, force-closes the remaining connections and waits
+// for their workers to exit. For a graceful shutdown, drain first (see
+// StopAccepting).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection for Close's force-close sweep; it
+// refuses (and closes) connections that raced past a concurrent Close.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// trackMux additionally registers a mux connection for StopAccepting's
+// GOAWAY broadcast.
+func (s *Server) trackMux(mc *muxConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.muxConns[mc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackMux(mc *muxConn) {
+	s.mu.Lock()
+	delete(s.muxConns, mc)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -115,7 +203,30 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+
+	// Protocol dispatch: a binary frame's length field starts with 0x00
+	// (frames are capped far below 16 MiB), a line command with an ASCII
+	// letter.
+	if wait := s.opts.IdleTimeout; wait > 0 {
+		conn.SetReadDeadline(time.Now().Add(wait))
+	} else if s.opts.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+	}
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == 0x00 {
+		s.serveMux(conn, br)
+		return
+	}
+
+	sc := bufio.NewScanner(br)
 	w := bufio.NewWriter(conn)
 	reply := func(line string) bool {
 		if s.opts.WriteTimeout > 0 {
@@ -147,9 +258,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		case line == "STATS":
-			sum := s.mw.Collector().Summarise()
-			stats := "STATS " + sum.String()
-			if strat := sum.StrategyString(); strat != "" {
+			// One consistent snapshot: counters and latency tails captured
+			// under a single critical section, so mid-run scrapes never see
+			// torn state.
+			snap := s.mw.Collector().Snapshot()
+			stats := "STATS " + snap.String()
+			if strat := snap.Summary.StrategyString(); strat != "" {
 				stats += " strategies[" + strat + "]"
 			}
 			if !reply(stats) {
@@ -169,6 +283,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			switch {
 			case errors.Is(res.Err, scheduler.ErrTxnAborted):
 				if !reply("ABORTED") {
+					return
+				}
+			case errors.Is(res.Err, scheduler.ErrBusy):
+				var be *scheduler.BusyError
+				ms := int64(10)
+				if errors.As(res.Err, &be) && be.RetryAfter.Milliseconds() > 0 {
+					ms = be.RetryAfter.Milliseconds()
+				}
+				if !reply("BUSY " + strconv.FormatInt(ms, 10)) {
+					return
+				}
+			case errors.Is(res.Err, scheduler.ErrShuttingDown), errors.Is(res.Err, scheduler.ErrStopped):
+				if !reply("SHUTTING_DOWN") {
 					return
 				}
 			case res.Err != nil:
@@ -220,19 +347,53 @@ func parseReq(line string) (request.Request, error) {
 	return r, nil
 }
 
+// DefaultTimeout bounds every client round-trip out of the box: a dead or
+// wedged server yields a timeout error instead of hanging the caller
+// forever. NoTimeout restores unbounded waits for debugging sessions.
+const DefaultTimeout = 30 * time.Second
+
+// DefaultRetryBudget is the number of BUSY-backoff (or reconnect) retries a
+// Submit spends before giving up.
+const DefaultRetryBudget = 8
+
+// defaultMaxBackoff caps the client-side exponential backoff.
+const defaultMaxBackoff = 250 * time.Millisecond
+
 // Client is one connection to the scheduler. It is not safe for concurrent
-// use: like a database connection, it carries one request at a time.
+// use: like a database connection, it carries one request at a time. For
+// many concurrent logical clients over one connection, use MuxClient.
+//
+// Robustness defaults: round-trips time out after DefaultTimeout, and BUSY
+// rejections are retried with capped exponential backoff plus jitter,
+// honoring the server's retry-after hint. Reconnect-with-resubmit is opt-in
+// (SetReconnect) because it requires the server's resubmit cache for
+// idempotency.
 type Client struct {
-	conn    net.Conn
-	r       *bufio.Reader
-	w       *bufio.Writer
-	timeout time.Duration
+	addr      string
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	timeout   time.Duration
+	budget    int
+	reconnect bool
 }
 
-// SetTimeout bounds every subsequent round-trip (write plus reply read):
-// instead of hanging on a dead or wedged server, Submit, Ping and Stats
-// return a timeout error. Zero restores unbounded waits.
+// SetTimeout bounds every subsequent round-trip (write plus reply read).
+// Zero means unbounded; the dialed default is DefaultTimeout.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// NoTimeout removes the round-trip deadline: the explicit escape hatch for
+// debuggers and very long synchronous waits.
+func (c *Client) NoTimeout() { c.timeout = 0 }
+
+// SetRetry sets how many times Submit retries a BUSY rejection (and, with
+// SetReconnect, a broken connection) before giving up. 0 disables retries.
+func (c *Client) SetRetry(budget int) { c.budget = budget }
+
+// SetReconnect enables redial-and-resubmit on connection errors. The
+// resubmit is idempotent only when the server runs with a resubmit window
+// (Config.ResubmitWindow > 0), which the schedserver front end does.
+func (c *Client) SetReconnect(on bool) { c.reconnect = on }
 
 // arm sets the connection deadline for one round-trip.
 func (c *Client) arm() {
@@ -249,7 +410,43 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netproto: %w", err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{
+		addr:    addr,
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		timeout: DefaultTimeout,
+		budget:  DefaultRetryBudget,
+	}, nil
+}
+
+// redial replaces the connection after a network error.
+func (c *Client) redial() error {
+	c.conn.Close()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
+
+// backoffWait sleeps for the larger of the server's retry-after hint and the
+// client's own capped exponential backoff, with jitter so synchronized
+// rejected clients do not return in lockstep.
+func backoffWait(hint time.Duration, attempt int) {
+	d := time.Millisecond << uint(attempt)
+	if d > defaultMaxBackoff {
+		d = defaultMaxBackoff
+	}
+	if hint > d {
+		d = hint
+	}
+	// ±50% jitter.
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	time.Sleep(d)
 }
 
 // Close terminates the connection.
@@ -301,37 +498,80 @@ func (c *Client) Stats() (string, error) {
 
 // Submit sends one request and blocks until the scheduler executed it.
 // It returns the server-side result value, ErrAborted if the transaction was
-// a deadlock victim, or a protocol error.
+// a deadlock victim, ErrBusy if admission control rejected it beyond the
+// retry budget, ErrShuttingDown if the server is draining, or a protocol
+// error. BUSY rejections are retried transparently (see SetRetry); broken
+// connections are redialed and the request resubmitted when SetReconnect is
+// on.
 func (c *Client) Submit(r request.Request) (int64, error) {
+	for attempt := 0; ; attempt++ {
+		v, hint, err := c.submitOnce(r)
+		switch {
+		case err == nil:
+			return v, nil
+		case errors.Is(err, ErrBusy) && attempt < c.budget:
+			backoffWait(hint, attempt)
+		case c.reconnect && attempt < c.budget && isNetError(err):
+			if c.redial() != nil {
+				backoffWait(0, attempt)
+				if c.redial() != nil {
+					return 0, err
+				}
+			}
+		default:
+			return 0, err
+		}
+	}
+}
+
+// isNetError reports whether err came from the transport rather than the
+// protocol — only those are safe (and useful) to heal by reconnecting.
+func isNetError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed) ||
+		strings.Contains(err.Error(), "connection reset") ||
+		strings.Contains(err.Error(), "broken pipe") ||
+		strings.Contains(err.Error(), "EOF")
+}
+
+func (c *Client) submitOnce(r request.Request) (int64, time.Duration, error) {
 	c.arm()
 	line := fmt.Sprintf("REQ %d %d %s %d", r.TA, r.IntraTA, r.Op, r.Object)
 	if r.Priority != 0 {
 		line += " " + strconv.FormatInt(r.Priority, 10)
 	}
 	if _, err := c.w.WriteString(line + "\n"); err != nil {
-		return 0, fmt.Errorf("netproto: submit: %w", err)
+		return 0, 0, fmt.Errorf("netproto: submit: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return 0, fmt.Errorf("netproto: submit: %w", err)
+		return 0, 0, fmt.Errorf("netproto: submit: %w", err)
 	}
 	reply, err := c.r.ReadString('\n')
 	if err != nil {
-		return 0, fmt.Errorf("netproto: submit: %w", err)
+		return 0, 0, fmt.Errorf("netproto: submit: %w", err)
 	}
 	reply = strings.TrimSpace(reply)
 	switch {
 	case strings.HasPrefix(reply, "OK "):
 		v, err := strconv.ParseInt(reply[3:], 10, 64)
 		if err != nil {
-			return 0, fmt.Errorf("netproto: bad OK value %q", reply)
+			return 0, 0, fmt.Errorf("netproto: bad OK value %q", reply)
 		}
-		return v, nil
+		return v, 0, nil
 	case reply == "ABORTED":
-		return 0, ErrAborted
+		return 0, 0, ErrAborted
+	case strings.HasPrefix(reply, "BUSY "):
+		ms, err := strconv.ParseInt(reply[5:], 10, 64)
+		if err != nil {
+			ms = 10
+		}
+		return 0, time.Duration(ms) * time.Millisecond, ErrBusy
+	case reply == "SHUTTING_DOWN":
+		return 0, 0, ErrShuttingDown
 	case strings.HasPrefix(reply, "ERR "):
-		return 0, errors.New("netproto: server: " + reply[4:])
+		return 0, 0, errors.New("netproto: server: " + reply[4:])
 	default:
-		return 0, fmt.Errorf("netproto: unexpected reply %q", reply)
+		return 0, 0, fmt.Errorf("netproto: unexpected reply %q", reply)
 	}
 }
 

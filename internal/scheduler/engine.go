@@ -76,6 +76,34 @@ type Config struct {
 	// control is operator policy, not protocol blocking. 0 selects
 	// DefaultStarveAfter; negative disables the bound.
 	StarveAfter int
+
+	// The remaining fields bound the Middleware front-end (they are ignored
+	// by a bare Engine, whose caller controls admission directly).
+
+	// MaxQueued caps how many submissions may be admitted but not yet
+	// answered. At the cap, new transactions are rejected with a BusyError
+	// (carrying a retry-after hint) instead of growing the queue without
+	// bound; requests of already-admitted transactions are always let in, so
+	// an admitted transaction can always run to termination. 0 = unlimited.
+	MaxQueued int
+	// MaxInflightPerConn caps the unanswered requests of one network
+	// connection on the multiplexed wire protocol (netproto reads it via
+	// Middleware.Limits). 0 selects the netproto default.
+	MaxInflightPerConn int
+	// ShedLatencyBudget enables server-side load shedding: when the
+	// qualify-latency EWMA exceeds the budget, new lowest-priority
+	// transactions (Priority <= 0) are rejected with BusyError; beyond twice
+	// the budget every new transaction is shed. Admitted work is never
+	// dropped — shedding happens strictly before admission. 0 disables.
+	ShedLatencyBudget time.Duration
+	// ResubmitWindow enables the idempotent-resubmit cache: results of
+	// executed requests are remembered until their transaction terminates,
+	// and terminal outcomes of the last ResubmitWindow transactions are kept
+	// so a client that reconnects and resubmits (its response was lost on
+	// the wire) gets the recorded answer instead of executing twice.
+	// 0 disables the cache (the default for embedded/benchmark use; the
+	// network front end turns it on).
+	ResubmitWindow int
 }
 
 // DefaultStarveAfter is the default waiting-age bound in rounds. Rounds are

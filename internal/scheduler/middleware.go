@@ -2,7 +2,9 @@ package scheduler
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -18,9 +20,48 @@ var ErrTxnAborted = errors.New("scheduler: transaction aborted as deadlock victi
 // flight.
 var ErrStopped = errors.New("scheduler: middleware stopped")
 
+// ErrBusy marks admission-control rejections: the submission queue is full or
+// the scheduler is shedding load. The concrete error is a *BusyError carrying
+// a retry-after hint; errors.Is(err, ErrBusy) matches it. A busy-rejected
+// request never entered the scheduler: it is not queued, not pending, not in
+// history and not journaled.
+var ErrBusy = errors.New("scheduler: busy, retry later")
+
+// ErrShuttingDown rejects new transactions while the middleware drains:
+// admitted transactions run to termination, new ones must go elsewhere.
+var ErrShuttingDown = errors.New("scheduler: shutting down")
+
+// ErrTxnFinished answers a resubmitted non-termination request of a
+// transaction that already committed — the original result is gone, but the
+// request certainly executed (a client only reaches commit after every
+// earlier request was acknowledged).
+var ErrTxnFinished = errors.New("scheduler: transaction already terminated")
+
 // errSuperseded answers a client whose (TA, IntraTA) request was resubmitted
 // before the first submission was answered; the newest submission wins.
 var errSuperseded = errors.New("scheduler: request superseded by a duplicate submission")
+
+// BusyError is the admission-control rejection: the queue cap or the shedding
+// policy refused the request. RetryAfter is the server's backoff hint, scaled
+// by the current round latency and queue pressure.
+type BusyError struct{ RetryAfter time.Duration }
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("scheduler: busy, retry after %s", e.RetryAfter)
+}
+
+// Is matches ErrBusy, so callers test rejection with errors.Is.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// Limits bounds the middleware's admission (see the Config fields of the same
+// names). The zero value means unlimited.
+type Limits struct {
+	MaxQueued          int
+	MaxInflightPerConn int
+	ShedLatencyBudget  time.Duration
+	ResubmitWindow     int
+}
 
 // Result is the middleware's reply to one submitted request.
 type Result struct {
@@ -47,6 +88,13 @@ type Result struct {
 // engine, Submit enqueues directly into the per-shard admission queues —
 // concurrent submissions from many client workers shard-route in parallel
 // without serializing through the loop.
+//
+// Overload safety: admission is checked before any state is touched. A
+// request rejected with BusyError or ErrShuttingDown never reaches the
+// incoming queue, the pending store, history or the durable journal, and its
+// submitter gets exactly one error. Once admitted, a request always reaches
+// exactly one terminal outcome — executed, aborted, or failed on shutdown —
+// it is never silently dropped.
 type Middleware struct {
 	engine    *Engine
 	parted    *PartitionedEngine
@@ -54,32 +102,69 @@ type Middleware struct {
 	collector *metrics.Collector
 	syncMode  bool
 	pipe      *Pipeline
+	limits    Limits
+
+	// queued counts admitted-but-unanswered submissions (registered
+	// waiters): the fill level the MaxQueued admission cap reads. On the
+	// partitioned path it is exact; on the single loop it lags registration
+	// by at most the submit channel's backlog.
+	queued   atomic.Int64
+	draining atomic.Bool
+	// qualEWMA/roundEWMA track recent qualify latency and total round time
+	// (ns); the shed policy and the retry-after hint read them lock-free.
+	qualEWMA  atomic.Int64
+	roundEWMA atomic.Int64
 
 	mu      sync.Mutex
 	waiters map[request.Key]waiter
 	byTA    map[int64][]request.Key
-	submits chan submission
-	notify  chan struct{}
-	stop    chan struct{}
-	stopped chan struct{}
+	// done caches executed results of live transactions and finished their
+	// terminal outcomes (bounded FIFO), so a reconnecting client's resubmit
+	// is answered from the record instead of executing twice. Maintained
+	// only when limits.ResubmitWindow > 0.
+	done     map[request.Key]Result
+	doneByTA map[int64][]request.Key
+	finished map[int64]terminal
+	finOrder []int64
+	submits  chan submission
+	notify   chan struct{}
+	stop     chan struct{}
+	stopped  chan struct{}
 }
 
+// terminal is a transaction's recorded terminal outcome: the result of its
+// termination request and which termination it was.
+type terminal struct {
+	res Result
+	op  request.Op
+}
+
+// waiter is one unanswered submission: either a reply channel (blocking
+// Submit) or a callback (SubmitFunc). Exactly one of ch/cb is set. req keeps
+// the submitted request so a later duplicate of the same key can tell a
+// retransmission (identical content — attach to the in-flight copy) from a
+// replacement (different content — newest wins in the pending store).
 type waiter struct {
+	req   request.Request
 	ch    chan Result
+	cb    func(Result)
 	stamp time.Time
 }
 
 type submission struct {
 	req   request.Request
 	reply chan Result
+	cb    func(Result)
 	stamp time.Time
 }
 
 // NewMiddleware wraps an engine with a trigger policy. The collector may be
-// nil.
+// nil. Admission limits are taken from the engine's Config (override with
+// SetLimits before Start).
 func NewMiddleware(engine *Engine, trigger Trigger, collector *metrics.Collector) *Middleware {
 	m := newMiddleware(trigger, collector)
 	m.engine = engine
+	m.limits = limitsOf(engine.cfg)
 	return m
 }
 
@@ -90,7 +175,19 @@ func NewMiddleware(engine *Engine, trigger Trigger, collector *metrics.Collector
 func NewPartitionedMiddleware(pe *PartitionedEngine, trigger Trigger, collector *metrics.Collector) *Middleware {
 	m := newMiddleware(trigger, collector)
 	m.parted = pe
+	if len(pe.shards) > 0 {
+		m.limits = limitsOf(pe.shards[0].cfg)
+	}
 	return m
+}
+
+func limitsOf(cfg Config) Limits {
+	return Limits{
+		MaxQueued:          cfg.MaxQueued,
+		MaxInflightPerConn: cfg.MaxInflightPerConn,
+		ShedLatencyBudget:  cfg.ShedLatencyBudget,
+		ResubmitWindow:     cfg.ResubmitWindow,
+	}
 }
 
 func newMiddleware(trigger Trigger, collector *metrics.Collector) *Middleware {
@@ -117,6 +214,17 @@ func (m *Middleware) Collector() *metrics.Collector { return m.collector }
 // default. Must be called before Start.
 func (m *Middleware) SetSynchronous(on bool) { m.syncMode = on }
 
+// SetLimits overrides the admission limits taken from the engine config.
+// Must be called before Start.
+func (m *Middleware) SetLimits(l Limits) { m.limits = l }
+
+// Limits returns the admission limits in force (the network front end reads
+// MaxInflightPerConn from here).
+func (m *Middleware) Limits() Limits { return m.limits }
+
+// Queued returns the number of admitted-but-unanswered submissions.
+func (m *Middleware) Queued() int { return int(m.queued.Load()) }
+
 // Start launches the scheduler loop.
 func (m *Middleware) Start() {
 	if m.parted != nil {
@@ -132,9 +240,239 @@ func (m *Middleware) Stop() {
 	<-m.stopped
 }
 
+// BeginDrain switches the middleware to drain mode: new transactions are
+// rejected with ErrShuttingDown while requests of already-admitted
+// transactions keep flowing, so in-flight work runs to termination.
+func (m *Middleware) BeginDrain() { m.draining.Store(true) }
+
+// DrainAndStop is the graceful shutdown: reject new transactions, wait up to
+// timeout for the admitted ones to finish, then stop the loop (failing
+// whatever remains with ErrStopped). Callers shut the listener first, drain
+// here, then close the storage server so the journal's final fsync covers
+// everything that was acknowledged.
+func (m *Middleware) DrainAndStop(timeout time.Duration) {
+	m.BeginDrain()
+	deadline := time.Now().Add(timeout)
+	for m.queued.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+}
+
+// admission decides whether a submission may enter, before any state is
+// touched. Requests of already-admitted transactions (IntraTA > 0) always
+// pass: rejecting mid-transaction work would strand held locks, and the shed
+// policy is "never admitted-then-dropped". New transactions are rejected when
+// draining, at the MaxQueued cap, or by the latency shed policy —
+// lowest-priority work first, everything once qualify latency exceeds twice
+// the budget.
+func (m *Middleware) admission(r request.Request) error {
+	if r.IntraTA != 0 {
+		return nil
+	}
+	if m.draining.Load() {
+		return ErrShuttingDown
+	}
+	if max := m.limits.MaxQueued; max > 0 && m.queued.Load() >= int64(max) {
+		return &BusyError{RetryAfter: m.retryAfter()}
+	}
+	if budget := m.limits.ShedLatencyBudget; budget > 0 {
+		q := time.Duration(m.qualEWMA.Load())
+		if q > 2*budget || (q > budget && r.Priority <= 0) {
+			return &BusyError{RetryAfter: m.retryAfter()}
+		}
+	}
+	return nil
+}
+
+// retryAfter is the backoff hint attached to BusyError: a few rounds' worth
+// of drain time, scaled up with queue pressure, clamped to [1ms, 1s].
+func (m *Middleware) retryAfter() time.Duration {
+	d := time.Duration(m.roundEWMA.Load())
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if max := m.limits.MaxQueued; max > 0 {
+		fill := float64(m.queued.Load()) / float64(max)
+		d = time.Duration(float64(d) * (1 + 4*fill))
+	} else {
+		d *= 2
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// observeRound feeds the shed policy's latency EWMAs (weight 1/8). The round
+// loop is the only writer, so plain load-add-store is race-free.
+func (m *Middleware) observeRound(rs metrics.RoundStats) {
+	upd := func(a *atomic.Int64, v int64) {
+		old := a.Load()
+		a.Store(old + (v-old)/8)
+	}
+	upd(&m.qualEWMA, rs.Duration.Nanoseconds())
+	upd(&m.roundEWMA, rs.Total.Nanoseconds())
+}
+
+// cached answers a resubmitted request whose outcome is already recorded:
+// the reconnect-with-resubmit path of the wire protocol. Returns false when
+// the cache is disabled or holds nothing for the request.
+func (m *Middleware) cached(r request.Request) (Result, bool) {
+	if m.limits.ResubmitWindow <= 0 {
+		return Result{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.finished[r.TA]; ok {
+		if t.res.Err != nil || r.Op.IsTermination() {
+			return t.res, true
+		}
+		return Result{Err: ErrTxnFinished}, true
+	}
+	if res, ok := m.done[r.Key()]; ok {
+		return res, true
+	}
+	return Result{}, false
+}
+
+// ensureCacheLocked lazily allocates the resubmit-cache maps. Caller holds
+// m.mu.
+func (m *Middleware) ensureCacheLocked() {
+	if m.finished == nil {
+		m.done = make(map[request.Key]Result)
+		m.doneByTA = make(map[int64][]request.Key)
+		m.finished = make(map[int64]terminal)
+	}
+}
+
+// recordExecuted remembers one executed result for the resubmit cache.
+// Caller holds m.mu.
+func (m *Middleware) recordExecuted(ex Executed) {
+	if m.limits.ResubmitWindow <= 0 {
+		return
+	}
+	m.ensureCacheLocked()
+	if ex.Request.Op.IsTermination() {
+		m.finishTA(ex.Request.TA, terminal{res: Result{Value: ex.Value, Err: ex.Err}, op: ex.Request.Op})
+		return
+	}
+	k := ex.Request.Key()
+	if _, dup := m.done[k]; !dup {
+		m.doneByTA[ex.Request.TA] = append(m.doneByTA[ex.Request.TA], k)
+	}
+	m.done[k] = Result{Value: ex.Value, Err: ex.Err}
+}
+
+// finishTA records a transaction's terminal outcome and drops its per-request
+// cache entries; the bounded FIFO evicts the oldest terminal outcomes beyond
+// the window. Caller holds m.mu.
+func (m *Middleware) finishTA(ta int64, t terminal) {
+	if m.limits.ResubmitWindow <= 0 {
+		return
+	}
+	m.ensureCacheLocked()
+	for _, k := range m.doneByTA[ta] {
+		delete(m.done, k)
+	}
+	delete(m.doneByTA, ta)
+	if _, dup := m.finished[ta]; !dup {
+		m.finOrder = append(m.finOrder, ta)
+	}
+	m.finished[ta] = t
+	for len(m.finished) > m.limits.ResubmitWindow {
+		old := m.finOrder[0]
+		m.finOrder = m.finOrder[1:]
+		delete(m.finished, old)
+	}
+}
+
+// TerminalOutcome reports a transaction's recorded terminal outcome — the
+// result of its termination and which termination ran (Commit or Abort, with
+// ErrTxnAborted results recorded under Abort). Only transactions inside the
+// ResubmitWindow are visible; the chaos harness uses this to classify
+// transactions whose final acknowledgement was lost on the wire.
+func (m *Middleware) TerminalOutcome(ta int64) (Result, request.Op, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.finished[ta]
+	return t.res, t.op, ok
+}
+
+// answer delivers one result to a waiter. Every admitted submission is
+// answered exactly once through here, which keeps the queued counter truthful.
+func (m *Middleware) answer(w waiter, res Result) {
+	m.queued.Add(-1)
+	if w.cb != nil {
+		w.cb(res)
+		return
+	}
+	w.ch <- res
+}
+
+// registerLocked admits one submission under m.mu and reports whether its
+// request must be enqueued to the engine. Holding the same lock as deliver
+// and notifyVictims closes every duplicate-execution window a reconnecting
+// client can open: between its resubmit-cache check and registration the
+// original copy may have executed (answer from the cache now), be in flight
+// (attach the new waiter to it instead of enqueuing a second copy), or have
+// been aborted (answer the terminal outcome). Only a duplicate with
+// *different* content re-enqueues — the replace path, where the newest
+// submission wins in the pending store.
+func (m *Middleware) registerLocked(k request.Key, w waiter) bool {
+	if m.limits.ResubmitWindow > 0 {
+		if t, ok := m.finished[w.req.TA]; ok {
+			if t.res.Err != nil || w.req.Op.IsTermination() {
+				m.answerUnregistered(w, t.res)
+			} else {
+				m.answerUnregistered(w, Result{Err: ErrTxnFinished})
+			}
+			return false
+		}
+		if res, ok := m.done[k]; ok {
+			m.answerUnregistered(w, res)
+			return false
+		}
+	}
+	if prev, ok := m.waiters[k]; ok {
+		// Duplicate (TA, IntraTA) submission: answer the superseded client
+		// rather than leaving it waiting on a reply that never comes.
+		retransmit := prev.req.Op == w.req.Op && prev.req.Object == w.req.Object &&
+			prev.req.Priority == w.req.Priority
+		m.answer(prev, Result{Err: errSuperseded})
+		m.waiters[k] = w
+		m.queued.Add(1)
+		return !retransmit
+	}
+	m.byTA[k.TA] = append(m.byTA[k.TA], k)
+	m.waiters[k] = w
+	m.queued.Add(1)
+	return true
+}
+
+// answerUnregistered answers a submission that was never registered (cache
+// hit at registration time): no queued-counter bookkeeping.
+func (m *Middleware) answerUnregistered(w waiter, res Result) {
+	if w.cb != nil {
+		w.cb(res)
+		return
+	}
+	w.ch <- res
+}
+
 // Submit sends one request and blocks until it executed (or its transaction
-// aborted). Safe for concurrent use by many client workers.
+// aborted, or admission rejected it). Safe for concurrent use by many client
+// workers.
 func (m *Middleware) Submit(r request.Request) Result {
+	if err := m.admission(r); err != nil {
+		return Result{Err: err}
+	}
+	if res, ok := m.cached(r); ok {
+		return res
+	}
 	if m.parted != nil {
 		return m.submitPartitioned(r)
 	}
@@ -144,7 +482,69 @@ func (m *Middleware) Submit(r request.Request) Result {
 	case <-m.stopped:
 		return Result{Err: ErrStopped}
 	}
-	return <-reply
+	select {
+	case res := <-reply:
+		return res
+	case <-m.stopped:
+		// The loop exited. If it answered our waiter (or the stop sweep
+		// drained our submission) the reply is buffered; otherwise nothing
+		// will ever answer it.
+		select {
+		case res := <-reply:
+			return res
+		default:
+			return Result{Err: ErrStopped}
+		}
+	}
+}
+
+// SubmitFunc submits one request without blocking for its result: cb is
+// invoked exactly once with the outcome, possibly synchronously (an
+// idempotent-cache hit) and otherwise from the middleware's delivery path —
+// it must not block. A non-nil return means the request was rejected before
+// admission (BusyError, ErrShuttingDown, ErrStopped) and cb will never be
+// called. This is the submission path of the multiplexed network front end:
+// one connection carries many in-flight requests without a goroutine each.
+func (m *Middleware) SubmitFunc(r request.Request, cb func(Result)) error {
+	if err := m.admission(r); err != nil {
+		return err
+	}
+	if res, ok := m.cached(r); ok {
+		cb(res)
+		return nil
+	}
+	if m.parted != nil {
+		select {
+		case <-m.stopped:
+			return ErrStopped
+		default:
+		}
+		m.registerAndEnqueue(r, waiter{cb: cb, stamp: time.Now()})
+		return nil
+	}
+	select {
+	case m.submits <- submission{req: r, cb: cb, stamp: time.Now()}:
+		return nil
+	case <-m.stopped:
+		return ErrStopped
+	}
+}
+
+// registerAndEnqueue is the concurrent admission path of the partitioned
+// engine: register the waiter, route the request into its shard's queue and
+// poke the loop's trigger.
+func (m *Middleware) registerAndEnqueue(r request.Request, w waiter) {
+	w.req = r
+	m.mu.Lock()
+	enq := m.registerLocked(r.Key(), w)
+	m.mu.Unlock()
+	if enq {
+		m.parted.Enqueue(r)
+	}
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
 }
 
 // submitPartitioned registers the waiter and routes the request into its
@@ -159,22 +559,7 @@ func (m *Middleware) submitPartitioned(r request.Request) Result {
 	}
 	reply := make(chan Result, 1)
 	k := r.Key()
-	m.mu.Lock()
-	if prev, ok := m.waiters[k]; ok {
-		// Duplicate (TA, IntraTA) submission: the newest wins in the pending
-		// store; answer the superseded client rather than leaving it waiting
-		// on a reply that never comes.
-		prev.ch <- Result{Err: errSuperseded}
-	} else {
-		m.byTA[r.TA] = append(m.byTA[r.TA], k)
-	}
-	m.waiters[k] = waiter{ch: reply, stamp: time.Now()}
-	m.mu.Unlock()
-	m.parted.Enqueue(r)
-	select {
-	case m.notify <- struct{}{}:
-	default:
-	}
+	m.registerAndEnqueue(r, waiter{ch: reply, stamp: time.Now()})
 	select {
 	case res := <-reply:
 		return res
@@ -190,6 +575,7 @@ func (m *Middleware) submitPartitioned(r request.Request) Result {
 		m.mu.Lock()
 		if w, ok := m.waiters[k]; ok && w.ch == reply {
 			delete(m.waiters, k)
+			m.queued.Add(-1)
 		}
 		m.mu.Unlock()
 		return Result{Err: ErrStopped}
@@ -200,11 +586,29 @@ func (m *Middleware) submitPartitioned(r request.Request) Result {
 func (m *Middleware) failAll(err error) {
 	m.mu.Lock()
 	for k, w := range m.waiters {
-		w.ch <- Result{Err: err}
+		m.answer(w, Result{Err: err})
 		delete(m.waiters, k)
 	}
 	m.byTA = make(map[int64][]request.Key)
 	m.mu.Unlock()
+}
+
+// drainSubmits fails submissions still sitting in the submit channel at stop
+// time — they were never registered, so failAll cannot see them. Replies go
+// out directly (no queued-counter bookkeeping: registration never happened).
+func (m *Middleware) drainSubmits() {
+	for {
+		select {
+		case s := <-m.submits:
+			if s.cb != nil {
+				s.cb(Result{Err: ErrStopped})
+			} else {
+				s.reply <- Result{Err: ErrStopped}
+			}
+		default:
+			return
+		}
+	}
 }
 
 // deliver routes one completed batch to its waiting clients, in execution
@@ -223,10 +627,11 @@ func (m *Middleware) deliver(c Completion) {
 	for _, ex := range c.Executed {
 		k := ex.Request.Key()
 		if w, ok := m.waiters[k]; ok {
-			w.ch <- Result{Value: ex.Value, Err: ex.Err}
+			m.answer(w, Result{Value: ex.Value, Err: ex.Err})
 			delete(m.waiters, k)
 			m.collector.Latency.Observe(time.Since(w.stamp).Nanoseconds())
 		}
+		m.recordExecuted(ex)
 		if ex.Request.Op.IsTermination() {
 			delete(m.byTA, ex.Request.TA)
 		}
@@ -245,11 +650,12 @@ func (m *Middleware) notifyVictims(victims []int64) {
 	for _, ta := range victims {
 		for _, k := range m.byTA[ta] {
 			if w, ok := m.waiters[k]; ok {
-				w.ch <- Result{Err: ErrTxnAborted}
+				m.answer(w, Result{Err: ErrTxnAborted})
 				delete(m.waiters, k)
 			}
 		}
 		delete(m.byTA, ta)
+		m.finishTA(ta, terminal{res: Result{Err: ErrTxnAborted}, op: request.Abort})
 	}
 	m.mu.Unlock()
 }
@@ -281,6 +687,7 @@ func (m *Middleware) loop() {
 			return
 		}
 		m.collector.AddRound(res.Stats)
+		m.observeRound(res.Stats)
 		if m.pipe == nil && (len(res.Executed) > 0 || len(res.Victims) > 0) {
 			// Serialized loop: results exist already; route them before the
 			// victim notifications, as the synchronous loop always has. Only
@@ -315,6 +722,7 @@ func (m *Middleware) loop() {
 				}
 			}
 			m.failAll(ErrStopped)
+			m.drainSubmits()
 			return
 		case c := <-pipeDone:
 			m.deliver(c)
@@ -335,21 +743,11 @@ func (m *Middleware) loop() {
 			reqs = reqs[:0]
 			m.mu.Lock()
 			for _, s := range batch {
-				k := s.req.Key()
-				if prev, ok := m.waiters[k]; ok {
-					// Duplicate (TA, IntraTA) submission: the newest wins in
-					// the pending store; answer the superseded client rather
-					// than leaving it waiting on a reply that never comes.
-					prev.ch <- Result{Err: errSuperseded}
-				} else {
-					m.byTA[s.req.TA] = append(m.byTA[s.req.TA], k)
+				if m.registerLocked(s.req.Key(), waiter{req: s.req, ch: s.reply, cb: s.cb, stamp: s.stamp}) {
+					reqs = append(reqs, s.req)
 				}
-				m.waiters[k] = waiter{ch: s.reply, stamp: s.stamp}
 			}
 			m.mu.Unlock()
-			for _, s := range batch {
-				reqs = append(reqs, s.req)
-			}
 			m.engine.Enqueue(reqs...)
 			if m.trigger.Fire(m.engine.QueueLen(), time.Since(lastRound)) {
 				runRound()
@@ -399,6 +797,7 @@ func (m *Middleware) partitionedLoop() {
 			return
 		}
 		m.collector.AddRound(res.Stats)
+		m.observeRound(res.Stats)
 		for _, ps := range pe.ShardStats() {
 			m.collector.AddPartitionRound(ps)
 		}

@@ -190,6 +190,47 @@ func (g *Generator) NextTransaction() request.Transaction {
 	return b.Commit()
 }
 
+// Session is an independent per-client transaction stream for concurrent
+// harnesses: each logical client derives its own RNG from (Seed, id) and
+// numbers its transactions in a disjoint TA space (1+id, 1+id+Clients, ...),
+// so ten thousand sessions generate concurrently without sharing a lock and
+// the TA order still approximates arrival order. Generation is deterministic
+// per (Config, id) — a failing run replays.
+type Session struct {
+	g    *Generator
+	base int64
+	step int64
+	n    int64
+}
+
+// NewSession derives logical client id's stream (0 <= id < cfg.Clients).
+func NewSession(cfg Config, id int) (*Session, error) {
+	if id < 0 || id >= cfg.Clients {
+		return nil, fmt.Errorf("workload: session id %d outside [0, %d)", id, cfg.Clients)
+	}
+	step := int64(cfg.Clients)
+	cfg.Seed = cfg.Seed*1_000_003 + int64(id) + 1
+	cfg.Clients = 1
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{g: g, base: 1 + int64(id), step: step}, nil
+}
+
+// NextTransaction builds the session's next transaction under its own TA
+// numbering.
+func (s *Session) NextTransaction() request.Transaction {
+	tx := s.g.NextTransaction()
+	ta := s.base + s.n*s.step
+	s.n++
+	tx.TA = ta
+	for i := range tx.Requests {
+		tx.Requests[i].TA = ta
+	}
+	return tx
+}
+
 // ClientQueues generates the full workload: one queue of transactions per
 // client. Transaction numbers are assigned round-robin across clients so
 // that TA order approximates arrival order under concurrency.

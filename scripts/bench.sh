@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 
 TAG="${1:-1}"
 OUT="BENCH_${TAG}.json"
-BENCHES='BenchmarkSS2PLQueryDatalog|BenchmarkSS2PLQuerySQL|BenchmarkSS2PLQuerySQLNestedLoop|BenchmarkSQLIncrementalRound|BenchmarkMiddlewareRound|BenchmarkMiddlewareRoundDurable|BenchmarkMiddlewareRoundPartitioned|BenchmarkMiddlewarePipelined|BenchmarkPendingStore|BenchmarkDatalogSemiNaive|BenchmarkDatalogIncrementalRound|BenchmarkDatalogParallelQuery'
+BENCHES='BenchmarkSS2PLQueryDatalog|BenchmarkSS2PLQuerySQL|BenchmarkSS2PLQuerySQLNestedLoop|BenchmarkSQLIncrementalRound|BenchmarkMiddlewareRound|BenchmarkMiddlewareRoundDurable|BenchmarkMiddlewareRoundPartitioned|BenchmarkMiddlewarePipelined|BenchmarkPendingStore|BenchmarkDatalogSemiNaive|BenchmarkDatalogIncrementalRound|BenchmarkDatalogParallelQuery|BenchmarkNetRoundTrip|BenchmarkNetMultiplexed'
 BENCHTIME="${BENCHTIME:-1s}"
 
 RAW="$(go test -run='^$' -bench="${BENCHES}" -benchmem -benchtime="${BENCHTIME}" . )"
@@ -18,19 +18,21 @@ echo "${RAW}" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { print "[" }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; p50 = ""; p99 = ""
+    ns = ""; bytes = ""; allocs = ""; p50 = ""; p99 = ""; p999 = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "B/op") bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
         if ($i == "p50-us") p50 = $(i-1)
         if ($i == "p99-us") p99 = $(i-1)
+        if ($i == "p999-us") p999 = $(i-1)
     }
     if (ns == "") next
     if (n++) printf ",\n"
     printf "  {\"bench\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
     if (p50 != "") printf ", \"p50_us\": %s, \"p99_us\": %s", p50, (p99 == "" ? 0 : p99)
+    if (p999 != "") printf ", \"p999_us\": %s", p999
     printf ", \"date\": \"%s\"}", date
 }
 END { print "\n]" }

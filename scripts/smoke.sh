@@ -189,6 +189,117 @@ durable_pair() {
 }
 durable_pair 7996
 
+# Graceful drain: SIGTERM must stop admission (SHUTTING_DOWN to new
+# transactions) while admitted work runs to termination, then exit 0 with the
+# journal covering everything acknowledged — the clean-shutdown counterpart
+# of durable_pair's kill -9.
+drain_pair() {
+    port="$1"
+    dur="${bin}/draindata"
+    echo "smoke: schedserver graceful-drain pair on :${port}"
+    # -starve-after -1: the blocked transaction below must stay blocked (not
+    # be starvation-aborted) so the drain deterministically stays open.
+    "${bin}/schedserver" -addr "127.0.0.1:${port}" -rows 64 -durable -dir "${dur}" -drain-timeout 15s -starve-after -1 > /dev/null &
+    srv=$!
+    ok=""
+    for _ in $(seq 1 50); do
+        if exec 3<>"/dev/tcp/127.0.0.1/${port}" 2>/dev/null; then
+            ok=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "${ok}" ]; then
+        echo "smoke: drain schedserver did not come up on :${port}"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    # ta1 takes the write lock on row 5; ta2 blocks behind it on a second
+    # connection — an admitted-but-unanswered transaction that keeps the
+    # drain open.
+    printf 'REQ 1 0 w 5\n' >&3
+    w1=""
+    read -t 30 -r w1 <&3 || true
+    if [ "${w1}" != "OK 1" ]; then
+        echo "smoke: drain phase-1 write replied '${w1}'"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    exec 4<>"/dev/tcp/127.0.0.1/${port}"
+    printf 'REQ 2 0 w 5\n' >&4
+    sleep 0.5
+    kill -TERM "${srv}"
+    sleep 0.5
+    # New transactions are rejected while draining; ta1's termination (an
+    # admitted transaction's request) still goes through, unblocking ta2.
+    printf 'REQ 3 0 w 6\nREQ 1 1 c -1\n' >&3
+    rej=""; c1=""; w2=""
+    read -t 30 -r rej <&3 && read -t 30 -r c1 <&3 || true
+    read -t 30 -r w2 <&4 || true
+    exec 3<&- 3>&- 4<&- 4>&-
+    case "${rej}/${c1}/${w2}" in
+        SHUTTING_DOWN/"OK 0"/"OK 2") ;;
+        *)
+            echo "smoke: drain replies wrong: new-txn '${rej}' (want SHUTTING_DOWN), commit '${c1}' (want OK 0), blocked write '${w2}' (want OK 2)"
+            kill -9 "${srv}" 2>/dev/null || true
+            exit 1
+            ;;
+    esac
+    for _ in $(seq 1 200); do
+        kill -0 "${srv}" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "${srv}" 2>/dev/null; then
+        echo "smoke: schedserver wedged in graceful drain; killing"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    wait "${srv}" || {
+        status=$?
+        echo "smoke: schedserver exited ${status} from graceful drain"
+        exit "${status}"
+    }
+    # Recovery after the clean exit: ta1's committed write survived, ta2's
+    # executed-but-uncommitted write did not.
+    "${bin}/schedserver" -addr "127.0.0.1:${port}" -rows 64 -durable -dir "${dur}" > /dev/null &
+    srv=$!
+    ok=""
+    for _ in $(seq 1 50); do
+        if exec 3<>"/dev/tcp/127.0.0.1/${port}" 2>/dev/null; then
+            ok=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "${ok}" ]; then
+        echo "smoke: post-drain schedserver did not come up on :${port}"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    printf 'REQ 9 0 r 5\nQUIT\n' >&3
+    r5=""
+    read -t 30 -r r5 <&3 || true
+    exec 3<&- 3>&-
+    if [ "${r5}" != "OK 1" ]; then
+        echo "smoke: post-drain recovery read '${r5}', want OK 1"
+        kill -9 "${srv}" 2>/dev/null || true
+        exit 1
+    fi
+    kill -INT "${srv}"
+    for _ in $(seq 1 100); do
+        kill -0 "${srv}" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -9 "${srv}" 2>/dev/null || true
+    wait "${srv}" 2>/dev/null || true
+}
+drain_pair 7995
+
+# netload: the overload/fault harness at toy scale — in-process server, state
+# audit on, one clean pass and one pass through the chaos proxy.
+run "${bin}/netload" -clients 50 -conns 4 -txns 2 -objects 256 -deadline 60s
+run "${bin}/netload" -clients 50 -conns 4 -txns 2 -objects 256 -deadline 60s -chaos -timeout 5s -retry 8
+
 # examples: each is a self-contained demo.
 for ex in quickstart adaptive reservation slatiers; do
     run "${bin}/${ex}"
