@@ -1,0 +1,83 @@
+// Package arena provides a round-scoped slab allocator for the warm-path
+// evaluators. The steady-state rounds of the scheduler allocate large
+// numbers of short-lived slices — delta tuples, index-bucket heads, join
+// scratch — whose lifetime is exactly one round. A Slab hands those slices
+// out of reusable chunks and reclaims them all at once on Reset, so a warm
+// round's transient memory is a handful of chunk allocations amortised over
+// the process lifetime instead of hundreds of individual garbage objects per
+// round.
+//
+// The contract is strictly round-scoped: a slice obtained from Make or Clone
+// is valid until the next Reset of its slab. Anything that outlives the
+// round — a tuple stored into a persistent fact set or bag cell — must be
+// copied to the ordinary heap before the slab resets. Slabs are not safe for
+// concurrent use; each evaluator owns its own.
+package arena
+
+// chunkElems is the number of elements per chunk. Requests larger than a
+// quarter chunk bypass the slab (a one-off heap slice) so a single oversized
+// request cannot waste most of a chunk.
+const chunkElems = 1024
+
+// Slab is a chunked bump allocator for []T. The zero value is ready to use.
+type Slab[T any] struct {
+	chunks [][]T
+	ci     int // index of the chunk currently being filled
+	used   int // elements handed out of chunks[ci]
+}
+
+// Make returns a zeroed slice of length and capacity n, carved from the
+// current chunk. The full-capacity slice means an append beyond n escapes to
+// the ordinary heap instead of stomping a neighbouring allocation.
+func (s *Slab[T]) Make(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if n > chunkElems/4 {
+		return make([]T, n)
+	}
+	if len(s.chunks) == 0 {
+		s.chunks = append(s.chunks, make([]T, chunkElems))
+	}
+	if s.used+n > chunkElems {
+		s.ci++
+		if s.ci == len(s.chunks) {
+			s.chunks = append(s.chunks, make([]T, chunkElems))
+		}
+		s.used = 0
+	}
+	c := s.chunks[s.ci]
+	out := c[s.used : s.used+n : s.used+n]
+	s.used += n
+	return out
+}
+
+// Clone copies src into slab-backed storage.
+func (s *Slab[T]) Clone(src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	out := s.Make(len(src))
+	copy(out, src)
+	return out
+}
+
+// Reset reclaims every slice handed out since the last Reset. Chunks are
+// zeroed so stale pointers held in recycled memory do not keep dead objects
+// alive, then reused verbatim by subsequent Makes.
+func (s *Slab[T]) Reset() {
+	for i := 0; i <= s.ci && i < len(s.chunks); i++ {
+		clear(s.chunks[i])
+	}
+	s.ci = 0
+	s.used = 0
+}
+
+// Live reports the number of elements handed out since the last Reset
+// (diagnostics; oversized pass-through slices are not counted).
+func (s *Slab[T]) Live() int {
+	if len(s.chunks) == 0 {
+		return 0
+	}
+	return s.ci*chunkElems + s.used
+}

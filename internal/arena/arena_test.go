@@ -1,0 +1,117 @@
+package arena
+
+import "testing"
+
+func TestMakeZeroedAndSized(t *testing.T) {
+	var s Slab[int]
+	a := s.Make(4)
+	if len(a) != 4 || cap(a) != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", len(a), cap(a))
+	}
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("a[%d] = %d, want 0", i, v)
+		}
+	}
+	if s.Make(0) != nil {
+		t.Fatal("Make(0) must return nil")
+	}
+}
+
+func TestNeighboursDoNotOverlap(t *testing.T) {
+	var s Slab[int]
+	a := s.Make(3)
+	b := s.Make(3)
+	for i := range a {
+		a[i] = 1
+	}
+	for i := range b {
+		b[i] = 2
+	}
+	for i, v := range a {
+		if v != 1 {
+			t.Fatalf("a[%d] clobbered to %d", i, v)
+		}
+	}
+	// Appending past capacity must escape, not stomp b.
+	a = append(a, 9)
+	if b[0] != 2 {
+		t.Fatalf("append to a stomped b: %v", b)
+	}
+	_ = a
+}
+
+func TestChunkRolloverAndReset(t *testing.T) {
+	var s Slab[int]
+	var slices [][]int
+	for i := 0; i < 100; i++ {
+		sl := s.Make(64) // 100*64 = 6400 elements: several chunks
+		sl[0] = i + 1
+		slices = append(slices, sl)
+	}
+	for i, sl := range slices {
+		if sl[0] != i+1 {
+			t.Fatalf("slice %d lost its value: %d", i, sl[0])
+		}
+	}
+	if s.Live() != 100*64 {
+		t.Fatalf("Live = %d, want %d", s.Live(), 100*64)
+	}
+	s.Reset()
+	if s.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", s.Live())
+	}
+	// Recycled memory is zeroed.
+	sl := s.Make(64)
+	for i, v := range sl {
+		if v != 0 {
+			t.Fatalf("recycled sl[%d] = %d, want 0", i, v)
+		}
+	}
+	// Reset reuses chunks: no growth in chunk count over repeated rounds.
+	before := len(s.chunks)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 100; i++ {
+			s.Make(64)
+		}
+		s.Reset()
+	}
+	if len(s.chunks) != before && len(s.chunks) > 100*64/chunkElems+1 {
+		t.Fatalf("chunks grew across rounds: %d -> %d", before, len(s.chunks))
+	}
+}
+
+func TestOversizedBypassesSlab(t *testing.T) {
+	var s Slab[byte]
+	big := s.Make(chunkElems) // > chunkElems/4: one-off heap slice
+	if len(big) != chunkElems {
+		t.Fatalf("len=%d", len(big))
+	}
+	if s.Live() != 0 {
+		t.Fatalf("oversized allocation counted as live: %d", s.Live())
+	}
+}
+
+func TestClone(t *testing.T) {
+	var s Slab[int]
+	src := []int{1, 2, 3}
+	c := s.Clone(src)
+	src[0] = 9
+	if c[0] != 1 || c[1] != 2 || c[2] != 3 {
+		t.Fatalf("clone aliases source: %v", c)
+	}
+	if s.Clone(nil) != nil {
+		t.Fatal("Clone(nil) must return nil")
+	}
+}
+
+func BenchmarkSlabMake(b *testing.B) {
+	var s Slab[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			s.Make(8)
+		}
+		s.Reset()
+	}
+}

@@ -63,6 +63,47 @@ func (c *EWMA) DecayToward(target float64) {
 	c.PerUnit += (target - c.PerUnit) * DecayAlpha
 }
 
+// Candidate is one strategy in a multi-way Pick: the strategy's cost
+// average, the units of work it would process this round, the per-unit cost
+// assumed while it has no observations (typically borrowed from a measured
+// sibling and scaled by the static rule's factor), and a multiplicative bias
+// on its predicted cost. Bias > 1 handicaps a candidate — the hysteresis
+// hook: a strategy whose selection pays a fixed setup cost (e.g. dropping and
+// later rebuilding a standing cache) is only chosen when it wins by that
+// margin. Bias <= 0 means unbiased.
+type Candidate struct {
+	Cost        *EWMA
+	Units       int
+	FallbackPer float64
+	Bias        float64
+}
+
+// Pick returns the index of the candidate with the lowest predicted round
+// cost (bias x per-unit x units), using each candidate's observed average
+// when it has samples and its fallback otherwise. Ties go to the earliest
+// candidate, so callers list strategies in preference order. It generalises
+// Choose to three or more strategies (warm re-run vs per-tuple delta vs
+// bulk recompute-of-affected).
+func Pick(cands []Candidate) int {
+	best, bestCost := 0, 0.0
+	for i := range cands {
+		c := &cands[i]
+		per := c.FallbackPer
+		if c.Cost != nil && c.Cost.Samples > 0 {
+			per = c.Cost.PerUnit
+		}
+		bias := c.Bias
+		if bias <= 0 {
+			bias = 1
+		}
+		cost := bias * per * float64(c.Units)
+		if i == 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
 // Choose predicts whether the delta strategy (cost per churned unit) beats
 // the recompute strategy (cost per standing unit) for a round of the given
 // work sizes. A strategy with no observations yet borrows the other side's

@@ -52,3 +52,57 @@ func TestChooseBorrowsAndPredicts(t *testing.T) {
 		t.Fatal("measured slow delta strategy still chosen")
 	}
 }
+
+func TestPickMultiWay(t *testing.T) {
+	var ivm, bulk, warm EWMA
+	ivm.Observe(1000, 10)   // 100 ns/churned unit
+	bulk.Observe(2000, 100) // 20 ns/standing unit
+	warm.Observe(5000, 100) // 50 ns/standing unit
+
+	// Small churn: per-tuple delta wins (100*5 < 20*100 < 50*100).
+	got := Pick([]Candidate{
+		{Cost: &ivm, Units: 5},
+		{Cost: &bulk, Units: 100},
+		{Cost: &warm, Units: 100},
+	})
+	if got != 0 {
+		t.Fatalf("small churn picked %d, want 0 (ivm)", got)
+	}
+
+	// Large churn: bulk recompute wins (100*50 > 20*100).
+	got = Pick([]Candidate{
+		{Cost: &ivm, Units: 50},
+		{Cost: &bulk, Units: 100},
+		{Cost: &warm, Units: 100},
+	})
+	if got != 1 {
+		t.Fatalf("large churn picked %d, want 1 (bulk)", got)
+	}
+
+	// Bias handicaps a candidate: bulk at 4x no longer beats warm's 50/unit.
+	got = Pick([]Candidate{
+		{Cost: &ivm, Units: 60},
+		{Cost: &bulk, Units: 100, Bias: 4},
+		{Cost: &warm, Units: 100},
+	})
+	if got != 2 {
+		t.Fatalf("biased pick %d, want 2 (warm)", got)
+	}
+
+	// Unobserved candidates use FallbackPer; ties go to the earliest.
+	var a, b EWMA
+	got = Pick([]Candidate{
+		{Cost: &a, Units: 10, FallbackPer: 7},
+		{Cost: &b, Units: 10, FallbackPer: 7},
+	})
+	if got != 0 {
+		t.Fatalf("tie picked %d, want 0", got)
+	}
+	got = Pick([]Candidate{
+		{Cost: &a, Units: 10, FallbackPer: 9},
+		{Cost: &b, Units: 10, FallbackPer: 7},
+	})
+	if got != 1 {
+		t.Fatalf("fallback pick %d, want 1", got)
+	}
+}

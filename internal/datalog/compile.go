@@ -92,6 +92,11 @@ type compiledRule struct {
 	atomPreds []string
 	negPreds  []string
 
+	// fns is the compiled step chain (see eval.go): one specialised closure
+	// per body literal plus the head-emitting terminal, built by NewEngine
+	// once every step's index slot is assigned.
+	fns []stepFn
+
 	// scratch is the engine's own evaluation scratch (the single-threaded
 	// path); pool workers use per-worker scratches from Engine.workerScratch.
 	scratch *ruleScratch
@@ -112,6 +117,11 @@ type ruleScratch struct {
 	// pinVals[v] for the duration of one pinned evaluation.
 	pinned  []bool
 	pinVals []relation.Value
+
+	// Per-call evaluation parameters, installed by evalRule so the compiled
+	// step chain (eval.go) runs without per-call closure state.
+	spec evalSpec
+	emit emitFn
 }
 
 // deltaPasses appends one work item per positive occurrence of this rule

@@ -89,8 +89,8 @@ func (e *Engine) chooseDRed(churn, affectedSize int) bool {
 // propagates them stratum by stratum.
 func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 	e.Stats = RunStats{Incremental: true, Strategy: StrategyDRed}
-	insDone := make(map[string]*factSet)
-	delDone := make(map[string]*factSet)
+	insDone := e.leaseMap()
+	delDone := e.leaseMap()
 
 	// SetEDB replacements: diff the retained fact set against the new rows
 	// (the rows already carry any same-batch deltas via applyDelta).
@@ -110,8 +110,8 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 				return err
 			}
 		}
-		ins := e.newSetSized(pred, nf.arity)
-		del := e.newSetSized(pred, nf.arity)
+		ins := e.leaseSetSized(pred, nf.arity)
+		del := e.leaseSetSized(pred, nf.arity)
 		for _, t := range nf.tuples {
 			if old == nil || !old.contains(t) {
 				if _, _, err := ins.add(t, false); err != nil {
@@ -156,7 +156,7 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 			}
 			if added {
 				if ins == nil {
-					ins = e.newSetSized(pred, f.arity)
+					ins = e.leaseSetSized(pred, f.arity)
 				}
 				if _, _, err := ins.add(stored, false); err != nil {
 					return err
@@ -171,7 +171,7 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 				continue // inserted and deleted in the same batch: no net change
 			}
 			if del == nil {
-				del = e.newSetSized(pred, f.arity)
+				del = e.leaseSetSized(pred, f.arity)
 			}
 			if _, _, err := del.add(t, true); err != nil {
 				return err
@@ -202,13 +202,13 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 			}
 		}
 
-		seed := make(map[string]*factSet)
-		rederived := make(map[string]*factSet)
-		insNew := make(map[string]*factSet)
+		seed := e.leaseMap()
+		rederived := e.leaseMap()
+		insNew := e.leaseMap()
 		addTo := func(m map[string]*factSet, pred string, t relation.Tuple) error {
 			set := m[pred]
 			if set == nil {
-				set = e.newSetSized(pred, len(t))
+				set = e.leaseSetSized(pred, len(t))
 				m[pred] = set
 			}
 			_, _, err := set.add(t, false)
@@ -255,7 +255,10 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 			return err
 		}
 		for _, tg := range survivors {
-			if _, _, err := e.facts[tg.pred].add(tg.t, false); err != nil {
+			// Clone on re-insertion: the survivor tuple is owned by the
+			// round-leased overdelete set (arena-backed), while e.facts
+			// outlives the round.
+			if _, _, err := e.facts[tg.pred].add(tg.t, true); err != nil {
 				return err
 			}
 			e.Stats.Rederived++
@@ -310,7 +313,7 @@ func (e *Engine) runDRed(changed map[string]EDBDelta) error {
 		// Net change of this stratum feeds the strata above.
 		for pred, o := range O {
 			red := rederived[pred]
-			net := e.newSetSized(pred, o.arity)
+			net := e.leaseSetSized(pred, o.arity)
 			for _, t := range o.tuples {
 				if red != nil && red.contains(t) {
 					continue
@@ -375,12 +378,12 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 			rules = append(rules, ri)
 		}
 	}
-	O := make(map[string]*factSet)
+	O := e.leaseMap()
 	if len(rules) == 0 {
 		return O, nil
 	}
 
-	cur := make(map[string]*factSet)
+	cur := e.leaseMap()
 	// merge files one candidate head tuple into O and the round's delta.
 	// owned marks task-owned clones from the parallel path; sequential
 	// emissions hand over the rule scratch's head buffer and must be cloned
@@ -393,7 +396,7 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 			}
 			o := O[head]
 			if o == nil {
-				o = e.newSetSized(head, f.arity)
+				o = e.leaseSetSized(head, f.arity)
 				O[head] = o
 			}
 			added, stored, err := o.add(t, !owned)
@@ -403,7 +406,7 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 			e.Stats.Overdeleted++
 			r := round[head]
 			if r == nil {
-				r = e.newSetSized(head, f.arity)
+				r = e.leaseSetSized(head, f.arity)
 				round[head] = r
 			}
 			_, _, err = r.add(stored, false)
@@ -460,7 +463,7 @@ func (e *Engine) overdelete(s int, insDone, delDone map[string]*factSet) (map[st
 	// Fixpoint over same-stratum consequences.
 	for len(cur) > 0 {
 		prev := cur
-		cur = make(map[string]*factSet)
+		cur = e.leaseMap()
 		items = items[:0]
 		for _, ri := range rules {
 			items = e.compiled[ri].deltaPasses(items, prev, base)

@@ -1,10 +1,10 @@
 package datalog
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/pool"
 	"repro/internal/relation"
 )
@@ -112,8 +112,33 @@ type Engine struct {
 	dredCost        strategyCost
 	recomputeCost   strategyCost
 
+	// Round-scoped allocation reuse. Delta sets, DRed bookkeeping sets and
+	// the per-stratum delta maps live exactly one run: they are leased from
+	// per-predicate pools (setPool/mapPool) and released — reset with their
+	// capacity retained — when the run ends, so a steady-state warm round
+	// re-fills retained memory instead of allocating. Leased sets clone
+	// their copy-on-insert tuples into roundArena, reset with the leases
+	// (persistent fact sets never lease and never touch the arena). outPool
+	// recycles the parallel tasks' private emit buffers, and workBuf the
+	// per-pass work-item slice.
+	setPool    map[string][]*factSet
+	leased     []leasedSet
+	mapPool    []map[string]*factSet
+	mapsOut    []map[string]*factSet
+	outPool    []*factSet
+	outsOut    []*factSet
+	roundArena arena.Slab[relation.Value]
+	workBuf    []workItem
+
 	// Stats from the last Run or RunIncremental.
 	Stats RunStats
+}
+
+// leasedSet records one round-leased fact set for release into its
+// predicate's pool.
+type leasedSet struct {
+	pred string
+	f    *factSet
 }
 
 // Evaluation strategies reported in RunStats.Strategy.
@@ -181,6 +206,7 @@ func NewEngine(prog *Program) (*Engine, error) {
 		aggBodyPreds: make(map[string]bool),
 		rulesFor:     make(map[string][]int),
 		dirty:        make(map[string]bool),
+		setPool:      make(map[string][]*factSet),
 		parallelism:  1,
 		parMinWork:   defaultParMinWork,
 		parChunk:     defaultParChunk,
@@ -230,6 +256,7 @@ func NewEngine(prog *Program) (*Engine, error) {
 			}
 			m.lookupIdx = e.registerMask(m.lit.Atom.Pred, m.lookupCols)
 		}
+		c.buildFns() // index slots are final: compile the step chain
 	}
 	for _, r := range prog.Rules {
 		agg := r.HasAggregate()
@@ -323,6 +350,109 @@ func (e *Engine) newSetSized(pred string, arity int) *factSet {
 	return f
 }
 
+// Pools are capped so one deep cold run (whose fixpoint leases a set per
+// predicate per iteration) cannot pin memory proportional to its depth;
+// steady-state warm rounds use far fewer leases than the caps.
+const (
+	maxPooledSetsPerPred = 8
+	maxPooledMaps        = 16
+	maxPooledOuts        = 64
+)
+
+// leaseSet leases a round-scoped fact set for pred: taken from the
+// predicate's pool when one is available, released (reset, capacity
+// retained) by releaseRound when the run ends. Leased sets clone
+// copy-on-insert tuples into the round arena — they must never be stored
+// into state that outlives the run (e.facts always gets newSet sets, and
+// tuples leaving a leased set for a persistent one are re-cloned).
+func (e *Engine) leaseSet(pred string) *factSet {
+	var f *factSet
+	if pl := e.setPool[pred]; len(pl) > 0 {
+		f = pl[len(pl)-1]
+		pl[len(pl)-1] = nil
+		e.setPool[pred] = pl[:len(pl)-1]
+	} else {
+		f = e.newSet(pred)
+	}
+	f.clones = &e.roundArena
+	e.leased = append(e.leased, leasedSet{pred, f})
+	return f
+}
+
+// leaseSetSized is leaseSet with the arity forced when neither the program
+// nor a previous lease pinned it.
+func (e *Engine) leaseSetSized(pred string, arity int) *factSet {
+	f := e.leaseSet(pred)
+	if f.arity == 0 {
+		f.arity = arity
+	}
+	return f
+}
+
+// leaseMap leases a round-scoped predicate-to-set map.
+func (e *Engine) leaseMap() map[string]*factSet {
+	var m map[string]*factSet
+	if n := len(e.mapPool); n > 0 {
+		m = e.mapPool[n-1]
+		e.mapPool[n-1] = nil
+		e.mapPool = e.mapPool[:n-1]
+	} else {
+		m = make(map[string]*factSet)
+	}
+	e.mapsOut = append(e.mapsOut, m)
+	return m
+}
+
+// leaseOut leases an index-free membership set for a parallel task's private
+// emit buffer. Out sets never attach the round arena: workers clone emitted
+// tuples concurrently, and the handed-over clones flow into persistent fact
+// sets, so they must be independent heap tuples.
+func (e *Engine) leaseOut(arity int) *factSet {
+	var f *factSet
+	if n := len(e.outPool); n > 0 {
+		f = e.outPool[n-1]
+		e.outPool[n-1] = nil
+		e.outPool = e.outPool[:n-1]
+		f.arity = arity
+	} else {
+		f = newFactSet(arity, nil)
+	}
+	e.outsOut = append(e.outsOut, f)
+	return f
+}
+
+// releaseRound returns every leased set and map to its pool (reset, capacity
+// retained, pool size capped) and recycles the round arena. Runs once per
+// Run/RunIncremental, after which no round-scoped structure is reachable.
+func (e *Engine) releaseRound() {
+	for i, ls := range e.leased {
+		ls.f.clones = nil
+		if pl := e.setPool[ls.pred]; len(pl) < maxPooledSetsPerPred {
+			ls.f.reset()
+			e.setPool[ls.pred] = append(pl, ls.f)
+		}
+		e.leased[i] = leasedSet{}
+	}
+	e.leased = e.leased[:0]
+	for i, m := range e.mapsOut {
+		if len(e.mapPool) < maxPooledMaps {
+			clear(m)
+			e.mapPool = append(e.mapPool, m)
+		}
+		e.mapsOut[i] = nil
+	}
+	e.mapsOut = e.mapsOut[:0]
+	for i, f := range e.outsOut {
+		if len(e.outPool) < maxPooledOuts {
+			f.reset()
+			e.outPool = append(e.outPool, f)
+		}
+		e.outsOut[i] = nil
+	}
+	e.outsOut = e.outsOut[:0]
+	e.roundArena.Reset()
+}
+
 // factsFor returns (creating if needed) the fact set of pred.
 func (e *Engine) factsFor(pred string) *factSet {
 	f, ok := e.facts[pred]
@@ -348,6 +478,7 @@ func (e *Engine) ensureFactSets() {
 // all derived facts from any previous run. It is the cold path and the
 // correctness oracle for RunIncremental.
 func (e *Engine) Run() error {
+	defer e.releaseRound()
 	e.Stats = RunStats{Strategy: StrategyCold}
 	// Invalidate warm state up front: a mid-run error must not leave
 	// half-built fact sets behind a warm flag.
@@ -435,6 +566,10 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 	if !warm || e.Naive {
 		return e.Run()
 	}
+	// Round-scoped leases (delta sets, DRed bookkeeping, stratum maps) are
+	// all dead once the run ends — release them back to the pools. Run's own
+	// defer covers the cold fallback above.
+	defer e.releaseRound()
 
 	// Roots of the change: delta'd predicates plus SetEDB replacements.
 	var roots []string
@@ -478,7 +613,7 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 		// Warm start proper: apply inserts to the retained fact sets and
 		// seed the semi-naive deltas with exactly the new tuples. Nothing is
 		// cleared; no existing fact is re-derived.
-		carry := make(map[string]*factSet)
+		carry := e.leaseMap()
 		for pred, d := range changed {
 			f := e.factsFor(pred)
 			if f.len() == 0 && len(d.Insert) > 0 {
@@ -492,7 +627,7 @@ func (e *Engine) RunIncremental(changed map[string]EDBDelta) error {
 				if added {
 					cs, ok := carry[pred]
 					if !ok {
-						cs = e.newSet(pred)
+						cs = e.leaseSet(pred)
 						cs.arity = f.arity
 						carry[pred] = cs
 					}
@@ -816,7 +951,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 		}
 	}
 
-	delta := make(map[string]*factSet)
+	delta := e.leaseMap()
 	if !cold {
 		for pred, d := range opts.seed {
 			if d.len() > 0 {
@@ -827,7 +962,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 	sink := func(m map[string]*factSet, pred string) *factSet {
 		d, ok := m[pred]
 		if !ok {
-			d = e.newSet(pred)
+			d = e.leaseSet(pred)
 			d.arity = e.factsFor(pred).arity
 			m[pred] = d
 		}
@@ -856,27 +991,32 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 		}
 		return nil
 	}
-	emitInto := func(c *compiledRule, next map[string]*factSet) func(relation.Tuple) error {
-		pred := c.rule.Head.Pred
-		return func(t relation.Tuple) error {
-			e.Stats.RuleFirings++
-			return addDerived(pred, t, false, next)
-		}
+	// One emit closure (and one parallel-merge closure) serves every work
+	// item of the stratum: the current head predicate and sink map travel in
+	// the captured variables instead of a fresh closure per item.
+	var emitPred string
+	var emitNext map[string]*factSet
+	emit := func(t relation.Tuple) error {
+		e.Stats.RuleFirings++
+		return addDerived(emitPred, t, false, emitNext)
+	}
+	mergePar := func(pred string, t relation.Tuple) error {
+		return addDerived(pred, t, true, emitNext)
 	}
 	// evalPass runs one pass's work items, fanning out to the pool when the
 	// batch is large enough.
 	evalPass := func(items []workItem, next map[string]*factSet) error {
+		emitNext = next
 		if e.pool != nil {
-			done, err := e.runParallel(items, func(pred string, t relation.Tuple) error {
-				return addDerived(pred, t, true, next)
-			})
+			done, err := e.runParallel(items, mergePar)
 			if err != nil || done {
 				return err
 			}
 		}
 		for _, it := range items {
 			c := e.compiled[it.ri]
-			if err := e.evalRule(c, c.scratch, it.spec, emitInto(c, next)); err != nil {
+			emitPred = c.rule.Head.Pred
+			if err := e.evalRule(c, c.scratch, it.spec, emit); err != nil {
 				return err
 			}
 		}
@@ -884,7 +1024,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 	}
 
 	if cold {
-		var items []workItem
+		items := e.workBuf[:0]
 		for _, ri := range ruleIdx {
 			c := e.compiled[ri]
 			if c.hasAgg || c.rule.IsFact() {
@@ -892,6 +1032,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 			}
 			items = append(items, workItem{ri: ri, spec: evalSpec{deltaOcc: -1, negOcc: -1, hi: -1}})
 		}
+		e.workBuf = items[:0]
 		if err := evalPass(items, delta); err != nil {
 			return err
 		}
@@ -901,12 +1042,13 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 	// DRed insertion-through-negation passes: evaluated once, before the
 	// loop; their emissions seed the loop's delta like any other insertion.
 	if len(opts.enablers) > 0 {
-		var items []workItem
+		items := e.workBuf[:0]
 		for _, ep := range opts.enablers {
 			items = append(items, workItem{ri: ep.ri, spec: evalSpec{
 				deltaOcc: -1, negOcc: ep.negOcc, negDelta: ep.negDelta, negEnable: true, hi: -1,
 			}})
 		}
+		e.workBuf = items[:0]
 		if err := evalPass(items, delta); err != nil {
 			return err
 		}
@@ -923,7 +1065,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 		if !anyDelta {
 			return nil
 		}
-		next := make(map[string]*factSet)
+		next := e.leaseMap()
 		if e.Naive {
 			for _, ri := range ruleIdx {
 				c := e.compiled[ri]
@@ -931,7 +1073,8 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 					continue
 				}
 				spec := evalSpec{deltaOcc: -1, negOcc: -1, hi: -1}
-				if err := e.evalRule(c, c.scratch, spec, emitInto(c, next)); err != nil {
+				emitPred, emitNext = c.rule.Head.Pred, next
+				if err := e.evalRule(c, c.scratch, spec, emit); err != nil {
 					return err
 				}
 			}
@@ -939,7 +1082,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 			// One pass per occurrence of a predicate with pending delta,
 			// with that occurrence reading only the delta. A rule with no
 			// delta'd body atom cannot fire again and is skipped implicitly.
-			var items []workItem
+			items := e.workBuf[:0]
 			base := evalSpec{negOcc: -1, hi: -1}
 			for _, ri := range ruleIdx {
 				c := e.compiled[ri]
@@ -948,6 +1091,7 @@ func (e *Engine) runStratum(s int, ruleIdx []int, opts stratumOpts) error {
 				}
 				items = c.deltaPasses(items, delta, base)
 			}
+			e.workBuf = items[:0]
 			if err := evalPass(items, next); err != nil {
 				return err
 			}
@@ -997,246 +1141,6 @@ type evalSpec struct {
 	pinned bool
 }
 
-// errStopEval aborts an evaluation early through the emit error path; DRed's
-// rederivability probe uses it to stop at the first derivation.
-var errStopEval = errors.New("datalog: stop evaluation")
-
-// evalRule joins the body steps per spec and emits head tuples into the
-// scratch's head buffer (emit callbacks must copy what they retain).
-func (e *Engine) evalRule(c *compiledRule, sc *ruleScratch, spec evalSpec, emit func(relation.Tuple) error) error {
-	env := sc.env
-	var rec func(step int) error
-	rec = func(step int) error {
-		if step == len(c.steps) {
-			t := sc.headBuf
-			for i, h := range c.head {
-				if h.isConst {
-					t[i] = h.c
-				} else {
-					t[i] = env[h.varID]
-				}
-			}
-			return emit(t)
-		}
-		m := &c.steps[step]
-		switch m.lit.Kind {
-		case LitAtom:
-			vals := sc.vals[step]
-			key := vals[:len(m.lookupCols)]
-			for i, s := range m.lookupSrc {
-				key[i] = s.value(env)
-			}
-			if m.lit.Negated {
-				if spec.negOcc >= 0 && m.negOccIndex == spec.negOcc {
-					// DRed delta through negation: the atom must match a
-					// negDelta tuple.
-					found := false
-					if len(m.lookupCols) == 0 {
-						found = spec.negDelta.len() > 0
-					} else {
-						for _, pos := range spec.negDelta.candidates(m.lookupIdx, key) {
-							if matchAt(spec.negDelta.tuples[pos], m.lookupCols, key) {
-								found = true
-								break
-							}
-						}
-					}
-					if !found {
-						return nil
-					}
-					if !spec.negEnable {
-						// Overdeletion mode: the delta match replaces the
-						// absence check (the inserted fact is present now).
-						return rec(step + 1)
-					}
-					// Enabler mode falls through to the absence check below.
-				}
-				set := e.factsFor(m.lit.Atom.Pred)
-				var ignore *factSet
-				if spec.negOld != nil {
-					ignore = spec.negOld[m.lit.Atom.Pred]
-				}
-				if len(m.lookupCols) == 0 {
-					if ignore == nil {
-						if set.len() > 0 {
-							return nil
-						}
-					} else {
-						for _, t := range set.tuples {
-							if !ignore.contains(t) {
-								return nil
-							}
-						}
-					}
-				} else {
-					for _, pos := range set.candidates(m.lookupIdx, key) {
-						t := set.tuples[pos]
-						if matchAt(t, m.lookupCols, key) && (ignore == nil || !ignore.contains(t)) {
-							return nil
-						}
-					}
-				}
-				return rec(step + 1)
-			}
-			var set *factSet
-			var old *factSet
-			if m.occIndex == spec.deltaOcc {
-				set = spec.delta
-			} else {
-				set = e.factsFor(m.lit.Atom.Pred)
-				// Delta-join old view: occurrences after the delta also read
-				// the net-deleted facts of their predicate (see evalSpec).
-				if spec.oldSets != nil && spec.deltaOcc >= 0 && m.occIndex > spec.deltaOcc {
-					if o := spec.oldSets[m.lit.Atom.Pred]; o != nil && o.len() > 0 {
-						old = o
-					}
-				}
-			}
-			// bindTuple applies the binding positions of this atom to one
-			// candidate tuple, honouring repeated-variable equality checks
-			// and (during rederivation) the head pins.
-			bindTuple := func(t relation.Tuple) bool {
-				for i, p := range m.bindPos {
-					v := m.bindVar[i]
-					if m.bindRepeat[i] {
-						if !env[v].Equal(t[p]) {
-							return false
-						}
-						continue
-					}
-					if spec.pinned && sc.pinned[v] && !sc.pinVals[v].Equal(t[p]) {
-						return false
-					}
-					env[v] = t[p]
-				}
-				return true
-			}
-			if len(m.lookupCols) == 0 {
-				tuples := set.tuples
-				if step == 0 && spec.hi >= 0 {
-					tuples = tuples[spec.lo:spec.hi]
-				}
-				for _, t := range tuples {
-					if bindTuple(t) {
-						if err := rec(step + 1); err != nil {
-							return err
-						}
-					}
-				}
-				if old != nil {
-					for _, t := range old.tuples {
-						if bindTuple(t) {
-							if err := rec(step + 1); err != nil {
-								return err
-							}
-						}
-					}
-				}
-				return nil
-			}
-			cands := set.candidates(m.lookupIdx, key)
-			if step == 0 && spec.hi >= 0 {
-				cands = cands[spec.lo:spec.hi]
-			}
-			for _, pos := range cands {
-				t := set.tuples[pos]
-				if !matchAt(t, m.lookupCols, key) {
-					continue
-				}
-				if bindTuple(t) {
-					if err := rec(step + 1); err != nil {
-						return err
-					}
-				}
-			}
-			if old != nil {
-				for _, pos := range old.candidates(m.lookupIdx, key) {
-					t := old.tuples[pos]
-					if !matchAt(t, m.lookupCols, key) {
-						continue
-					}
-					if bindTuple(t) {
-						if err := rec(step + 1); err != nil {
-							return err
-						}
-					}
-				}
-			}
-			return nil
-		case LitCmp:
-			l := m.cmpL.value(env)
-			r := m.cmpR.value(env)
-			cv := l.Compare(r)
-			var pass bool
-			switch m.lit.Cmp {
-			case CmpEQ:
-				pass = cv == 0
-			case CmpNE:
-				pass = cv != 0
-			case CmpLT:
-				pass = cv < 0
-			case CmpLE:
-				pass = cv <= 0
-			case CmpGT:
-				pass = cv > 0
-			default:
-				pass = cv >= 0
-			}
-			if !pass {
-				return nil
-			}
-			return rec(step + 1)
-		default: // LitArith
-			a := m.aVal.value(env)
-			var out relation.Value
-			if m.lit.ArithOp == ArithNone {
-				out = a
-			} else {
-				b := m.bVal.value(env)
-				if a.Kind() != relation.KindInt || b.Kind() != relation.KindInt {
-					return nil // arithmetic on non-ints derives nothing
-				}
-				x, y := a.AsInt(), b.AsInt()
-				switch m.lit.ArithOp {
-				case ArithAdd:
-					out = relation.Int(x + y)
-				case ArithSub:
-					out = relation.Int(x - y)
-				case ArithMul:
-					out = relation.Int(x * y)
-				case ArithDiv:
-					if y == 0 {
-						return nil
-					}
-					out = relation.Int(x / y)
-				default:
-					if y == 0 {
-						return nil
-					}
-					out = relation.Int(x % y)
-				}
-			}
-			if m.outIsBound {
-				var want relation.Value
-				if m.outVar == -1 {
-					want = m.lit.Out.Val
-				} else {
-					want = env[m.outVar]
-				}
-				if !want.Equal(out) {
-					return nil
-				}
-				return rec(step + 1)
-			}
-			if spec.pinned && sc.pinned[m.outVar] && !sc.pinVals[m.outVar].Equal(out) {
-				return nil
-			}
-			env[m.outVar] = out
-			return rec(step + 1)
-		}
-	}
-	return rec(0)
-}
 
 // evalAggregate evaluates an aggregate rule: the body is enumerated once
 // (its predicates are in strictly lower strata), bindings are grouped by the

@@ -8,11 +8,12 @@ import (
 )
 
 // lookupCount counts the tuples matching vals on cols via the idx-th
-// registered index, verifying candidates the way the evaluator does.
+// registered index, walking the candidate chain the way the evaluator does.
 func lookupCount(f *factSet, idx int, cols []int, vals []relation.Value) int {
 	n := 0
-	for _, pos := range f.candidates(idx, vals) {
-		if matchAt(f.tuples[pos], cols, vals) {
+	ix := &f.indexes[idx]
+	for p := ix.head[relation.HashValues(vals)]; p != 0; p = ix.links[p-1] {
+		if matchAt(f.tuples[p-1], cols, vals) {
 			n++
 		}
 	}

@@ -1,0 +1,353 @@
+package datalog
+
+import (
+	"errors"
+
+	"repro/internal/relation"
+)
+
+// Compiled rule evaluation: every rule body is compiled — once, at NewEngine
+// time — into a chain of specialised step closures, one per body literal,
+// each capturing its precomputed stepMeta and the next step. The previous
+// evaluator re-built a recursive closure (and its captured environment) on
+// every call; the compiled chain allocates nothing per evaluation, and each
+// closure is specialised to its literal's shape (indexed atom, full-scan
+// atom, negated atom, comparison, arithmetic) so the per-tuple inner loops
+// carry no literal-kind dispatch. The per-call parameters (the evalSpec and
+// the emit sink) travel in the evaluator's ruleScratch, which each concurrent
+// evaluator owns privately.
+
+// stepFn executes one compiled body step under sc.spec, calling the next
+// step for every binding that survives, and sc.emit at the end of the chain.
+type stepFn func(e *Engine, c *compiledRule, sc *ruleScratch) error
+
+// emitFn receives head tuples; they reference the scratch's head buffer and
+// must be cloned by any sink that retains them.
+type emitFn func(relation.Tuple) error
+
+// errStopEval aborts an evaluation early through the emit error path; DRed's
+// rederivability probe uses it to stop at the first derivation.
+var errStopEval = errors.New("datalog: stop evaluation")
+
+// evalRule joins the body steps per spec and emits head tuples into the
+// scratch's head buffer (emit callbacks must copy what they retain).
+func (e *Engine) evalRule(c *compiledRule, sc *ruleScratch, spec evalSpec, emit emitFn) error {
+	sc.spec = spec
+	sc.emit = emit
+	err := c.fns[0](e, c, sc)
+	sc.emit = nil
+	return err
+}
+
+// buildFns compiles the rule body into its step chain. It runs after
+// NewEngine has assigned every step's lookupIdx.
+func (c *compiledRule) buildFns() {
+	n := len(c.steps)
+	fns := make([]stepFn, n+1)
+	head := c.head
+	fns[n] = func(e *Engine, c *compiledRule, sc *ruleScratch) error {
+		t := sc.headBuf
+		for i, h := range head {
+			if h.isConst {
+				t[i] = h.c
+			} else {
+				t[i] = sc.env[h.varID]
+			}
+		}
+		return sc.emit(t)
+	}
+	for i := n - 1; i >= 0; i-- {
+		m := &c.steps[i]
+		next := fns[i+1]
+		switch {
+		case m.lit.Kind == LitAtom && m.lit.Negated:
+			fns[i] = makeNegStep(m, i, next)
+		case m.lit.Kind == LitAtom && len(m.lookupCols) == 0:
+			fns[i] = makeScanStep(m, i, next)
+		case m.lit.Kind == LitAtom:
+			fns[i] = makeLookupStep(m, i, next)
+		case m.lit.Kind == LitCmp:
+			fns[i] = makeCmpStep(m, next)
+		default:
+			fns[i] = makeArithStep(m, next)
+		}
+	}
+	c.fns = fns
+}
+
+// bindStep applies the binding positions of an atom step to one candidate
+// tuple, honouring repeated-variable equality checks and (during DRed
+// rederivation) the head pins.
+func bindStep(m *stepMeta, sc *ruleScratch, t relation.Tuple) bool {
+	env := sc.env
+	for i, p := range m.bindPos {
+		v := m.bindVar[i]
+		if m.bindRepeat[i] {
+			if !env[v].Equal(t[p]) {
+				return false
+			}
+			continue
+		}
+		if sc.spec.pinned && sc.pinned[v] && !sc.pinVals[v].Equal(t[p]) {
+			return false
+		}
+		env[v] = t[p]
+	}
+	return true
+}
+
+// atomSets resolves the primary (and, during overdeletion, old-view) fact
+// sets a positive atom step enumerates under the current spec.
+func atomSets(e *Engine, m *stepMeta, pred string, spec *evalSpec) (set, old *factSet) {
+	if m.occIndex == spec.deltaOcc {
+		return spec.delta, nil
+	}
+	set = e.factsFor(pred)
+	// Delta-join old view: occurrences after the delta also read the
+	// net-deleted facts of their predicate (see evalSpec).
+	if spec.oldSets != nil && spec.deltaOcc >= 0 && m.occIndex > spec.deltaOcc {
+		if o := spec.oldSets[pred]; o != nil && o.len() > 0 {
+			old = o
+		}
+	}
+	return set, old
+}
+
+// makeScanStep compiles a positive atom with no bound columns: a full
+// enumeration of the predicate (windowed by spec.lo/hi at step 0 — the
+// parallel scheduler's range partitioning).
+func makeScanStep(m *stepMeta, step int, next stepFn) stepFn {
+	pred := m.lit.Atom.Pred
+	return func(e *Engine, c *compiledRule, sc *ruleScratch) error {
+		spec := &sc.spec
+		set, old := atomSets(e, m, pred, spec)
+		tuples := set.tuples
+		if step == 0 && spec.hi >= 0 {
+			tuples = tuples[spec.lo:spec.hi]
+		}
+		for _, t := range tuples {
+			if !bindStep(m, sc, t) {
+				continue
+			}
+			if err := next(e, c, sc); err != nil {
+				return err
+			}
+		}
+		if old != nil {
+			for _, t := range old.tuples {
+				if !bindStep(m, sc, t) {
+					continue
+				}
+				if err := next(e, c, sc); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// makeLookupStep compiles a positive atom with bound columns: an index probe
+// on the step's registered mask, walking the candidate chain with equality
+// verification. The chain is walked by value (the link is read before the
+// body runs), so recursive rules may insert into the probed set mid-walk —
+// new cells prepend at the chain head and are picked up by the next
+// semi-naive iteration, exactly as the snapshot semantics of the previous
+// evaluator.
+func makeLookupStep(m *stepMeta, step int, next stepFn) stepFn {
+	pred := m.lit.Atom.Pred
+	return func(e *Engine, c *compiledRule, sc *ruleScratch) error {
+		spec := &sc.spec
+		env := sc.env
+		set, old := atomSets(e, m, pred, spec)
+		key := sc.vals[step][:len(m.lookupCols)]
+		for i, s := range m.lookupSrc {
+			key[i] = s.value(env)
+		}
+		h := relation.HashValues(key)
+		ix := &set.indexes[m.lookupIdx]
+		p := ix.head[h]
+		window := -1 // unlimited
+		if step == 0 && spec.hi >= 0 {
+			for skip := spec.lo; skip > 0 && p != 0; skip-- {
+				p = ix.links[p-1]
+			}
+			window = spec.hi - spec.lo
+		}
+		for p != 0 && window != 0 {
+			pos := p - 1
+			p = ix.links[pos]
+			if window > 0 {
+				window--
+			}
+			t := set.tuples[pos]
+			if !matchAt(t, m.lookupCols, key) || !bindStep(m, sc, t) {
+				continue
+			}
+			if err := next(e, c, sc); err != nil {
+				return err
+			}
+		}
+		if old != nil {
+			oix := &old.indexes[m.lookupIdx]
+			for p := oix.head[h]; p != 0; p = oix.links[p-1] {
+				t := old.tuples[p-1]
+				if !matchAt(t, m.lookupCols, key) || !bindStep(m, sc, t) {
+					continue
+				}
+				if err := next(e, c, sc); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// makeNegStep compiles a negated atom: an absence check against the full
+// set, with the DRed delta-through-negation and old-view refinements.
+func makeNegStep(m *stepMeta, step int, next stepFn) stepFn {
+	pred := m.lit.Atom.Pred
+	return func(e *Engine, c *compiledRule, sc *ruleScratch) error {
+		spec := &sc.spec
+		env := sc.env
+		key := sc.vals[step][:len(m.lookupCols)]
+		for i, s := range m.lookupSrc {
+			key[i] = s.value(env)
+		}
+		if spec.negOcc >= 0 && m.negOccIndex == spec.negOcc {
+			// DRed delta through negation: the atom must match a negDelta
+			// tuple.
+			found := false
+			if len(m.lookupCols) == 0 {
+				found = spec.negDelta.len() > 0
+			} else {
+				d := spec.negDelta
+				ix := &d.indexes[m.lookupIdx]
+				for p := ix.head[relation.HashValues(key)]; p != 0; p = ix.links[p-1] {
+					if matchAt(d.tuples[p-1], m.lookupCols, key) {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				return nil
+			}
+			if !spec.negEnable {
+				// Overdeletion mode: the delta match replaces the absence
+				// check (the inserted fact is present now).
+				return next(e, c, sc)
+			}
+			// Enabler mode falls through to the absence check below.
+		}
+		set := e.factsFor(pred)
+		var ignore *factSet
+		if spec.negOld != nil {
+			ignore = spec.negOld[pred]
+		}
+		if len(m.lookupCols) == 0 {
+			if ignore == nil {
+				if set.len() > 0 {
+					return nil
+				}
+			} else {
+				for _, t := range set.tuples {
+					if !ignore.contains(t) {
+						return nil
+					}
+				}
+			}
+		} else {
+			ix := &set.indexes[m.lookupIdx]
+			for p := ix.head[relation.HashValues(key)]; p != 0; p = ix.links[p-1] {
+				t := set.tuples[p-1]
+				if matchAt(t, m.lookupCols, key) && (ignore == nil || !ignore.contains(t)) {
+					return nil
+				}
+			}
+		}
+		return next(e, c, sc)
+	}
+}
+
+// makeCmpStep compiles a comparison literal.
+func makeCmpStep(m *stepMeta, next stepFn) stepFn {
+	op := m.lit.Cmp
+	return func(e *Engine, c *compiledRule, sc *ruleScratch) error {
+		cv := m.cmpL.value(sc.env).Compare(m.cmpR.value(sc.env))
+		var pass bool
+		switch op {
+		case CmpEQ:
+			pass = cv == 0
+		case CmpNE:
+			pass = cv != 0
+		case CmpLT:
+			pass = cv < 0
+		case CmpLE:
+			pass = cv <= 0
+		case CmpGT:
+			pass = cv > 0
+		default:
+			pass = cv >= 0
+		}
+		if !pass {
+			return nil
+		}
+		return next(e, c, sc)
+	}
+}
+
+// makeArithStep compiles an arithmetic/assignment literal.
+func makeArithStep(m *stepMeta, next stepFn) stepFn {
+	op := m.lit.ArithOp
+	return func(e *Engine, c *compiledRule, sc *ruleScratch) error {
+		env := sc.env
+		a := m.aVal.value(env)
+		var out relation.Value
+		if op == ArithNone {
+			out = a
+		} else {
+			b := m.bVal.value(env)
+			if a.Kind() != relation.KindInt || b.Kind() != relation.KindInt {
+				return nil // arithmetic on non-ints derives nothing
+			}
+			x, y := a.AsInt(), b.AsInt()
+			switch op {
+			case ArithAdd:
+				out = relation.Int(x + y)
+			case ArithSub:
+				out = relation.Int(x - y)
+			case ArithMul:
+				out = relation.Int(x * y)
+			case ArithDiv:
+				if y == 0 {
+					return nil
+				}
+				out = relation.Int(x / y)
+			default:
+				if y == 0 {
+					return nil
+				}
+				out = relation.Int(x % y)
+			}
+		}
+		if m.outIsBound {
+			var want relation.Value
+			if m.outVar == -1 {
+				want = m.lit.Out.Val
+			} else {
+				want = env[m.outVar]
+			}
+			if !want.Equal(out) {
+				return nil
+			}
+			return next(e, c, sc)
+		}
+		if sc.spec.pinned && sc.pinned[m.outVar] && !sc.pinVals[m.outVar].Equal(out) {
+			return nil
+		}
+		env[m.outVar] = out
+		return next(e, c, sc)
+	}
+}

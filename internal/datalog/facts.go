@@ -3,86 +3,123 @@ package datalog
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/relation"
 )
 
 // factSet stores the tuples of one predicate with set semantics plus hash
 // indexes over the column subsets the compiled rules actually look up.
-// Membership and index buckets are keyed by uint64 tuple hashes with
-// equality verification on collisions — no key strings are ever built — and
-// the index column masks are chosen at compile time (NewEngine registers the
-// bound positions of every atom occurrence), so indexes are maintained
-// eagerly on every insert instead of being rebuilt lazily inside the join
-// loop.
+// Membership and index buckets are intrusive int32 chains over the tuple
+// positions — a head map from uint64 key hash to first position, plus a
+// links array parallel to tuples — with equality verification on collisions;
+// no key strings and no per-bucket slices are ever built. Inserting a tuple
+// therefore costs only the amortised growth of the parallel arrays, and a
+// reset-for-reuse set (the engine leases round-scoped sets from a pool)
+// re-fills retained capacity without allocating at all. The index column
+// masks are chosen at compile time (NewEngine registers the bound positions
+// of every atom occurrence), so indexes are maintained eagerly on every
+// insert instead of being rebuilt lazily inside the join loop.
 type factSet struct {
-	arity   int
-	tuples  []relation.Tuple
-	buckets map[uint64][]int // Tuple.Hash -> tuple positions
-	indexes []factIndex      // one per registered column mask
+	arity  int
+	tuples []relation.Tuple
+	head   map[uint64]int32 // Tuple.Hash -> first position+1 of the chain
+	links  []int32          // links[i]: next position+1 after tuple i; 0 ends
+	indexes []factIndex     // one per registered column mask
+
+	// clones, when non-nil, backs copy-on-insert clones (round-leased sets
+	// share the engine's round arena, reset when the round's leases are
+	// released). Persistent sets and parallel task buffers leave it nil and
+	// clone on the heap.
+	clones *arena.Slab[relation.Value]
 }
 
-// factIndex is an equality index over a fixed column subset.
+// factIndex is an equality index over a fixed column subset, chained the
+// same way as the membership buckets.
 type factIndex struct {
-	cols    []int
-	buckets map[uint64][]int // HashCols -> tuple positions
+	cols  []int
+	head  map[uint64]int32
+	links []int32
 }
 
 // newFactSet creates a set with eager indexes for the given column masks.
 func newFactSet(arity int, masks [][]int) *factSet {
 	f := &factSet{
 		arity:   arity,
-		buckets: make(map[uint64][]int),
+		head:    make(map[uint64]int32),
 		indexes: make([]factIndex, len(masks)),
 	}
 	for i, m := range masks {
-		f.indexes[i] = factIndex{cols: m, buckets: make(map[uint64][]int)}
+		f.indexes[i] = factIndex{cols: m, head: make(map[uint64]int32)}
 	}
 	return f
 }
 
+// reset empties the set for reuse, retaining the tuple/link capacity and the
+// map buckets so the next round's fills allocate nothing. Tuple references
+// are dropped so recycled sets do not keep dead rows alive.
+func (f *factSet) reset() {
+	for i := range f.tuples {
+		f.tuples[i] = nil
+	}
+	f.tuples = f.tuples[:0]
+	f.links = f.links[:0]
+	clear(f.head)
+	for i := range f.indexes {
+		f.indexes[i].links = f.indexes[i].links[:0]
+		clear(f.indexes[i].head)
+	}
+}
+
 // add inserts a tuple, returning whether it was new and the instance the set
-// retains. With copyOnInsert the tuple is cloned before being stored, so
-// callers may pass a reused scratch buffer (the clone is only paid for
-// genuinely new facts, not for the duplicate derivations that dominate rule
-// firing).
+// retains. With copyOnInsert the tuple is cloned before being stored — into
+// the round arena when one is attached — so callers may pass a reused scratch
+// buffer (the clone is only paid for genuinely new facts, not for the
+// duplicate derivations that dominate rule firing).
 func (f *factSet) add(t relation.Tuple, copyOnInsert bool) (bool, relation.Tuple, error) {
 	if len(t) != f.arity {
 		return false, nil, fmt.Errorf("datalog: arity mismatch: tuple %d vs predicate %d", len(t), f.arity)
 	}
 	h := t.Hash()
-	for _, pos := range f.buckets[h] {
-		if f.tuples[pos].Equal(t) {
-			return false, f.tuples[pos], nil
+	for p := f.head[h]; p != 0; p = f.links[p-1] {
+		if f.tuples[p-1].Equal(t) {
+			return false, f.tuples[p-1], nil
 		}
 	}
 	stored := t
 	if copyOnInsert {
-		stored = t.Clone()
+		if f.clones != nil {
+			stored = relation.Tuple(f.clones.Clone(t))
+		} else {
+			stored = t.Clone()
+		}
 	}
-	pos := len(f.tuples)
+	pos := int32(len(f.tuples))
 	f.tuples = append(f.tuples, stored)
-	f.buckets[h] = append(f.buckets[h], pos)
+	f.links = append(f.links, f.head[h])
+	f.head[h] = pos + 1
 	for i := range f.indexes {
 		ix := &f.indexes[i]
 		ih := stored.HashCols(ix.cols)
-		ix.buckets[ih] = append(ix.buckets[ih], pos)
+		ix.links = append(ix.links, ix.head[ih])
+		ix.head[ih] = pos + 1
 	}
 	return true, stored, nil
 }
 
-// remove deletes a tuple if present, keeping all buckets consistent. The
-// vacated position is filled by moving the last tuple, whose bucket entries
-// are rewritten in place.
+// remove deletes a tuple if present, keeping all chains consistent. The
+// vacated position is filled by moving the last tuple, whose chain entries
+// are repointed in place.
 func (f *factSet) remove(t relation.Tuple) bool {
 	if len(t) != f.arity {
 		return false
 	}
 	h := t.Hash()
-	pos := -1
-	for _, p := range f.buckets[h] {
-		if f.tuples[p].Equal(t) {
-			pos = p
+	pos := int32(-1)
+	for p := f.head[h]; p != 0; p = f.links[p-1] {
+		if f.tuples[p-1].Equal(t) {
+			pos = p - 1
 			break
 		}
 	}
@@ -90,55 +127,73 @@ func (f *factSet) remove(t relation.Tuple) bool {
 		return false
 	}
 	stored := f.tuples[pos]
-	f.bucketDel(f.buckets, h, pos)
+	chainUnlink(f.head, f.links, h, pos)
 	for i := range f.indexes {
 		ix := &f.indexes[i]
-		f.bucketDel(ix.buckets, stored.HashCols(ix.cols), pos)
+		chainUnlink(ix.head, ix.links, stored.HashCols(ix.cols), pos)
 	}
-	last := len(f.tuples) - 1
+	last := int32(len(f.tuples) - 1)
 	if pos != last {
 		moved := f.tuples[last]
 		f.tuples[pos] = moved
-		f.bucketMove(f.buckets, moved.Hash(), last, pos)
+		// pos is unlinked from every chain, so its link slots are free to
+		// carry moved's outgoing links before the heads are repointed.
+		f.links[pos] = f.links[last]
+		chainRepoint(f.head, f.links, moved.Hash(), last, pos)
 		for i := range f.indexes {
 			ix := &f.indexes[i]
-			f.bucketMove(ix.buckets, moved.HashCols(ix.cols), last, pos)
+			ix.links[pos] = ix.links[last]
+			chainRepoint(ix.head, ix.links, moved.HashCols(ix.cols), last, pos)
 		}
 	}
 	f.tuples[last] = nil
 	f.tuples = f.tuples[:last]
+	f.links = f.links[:last]
+	for i := range f.indexes {
+		f.indexes[i].links = f.indexes[i].links[:last]
+	}
 	return true
 }
 
-func (f *factSet) bucketDel(m map[uint64][]int, h uint64, pos int) {
-	b := m[h]
-	for i, p := range b {
-		if p == pos {
-			b[i] = b[len(b)-1]
-			b = b[:len(b)-1]
-			if len(b) == 0 {
-				delete(m, h)
-			} else {
-				m[h] = b
-			}
+// chainUnlink removes position pos from the chain of hash h.
+func chainUnlink(head map[uint64]int32, links []int32, h uint64, pos int32) {
+	p := head[h]
+	if p == pos+1 {
+		if links[pos] == 0 {
+			delete(head, h)
+		} else {
+			head[h] = links[pos]
+		}
+		return
+	}
+	for p != 0 {
+		n := links[p-1]
+		if n == pos+1 {
+			links[p-1] = links[pos]
 			return
 		}
+		p = n
 	}
 }
 
-func (f *factSet) bucketMove(m map[uint64][]int, h uint64, from, to int) {
-	b := m[h]
-	for i, p := range b {
-		if p == from {
-			b[i] = to
+// chainRepoint rewrites the single pointer at position from to point at
+// position to, after a swap-move (to must not be in the chain).
+func chainRepoint(head map[uint64]int32, links []int32, h uint64, from, to int32) {
+	if head[h] == from+1 {
+		head[h] = to + 1
+		return
+	}
+	for p := head[h]; p != 0; p = links[p-1] {
+		if links[p-1] == from+1 {
+			links[p-1] = to + 1
 			return
 		}
 	}
 }
 
 func (f *factSet) contains(t relation.Tuple) bool {
-	for _, pos := range f.buckets[t.Hash()] {
-		if f.tuples[pos].Equal(t) {
+	for p := f.head[t.Hash()]; p != 0; p = f.links[p-1] {
+		if f.tuples[p-1].Equal(t) {
 			return true
 		}
 	}
@@ -147,11 +202,22 @@ func (f *factSet) contains(t relation.Tuple) bool {
 
 func (f *factSet) len() int { return len(f.tuples) }
 
-// candidates returns the positions in the idx-th registered index whose key
-// hash matches vals. Collisions are possible: callers must verify the index
-// columns with matchAt before using a candidate.
-func (f *factSet) candidates(idx int, vals []relation.Value) []int {
-	return f.indexes[idx].buckets[relation.HashValues(vals)]
+// candHead returns the first chain position+1 of the idx-th registered index
+// for the key hash; callers walk the chain via the index's links array and
+// must verify the column values (collisions are possible).
+func (f *factSet) candHead(idx int, key []relation.Value) int32 {
+	return f.indexes[idx].head[relation.HashValues(key)]
+}
+
+// candCount walks the idx-th index chain for the key and returns its length
+// (the parallel scheduler's outer-cardinality estimate).
+func (f *factSet) candCount(idx int, key []relation.Value) int {
+	ix := &f.indexes[idx]
+	n := 0
+	for p := ix.head[relation.HashValues(key)]; p != 0; p = ix.links[p-1] {
+		n++
+	}
+	return n
 }
 
 // matchAt verifies that tuple t carries vals at the given columns.
@@ -164,14 +230,23 @@ func matchAt(t relation.Tuple, cols []int, vals []relation.Value) bool {
 	return true
 }
 
-// anySchema builds a dynamically typed schema (every column accepts any
-// kind) named arg0..argN-1.
+// anySchemas caches the dynamically typed schemas by arity: every engine
+// round converting a fact set to a relation reuses one immutable schema
+// instead of rebuilding it (schemas are never mutated after construction).
+var anySchemas sync.Map // int -> *relation.Schema
+
+// anySchema builds (or recalls) a dynamically typed schema — every column
+// accepts any kind — named arg0..argN-1.
 func anySchema(arity int) *relation.Schema {
+	if s, ok := anySchemas.Load(arity); ok {
+		return s.(*relation.Schema)
+	}
 	cols := make([]relation.Column, arity)
 	for i := range cols {
 		cols[i] = relation.Column{Name: "arg" + strconv.Itoa(i), Kind: relation.KindNull}
 	}
-	return relation.NewSchema(cols...)
+	s, _ := anySchemas.LoadOrStore(arity, relation.NewSchema(cols...))
+	return s.(*relation.Schema)
 }
 
 // relation converts the fact set to a Relation with an any-kind schema.

@@ -637,16 +637,17 @@ func TestRunIncrementalReinsertKeepsEDBSetSemantics(t *testing.T) {
 }
 
 // checkFactSetConsistency verifies, for every retained fact set, that the
-// membership buckets and each eager index cover exactly the stored tuples —
-// the invariant incremental adds and removes must preserve.
+// membership chains and each eager index chain cover exactly the stored
+// tuples — the invariant incremental adds and removes must preserve.
 func checkFactSetConsistency(t *testing.T, e *Engine) {
 	t.Helper()
 	for pred, f := range e.facts {
 		seen := 0
-		for h, bucket := range f.buckets {
-			for _, pos := range bucket {
+		for h, p := range f.head {
+			for ; p != 0; p = f.links[p-1] {
+				pos := int(p - 1)
 				if pos < 0 || pos >= len(f.tuples) {
-					t.Fatalf("%s: bucket position %d out of range", pred, pos)
+					t.Fatalf("%s: chain position %d out of range", pred, pos)
 				}
 				if f.tuples[pos].Hash() != h {
 					t.Fatalf("%s: tuple %s filed under wrong hash", pred, f.tuples[pos])
@@ -655,13 +656,14 @@ func checkFactSetConsistency(t *testing.T, e *Engine) {
 			}
 		}
 		if seen != len(f.tuples) {
-			t.Fatalf("%s: membership buckets cover %d of %d tuples", pred, seen, len(f.tuples))
+			t.Fatalf("%s: membership chains cover %d of %d tuples", pred, seen, len(f.tuples))
 		}
 		for ii := range f.indexes {
 			ix := &f.indexes[ii]
 			covered := 0
-			for h, bucket := range ix.buckets {
-				for _, pos := range bucket {
+			for h, p := range ix.head {
+				for ; p != 0; p = ix.links[p-1] {
+					pos := int(p - 1)
 					if pos < 0 || pos >= len(f.tuples) {
 						t.Fatalf("%s: index %v position %d out of range", pred, ix.cols, pos)
 					}

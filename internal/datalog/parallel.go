@@ -112,9 +112,9 @@ func (e *Engine) outerSize(it workItem) (int, bool) {
 		}
 		key[i] = s.c
 	}
-	n := len(set.candidates(m.lookupIdx, key))
+	n := set.candCount(m.lookupIdx, key)
 	if old != nil {
-		return n + len(old.candidates(m.lookupIdx, key)), false
+		return n + old.candCount(m.lookupIdx, key), false
 	}
 	return n, true
 }
@@ -144,7 +144,7 @@ func (e *Engine) runParallel(items []workItem, merge func(pred string, t relatio
 		arity := len(c.head)
 		n := sizes[i]
 		if !splittable[i] || n <= e.parChunk {
-			tasks = append(tasks, parTask{item: it, lo: 0, hi: -1, out: newFactSet(arity, nil)})
+			tasks = append(tasks, parTask{item: it, lo: 0, hi: -1, out: e.leaseOut(arity)})
 			continue
 		}
 		chunks := (n + e.parChunk - 1) / e.parChunk
@@ -157,7 +157,7 @@ func (e *Engine) runParallel(items []workItem, merge func(pred string, t relatio
 			if lo == hi {
 				continue
 			}
-			tasks = append(tasks, parTask{item: it, lo: lo, hi: hi, out: newFactSet(arity, nil)})
+			tasks = append(tasks, parTask{item: it, lo: lo, hi: hi, out: e.leaseOut(arity)})
 		}
 	}
 	if len(tasks) <= 1 {

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -75,9 +76,16 @@ func (h *Histogram) quantileLocked(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	target := int64(q * float64(h.count))
+	// Ceiling rank: the q-quantile of n observations is the smallest
+	// observation with at least ceil(q*n) observations at or below it. A
+	// floored rank reads one observation low whenever q*n is fractional —
+	// at n=100 it makes P999 collapse onto P99.
+	target := int64(math.Ceil(q * float64(h.count)))
 	if target < 1 {
 		target = 1
+	}
+	if target > h.count {
+		target = h.count
 	}
 	var seen int64
 	for b, n := range h.buckets {

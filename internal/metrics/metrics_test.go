@@ -40,6 +40,65 @@ func TestHistogramEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileRank pins the ceiling-rank definition against exact
+// bucket bounds at small counts: the q-quantile of n observations is the
+// bucket upper bound of the smallest observation whose rank is ceil(q*n).
+// The floored rank this replaces returned the 99th of 100 observations for
+// P99 and collapsed P999 onto P99 for every count below 1000.
+func TestHistogramQuantileRank(t *testing.T) {
+	// Observations spread one per power-of-two bucket: value 1<<i lands in
+	// bucket i+1 with upper bound 1<<(i+1)-1, so rank r maps to a unique,
+	// predictable bound.
+	bound := func(rank int) int64 {
+		if rank <= 0 {
+			rank = 1
+		}
+		return int64(1)<<rank - 1 // observation 1<<(rank-1) sits in bucket rank
+	}
+	cases := []struct {
+		n    int     // observations: 1<<0 .. 1<<(n-1)
+		q    float64 //
+		rank int     // expected ceiling rank ceil(q*n)
+	}{
+		{n: 10, q: 0.50, rank: 5},
+		{n: 10, q: 0.90, rank: 9},
+		{n: 10, q: 0.99, rank: 10},  // floor would give rank 9
+		{n: 10, q: 0.999, rank: 10}, // floor would give rank 9
+		{n: 10, q: 1.0, rank: 10},
+		{n: 4, q: 0.50, rank: 2},
+		{n: 4, q: 0.75, rank: 3},
+		{n: 4, q: 0.76, rank: 4}, // floor would give rank 3
+		{n: 1, q: 0.001, rank: 1},
+		{n: 1, q: 1.0, rank: 1},
+		{n: 3, q: 0.999, rank: 3},
+		{n: 20, q: 0.99, rank: 20}, // floor would give rank 19
+	}
+	for _, tc := range cases {
+		var h Histogram
+		for i := 0; i < tc.n; i++ {
+			h.Observe(int64(1) << i)
+		}
+		if got, want := h.Quantile(tc.q), bound(tc.rank); got != want {
+			t.Errorf("n=%d q=%g: got %d, want %d (rank %d)", tc.n, tc.q, got, want, tc.rank)
+		}
+	}
+	// P99 at exactly 100 observations must return the largest observation's
+	// bucket bound (rank ceil(99.0)=99 of values 0..99 all in low buckets is
+	// uninformative; use two distinct magnitudes instead): 99 small + 1 large
+	// means P99 covers the 99th small value, and P999 must reach the large one.
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(1) // bucket 1, bound 1
+	}
+	h.Observe(1 << 20) // bucket 21
+	if got := h.Quantile(0.99); got != 1 {
+		t.Errorf("P99 of 99x1+1x2^20: got %d, want 1", got)
+	}
+	if got := h.Quantile(0.999); got != int64(1)<<21-1 {
+		t.Errorf("P999 of 99x1+1x2^20: got %d, want %d (must reach the tail)", got, int64(1)<<21-1)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

@@ -32,6 +32,23 @@ import (
 //   - group-by recomputes only the touched groups from the child bag
 //     (handles MIN/MAX deletes without auxiliary heaps).
 //
+// Per-tuple delta rules cost O(|Δ| · matches) per node, which beats a full
+// re-evaluation only while the delta is small. When one round's delta at a
+// join node grows to a sizeable fraction of the node's inputs (a bulk load,
+// a mass expiry), Apply switches that node to a *bulk recompute*: it
+// re-evaluates the node once from its children's already patched bags —
+// through the same applyOp the cold evaluator uses — and diffs the result
+// against the standing view, producing the exact net output delta. The diff
+// is then applied as a batched patch of the existing bag (Bag.BeginBulk /
+// EndBulk: one index-maintenance pass per node instead of per tuple), so
+// downstream nodes, the sorted root and the next trickle round all continue
+// from maintained state. The switch is per node and per round; see
+// SetBulkThreshold.
+//
+// All per-round scratch — the signed deltas, vanished-cell chains, match
+// buffers — is pooled on the IVM and recycled every Apply, so a steady-state
+// warm round allocates only the tuples that actually enter the views.
+//
 // LIMIT has no delta rule (its content depends on physical row order), so
 // NewIVM refuses plans containing it and the caller falls back to full
 // re-evaluation. Intermediate views' row order is unspecified; a root-level
@@ -48,6 +65,33 @@ type IVM struct {
 	views  []*view          // node id -> view; pass-through nodes alias their source
 	tables map[string]*view // base-table views shared by every scan of the table
 	order  *orderedRoot     // maintained root ORDER BY, nil when the root is unsorted
+	aux    []nodeAux        // node id -> precomputed key positions / NULL pads
+
+	// bulkNum/bulkDen is the recompute threshold: a join-family node whose
+	// round delta has at least distinct-input-size·bulkNum/bulkDen cells is
+	// recomputed wholesale instead of trickle-patched. bulkNodes counts the
+	// nodes recomputed by the latest Apply.
+	bulkNum, bulkDen int
+	bulkNodes        int
+
+	// Round-scoped scratch, recycled across Apply calls.
+	pool     []*sdelta // reset deltas ready for reuse
+	inUse    []*sdelta // deltas handed out by the current Apply
+	empty    *sdelta   // shared all-zero delta; never mutated
+	outs     []*sdelta // node id -> output delta of the current Apply
+	tdel     map[string]*sdelta
+	van      vanishedScratch
+	matchBuf []matchEntry
+	keyBuf   relation.Tuple
+	resBuf   relation.Tuple // residual-predicate concat buffer
+}
+
+// nodeAux holds the per-node constants the delta rules would otherwise
+// rebuild every round: the equi-key column positions of each side and, for
+// left joins, the NULL pad tuple.
+type nodeAux struct {
+	lpos, rpos []int
+	nulls      relation.Tuple
 }
 
 // Delta is a bag-valued change to one base table: Ins tuples are added, Del
@@ -89,7 +133,16 @@ func NewIVM(p *Plan, cat Catalog, opts *ra.Options) (*IVM, error) {
 	if _, err := p.eval(lc, opts, capture); err != nil {
 		return nil, err
 	}
-	m := &IVM{plan: p, opts: opts, views: make([]*view, len(p.nodes)), tables: make(map[string]*view)}
+	m := &IVM{
+		plan:    p,
+		opts:    opts,
+		views:   make([]*view, len(p.nodes)),
+		tables:  make(map[string]*view),
+		aux:     make([]nodeAux, len(p.nodes)),
+		bulkNum: 1,
+		bulkDen: 2,
+		empty:   &sdelta{},
+	}
 	for _, n := range p.nodes {
 		switch n.op {
 		case opScan:
@@ -121,15 +174,23 @@ func NewIVM(p *Plan, cat Catalog, opts *ra.Options) (*IVM, error) {
 	if root := p.root; root.op == opOrderBy {
 		m.order = newOrderedRoot(root.sorts, m.views[root.id].bag)
 	}
-	// Pre-build the indexes the delta rules probe, so the first Apply does
-	// not pay the builds inside its timed round.
+	// Pre-build the indexes the delta rules probe and the per-node constants,
+	// so the first Apply does not pay either inside its timed round.
 	for _, n := range m.plan.nodes {
 		switch n.op {
 		case opJoin, opLeftJoin, opSemi:
 			if len(n.keys) > 0 {
 				lpos, rpos := keyCols(n.keys)
+				m.aux[n.id].lpos, m.aux[n.id].rpos = lpos, rpos
 				m.views[n.l.id].bag.Index(lpos)
 				m.views[n.r.id].bag.Index(rpos)
+			}
+			if n.op == opLeftJoin {
+				nulls := make(relation.Tuple, n.r.schema.Len())
+				for i := range nulls {
+					nulls[i] = relation.Null()
+				}
+				m.aux[n.id].nulls = nulls
 			}
 		case opGroupBy:
 			m.views[n.l.id].bag.IndexNullable(n.groupPos)
@@ -137,6 +198,19 @@ func NewIVM(p *Plan, cat Catalog, opts *ra.Options) (*IVM, error) {
 	}
 	return m, nil
 }
+
+// SetBulkThreshold tunes when Apply recomputes a join-family node wholesale
+// instead of trickle-patching it: a node switches when its round delta has at
+// least input-distinct-size·num/den cells. The default is 1/2. den <= 0
+// disables bulk recompute entirely; num <= 0 forces it for every non-empty
+// delta (both are ablation switches for tests and benchmarks).
+func (m *IVM) SetBulkThreshold(num, den int) {
+	m.bulkNum, m.bulkDen = num, den
+}
+
+// BulkNodes reports how many nodes the most recent Apply recomputed
+// wholesale (0 means the round was pure trickle maintenance).
+func (m *IVM) BulkNodes() int { return m.bulkNodes }
 
 // Result flattens the maintained root view. With a root-level ORDER BY the
 // incrementally maintained sorted cells are emitted directly — no re-sort;
@@ -153,34 +227,71 @@ func (m *IVM) Result() (*relation.Relation, error) {
 	return rel, nil
 }
 
+// acquire hands out a reset signed delta from the pool; every delta acquired
+// during an Apply is recycled when the Apply finishes.
+func (m *IVM) acquire() *sdelta {
+	var d *sdelta
+	if n := len(m.pool); n > 0 {
+		d = m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+	} else {
+		d = &sdelta{buckets: make(map[uint64]int32)}
+	}
+	m.inUse = append(m.inUse, d)
+	return d
+}
+
+func (m *IVM) releaseAll() {
+	for i, d := range m.inUse {
+		d.reset()
+		m.pool = append(m.pool, d)
+		m.inUse[i] = nil
+	}
+	m.inUse = m.inUse[:0]
+}
+
 // Apply patches every view from the given base-table deltas (keyed by
 // lower-cased table name; tables the plan does not read are ignored). On
 // error the IVM's state is undefined and the caller must discard it — the
 // usual cause is a delta diverging from the maintained ground truth
 // (deleting a tuple that is not present).
 func (m *IVM) Apply(deltas map[string]Delta) error {
+	m.bulkNodes = 0
+	if m.outs == nil {
+		m.outs = make([]*sdelta, len(m.plan.nodes))
+	}
+	outs := m.outs
+	defer func() {
+		for i := range outs {
+			outs[i] = nil
+		}
+		m.releaseAll()
+	}()
 	// Net the base deltas and patch the base-table bags first: every rule
 	// below reads children's *new* states.
-	tdel := make(map[string]*sdelta, len(deltas))
+	if m.tdel == nil {
+		m.tdel = make(map[string]*sdelta, len(deltas))
+	} else {
+		clear(m.tdel)
+	}
 	for name, d := range deltas {
 		tv := m.tables[strings.ToLower(name)]
 		if tv == nil {
 			continue
 		}
-		sd := newSDelta(len(d.Ins) + len(d.Del))
+		sd := m.acquire()
 		for _, t := range d.Ins {
 			sd.add(t, 1)
 		}
 		for _, t := range d.Del {
 			sd.add(t, -1)
 		}
-		tdel[strings.ToLower(name)] = sd
+		m.tdel[strings.ToLower(name)] = sd
 		if err := applyToBag(tv.bag, sd); err != nil {
 			return fmt.Errorf("minisql: ivm: table %s: %w", name, err)
 		}
 	}
-	empty := newSDelta(0)
-	outs := make([]*sdelta, len(m.plan.nodes))
 	for _, n := range m.plan.nodes {
 		switch n.op {
 		case opScan:
@@ -188,17 +299,17 @@ func (m *IVM) Apply(deltas map[string]Delta) error {
 				outs[n.id] = outs[m.plan.ctes[n.cte].id]
 				continue
 			}
-			if sd := tdel[n.table]; sd != nil {
+			if sd := m.tdel[n.table]; sd != nil {
 				outs[n.id] = sd
 			} else {
-				outs[n.id] = empty
+				outs[n.id] = m.empty
 			}
 			continue
 		case opRename, opOrderBy:
 			outs[n.id] = outs[n.l.id]
 			continue
 		case opConst:
-			outs[n.id] = empty
+			outs[n.id] = m.empty
 			continue
 		}
 		dL := outs[n.l.id]
@@ -207,31 +318,38 @@ func (m *IVM) Apply(deltas map[string]Delta) error {
 			dR = outs[n.r.id]
 		}
 		var out *sdelta
-		switch n.op {
-		case opSelect:
-			out = m.selectDelta(n, dL)
-		case opProject:
-			out = m.projectDelta(n, dL)
-		case opJoin:
-			out = m.joinDelta(n, dL, dR)
-		case opLeftJoin, opSemi:
-			out = m.matchDelta(n, dL, dR)
-		case opUnionAll:
-			out = newSDelta(len(dL.cells) + len(dR.cells))
-			for _, c := range dL.cells {
-				out.add(c.t, c.n)
+		if m.shouldBulk(n, dL, dR) {
+			var err error
+			if out, err = m.recomputeDelta(n); err != nil {
+				return fmt.Errorf("minisql: ivm: node %d: %w", n.id, err)
 			}
-			for _, c := range dR.cells {
-				out.add(c.t, c.n)
+		} else {
+			switch n.op {
+			case opSelect:
+				out = m.selectDelta(n, dL)
+			case opProject:
+				out = m.projectDelta(n, dL)
+			case opJoin:
+				out = m.joinDelta(n, dL, dR)
+			case opLeftJoin, opSemi:
+				out = m.matchDelta(n, dL, dR)
+			case opUnionAll:
+				out = m.acquire()
+				for i := range dL.cells {
+					out.add(dL.cells[i].t, dL.cells[i].n)
+				}
+				for i := range dR.cells {
+					out.add(dR.cells[i].t, dR.cells[i].n)
+				}
+			case opExcept:
+				out = m.exceptDelta(n, dL, dR)
+			case opDistinct:
+				out = m.distinctDelta(n, dL)
+			case opGroupBy:
+				out = m.groupDelta(n, dL)
+			default:
+				return fmt.Errorf("minisql: ivm: no delta rule for operator %d", n.op)
 			}
-		case opExcept:
-			out = m.exceptDelta(n, dL, dR)
-		case opDistinct:
-			out = m.distinctDelta(n, dL)
-		case opGroupBy:
-			out = m.groupDelta(n, dL)
-		default:
-			return fmt.Errorf("minisql: ivm: no delta rule for operator %d", n.op)
 		}
 		outs[n.id] = out
 		if err := applyToBag(m.views[n.id].bag, out); err != nil {
@@ -244,6 +362,65 @@ func (m *IVM) Apply(deltas map[string]Delta) error {
 		}
 	}
 	return nil
+}
+
+// shouldBulk decides per node and per round whether the delta is big enough
+// that recomputing the node beats running its per-tuple rule. Only the
+// join-family operators qualify: group-by already recomputes exactly the
+// touched partitions, and the remaining operators are O(|Δ|) by
+// construction.
+func (m *IVM) shouldBulk(n *planNode, dL, dR *sdelta) bool {
+	if m.bulkDen <= 0 {
+		return false
+	}
+	switch n.op {
+	case opJoin, opLeftJoin, opSemi:
+	default:
+		return false
+	}
+	delta := len(dL.cells) + len(dR.cells)
+	if delta == 0 {
+		return false
+	}
+	base := m.views[n.l.id].bag.DistinctLen() + m.views[n.r.id].bag.DistinctLen()
+	return delta*m.bulkDen >= base*m.bulkNum
+}
+
+// recomputeDelta re-evaluates node n from its children's already patched
+// bags — through the same applyOp the cold evaluator uses, so the two paths
+// cannot drift — and diffs the result against the node's standing view. The
+// returned delta is the exact net change the per-tuple rule would have
+// produced: downstream nodes, the batched bag patch and the sorted root all
+// proceed as if the round had been trickle-maintained.
+func (m *IVM) recomputeDelta(n *planNode) (*sdelta, error) {
+	l := m.views[n.l.id].bag.Relation()
+	var r *relation.Relation
+	if n.r != nil {
+		r = m.views[n.r.id].bag.Relation()
+	}
+	res, err := applyOp(n, l, r, m.opts)
+	if err != nil {
+		return nil, err
+	}
+	cnt := m.acquire()
+	for _, t := range res.Rows() {
+		cnt.add(t, 1)
+	}
+	old := m.views[n.id].bag
+	out := m.acquire()
+	for i := range cnt.cells {
+		c := &cnt.cells[i]
+		if d := c.n - old.Count(c.t); d != 0 {
+			out.add(c.t, d)
+		}
+	}
+	old.EachCell(func(bc *relation.BagCell) {
+		if !cnt.contains(bc.Tuple()) {
+			out.add(bc.Tuple(), -bc.Count())
+		}
+	})
+	m.bulkNodes++
+	return out, nil
 }
 
 // orderedRoot maintains the root ORDER BY result as a sorted list of counted
@@ -295,7 +472,8 @@ func (o *orderedRoot) cmp(a, b relation.Tuple) int {
 
 // apply merges a net signed delta into the sorted cells.
 func (o *orderedRoot) apply(d *sdelta) error {
-	for _, c := range d.cells {
+	for ci := range d.cells {
+		c := &d.cells[ci]
 		if c.n == 0 {
 			continue
 		}
@@ -337,10 +515,15 @@ func (o *orderedRoot) relation(s *relation.Schema) *relation.Relation {
 }
 
 // sdelta is a signed counted multiset: the net form every delta rule works
-// on. Cells keep insertion order so propagation stays deterministic.
+// on. Cells keep insertion order so propagation stays deterministic. The
+// representation is pool-friendly — value cells in one slice, hash chains as
+// parallel int32 links, buckets holding chain heads as index+1 — so a reset
+// delta reuses all of its storage and a steady-state round allocates
+// nothing here.
 type sdelta struct {
-	buckets map[uint64][]*scell
-	cells   []*scell
+	buckets map[uint64]int32 // tuple hash -> index+1 of the chain head
+	cells   []scell
+	next    []int32 // chain link per cell: index+1 of the next, 0 ends
 }
 
 type scell struct {
@@ -348,53 +531,78 @@ type scell struct {
 	n int
 }
 
-func newSDelta(capacity int) *sdelta {
-	return &sdelta{buckets: make(map[uint64][]*scell, capacity)}
-}
-
 func (d *sdelta) add(t relation.Tuple, k int) {
 	if k == 0 {
 		return
 	}
 	h := t.Hash()
-	for _, c := range d.buckets[h] {
-		if c.t.Equal(t) {
-			c.n += k
+	for i := d.buckets[h]; i != 0; i = d.next[i-1] {
+		if d.cells[i-1].t.Equal(t) {
+			d.cells[i-1].n += k
 			return
 		}
 	}
-	c := &scell{t: t, n: k}
-	d.buckets[h] = append(d.buckets[h], c)
-	d.cells = append(d.cells, c)
+	d.cells = append(d.cells, scell{t: t, n: k})
+	d.next = append(d.next, d.buckets[h])
+	d.buckets[h] = int32(len(d.cells))
 }
 
 // net returns the signed count for t (0 when untouched).
 func (d *sdelta) net(t relation.Tuple) int {
-	for _, c := range d.buckets[t.Hash()] {
-		if c.t.Equal(t) {
-			return c.n
+	for i := d.buckets[t.Hash()]; i != 0; i = d.next[i-1] {
+		if d.cells[i-1].t.Equal(t) {
+			return d.cells[i-1].n
 		}
 	}
 	return 0
+}
+
+// contains reports whether t is registered, regardless of its net (add drops
+// k == 0, so zero-net cells only exist via ensure).
+func (d *sdelta) contains(t relation.Tuple) bool {
+	for i := d.buckets[t.Hash()]; i != 0; i = d.next[i-1] {
+		if d.cells[i-1].t.Equal(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // ensure registers t with net 0 if absent — the zero-net marker the
 // affected-group collection uses for dedup (add drops k == 0 on purpose).
 func (d *sdelta) ensure(t relation.Tuple) {
 	h := t.Hash()
-	for _, c := range d.buckets[h] {
-		if c.t.Equal(t) {
+	for i := d.buckets[h]; i != 0; i = d.next[i-1] {
+		if d.cells[i-1].t.Equal(t) {
 			return
 		}
 	}
-	c := &scell{t: t}
-	d.buckets[h] = append(d.buckets[h], c)
-	d.cells = append(d.cells, c)
+	d.cells = append(d.cells, scell{t: t})
+	d.next = append(d.next, d.buckets[h])
+	d.buckets[h] = int32(len(d.cells))
 }
 
-// applyToBag patches a bag with a net delta.
+// reset empties the delta for reuse, dropping tuple references so recycled
+// cells do not keep dead rows alive.
+func (d *sdelta) reset() {
+	clear(d.cells)
+	d.cells = d.cells[:0]
+	d.next = d.next[:0]
+	if d.buckets == nil {
+		d.buckets = make(map[uint64]int32)
+	} else {
+		clear(d.buckets)
+	}
+}
+
+// applyToBag patches a bag with a net delta as one batch: index maintenance
+// is deferred to a single EndBulk pass over the cells whose membership
+// actually changed.
 func applyToBag(b *relation.Bag, d *sdelta) error {
-	for _, c := range d.cells {
+	b.BeginBulk()
+	defer b.EndBulk()
+	for i := range d.cells {
+		c := &d.cells[i]
 		switch {
 		case c.n > 0:
 			b.Add(c.t, c.n)
@@ -454,8 +662,9 @@ func residualTrue(pred ra.Expr, buf *relation.Tuple, lt, rt relation.Tuple) bool
 }
 
 func (m *IVM) selectDelta(n *planNode, dL *sdelta) *sdelta {
-	out := newSDelta(len(dL.cells))
-	for _, c := range dL.cells {
+	out := m.acquire()
+	for i := range dL.cells {
+		c := &dL.cells[i]
 		if c.n == 0 {
 			continue
 		}
@@ -474,8 +683,9 @@ func (m *IVM) selectDelta(n *planNode, dL *sdelta) *sdelta {
 }
 
 func (m *IVM) projectDelta(n *planNode, dL *sdelta) *sdelta {
-	out := newSDelta(len(dL.cells))
-	for _, c := range dL.cells {
+	out := m.acquire()
+	for i := range dL.cells {
+		c := &dL.cells[i]
 		if c.n == 0 {
 			continue
 		}
@@ -488,35 +698,47 @@ func (m *IVM) projectDelta(n *planNode, dL *sdelta) *sdelta {
 	return out
 }
 
-// vanishedCells returns the delta cells that were removed from the bag
+// vanishedScratch collects the delta cells that were removed from a bag
 // entirely (new count 0, negative net): the part of the old state an index
-// probe of the new state can no longer see.
-func vanishedCells(b *relation.Bag, d *sdelta) []*scell {
-	var out []*scell
-	for _, c := range d.cells {
-		if c.n < 0 && b.Count(c.t) == 0 {
-			out = append(out, c)
-		}
-	}
-	return out
+// probe of the new state can no longer see. The cells are recorded as
+// indexes into the delta's cell slice, chained per key hash when the
+// operator has equi-keys — bulk deletes would otherwise make propagation
+// O(|ΔL| × |vanished|). One scratch instance serves every node of a round in
+// turn; collect resets it.
+type vanishedScratch struct {
+	idxs  []int32
+	next  []int32          // chain link per entry (keyed mode only)
+	heads map[uint64]int32 // key hash -> index+1 into idxs
 }
 
-// vanishedIndex buckets vanished right cells by their key hash, so the
-// per-left-tuple probe of the old state stays keyed instead of scanning the
-// whole vanished set (bulk deletes would otherwise make propagation
-// O(|ΔL| × |vanished|)). Null-key cells are dropped — they can never
-// equi-match. Only used when the operator has keys.
-func vanishedIndex(vanished []*scell, rpos []int) map[uint64][]*scell {
-	if len(vanished) == 0 {
-		return nil
+// collect gathers the vanished cells of d against bag b. With rpos the
+// entries are chained by key hash and NULL-key cells are dropped (they can
+// never equi-match); without, all entries land in idxs for a linear scan.
+func (v *vanishedScratch) collect(b *relation.Bag, d *sdelta, rpos []int, keyed bool) {
+	v.idxs = v.idxs[:0]
+	v.next = v.next[:0]
+	if v.heads == nil {
+		v.heads = make(map[uint64]int32)
+	} else {
+		clear(v.heads)
 	}
-	m := make(map[uint64][]*scell, len(vanished))
-	for _, c := range vanished {
-		if h, ok := sideKeyHash(c.t, rpos); ok {
-			m[h] = append(m[h], c)
+	for i := range d.cells {
+		c := &d.cells[i]
+		if c.n >= 0 || b.Count(c.t) != 0 {
+			continue
+		}
+		if keyed {
+			h, ok := sideKeyHash(c.t, rpos)
+			if !ok {
+				continue
+			}
+			v.idxs = append(v.idxs, int32(i))
+			v.next = append(v.next, v.heads[h])
+			v.heads[h] = int32(len(v.idxs))
+		} else {
+			v.idxs = append(v.idxs, int32(i))
 		}
 	}
-	return m
 }
 
 // joinDelta is the inner-join rule: Δ = ΔL ⋈ R_old  +  L_new ⋈ ΔR. R_old
@@ -525,31 +747,31 @@ func vanishedIndex(vanished []*scell, rpos []int) map[uint64][]*scell {
 func (m *IVM) joinDelta(n *planNode, dL, dR *sdelta) *sdelta {
 	lbag := m.views[n.l.id].bag
 	rbag := m.views[n.r.id].bag
-	lpos, rpos := keyCols(n.keys)
-	out := newSDelta(len(dL.cells) + len(dR.cells))
-	var buf relation.Tuple
+	aux := &m.aux[n.id]
+	out := m.acquire()
 	// L_new ⋈ ΔR.
 	if len(dR.cells) > 0 {
 		var lix *relation.BagIndex
 		if len(n.keys) > 0 {
-			lix = lbag.Index(lpos)
+			lix = lbag.Index(aux.lpos)
 		}
-		for _, rc := range dR.cells {
+		for i := range dR.cells {
+			rc := &dR.cells[i]
 			if rc.n == 0 {
 				continue
 			}
 			emit := func(lc *relation.BagCell) {
 				lt := lc.Tuple()
-				if len(n.keys) > 0 && !sideKeysEqual(lt, lpos, rc.t, rpos) {
+				if len(n.keys) > 0 && !sideKeysEqual(lt, aux.lpos, rc.t, aux.rpos) {
 					return
 				}
-				if residualTrue(n.pred, &buf, lt, rc.t) {
+				if residualTrue(n.pred, &m.resBuf, lt, rc.t) {
 					out.add(concatTuples(lt, rc.t), lc.Count()*rc.n)
 				}
 			}
 			if lix == nil {
 				lbag.EachCell(emit)
-			} else if h, ok := sideKeyHash(rc.t, rpos); ok {
+			} else if h, ok := sideKeyHash(rc.t, aux.rpos); ok {
 				for _, lc := range lix.CandidatesHash(h) {
 					emit(lc)
 				}
@@ -559,39 +781,39 @@ func (m *IVM) joinDelta(n *planNode, dL, dR *sdelta) *sdelta {
 	// ΔL ⋈ R_old.
 	if len(dL.cells) > 0 {
 		var rix *relation.BagIndex
-		vanished := vanishedCells(rbag, dR)
-		var vix map[uint64][]*scell
-		if len(n.keys) > 0 {
-			rix = rbag.Index(rpos)
-			vix = vanishedIndex(vanished, rpos)
+		keyed := len(n.keys) > 0
+		m.van.collect(rbag, dR, aux.rpos, keyed)
+		if keyed {
+			rix = rbag.Index(aux.rpos)
 		}
-		for _, lc := range dL.cells {
+		for i := range dL.cells {
+			lc := &dL.cells[i]
 			if lc.n == 0 {
 				continue
 			}
 			emit := func(rt relation.Tuple, newCnt int) {
-				if len(n.keys) > 0 && !sideKeysEqual(lc.t, lpos, rt, rpos) {
+				if keyed && !sideKeysEqual(lc.t, aux.lpos, rt, aux.rpos) {
 					return
 				}
 				oldCnt := newCnt - dR.net(rt)
 				if oldCnt == 0 {
 					return
 				}
-				if residualTrue(n.pred, &buf, lc.t, rt) {
+				if residualTrue(n.pred, &m.resBuf, lc.t, rt) {
 					out.add(concatTuples(lc.t, rt), lc.n*oldCnt)
 				}
 			}
 			if rix == nil {
 				rbag.EachCell(func(rc *relation.BagCell) { emit(rc.Tuple(), rc.Count()) })
-				for _, rc := range vanished {
-					emit(rc.t, 0)
+				for _, vi := range m.van.idxs {
+					emit(dR.cells[vi].t, 0)
 				}
-			} else if h, ok := sideKeyHash(lc.t, lpos); ok {
+			} else if h, ok := sideKeyHash(lc.t, aux.lpos); ok {
 				for _, rc := range rix.CandidatesHash(h) {
 					emit(rc.Tuple(), rc.Count())
 				}
-				for _, rc := range vix[h] {
-					emit(rc.t, 0)
+				for p := m.van.heads[h]; p != 0; p = m.van.next[p-1] {
+					emit(dR.cells[m.van.idxs[p-1]].t, 0)
 				}
 			}
 			// NULL key with keys present: never joins, and vanished rows
@@ -599,6 +821,13 @@ func (m *IVM) joinDelta(n *planNode, dL, dR *sdelta) *sdelta {
 		}
 	}
 	return out
+}
+
+// matchEntry is one right-side match of an affected left group in
+// matchDelta, with its new and reconstructed old counts.
+type matchEntry struct {
+	rt             relation.Tuple
+	newCnt, oldCnt int
 }
 
 // matchDelta is the shared rule of the match-dependent operators — semi-,
@@ -609,29 +838,31 @@ func (m *IVM) joinDelta(n *planNode, dL, dR *sdelta) *sdelta {
 func (m *IVM) matchDelta(n *planNode, dL, dR *sdelta) *sdelta {
 	lbag := m.views[n.l.id].bag
 	rbag := m.views[n.r.id].bag
-	lpos, rpos := keyCols(n.keys)
-	var buf relation.Tuple
+	aux := &m.aux[n.id]
+	keyed := len(n.keys) > 0
 
 	// Affected left groups, deduplicated, in deterministic order.
-	affected := newSDelta(len(dL.cells))
-	for _, c := range dL.cells {
+	affected := m.acquire()
+	for i := range dL.cells {
+		c := &dL.cells[i]
 		if c.n != 0 {
 			affected.add(c.t, c.n)
 		}
 	}
 	if len(dR.cells) > 0 {
 		mark := func(lc *relation.BagCell) { affected.ensure(lc.Tuple()) }
-		if len(n.keys) == 0 {
+		if !keyed {
 			lbag.EachCell(mark)
 		} else {
-			lix := lbag.Index(lpos)
-			for _, rc := range dR.cells {
+			lix := lbag.Index(aux.lpos)
+			for i := range dR.cells {
+				rc := &dR.cells[i]
 				if rc.n == 0 {
 					continue
 				}
-				if h, ok := sideKeyHash(rc.t, rpos); ok {
+				if h, ok := sideKeyHash(rc.t, aux.rpos); ok {
 					for _, lc := range lix.CandidatesHash(h) {
-						if sideKeysEqual(lc.Tuple(), lpos, rc.t, rpos) {
+						if sideKeysEqual(lc.Tuple(), aux.lpos, rc.t, aux.rpos) {
 							mark(lc)
 						}
 					}
@@ -641,56 +872,43 @@ func (m *IVM) matchDelta(n *planNode, dL, dR *sdelta) *sdelta {
 	}
 
 	var rix *relation.BagIndex
-	vanished := vanishedCells(rbag, dR)
-	var vix map[uint64][]*scell
-	if len(n.keys) > 0 {
-		rix = rbag.Index(rpos)
-		vix = vanishedIndex(vanished, rpos)
+	m.van.collect(rbag, dR, aux.rpos, keyed)
+	if keyed {
+		rix = rbag.Index(aux.rpos)
 	}
-	var nulls relation.Tuple
-	if n.op == opLeftJoin {
-		nulls = make(relation.Tuple, n.r.schema.Len())
-		for i := range nulls {
-			nulls[i] = relation.Null()
-		}
-	}
-	out := newSDelta(len(affected.cells))
-	type match struct {
-		rt             relation.Tuple
-		newCnt, oldCnt int
-	}
-	var matches []match
-	for _, ac := range affected.cells {
-		lt := ac.t
+	out := m.acquire()
+	matches := m.matchBuf[:0]
+	for ai := range affected.cells {
+		lt := affected.cells[ai].t
 		newMult := lbag.Count(lt)
 		oldMult := newMult - dL.net(lt)
 		matches = matches[:0]
 		newMatch, oldMatch := 0, 0
 		consider := func(rt relation.Tuple, newCnt int) {
-			if len(n.keys) > 0 && !sideKeysEqual(lt, lpos, rt, rpos) {
+			if keyed && !sideKeysEqual(lt, aux.lpos, rt, aux.rpos) {
 				return
 			}
-			if !residualTrue(n.pred, &buf, lt, rt) {
+			if !residualTrue(n.pred, &m.resBuf, lt, rt) {
 				return
 			}
 			oldCnt := newCnt - dR.net(rt)
 			newMatch += newCnt
 			oldMatch += oldCnt
 			if n.op == opLeftJoin {
-				matches = append(matches, match{rt: rt, newCnt: newCnt, oldCnt: oldCnt})
+				matches = append(matches, matchEntry{rt: rt, newCnt: newCnt, oldCnt: oldCnt})
 			}
 		}
-		if len(n.keys) == 0 {
+		if !keyed {
 			rbag.EachCell(func(rc *relation.BagCell) { consider(rc.Tuple(), rc.Count()) })
-			for _, rc := range vanished {
-				consider(rc.t, 0)
+			for _, vi := range m.van.idxs {
+				consider(dR.cells[vi].t, 0)
 			}
-		} else if h, ok := sideKeyHash(lt, lpos); ok {
+		} else if h, ok := sideKeyHash(lt, aux.lpos); ok {
 			for _, rc := range rix.CandidatesHash(h) {
 				consider(rc.Tuple(), rc.Count())
 			}
-			for _, rc := range vix[h] {
-				consider(rc.t, 0)
+			for p := m.van.heads[h]; p != 0; p = m.van.next[p-1] {
+				consider(dR.cells[m.van.idxs[p-1]].t, 0)
 			}
 		}
 		if n.op == opLeftJoin {
@@ -707,7 +925,7 @@ func (m *IVM) matchDelta(n *planNode, dL, dR *sdelta) *sdelta {
 				oldPad = oldMult
 			}
 			if d := newPad - oldPad; d != 0 {
-				out.add(concatTuples(lt, nulls), d)
+				out.add(concatTuples(lt, aux.nulls), d)
 			}
 			continue
 		}
@@ -726,18 +944,20 @@ func (m *IVM) matchDelta(n *planNode, dL, dR *sdelta) *sdelta {
 			out.add(lt, d)
 		}
 	}
+	m.matchBuf = matches[:0]
 	return out
 }
 
 func (m *IVM) exceptDelta(n *planNode, dL, dR *sdelta) *sdelta {
 	lbag := m.views[n.l.id].bag
 	rbag := m.views[n.r.id].bag
-	out := newSDelta(len(dL.cells) + len(dR.cells))
-	seen := relation.NewTupleSet(len(dL.cells) + len(dR.cells))
+	out := m.acquire()
+	seen := m.acquire()
 	emit := func(t relation.Tuple) {
-		if !seen.Add(t) {
+		if seen.contains(t) {
 			return
 		}
+		seen.ensure(t)
 		newL, newR := lbag.Count(t), rbag.Count(t)
 		oldL := newL - dL.net(t)
 		oldR := newR - dR.net(t)
@@ -750,14 +970,14 @@ func (m *IVM) exceptDelta(n *planNode, dL, dR *sdelta) *sdelta {
 			out.add(t, -1)
 		}
 	}
-	for _, c := range dL.cells {
-		if c.n != 0 {
-			emit(c.t)
+	for i := range dL.cells {
+		if dL.cells[i].n != 0 {
+			emit(dL.cells[i].t)
 		}
 	}
-	for _, c := range dR.cells {
-		if c.n != 0 {
-			emit(c.t)
+	for i := range dR.cells {
+		if dR.cells[i].n != 0 {
+			emit(dR.cells[i].t)
 		}
 	}
 	return out
@@ -765,8 +985,9 @@ func (m *IVM) exceptDelta(n *planNode, dL, dR *sdelta) *sdelta {
 
 func (m *IVM) distinctDelta(n *planNode, dL *sdelta) *sdelta {
 	lbag := m.views[n.l.id].bag
-	out := newSDelta(len(dL.cells))
-	for _, c := range dL.cells {
+	out := m.acquire()
+	for i := range dL.cells {
+		c := &dL.cells[i]
 		if c.n == 0 {
 			continue
 		}
@@ -786,25 +1007,32 @@ func (m *IVM) distinctDelta(n *planNode, dL *sdelta) *sdelta {
 // bag (via a NULL-tolerant group-key index — grouping treats NULL as an
 // ordinary key value) and emits the output-row swaps. A global aggregate
 // (no group columns) keeps its single always-present group, whose empty
-// state matches SQL's one-row-on-empty-input rule.
+// state matches SQL's one-row-on-empty-input rule. Group keys are assembled
+// in a reused scratch buffer and cloned only for groups seen for the first
+// time this round.
 func (m *IVM) groupDelta(n *planNode, dL *sdelta) *sdelta {
 	v := m.views[n.id]
 	child := m.views[n.l.id].bag
 	ix := child.IndexNullable(n.groupPos)
-	out := newSDelta(len(dL.cells))
-	touched := relation.NewTupleSet(len(dL.cells))
-	for _, c := range dL.cells {
+	out := m.acquire()
+	touched := m.acquire()
+	for i := range dL.cells {
+		c := &dL.cells[i]
 		if c.n == 0 {
 			continue
 		}
-		key := make(relation.Tuple, len(n.groupPos))
-		for i, g := range n.groupPos {
-			key[i] = c.t[g]
+		key := m.keyBuf[:0]
+		for _, g := range n.groupPos {
+			key = append(key, c.t[g])
 		}
-		if !touched.Add(key) {
+		m.keyBuf = key
+		if touched.contains(key) {
 			continue
 		}
-		m.recomputeGroup(n, v, child, ix, key, out)
+		kc := make(relation.Tuple, len(key))
+		copy(kc, key)
+		touched.ensure(kc)
+		m.recomputeGroup(n, v, child, ix, kc, out)
 	}
 	return out
 }

@@ -121,9 +121,39 @@ func randDeltas(rng *rand.Rand, mirror map[string][]relation.Tuple) map[string]D
 	return out
 }
 
-func runIVMProperty(t *testing.T, opts *ra.Options, seeds, rounds int) {
+// randBulkDeltas draws a bulk-sized delta: a large random fraction of each
+// table's rows is deleted and a batch of comparable size inserted, so
+// join-family nodes cross the wholesale-recompute threshold.
+func randBulkDeltas(rng *rand.Rand, mirror map[string][]relation.Tuple) map[string]Delta {
+	out := make(map[string]Delta, len(mirror))
+	for _, name := range []string{"t1", "t2", "t3"} {
+		var d Delta
+		drop := len(mirror[name]) * (1 + rng.Intn(3)) / 3 // one third .. all
+		for k := 0; k < drop && len(mirror[name]) > 0; k++ {
+			rows := mirror[name]
+			i := rng.Intn(len(rows))
+			d.Del = append(d.Del, rows[i])
+			mirror[name] = append(rows[:i], rows[i+1:]...)
+		}
+		for k, n := 0, drop+rng.Intn(8); k < n; k++ {
+			tp := randTableRow(rng)
+			d.Ins = append(d.Ins, tp)
+			mirror[name] = append(mirror[name], tp)
+		}
+		out[name] = d
+	}
+	return out
+}
+
+// runIVMProperty drives the equivalence property. mode "" applies trickle
+// deltas only; "forced" forces every join-family node onto the bulk
+// recompute path every round; "interleaved" mixes trickle and bulk-sized
+// rounds under the default threshold, so the per-node switch flips back and
+// forth mid-sequence. Returns whether any round recomputed a node wholesale.
+func runIVMProperty(t *testing.T, opts *ra.Options, seeds, rounds int, mode string) bool {
 	t.Helper()
 	nested := &ra.Options{NestedLoop: true}
+	sawBulk := false
 	for seed := int64(0); seed < int64(seeds); seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		mirror := map[string][]relation.Tuple{}
@@ -150,10 +180,21 @@ func runIVMProperty(t *testing.T, opts *ra.Options, seeds, rounds int) {
 		if err != nil {
 			t.Fatalf("seed %d: NewIVM %q: %v", seed, src, err)
 		}
+		if mode == "forced" {
+			m.SetBulkThreshold(0, 1)
+		}
 		for step := 0; step < rounds; step++ {
-			d := randDeltas(rng, mirror)
+			var d map[string]Delta
+			if mode == "interleaved" && rng.Intn(2) == 0 {
+				d = randBulkDeltas(rng, mirror)
+			} else {
+				d = randDeltas(rng, mirror)
+			}
 			if err := m.Apply(d); err != nil {
 				t.Fatalf("seed %d step %d: apply %q: %v", seed, step, src, err)
+			}
+			if m.BulkNodes() > 0 {
+				sawBulk = true
 			}
 			got, err := m.Result()
 			if err != nil {
@@ -195,12 +236,13 @@ func runIVMProperty(t *testing.T, opts *ra.Options, seeds, rounds int) {
 			}
 		}
 	}
+	return sawBulk
 }
 
 // TestIVMMatchesColdAndOracle: sequential delta maintenance tracks the cold
 // executor and the nested-loop oracle across randomized delta sequences.
 func TestIVMMatchesColdAndOracle(t *testing.T) {
-	runIVMProperty(t, nil, 60, 8)
+	runIVMProperty(t, nil, 60, 8, "")
 }
 
 // TestIVMMatchesColdAndOracleParallel: the same property with the operator
@@ -209,7 +251,33 @@ func TestIVMMatchesColdAndOracle(t *testing.T) {
 func TestIVMMatchesColdAndOracleParallel(t *testing.T) {
 	par := &ra.Options{Pool: pool.New(4), MinParRows: 1}
 	defer par.Pool.Shutdown()
-	runIVMProperty(t, par, 15, 6)
+	runIVMProperty(t, par, 15, 6, "")
+}
+
+// TestIVMBulkForcedMatchesColdAndOracle: with every join-family node forced
+// onto the wholesale-recompute path, the batched bag patching still tracks
+// the cold executor and the nested-loop oracle round for round.
+func TestIVMBulkForcedMatchesColdAndOracle(t *testing.T) {
+	if !runIVMProperty(t, nil, 40, 6, "forced") {
+		t.Fatal("forced bulk mode never recomputed a node")
+	}
+}
+
+// TestIVMBulkInterleavedMatchesColdAndOracle: trickle and bulk-sized rounds
+// interleave under the default threshold, so each node's strategy flips
+// between the per-tuple rules and recompute-of-affected mid-sequence.
+func TestIVMBulkInterleavedMatchesColdAndOracle(t *testing.T) {
+	if !runIVMProperty(t, nil, 40, 6, "interleaved") {
+		t.Fatal("interleaved sequences never crossed the bulk threshold")
+	}
+}
+
+// TestIVMBulkInterleavedParallel: the interleaved property with the operator
+// pool enabled (-race guards the recompute path's shared state).
+func TestIVMBulkInterleavedParallel(t *testing.T) {
+	par := &ra.Options{Pool: pool.New(4), MinParRows: 1}
+	defer par.Pool.Shutdown()
+	runIVMProperty(t, par, 10, 5, "interleaved")
 }
 
 // TestIVMRefusesLimit: LIMIT has no delta rule; the constructor must refuse

@@ -570,25 +570,32 @@ func (e *planEval) node(n *planNode) (rel *relation.Relation, err error) {
 			return nil, err
 		}
 	}
+	return applyOp(n, l, r, e.opts)
+}
+
+// applyOp evaluates one non-leaf plan operator over already-evaluated child
+// relations. It is the single evaluation path shared by the cold evaluator
+// (planEval.node) and the IVM's bulk recompute, so the two can never drift.
+func applyOp(n *planNode, l, r *relation.Relation, opts *ra.Options) (*relation.Relation, error) {
 	switch n.op {
 	case opRename:
 		return ra.Rename(l, n.names)
 	case opSelect:
 		for _, p := range n.preds {
-			l = e.opts.Select(l, p)
+			l = opts.Select(l, p)
 		}
 		return l, nil
 	case opProject:
-		return e.opts.Project(l, n.items)
+		return opts.Project(l, n.items)
 	case opJoin:
-		return e.opts.HashJoin(l, r, n.keys, n.pred), nil
+		return opts.HashJoin(l, r, n.keys, n.pred), nil
 	case opLeftJoin:
-		return e.opts.LeftJoin(l, r, n.keys, n.pred), nil
+		return opts.LeftJoin(l, r, n.keys, n.pred), nil
 	case opSemi:
 		if n.anti {
-			return e.opts.AntiJoin(l, r, n.keys, n.pred), nil
+			return opts.AntiJoin(l, r, n.keys, n.pred), nil
 		}
-		return e.opts.SemiJoin(l, r, n.keys, n.pred), nil
+		return opts.SemiJoin(l, r, n.keys, n.pred), nil
 	case opUnionAll:
 		return ra.UnionAll(l, r)
 	case opExcept:

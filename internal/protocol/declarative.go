@@ -46,11 +46,26 @@ type SQLProtocol struct {
 	ivm            *minisql.IVM
 	ivmUnsupported bool
 
+	// deferred holds the per-round delta batches of warm rounds answered by
+	// full re-evaluation while the view cache was alive: instead of dropping
+	// the cache (which made every trickle-to-bulk transition pay a
+	// rematerialization on the way back), the cache merely goes stale and
+	// the queued rounds are replayed, in order, the next time a delta
+	// strategy is chosen. deferredChurn totals the queued tuples; a backlog
+	// at least the standing size (or sqlMaxDeferred rounds deep) is no
+	// cheaper to catch up than to rebuild, so then the cache goes after all.
+	deferred      []map[string]minisql.Delta
+	deferredChurn int
+
 	// Adaptive warm-round cost model (the Datalog engine's strategyCost,
 	// shared via internal/costmodel): observed ns per churned tuple for
-	// delta maintenance vs ns per standing tuple for full re-evaluation.
-	// forceStrategy pins one path for tests and ablations ("ivm", "warm").
+	// per-tuple delta maintenance (ivmCost), ns per standing tuple for
+	// delta rounds dominated by wholesale node recomputation (bulkCost,
+	// see minisql.IVM's bulk threshold), and ns per standing tuple for full
+	// re-evaluation (coldCost). forceStrategy pins one path for tests and
+	// ablations ("ivm", "bulk", "warm"); see SetForceStrategy.
 	ivmCost       costmodel.EWMA
+	bulkCost      costmodel.EWMA
 	coldCost      costmodel.EWMA
 	forceStrategy string
 
@@ -61,9 +76,11 @@ type SQLProtocol struct {
 
 	// lastStrategy names the evaluation path of the last Qualify call
 	// (StrategyReporter): "sql-ivm" when the view cache was delta-
-	// maintained, "sql-ivm-build" when it was (re)materialized, "sql-warm"
-	// when the query re-ran over the patched cached relations, "sql-cold"
-	// for a full rebuild.
+	// maintained tuple by tuple, "sql-ivm-bulk" when the maintenance round
+	// recomputed at least one join-family node wholesale (the bulk path),
+	// "sql-ivm-build" when the cache was (re)materialized, "sql-warm" when
+	// the query re-ran over the patched cached relations, "sql-cold" for a
+	// full rebuild.
 	lastStrategy string
 
 	// decomposable claims per-object decomposability (see
@@ -77,6 +94,16 @@ type SQLProtocol struct {
 // until measured per-unit costs exist (mirrors the Datalog engine's
 // dredChurnFactor).
 const sqlIVMChurnFactor = 4
+
+// sqlBulkBorrow relates the unmeasured bulk-recompute cost to the full
+// re-evaluation cost: recomputing only the affected join-family nodes from
+// already-patched bags skips relation re-materialization and the untouched
+// operators, so it is assumed this factor cheaper per standing tuple until
+// real bulk rounds are measured.
+const sqlBulkBorrow = 1.5
+
+// sqlMaxDeferred bounds the stale-view replay queue (see SQLProtocol.deferred).
+const sqlMaxDeferred = 8
 
 // NewSQL parses the query once and reuses the plan every round.
 func NewSQL(name, sql string) (*SQLProtocol, error) {
@@ -147,7 +174,7 @@ func (p *SQLProtocol) LastStrategy() string { return p.lastStrategy }
 // It invalidates any incremental state, including the view cache.
 func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
 	p.warm = false
-	p.ivm = nil
+	p.dropIVM()
 	p.lastStrategy = "sql-cold"
 	reqRel, histRel, byKey := materialise(pending, history)
 	return p.run(reqRel, histRel, byKey)
@@ -167,10 +194,13 @@ func materialise(pending, history []request.Request) (*relation.Relation, *relat
 // history relations are patched with the round's appends and removals (by
 // unique request id), and the byKey restoration map is no longer rebuilt
 // from scratch when pending is unchanged. On warm rounds the adaptive cost
-// model picks between patching the materialized view cache with the round's
-// deltas (sql-ivm) and re-running the query over the patched relations
-// (sql-warm); the first warm round an IVM path is chosen pays the view
-// materialization (sql-ivm-build).
+// model picks among patching the materialized view cache with the round's
+// deltas (sql-ivm per tuple, sql-ivm-bulk when the deltas are large enough
+// that affected nodes are recomputed wholesale) and re-running the query
+// over the patched relations (sql-warm); the first warm round a delta path
+// is chosen pays the view materialization (sql-ivm-build). A sql-warm round
+// while the cache is alive queues its deltas for later replay instead of
+// dropping the cache (see SQLProtocol.deferred).
 func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error) {
 	if p.warm {
 		// Pending removals precede adds chronologically (see Deltas):
@@ -197,7 +227,7 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 		// maintained state, so the view cache goes too (see the
 		// IncrementalProtocol contract).
 		p.pendingRel, p.histRel, p.byKey = materialise(pending, history)
-		p.ivm = nil
+		p.dropIVM()
 		p.warm = true
 		p.lastStrategy = "sql-cold"
 		return p.run(p.pendingRel, p.histRel, p.byKey)
@@ -213,39 +243,75 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 		} else {
 			// The timed window spans delta propagation through result
 			// conversion — the same end-to-end span the sql-warm observation
-			// times via p.run + finish, so the two per-unit estimates stay
-			// comparable.
+			// times via p.run + finish, so the per-unit estimates stay
+			// comparable. Rounds answered by sql-warm while the cache was
+			// alive queued their deltas; replaying them in order first makes
+			// the cache exactly what per-round maintenance would have built.
+			switch p.forceStrategy {
+			case "ivm":
+				p.ivm.SetBulkThreshold(1, 0) // per-tuple rules only
+			case "bulk":
+				p.ivm.SetBulkThreshold(0, 1) // recompute every join-family node
+			default:
+				p.ivm.SetBulkThreshold(1, 2)
+			}
 			start := time.Now()
-			err := p.ivm.Apply(map[string]minisql.Delta{
-				"requests": {Ins: toTuples(d.PendingAdded), Del: toTuples(d.PendingRemoved)},
-				"history":  {Ins: toTuples(d.HistoryAppended), Del: toTuples(d.HistoryRemoved)},
-			})
+			bulkNodes := 0
+			var err error
+			for _, q := range p.deferred {
+				if err = p.ivm.Apply(q); err != nil {
+					break
+				}
+				bulkNodes += p.ivm.BulkNodes()
+			}
+			if err == nil {
+				if err = p.ivm.Apply(roundDeltas(d)); err == nil {
+					bulkNodes += p.ivm.BulkNodes()
+				}
+			}
+			appliedChurn := churn + p.deferredChurn
 			if err == nil {
 				var rel *relation.Relation
 				if rel, err = p.ivm.Result(); err == nil {
 					var out []request.Request
 					if out, err = p.finish(rel, p.byKey); err == nil {
+						p.deferred, p.deferredChurn = nil, 0
 						elapsed := float64(time.Since(start).Nanoseconds())
-						p.ivmCost.Observe(elapsed, churn)
-						// Relax the unmeasured side toward the static-
-						// consistent estimate (ivmPer = coldPer * factor, as
-						// in the Datalog engine and costmodel.Choose's
-						// borrowing rule), so a stale spike decays and the
-						// strategy gets re-tried.
-						p.coldCost.DecayToward(p.ivmCost.PerUnit / sqlIVMChurnFactor)
-						p.lastStrategy = "sql-ivm"
+						if bulkNodes > 0 {
+							// Wholesale node recomputation dominates; its
+							// cost scales with the standing size, not churn.
+							p.bulkCost.Observe(elapsed, standing)
+							p.coldCost.DecayToward(p.bulkCost.PerUnit * sqlBulkBorrow)
+							p.lastStrategy = "sql-ivm-bulk"
+						} else {
+							p.ivmCost.Observe(elapsed, appliedChurn)
+							// Relax the unmeasured side toward the static-
+							// consistent estimate (ivmPer = coldPer * factor,
+							// as in the Datalog engine and costmodel.Choose's
+							// borrowing rule), so a stale spike decays and
+							// the strategy gets re-tried.
+							p.coldCost.DecayToward(p.ivmCost.PerUnit / sqlIVMChurnFactor)
+							p.lastStrategy = "sql-ivm"
+						}
 						return out, nil
 					}
 				}
 			}
 			// Divergence (or a result error): drop the views and answer from
 			// the patched relations; the next warm round rematerializes.
-			p.ivm = nil
+			p.dropIVM()
 		}
-	} else {
-		// The cost model picked full re-evaluation: the views would be
-		// stale after this round, so drop them.
-		p.ivm = nil
+	} else if p.ivm != nil {
+		// The cost model picked full re-evaluation while the view cache is
+		// alive. The views will be one round stale; queue the deltas for
+		// replay rather than dropping the cache, unless the backlog has
+		// grown past the point where catching up beats rematerializing.
+		if len(p.deferred) >= sqlMaxDeferred || p.deferredChurn+churn >= standing {
+			p.dropIVM()
+		} else {
+			p.deferred = append(p.deferred, roundDeltas(d))
+			p.deferredChurn += churn
+		}
 	}
 	start := time.Now()
 	out, err := p.run(p.pendingRel, p.histRel, p.byKey)
@@ -253,9 +319,25 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 		elapsed := float64(time.Since(start).Nanoseconds())
 		p.coldCost.Observe(elapsed, standing)
 		p.ivmCost.DecayToward(p.coldCost.PerUnit * sqlIVMChurnFactor)
+		p.bulkCost.DecayToward(p.coldCost.PerUnit / sqlBulkBorrow)
 		p.lastStrategy = "sql-warm"
 	}
 	return out, err
+}
+
+// dropIVM discards the view cache and any queued stale-round deltas.
+func (p *SQLProtocol) dropIVM() {
+	p.ivm = nil
+	p.deferred, p.deferredChurn = nil, 0
+}
+
+// roundDeltas converts one round's request-level deltas to the two-table
+// relational form minisql.IVM.Apply consumes.
+func roundDeltas(d Deltas) map[string]minisql.Delta {
+	return map[string]minisql.Delta{
+		"requests": {Ins: toTuples(d.PendingAdded), Del: toTuples(d.PendingRemoved)},
+		"history":  {Ins: toTuples(d.HistoryAppended), Del: toTuples(d.HistoryRemoved)},
+	}
 }
 
 // sqlIVMBuildHysteresis scales the churn a round must amortize before the
@@ -265,10 +347,25 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 // the plain cost comparison decides.
 const sqlIVMBuildHysteresis = 4
 
-// chooseIVM is the warm-round strategy decision (see sqlIVMChurnFactor).
+// SetForceStrategy pins the warm-round evaluation path for tests and
+// ablations: "ivm" (per-tuple delta maintenance, bulk recomputation
+// disabled), "bulk" (delta maintenance with every join-family node
+// recomputed wholesale), "warm" (full re-evaluation over the patched
+// relations), or "" to restore the adaptive cost model.
+func (p *SQLProtocol) SetForceStrategy(s string) { p.forceStrategy = s }
+
+// chooseIVM is the warm-round strategy decision: a three-way cost
+// comparison — per-tuple delta maintenance priced by churn, bulk
+// recompute-of-affected priced by the standing size, and full re-evaluation
+// — collapsed to "delta path or not". Whether a chosen delta round actually
+// recomputes nodes wholesale is decided per node inside minisql.IVM; the
+// separate bulk candidate exists so a high-churn round is priced by the
+// measured bulk cost instead of extrapolating the per-tuple cost, which is
+// what kept bulk rounds off the delta path (and thrashing the view cache)
+// entirely.
 func (p *SQLProtocol) chooseIVM(churn, standing int) bool {
 	switch p.forceStrategy {
-	case "ivm":
+	case "ivm", "bulk":
 		return !p.ivmUnsupported
 	case "warm":
 		return false
@@ -276,11 +373,40 @@ func (p *SQLProtocol) chooseIVM(churn, standing int) bool {
 	if p.ivmUnsupported || standing == 0 {
 		return false
 	}
+	churn += p.deferredChurn // a delta round replays the queued backlog first
 	effChurn := churn
+	bulkBias, warmBias := 1.0, 1.0
 	if p.ivm == nil {
+		// (Re)materializing pays a full evaluation plus per-node bag
+		// construction up front (see sqlIVMBuildHysteresis), for either
+		// delta candidate.
 		effChurn = churn * sqlIVMBuildHysteresis
+		bulkBias = sqlIVMBuildHysteresis
+	} else {
+		// Abandoning a live cache costs a rebuild later: the full re-run
+		// must win by the same margin.
+		warmBias = sqlIVMBuildHysteresis
 	}
-	return costmodel.Choose(&p.ivmCost, &p.coldCost, effChurn, standing, sqlIVMChurnFactor)
+	if p.ivmCost.Samples == 0 && p.bulkCost.Samples == 0 && p.coldCost.Samples == 0 {
+		return effChurn*sqlIVMChurnFactor < standing // static bootstrap rule
+	}
+	// Unobserved candidates borrow from the measured ones (scaled by the
+	// static factors) so the comparison stays consistent with the static
+	// rule under one-sided data, as in costmodel.Choose.
+	coldPer := p.coldCost.PerUnit
+	if p.coldCost.Samples == 0 {
+		if p.ivmCost.Samples > 0 {
+			coldPer = p.ivmCost.PerUnit / sqlIVMChurnFactor
+		} else {
+			coldPer = p.bulkCost.PerUnit * sqlBulkBorrow
+		}
+	}
+	pick := costmodel.Pick([]costmodel.Candidate{
+		{Cost: &p.ivmCost, Units: effChurn, FallbackPer: coldPer * sqlIVMChurnFactor},
+		{Cost: &p.bulkCost, Units: standing, FallbackPer: coldPer / sqlBulkBorrow, Bias: bulkBias},
+		{Cost: &p.coldCost, Units: standing, FallbackPer: coldPer, Bias: warmBias},
+	})
+	return pick != 2
 }
 
 // buildIVM materializes the view cache from the current patched relations

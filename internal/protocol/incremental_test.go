@@ -323,6 +323,183 @@ func TestSQLCostModelMeasuredPath(t *testing.T) {
 	}
 }
 
+// TestSQLTrickleBulkTransitionKeepsCache: crossing the trickle-to-bulk churn
+// boundary must not thrash the view cache. Once per-unit costs are measured,
+// a bulk-sized round is priced by the bulk-recompute estimate and routed
+// through the IVM's wholesale path (sql-ivm-bulk) over the same live cache,
+// and the next trickle round delta-maintains that cache again — no
+// sql-ivm-build anywhere in between.
+func TestSQLTrickleBulkTransitionKeepsCache(t *testing.T) {
+	p := SS2PLSQL()
+	var pending, history []request.Request
+	id := int64(1)
+	for ta := int64(1); ta <= 120; ta++ {
+		for k, op := range []request.Op{request.Read, request.Write, request.Commit} {
+			r := request.Request{ID: id, TA: ta, IntraTA: int64(k), Op: op, Object: ta % 40}
+			if op == request.Commit {
+				r.Object = request.NoObject
+			}
+			id++
+			if ta <= 60 {
+				history = append(history, r)
+			} else {
+				pending = append(pending, r)
+			}
+		}
+	}
+	round := func(stage string, d Deltas) {
+		t.Helper()
+		got, err := p.QualifyIncremental(pending, history, d)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		want, err := SS2PLSQL().Qualify(pending, history)
+		if err != nil {
+			t.Fatalf("%s cold: %v", stage, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: diverged\nwarm: %v\ncold: %v", stage, got, want)
+		}
+	}
+
+	round("initial", Deltas{PendingAdded: pending}) // cold rebuild
+	add := []request.Request{{ID: id, TA: 500, IntraTA: 0, Op: request.Read, Object: 1}}
+	id++
+	pending = append(pending, add...)
+	round("trickle", Deltas{PendingAdded: add})
+	if got := p.LastStrategy(); got != "sql-ivm-build" {
+		t.Fatalf("trickle round: %q, want sql-ivm-build", got)
+	}
+	cache := p.ivm
+
+	// Measured steady state: delta maintenance at 100 ns per churned tuple,
+	// full re-evaluation at the static-consistent 25 ns per standing tuple.
+	p.ivmCost = costmodelEWMA(100, 4)
+	p.coldCost = costmodelEWMA(100.0/sqlIVMChurnFactor, 4)
+
+	// The decision itself: a bulk-sized round stays on the delta path (the
+	// old two-way model abandoned the live cache here).
+	if !p.chooseIVM(1, 360) {
+		t.Fatal("trickle churn left the delta path")
+	}
+	if !p.chooseIVM(360, 360) {
+		t.Fatal("bulk churn abandoned the live cache")
+	}
+
+	// A real bulk round: the whole pending set is replaced.
+	removed := pending
+	var fresh []request.Request
+	for ta := int64(600); ta < 800; ta++ {
+		fresh = append(fresh, request.Request{ID: id, TA: ta, IntraTA: 0, Op: request.Write, Object: ta % 40})
+		id++
+	}
+	pending = fresh
+	round("bulk", Deltas{PendingAdded: fresh, PendingRemoved: removed})
+	if got := p.LastStrategy(); got != "sql-ivm-bulk" {
+		t.Fatalf("bulk round: %q, want sql-ivm-bulk", got)
+	}
+	if p.ivm != cache {
+		t.Fatal("bulk round rematerialized the view cache")
+	}
+	if p.bulkCost.Samples == 0 {
+		t.Fatal("bulk round did not observe the bulk cost")
+	}
+
+	// Back to trickle: the same cache is maintained per tuple again.
+	p.ivmCost = costmodelEWMA(100, 4)
+	add = []request.Request{{ID: id, TA: 900, IntraTA: 0, Op: request.Read, Object: 2}}
+	id++
+	pending = append(pending, add...)
+	round("trickle after bulk", Deltas{PendingAdded: add})
+	if got := p.LastStrategy(); got != "sql-ivm" {
+		t.Fatalf("trickle after bulk: %q, want sql-ivm", got)
+	}
+	if p.ivm != cache {
+		t.Fatal("trickle after bulk rebuilt the view cache")
+	}
+}
+
+// TestSQLWarmRoundDefersDeltasAndReplays: a sql-warm round while the view
+// cache is alive queues its deltas instead of dropping the cache; the next
+// delta round replays the backlog in order and answers from the caught-up
+// views. A backlog as large as the standing size cuts the cache loose.
+func TestSQLWarmRoundDefersDeltasAndReplays(t *testing.T) {
+	p := SS2PLSQL()
+	var pending []request.Request
+	id := int64(1)
+	for ta := int64(1); ta <= 40; ta++ {
+		pending = append(pending, request.Request{ID: id, TA: ta, IntraTA: 0, Op: request.Write, Object: ta % 10})
+		id++
+	}
+	round := func(stage string, d Deltas) {
+		t.Helper()
+		got, err := p.QualifyIncremental(pending, nil, d)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		want, err := SS2PLSQL().Qualify(pending, nil)
+		if err != nil {
+			t.Fatalf("%s cold: %v", stage, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: diverged\nwarm: %v\ncold: %v", stage, got, want)
+		}
+	}
+	trickle := func(stage string) {
+		t.Helper()
+		add := []request.Request{{ID: id, TA: 100 + id, IntraTA: 0, Op: request.Read, Object: id % 10}}
+		id++
+		pending = append(pending, add...)
+		round(stage, Deltas{PendingAdded: add})
+	}
+
+	round("initial", Deltas{PendingAdded: pending}) // cold rebuild
+	trickle("build")
+	if got := p.LastStrategy(); got != "sql-ivm-build" {
+		t.Fatalf("build round: %q, want sql-ivm-build", got)
+	}
+	cache := p.ivm
+
+	p.SetForceStrategy("warm")
+	trickle("deferred warm")
+	if got := p.LastStrategy(); got != "sql-warm" {
+		t.Fatalf("warm round: %q, want sql-warm", got)
+	}
+	if p.ivm != cache {
+		t.Fatal("warm round dropped the live cache")
+	}
+	if len(p.deferred) != 1 || p.deferredChurn != 1 {
+		t.Fatalf("backlog %d rounds / %d tuples, want 1 / 1", len(p.deferred), p.deferredChurn)
+	}
+
+	p.SetForceStrategy("ivm")
+	trickle("replay")
+	if got := p.LastStrategy(); got != "sql-ivm" {
+		t.Fatalf("replay round: %q, want sql-ivm", got)
+	}
+	if p.ivm != cache {
+		t.Fatal("replay round rebuilt the view cache")
+	}
+	if len(p.deferred) != 0 || p.deferredChurn != 0 {
+		t.Fatalf("backlog not drained: %d rounds / %d tuples", len(p.deferred), p.deferredChurn)
+	}
+
+	// Oversized backlog: a warm round whose queued churn reaches the
+	// standing size drops the cache after all.
+	p.SetForceStrategy("warm")
+	removed := pending
+	var fresh []request.Request
+	for ta := int64(600); ta < 650; ta++ {
+		fresh = append(fresh, request.Request{ID: id, TA: ta, IntraTA: 0, Op: request.Write, Object: ta % 10})
+		id++
+	}
+	pending = fresh
+	round("oversized warm", Deltas{PendingAdded: fresh, PendingRemoved: removed})
+	if p.ivm != nil {
+		t.Fatal("oversized backlog kept the stale cache")
+	}
+}
+
 // TestQualifyInvalidatesIncrementalState: a direct Qualify call between
 // incremental rounds must not poison subsequent warm rounds.
 func TestQualifyIncrementalSurvivesColdInterleaving(t *testing.T) {

@@ -18,6 +18,13 @@ type Bag struct {
 	indexes map[string]*BagIndex  // maskKey(cols) -> maintained index
 	total   int                   // total copies across all cells
 	ncells  int                   // distinct tuples
+	// free recycles removed cells: a steady-state churn round (remove a
+	// batch, add a batch) allocates no cells at all.
+	free []*BagCell
+	// Batch state (BeginBulk/EndBulk): index maintenance is deferred to one
+	// pass over the cells whose membership actually changed.
+	bulk    bool
+	touched []*BagCell
 }
 
 // BagCell is one distinct tuple of a Bag together with its current count.
@@ -25,6 +32,10 @@ type Bag struct {
 type BagCell struct {
 	tuple Tuple
 	n     int
+	// mark is the cell's batch state under BeginBulk: 0 untouched this
+	// batch, 1 was present at batch start, 2 was absent (created or
+	// resurrected during the batch).
+	mark uint8
 }
 
 // Tuple returns the cell's tuple. The caller must not mutate it.
@@ -72,21 +83,65 @@ func (b *Bag) Count(t Tuple) int {
 	return 0
 }
 
+// newCell takes a cell from the freelist or allocates one.
+func (b *Bag) newCell(t Tuple, k int) *BagCell {
+	if n := len(b.free); n > 0 {
+		c := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		c.tuple, c.n, c.mark = t, k, 0
+		return c
+	}
+	return &BagCell{tuple: t, n: k}
+}
+
+// freeCell returns a removed cell to the freelist. The tuple reference is
+// dropped so recycled cells do not keep dead rows alive.
+func (b *Bag) freeCell(c *BagCell) {
+	c.tuple, c.n, c.mark = nil, 0, 0
+	b.free = append(b.free, c)
+}
+
+// touch records a cell's membership at batch start, once per batch.
+func (b *Bag) touch(c *BagCell) {
+	if c.mark != 0 {
+		return
+	}
+	if c.n > 0 {
+		c.mark = 1
+	} else {
+		c.mark = 2
+	}
+	b.touched = append(b.touched, c)
+}
+
 // Add inserts k copies of t (k > 0) and returns the new count. A tuple going
-// 0 -> present is linked into every attached index.
+// 0 -> present is linked into every attached index (deferred to EndBulk
+// inside a bulk batch).
 func (b *Bag) Add(t Tuple, k int) int {
 	h := t.Hash()
 	for _, c := range b.cells[h] {
 		if c.tuple.Equal(t) {
+			if b.bulk {
+				b.touch(c)
+				if c.n == 0 {
+					b.ncells++ // resurrected within the batch
+				}
+			}
 			c.n += k
 			b.total += k
 			return c.n
 		}
 	}
-	c := &BagCell{tuple: t, n: k}
+	c := b.newCell(t, k)
 	b.cells[h] = append(b.cells[h], c)
 	b.total += k
 	b.ncells++
+	if b.bulk {
+		c.mark = 2
+		b.touched = append(b.touched, c)
+		return c.n
+	}
 	for _, ix := range b.indexes {
 		ix.link(c)
 	}
@@ -96,7 +151,8 @@ func (b *Bag) Add(t Tuple, k int) int {
 // Remove deletes k copies of t, returning the new count; ok is false (and the
 // bag unchanged) when fewer than k copies are present — the caller's delta
 // has diverged from the bag's ground truth. A tuple going present -> 0 is
-// unlinked from every attached index.
+// unlinked from every attached index (deferred to EndBulk inside a bulk
+// batch, so a same-batch re-add finds the cell again).
 func (b *Bag) Remove(t Tuple, k int) (int, bool) {
 	h := t.Hash()
 	bucket := b.cells[h]
@@ -107,19 +163,84 @@ func (b *Bag) Remove(t Tuple, k int) (int, bool) {
 		if c.n < k {
 			return c.n, false
 		}
+		if b.bulk {
+			b.touch(c)
+			c.n -= k
+			b.total -= k
+			if c.n == 0 {
+				b.ncells--
+			}
+			return c.n, true
+		}
 		c.n -= k
 		b.total -= k
 		if c.n == 0 {
 			bucket[i] = bucket[len(bucket)-1]
+			bucket[len(bucket)-1] = nil
 			b.cells[h] = bucket[:len(bucket)-1]
 			b.ncells--
 			for _, ix := range b.indexes {
 				ix.unlink(c)
 			}
+			b.freeCell(c)
+			return 0, true
 		}
 		return c.n, true
 	}
 	return 0, false
+}
+
+// BeginBulk starts a batched mutation: Add and Remove adjust counts only,
+// and the index maintenance that normally runs per mutation is deferred to
+// one EndBulk pass over the cells whose membership actually changed — a
+// tuple removed and re-added within the batch touches no index at all.
+// Reads (Count) stay exact throughout; iteration (Each/EachCell/Relation)
+// and index probes must wait for EndBulk. Batches do not nest.
+func (b *Bag) BeginBulk() { b.bulk = true }
+
+// EndBulk resolves the batch: cells that ended absent are dropped from the
+// bag and unlinked from every index (skipping cells that were also created
+// within the batch and were never linked), and cells that ended present but
+// started absent are linked.
+func (b *Bag) EndBulk() {
+	for i, c := range b.touched {
+		b.touched[i] = nil
+		was := c.mark == 1
+		now := c.n > 0
+		c.mark = 0
+		switch {
+		case was && !now:
+			b.dropCell(c)
+			for _, ix := range b.indexes {
+				ix.unlink(c)
+			}
+			b.freeCell(c)
+		case !was && !now:
+			b.dropCell(c) // created then removed within the batch: never linked
+			b.freeCell(c)
+		case !was && now:
+			for _, ix := range b.indexes {
+				ix.link(c)
+			}
+		}
+	}
+	b.touched = b.touched[:0]
+	b.bulk = false
+}
+
+// dropCell removes a cell from the hash map (the cell's count bookkeeping
+// has already happened).
+func (b *Bag) dropCell(c *BagCell) {
+	h := c.tuple.Hash()
+	bucket := b.cells[h]
+	for i, cc := range bucket {
+		if cc == c {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket[len(bucket)-1] = nil
+			b.cells[h] = bucket[:len(bucket)-1]
+			return
+		}
+	}
 }
 
 // Each calls fn for every distinct tuple with its count, in unspecified

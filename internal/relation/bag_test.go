@@ -102,6 +102,83 @@ func TestBagIndexMaintained(t *testing.T) {
 	}
 }
 
+// TestBagBulkBatch drives the deferred-index batch API through every
+// membership transition: present→absent, absent→present, remove-then-re-add
+// (membership unchanged: no index traffic), and create-then-remove within the
+// batch (never linked). After EndBulk the bag and all indexes must be
+// indistinguishable from the same mutations applied singly.
+func TestBagBulkBatch(t *testing.T) {
+	mk := func() (*Bag, *BagIndex) {
+		b := NewBag(bagSchema())
+		ix := b.Index([]int{0})
+		b.Add(Tuple{Int(1), Int(10)}, 2)
+		b.Add(Tuple{Int(1), Int(11)}, 1)
+		b.Add(Tuple{Int(2), Int(20)}, 1)
+		return b, ix
+	}
+	probe := func(ix *BagIndex, key Value) int {
+		total := 0
+		for _, c := range ix.CandidatesHash(Tuple{key}.HashCols([]int{0})) {
+			if c.Tuple()[0].Equal(key) {
+				total += c.Count()
+			}
+		}
+		return total
+	}
+	apply := func(b *Bag) {
+		b.Remove(Tuple{Int(1), Int(11)}, 1) // present → absent
+		b.Add(Tuple{Int(3), Int(30)}, 2)    // absent → present
+		b.Remove(Tuple{Int(2), Int(20)}, 1) // removed...
+		b.Add(Tuple{Int(2), Int(20)}, 3)    // ...and re-added: net count change only
+		b.Add(Tuple{Int(4), Int(40)}, 1)    // created...
+		b.Remove(Tuple{Int(4), Int(40)}, 1) // ...and removed: must vanish
+		b.Add(Tuple{Int(1), Int(10)}, 1)    // count-only change
+	}
+
+	single, six := mk()
+	apply(single)
+
+	bulk, bix := mk()
+	bulk.BeginBulk()
+	apply(bulk)
+	// Mid-batch counts are exact even for membership changes.
+	if bulk.Count(Tuple{Int(1), Int(11)}) != 0 || bulk.Count(Tuple{Int(3), Int(30)}) != 2 {
+		t.Fatalf("mid-batch counts wrong: %d %d",
+			bulk.Count(Tuple{Int(1), Int(11)}), bulk.Count(Tuple{Int(3), Int(30)}))
+	}
+	bulk.EndBulk()
+
+	if bulk.Len() != single.Len() || bulk.DistinctLen() != single.DistinctLen() {
+		t.Fatalf("bulk len/distinct %d/%d, single %d/%d",
+			bulk.Len(), bulk.DistinctLen(), single.Len(), single.DistinctLen())
+	}
+	single.Each(func(tu Tuple, n int) {
+		if got := bulk.Count(tu); got != n {
+			t.Errorf("count of %v: bulk %d, single %d", tu, got, n)
+		}
+	})
+	for _, key := range []Value{Int(1), Int(2), Int(3), Int(4)} {
+		if g, w := probe(bix, key), probe(six, key); g != w {
+			t.Errorf("index probe key %v: bulk %d, single %d", key, g, w)
+		}
+	}
+	// A second batch reuses freed cells; the bag stays consistent.
+	bulk.BeginBulk()
+	bulk.Add(Tuple{Int(4), Int(40)}, 1)
+	bulk.Remove(Tuple{Int(3), Int(30)}, 2)
+	bulk.EndBulk()
+	if bulk.Count(Tuple{Int(4), Int(40)}) != 1 || bulk.Count(Tuple{Int(3), Int(30)}) != 0 {
+		t.Fatalf("second batch wrong: %d %d",
+			bulk.Count(Tuple{Int(4), Int(40)}), bulk.Count(Tuple{Int(3), Int(30)}))
+	}
+	if got := probe(bix, Int(3)); got != 0 {
+		t.Fatalf("second-batch unlink missed: %d", got)
+	}
+	if got := probe(bix, Int(4)); got != 1 {
+		t.Fatalf("second-batch link missed: %d", got)
+	}
+}
+
 func TestBagOfRelation(t *testing.T) {
 	r := New(bagSchema())
 	r.MustAppend(Tuple{Int(1), Int(1)})

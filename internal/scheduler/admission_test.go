@@ -130,6 +130,56 @@ func TestRejectedRequestLeavesNoTrace(t *testing.T) {
 	}
 }
 
+// TestColdStartRetryAfter pins the cold-start admission contract: before any
+// round has completed, roundEWMA is zero, and a BUSY rejection must still
+// carry a floored retry hint — not zero, which would invite a tight retry
+// stampede from the very burst that filled the queue. The first completed
+// round must then seed the EWMA with its full sample instead of warming up
+// from zero (an eighth per round), so the hint reflects real round time
+// immediately.
+func TestColdStartRetryAfter(t *testing.T) {
+	srv := storage.NewServer(storage.Config{Rows: 8})
+	engine, err := NewEngine(Config{Protocol: protocol.SS2PLDatalog(), Server: srv, MaxQueued: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := NewMiddleware(engine, HybridTrigger{Level: 1, Every: time.Millisecond}, metrics.NewCollector())
+	// Not started: no round can have completed, the true cold start.
+	if got := mw.roundEWMA.Load(); got != 0 {
+		t.Fatalf("roundEWMA before any round = %d, want 0", got)
+	}
+	if d := mw.retryAfter(); d < minRetryAfter {
+		t.Errorf("cold-start retryAfter = %s, want >= %s", d, minRetryAfter)
+	}
+
+	// Fill the queue to the cap by hand (the counter is what admission reads)
+	// and verify a cold-start rejection carries the floored hint end to end.
+	mw.queued.Store(1)
+	err = mw.admission(request.Request{TA: 7, Op: request.Write, Object: 1})
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("cold-start overflow error = %v, want BusyError", err)
+	}
+	if be.RetryAfter < minRetryAfter || be.RetryAfter > time.Second {
+		t.Errorf("cold-start RetryAfter = %s, want within [%s, 1s]", be.RetryAfter, minRetryAfter)
+	}
+	mw.queued.Store(0)
+
+	// First observed round seeds the EWMA with the full sample.
+	mw.observeRound(metrics.RoundStats{Duration: 2 * time.Millisecond, Total: 8 * time.Millisecond})
+	if got := time.Duration(mw.roundEWMA.Load()); got != 8*time.Millisecond {
+		t.Errorf("roundEWMA after first round = %s, want seeded to 8ms", got)
+	}
+	if got := time.Duration(mw.qualEWMA.Load()); got != 2*time.Millisecond {
+		t.Errorf("qualEWMA after first round = %s, want seeded to 2ms", got)
+	}
+	// Later rounds blend at weight 1/8.
+	mw.observeRound(metrics.RoundStats{Duration: 2 * time.Millisecond, Total: 16 * time.Millisecond})
+	if got := time.Duration(mw.roundEWMA.Load()); got != 9*time.Millisecond {
+		t.Errorf("roundEWMA after second round = %s, want 8ms + (16ms-8ms)/8 = 9ms", got)
+	}
+}
+
 // TestBusyErrorCarriesRetryAfter pins the rejection contract: the error
 // matches ErrBusy via errors.Is and carries a positive, bounded retry hint.
 func TestBusyErrorCarriesRetryAfter(t *testing.T) {

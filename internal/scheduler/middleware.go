@@ -285,12 +285,17 @@ func (m *Middleware) admission(r request.Request) error {
 	return nil
 }
 
+// minRetryAfter floors the BUSY backoff hint. Before the first round
+// completes roundEWMA is zero; without a floor a cold-start burst would be
+// told "retry after 0" and come straight back in a tight stampede.
+const minRetryAfter = time.Millisecond
+
 // retryAfter is the backoff hint attached to BusyError: a few rounds' worth
 // of drain time, scaled up with queue pressure, clamped to [1ms, 1s].
 func (m *Middleware) retryAfter() time.Duration {
 	d := time.Duration(m.roundEWMA.Load())
 	if d <= 0 {
-		d = time.Millisecond
+		d = minRetryAfter
 	}
 	if max := m.limits.MaxQueued; max > 0 {
 		fill := float64(m.queued.Load()) / float64(max)
@@ -298,8 +303,8 @@ func (m *Middleware) retryAfter() time.Duration {
 	} else {
 		d *= 2
 	}
-	if d < time.Millisecond {
-		d = time.Millisecond
+	if d < minRetryAfter {
+		d = minRetryAfter
 	}
 	if d > time.Second {
 		d = time.Second
@@ -308,10 +313,17 @@ func (m *Middleware) retryAfter() time.Duration {
 }
 
 // observeRound feeds the shed policy's latency EWMAs (weight 1/8). The round
-// loop is the only writer, so plain load-add-store is race-free.
+// loop is the only writer, so plain load-add-store is race-free. The first
+// sample seeds the EWMA directly: warming up from zero would leave the
+// retry-after hint and the shed threshold reading ~8x low for the first
+// dozen rounds after a cold start.
 func (m *Middleware) observeRound(rs metrics.RoundStats) {
 	upd := func(a *atomic.Int64, v int64) {
 		old := a.Load()
+		if old == 0 {
+			a.Store(v)
+			return
+		}
 		a.Store(old + (v-old)/8)
 	}
 	upd(&m.qualEWMA, rs.Duration.Nanoseconds())

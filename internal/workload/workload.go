@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/request"
@@ -76,8 +77,12 @@ func (c Config) Validate() error {
 	if c.ReadsPerTxn < 0 || c.WritesPerTxn < 0 || c.ReadsPerTxn+c.WritesPerTxn == 0 {
 		return fmt.Errorf("workload: statement mix %d/%d invalid", c.ReadsPerTxn, c.WritesPerTxn)
 	}
-	if c.ZipfS != 0 && c.ZipfS <= 1 {
-		return fmt.Errorf("workload: ZipfS must be > 1 (or 0 for uniform), got %g", c.ZipfS)
+	// The skew parameters must be finite: NaN slips through a plain "<= 1"
+	// check (every comparison with NaN is false) and then silently disables
+	// the skew, while +Inf reaches rand.NewZipf, whose rejection sampling
+	// never terminates — the generator would hang mid-run on the first draw.
+	if c.ZipfS != 0 && !(c.ZipfS > 1 && !math.IsInf(c.ZipfS, 1)) {
+		return fmt.Errorf("workload: ZipfS must be a finite number > 1 (or 0 for uniform), got %g", c.ZipfS)
 	}
 	if c.HotKeys < 0 {
 		return fmt.Errorf("workload: HotKeys must be non-negative, got %d", c.HotKeys)
@@ -92,8 +97,8 @@ func (c Config) Validate() error {
 		if c.HotFrac <= 0 || c.HotFrac > 1 {
 			return fmt.Errorf("workload: HotFrac must be in (0, 1] when HotKeys > 0, got %g", c.HotFrac)
 		}
-		if c.HotSkew != 0 && c.HotSkew <= 1 {
-			return fmt.Errorf("workload: HotSkew must be > 1 (or 0 for uniform), got %g", c.HotSkew)
+		if c.HotSkew != 0 && !(c.HotSkew > 1 && !math.IsInf(c.HotSkew, 1)) {
+			return fmt.Errorf("workload: HotSkew must be a finite number > 1 (or 0 for uniform), got %g", c.HotSkew)
 		}
 	}
 	for _, cl := range c.Classes {
@@ -126,11 +131,20 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &Generator{cfg: cfg, rng: rng, nextTA: 1, nextID: 1}
+	// imax == 0 (Objects == 1, or HotKeys == 1 below) is a valid degenerate
+	// Zipf: every draw returns 0. rand.NewZipf returns nil only for s <= 1 or
+	// v < 1; Validate already excludes those, but a nil here would otherwise
+	// surface as a panic on the first NextTransaction, so fail construction
+	// instead.
 	if cfg.ZipfS > 1 {
-		g.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
+		if g.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1)); g.zipf == nil {
+			return nil, fmt.Errorf("workload: rand.NewZipf rejected ZipfS=%g", cfg.ZipfS)
+		}
 	}
 	if cfg.HotKeys > 0 && cfg.HotSkew > 1 {
-		g.hotZipf = rand.NewZipf(rng, cfg.HotSkew, 1, uint64(cfg.HotKeys-1))
+		if g.hotZipf = rand.NewZipf(rng, cfg.HotSkew, 1, uint64(cfg.HotKeys-1)); g.hotZipf == nil {
+			return nil, fmt.Errorf("workload: rand.NewZipf rejected HotSkew=%g", cfg.HotSkew)
+		}
 	}
 	for _, cl := range cfg.Classes {
 		for i := 0; i < cl.Weight; i++ {

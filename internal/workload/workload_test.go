@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/request"
@@ -198,10 +199,55 @@ func TestConfigValidation(t *testing.T) {
 		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 1.5},
 		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 0.5, HotSkew: 0.5},
 		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 0.5, ZipfS: 2},
+		// NaN used to slip through "!= 0 && <= 1" (every NaN comparison is
+		// false) and silently disable the skew; +Inf used to reach
+		// rand.NewZipf, whose sampling loop never terminates — the generator
+		// hung on the first draw. Both must now fail construction.
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, ZipfS: math.NaN()},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, ZipfS: math.Inf(1)},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 0.5, HotSkew: math.NaN()},
+		{Clients: 1, Objects: 10, ReadsPerTxn: 1, HotKeys: 2, HotFrac: 0.5, HotSkew: math.Inf(1)},
 	}
 	for i, cfg := range bad {
 		if _, err := NewGenerator(cfg); err == nil {
 			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestDegenerateZipfEdges pins the imax==0 edges of the Zipf samplers: a
+// one-object table under ZipfS and a one-key hot set under HotSkew are valid
+// degenerate configurations — every skewed draw must return the only
+// available object, without panicking and without hanging.
+func TestDegenerateZipfEdges(t *testing.T) {
+	// Objects == 1 with skew: rand.NewZipf(rng, s, 1, 0) draws from {0}.
+	g, err := NewGenerator(Config{Clients: 1, Objects: 1, ReadsPerTxn: 2, WritesPerTxn: 2, ZipfS: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := g.NextTransaction()
+	for _, r := range tx.Requests {
+		if r.Object != request.NoObject && r.Object != 0 {
+			t.Fatalf("one-object zipf drew object %d", r.Object)
+		}
+	}
+
+	// HotKeys == 1 with HotSkew: the hot-set sampler draws from {0}; cold
+	// draws stay in [1, Objects).
+	g, err = NewGenerator(Config{Clients: 1, Objects: 10, ReadsPerTxn: 4, WritesPerTxn: 4,
+		HotKeys: 1, HotFrac: 0.5, HotSkew: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		tx := g.NextTransaction()
+		for _, r := range tx.Requests {
+			if r.Object == request.NoObject {
+				continue
+			}
+			if r.Object < 0 || r.Object >= 10 {
+				t.Fatalf("object %d outside [0, 10)", r.Object)
+			}
 		}
 	}
 }

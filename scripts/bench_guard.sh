@@ -5,13 +5,16 @@
 # BENCH_<n>.json, so a PR cannot silently lose the warm-start, cold-round or
 # SQL-backend wins. Allocations are deterministic where wall time is noisy,
 # so the allocs gate is the sharper tripwire for "a hot path started
-# allocating per row" regressions (the warm rounds sit at 593 / 985
-# allocs/op). CI boxes are noisy and heterogeneous; 2x is deliberately
+# allocating per row" regressions (the warm rounds sit at ~172 / ~480
+# allocs/op since the arena/bulk pass; the committed baseline is the
+# ratchet). CI boxes are noisy and heterogeneous; 2x is deliberately
 # loose — it catches "the hot path fell off a cliff", not percent-level
 # drift (the trajectory table in ROADMAP.md tracks that). A guarded bench
 # missing from the baseline file is skipped, as is the allocs gate for
 # baselines that predate allocation tracking, so the guard degrades
-# gracefully against old baselines.
+# gracefully against old baselines. A final relative gate holds the
+# bulk-delta SQL round to at least SPEEDUP_MIN (default 3) times faster
+# than the cold round, the structural win of the bulk IVM path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +27,7 @@ GUARDED='BenchmarkDatalogIncrementalRound/warm
 BenchmarkSS2PLQueryDatalog/clients=300
 BenchmarkSS2PLQuerySQL/clients=300
 BenchmarkSQLIncrementalRound/warm
+BenchmarkSQLIncrementalRound/bulk
 BenchmarkMiddlewareRound'
 
 latest=$( (ls BENCH_*.json 2>/dev/null || true) | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
@@ -100,5 +104,29 @@ while IFS= read -r bench; do
 done <<EOF
 ${GUARDED}
 EOF
+
+# Relative gate: the bulk-maintenance round must stay at least SPEEDUP_MIN
+# times faster than the cold round (the bulk IVM path's reason to exist).
+SPEEDUP_MIN="${SPEEDUP_MIN:-3}"
+raw=$(go test -run='^$' -bench='^BenchmarkSQLIncrementalRound$/^(cold|bulk)$' -benchmem -benchtime="${BENCHTIME:-1s}" .)
+echo "${raw}"
+cold_ns=$(echo "${raw}" | awk '/SQLIncrementalRound\/cold/ {
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+}' | head -1)
+bulk_ns=$(echo "${raw}" | awk '/SQLIncrementalRound\/bulk/ {
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+}' | head -1)
+if [ -z "${cold_ns}" ] || [ -z "${bulk_ns}" ]; then
+    echo "bench_guard: bulk speedup gate produced no cold/bulk ns/op lines"
+    fail=1
+elif ! awk -v cold="${cold_ns}" -v bulk="${bulk_ns}" -v m="${SPEEDUP_MIN}" 'BEGIN {
+    if (bulk * m > cold) {
+        printf "bench_guard: FAIL — bulk round %.0f ns/op is not %sx faster than cold %.0f ns/op (%.2fx)\n", bulk, m, cold, cold / bulk
+        exit 1
+    }
+    printf "bench_guard: OK — bulk round %.2fx faster than cold (gate %sx)\n", cold / bulk, m
+}'; then
+    fail=1
+fi
 
 exit "${fail}"
