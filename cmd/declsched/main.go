@@ -6,7 +6,8 @@
 //	declsched [-protocol ss2pl|ss2pl-sql|2pl|sla|relaxed|fcfs|adaptive]
 //	          [-clients 32] [-txns 4] [-reads 20] [-writes 20]
 //	          [-objects 100000] [-zipf 0] [-trigger hybrid|time|fill]
-//	          [-partitions 1] [-hotkeys 0] [-hotfrac 0.8] [-hotskew 0]
+//	          [-partitions 1] [-rebalance 0] [-rebalance-every 16] [-slots 0]
+//	          [-hotkeys 0] [-hotfrac 0.8] [-hotskew 0]
 //	          [-passthrough] [-check]
 package main
 
@@ -40,6 +41,9 @@ func main() {
 	syncRounds := flag.Bool("syncrounds", false, "serialize qualify and execute (disable the round pipeline)")
 	execDelay := flag.Duration("execdelay", 0, "synthetic per-statement server latency (models a remote server; the pipeline overlaps it with qualification)")
 	partitions := flag.Int("partitions", 1, "partition the round loop into N object-hashed shards (protocol must factor by object)")
+	rebalance := flag.Float64("rebalance", 0, "online slot rebalancing trigger: move hot slots when max/mean shard load exceeds this ratio (0 = static slot table)")
+	rebalanceEvery := flag.Int("rebalance-every", 16, "super-rounds between rebalance checks")
+	slots := flag.Int("slots", 0, "slot-directory size for the partitioned loop (0 = default)")
 	hotKeys := flag.Int64("hotkeys", 0, "hot-key workload: size of the hot set (0 = uniform)")
 	hotFrac := flag.Float64("hotfrac", 0.8, "hot-key workload: fraction of statements hitting the hot set")
 	hotSkew := flag.Float64("hotskew", 0, "hot-key workload: Zipf skew within the hot set (>1), 0 = uniform")
@@ -115,6 +119,11 @@ func main() {
 			Base:       base,
 			Partitions: *partitions,
 			Factory:    mkProto,
+			Rebalance: scheduler.RebalanceConfig{
+				Slots:   *slots,
+				Trigger: *rebalance,
+				Every:   *rebalanceEvery,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -23,6 +23,7 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, table1, table2, figure2, declovh, crossover, productivity, sensitivity, partitionskew")
 	scale := flag.Float64("scale", 0.25, "fraction of the paper's 240s virtual budget for simulations")
 	reps := flag.Int("reps", 3, "repetitions for timed declarative rounds")
+	clients := flag.Int("clients", 32, "closed-loop clients for the partitionskew sweep")
 	flag.Parse()
 
 	want := func(name string) bool { return *run == "all" || *run == name }
@@ -74,7 +75,7 @@ func main() {
 	}
 	if want("partitionskew") {
 		ran = true
-		points, err := experiments.PartitionSkew([]int{1, 2, 4, 8}, 32)
+		points, err := experiments.PartitionSkew([]int{1, 2, 4, 8}, *clients)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "partitionskew:", err)
 			os.Exit(1)

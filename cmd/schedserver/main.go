@@ -32,6 +32,9 @@ func main() {
 	every := flag.Duration("every", time.Millisecond, "trigger max delay")
 	syncRounds := flag.Bool("sync", false, "serialize qualify and execute (disable the round pipeline)")
 	partitions := flag.Int("partitions", 1, "partition the round loop into N object-hashed shards (protocol must factor by object)")
+	rebalance := flag.Float64("rebalance", 0, "online slot rebalancing trigger: move hot slots when max/mean shard load exceeds this ratio (0 = static slot table)")
+	rebalanceEvery := flag.Int("rebalance-every", 16, "super-rounds between rebalance checks")
+	slots := flag.Int("slots", 0, "slot-directory size for the partitioned loop (0 = default)")
 	durable := flag.Bool("durable", false, "journal committed state to -dir and recover it on restart")
 	dir := flag.String("dir", "", "durable storage directory (required with -durable)")
 	syncEvery := flag.Int("sync-every", 1, "fsync the journal every N commit batches (group commit)")
@@ -90,6 +93,11 @@ func main() {
 			Base:       base,
 			Partitions: *partitions,
 			Factory:    mkProto,
+			Rebalance: scheduler.RebalanceConfig{
+				Slots:   *slots,
+				Trigger: *rebalance,
+				Every:   *rebalanceEvery,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -167,12 +167,12 @@ const MergedPartition = -1
 
 // Collector accumulates scheduler statistics. It is safe for concurrent use.
 type Collector struct {
-	mu        sync.Mutex
-	rounds    []RoundStats
+	mu         sync.Mutex
+	rounds     []RoundStats
 	partRounds map[int][]RoundStats
-	executed  int64
-	aborted   int64
-	Latency   Histogram // per-request middleware latency (ns)
+	executed   int64
+	aborted    int64
+	Latency    Histogram // per-request middleware latency (ns)
 	// Exec records per-batch server execution times (ns) as reported by the
 	// pipelined executor when a round's batch completes — the "execute" leg
 	// that overlaps qualification, measured separately so the overlap is
@@ -180,6 +180,39 @@ type Collector struct {
 	// sum).
 	Exec      Histogram
 	startedAt time.Time
+
+	// load is the partitioned scheduler's latest rebalancer report (zero
+	// until RecordLoad is first called — single-loop runs and runs with the
+	// rebalancer disabled never record one).
+	load LoadSnapshot
+}
+
+// SlotLoad is one hot slot's decayed load and owning shard (-1 when the slot
+// is split across a shard set).
+type SlotLoad struct {
+	Slot  int
+	Shard int
+	Load  float64
+}
+
+// LoadSnapshot is the partitioned scheduler's load-accounting view: decayed
+// per-shard loads, their max/mean imbalance, the hottest slots, and the
+// rebalancer's cumulative move/split counters and routing-table version.
+type LoadSnapshot struct {
+	Shards    []float64
+	TopSlots  []SlotLoad
+	Imbalance float64
+	Moves     int
+	Splits    int
+	Version   uint64
+}
+
+// RecordLoad stores the latest rebalancer load report (overwriting the
+// previous one — the report is already a decayed aggregate).
+func (c *Collector) RecordLoad(ls LoadSnapshot) {
+	c.mu.Lock()
+	c.load = ls
+	c.mu.Unlock()
 }
 
 // NewCollector starts a collector.
@@ -297,6 +330,11 @@ type Snapshot struct {
 	Summary Summary
 	Latency HistogramSnapshot // per-request middleware latency (ns)
 	Exec    HistogramSnapshot // per-batch server execution time (ns)
+	// Load is the latest rebalancer load report (zero Shards when none was
+	// recorded); QualifiedImbalance is the max/mean ratio of per-shard
+	// qualified totals over the whole run (0 on single-loop runs).
+	Load               LoadSnapshot
+	QualifiedImbalance float64
 }
 
 // Snapshot captures the round counters and both histograms while holding all
@@ -313,18 +351,55 @@ func (c *Collector) Snapshot() Snapshot {
 	c.Exec.mu.Lock()
 	defer c.Exec.mu.Unlock()
 	return Snapshot{
-		Summary: c.summariseLocked(),
-		Latency: c.Latency.snapshotLocked(),
-		Exec:    c.Exec.snapshotLocked(),
+		Summary:            c.summariseLocked(),
+		Latency:            c.Latency.snapshotLocked(),
+		Exec:               c.Exec.snapshotLocked(),
+		Load:               c.load,
+		QualifiedImbalance: c.qualifiedImbalanceLocked(),
 	}
+}
+
+// qualifiedImbalanceLocked is the max/mean ratio of the shards' qualified
+// totals — the run-level skew observable (0 with fewer than two shards).
+func (c *Collector) qualifiedImbalanceLocked() float64 {
+	if len(c.partRounds) < 2 {
+		return 0
+	}
+	var total, max int64
+	for _, rounds := range c.partRounds {
+		var q int64
+		for _, r := range rounds {
+			q += int64(r.Qualified)
+		}
+		total += q
+		if q > max {
+			max = q
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(c.partRounds))
+	return float64(max) / mean
 }
 
 // String renders the snapshot as one STATS line.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("%s latency_p50=%s latency_p99=%s latency_p999=%s exec_batches=%d exec_p99=%s",
+	line := fmt.Sprintf("%s latency_p50=%s latency_p99=%s latency_p999=%s exec_batches=%d exec_p99=%s",
 		s.Summary,
 		time.Duration(s.Latency.P50), time.Duration(s.Latency.P99), time.Duration(s.Latency.P999),
 		s.Exec.Count, time.Duration(s.Exec.P99))
+	if s.QualifiedImbalance > 0 {
+		line += fmt.Sprintf(" imbalance=%.2f", s.QualifiedImbalance)
+	}
+	if len(s.Load.Shards) > 0 {
+		line += fmt.Sprintf(" load_imbalance=%.2f slot_moves=%d slot_splits=%d table_v=%d",
+			s.Load.Imbalance, s.Load.Moves, s.Load.Splits, s.Load.Version)
+		for _, t := range s.Load.TopSlots {
+			line += fmt.Sprintf(" hot_slot=%d@%d:%.1f", t.Slot, t.Shard, t.Load)
+		}
+	}
+	return line
 }
 
 // PartitionSummary is one shard's aggregate view under the partitioned
@@ -337,8 +412,8 @@ type PartitionSummary struct {
 	// Qualified and Victims total the shard's committed requests (replica
 	// copies of cross-partition terminations count in every shard they
 	// released locks in) and the victims whose abort touched the shard.
-	Qualified int64
-	Victims   int64
+	Qualified    int64
+	Victims      int64
 	MeanPending  float64
 	MeanDuration time.Duration // mean protocol evaluation time per active round
 }

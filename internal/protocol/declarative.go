@@ -152,6 +152,12 @@ func (p *SQLProtocol) SetParallelism(n int) {
 		p.opts = &ra.Options{}
 	}
 	p.opts.Pool = np
+	if p.opts.Scratch == nil {
+		// The fan-out loops lease their per-task emit buffers from a
+		// round-scoped scratch (reset at each Qualify entry), so warm
+		// parallel rounds stop allocating chunk buffers.
+		p.opts.Scratch = &ra.Scratch{}
+	}
 }
 
 // SetNestedLoop forces (or clears) the executor's nested-loop join oracle —
@@ -173,6 +179,7 @@ func (p *SQLProtocol) LastStrategy() string { return p.lastStrategy }
 // Qualify implements Protocol: materialise both relations and run the query.
 // It invalidates any incremental state, including the view cache.
 func (p *SQLProtocol) Qualify(pending, history []request.Request) ([]request.Request, error) {
+	p.resetScratch()
 	p.warm = false
 	p.dropIVM()
 	p.lastStrategy = "sql-cold"
@@ -202,6 +209,7 @@ func materialise(pending, history []request.Request) (*relation.Relation, *relat
 // while the cache is alive queues its deltas for later replay instead of
 // dropping the cache (see SQLProtocol.deferred).
 func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d Deltas) ([]request.Request, error) {
+	p.resetScratch()
 	if p.warm {
 		// Pending removals precede adds chronologically (see Deltas):
 		// delete first so a re-admitted key keeps its newest request.
@@ -323,6 +331,15 @@ func (p *SQLProtocol) QualifyIncremental(pending, history []request.Request, d D
 		p.lastStrategy = "sql-warm"
 	}
 	return out, err
+}
+
+// resetScratch starts a new scratch round: the previous round's leased
+// buffers are reclaimed (and their stale tuple references cleared) before
+// any operator of this round runs.
+func (p *SQLProtocol) resetScratch() {
+	if p.opts != nil {
+		p.opts.Scratch.Reset()
+	}
 }
 
 // dropIVM discards the view cache and any queued stale-round deltas.

@@ -27,12 +27,14 @@ type Protocol interface {
 }
 
 // Deltas describes how the scheduler's pending and history stores changed
-// since the previous qualification call. The two stores have opposite event
-// order within a window: pending removals (tail of the previous round)
-// happened before pending adds (top of this round), so a request in both
-// PendingRemoved and PendingAdded is net present; history appends happened
-// before history removals (execute, then GC, in the same round), so a
-// request in both HistoryAppended and HistoryRemoved is net absent.
+// since the previous qualification call. Pending removals (tail of the
+// previous round) happened before pending adds (top of this round), so a
+// request in both PendingRemoved and PendingAdded is net present. The
+// history store never emits the same request on both sides: it cancels
+// append-then-remove (executed and GC'd within one window — net absent) and
+// remove-then-re-append (slot migration bounced the row out and back —
+// net present) in place, so HistoryAppended and HistoryRemoved are disjoint
+// and protocols may apply them in either order.
 //
 // The slices are views into the stores' change logs: they are valid only for
 // the duration of the qualification call, and protocols that need the

@@ -253,10 +253,7 @@ func (o *Options) LeftJoin(l, r *relation.Relation, keys []EquiKey, residual Exp
 	}
 	rrows := r.Rows()
 	lrows := l.Rows()
-	nulls := make(relation.Tuple, r.Schema().Len())
-	for i := range nulls {
-		nulls[i] = relation.Null()
-	}
+	nulls := o.nullPad(r.Schema().Len())
 	o.runChunked(out, len(lrows), func(lo, hi int, emit func(relation.Tuple)) {
 		for _, lt := range lrows[lo:hi] {
 			matched := false

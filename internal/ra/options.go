@@ -24,6 +24,10 @@ type Options struct {
 	// It is the correctness oracle for the hash operators in the property
 	// tests and the baseline of the perf trajectory.
 	NestedLoop bool
+	// Scratch, when non-nil, supplies reusable buffer storage for the
+	// fan-out loops (per-task emit buffers, LeftJoin NULL pads); the owner
+	// must call Scratch.Reset at round boundaries. See Scratch.
+	Scratch *Scratch
 }
 
 // defaultMinParRows is the fan-out cutoff when Options.MinParRows is 0:
@@ -73,16 +77,39 @@ func (o *Options) parChunks(n, nt int, fn func(lo, hi int) []relation.Tuple) [][
 // join probes); emitted rows must be pre-validated for out's schema.
 func (o *Options) runChunked(out *relation.Relation, n int, fn func(lo, hi int, emit func(relation.Tuple))) {
 	if nt := o.parTasks(n); nt > 1 {
-		outs := make([][]relation.Tuple, nt)
+		// Lease the per-task buffers from the round-scoped scratch when one
+		// is configured (and not already leased by an enclosing evaluation):
+		// a warm round then runs the whole fan-out without allocating.
+		outs := o.Scratch.lease(nt)
+		leased := outs != nil
+		if !leased {
+			outs = make([][]relation.Tuple, nt)
+		}
 		o.Pool.RunRange(n, nt, func(task, lo, hi, _ int) {
-			var buf []relation.Tuple
+			buf := outs[task]
 			fn(lo, hi, func(t relation.Tuple) { buf = append(buf, t) })
 			outs[task] = buf
 		})
 		for _, ts := range outs {
 			out.AppendTrusted(ts...)
 		}
+		if leased {
+			o.Scratch.release(outs)
+		}
 		return
 	}
 	fn(0, n, func(t relation.Tuple) { out.AppendTrusted(t) })
+}
+
+// nullPad returns an all-NULL tuple of width w, cached in the scratch when
+// one is configured (the pad is copied into output tuples, never retained).
+func (o *Options) nullPad(w int) relation.Tuple {
+	if o != nil && o.Scratch != nil {
+		return o.Scratch.nullPad(w)
+	}
+	nulls := make(relation.Tuple, w)
+	for i := range nulls {
+		nulls[i] = relation.Null()
+	}
+	return nulls
 }

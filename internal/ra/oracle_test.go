@@ -94,7 +94,12 @@ func TestJoinsMatchNestedLoopOracle(t *testing.T) {
 	nested := &Options{NestedLoop: true}
 	par := &Options{Pool: pool.New(4), MinParRows: 1}
 	defer par.Pool.Shutdown()
+	// scr shares par's pool but leases its chunk buffers from a round-scoped
+	// scratch; resetting it every seed exercises buffer recycling across
+	// evaluations.
+	scr := &Options{Pool: par.Pool, MinParRows: 1, Scratch: &Scratch{}}
 	for seed := int64(0); seed < 60; seed++ {
+		scr.Scratch.Reset()
 		rng := rand.New(rand.NewSource(seed))
 		lCols, rCols := 1+rng.Intn(3), 1+rng.Intn(3)
 		l := randRel(rng, "l", lCols, rng.Intn(40))
@@ -106,18 +111,22 @@ func TestJoinsMatchNestedLoopOracle(t *testing.T) {
 		hash := HashJoin(l, r, keys, res)
 		sameBag(t, step+" inner join vs oracle", hash, nested.HashJoin(l, r, keys, res))
 		sameRows(t, step+" inner join parallel", par.HashJoin(l, r, keys, res), hash)
+		sameRows(t, step+" inner join scratch", scr.HashJoin(l, r, keys, res), hash)
 
 		left := LeftJoin(l, r, keys, res)
 		sameBag(t, step+" left join vs oracle", left, nested.LeftJoin(l, r, keys, res))
 		sameRows(t, step+" left join parallel", par.LeftJoin(l, r, keys, res), left)
+		sameRows(t, step+" left join scratch", scr.LeftJoin(l, r, keys, res), left)
 
 		semi := SemiJoin(l, r, keys, res)
 		sameBag(t, step+" semi join vs oracle", semi, nested.SemiJoin(l, r, keys, res))
 		sameRows(t, step+" semi join parallel", par.SemiJoin(l, r, keys, res), semi)
+		sameRows(t, step+" semi join scratch", scr.SemiJoin(l, r, keys, res), semi)
 
 		anti := AntiJoin(l, r, keys, res)
 		sameBag(t, step+" anti join vs oracle", anti, nested.AntiJoin(l, r, keys, res))
 		sameRows(t, step+" anti join parallel", par.AntiJoin(l, r, keys, res), anti)
+		sameRows(t, step+" anti join scratch", scr.AntiJoin(l, r, keys, res), anti)
 
 		// Semi and anti partition the left side.
 		if semi.Len()+anti.Len() != l.Len() {
@@ -128,6 +137,7 @@ func TestJoinsMatchNestedLoopOracle(t *testing.T) {
 		if filt != nil {
 			sel := Select(l, filt)
 			sameRows(t, step+" select parallel", par.Select(l, filt), sel)
+			sameRows(t, step+" select scratch", scr.Select(l, filt), sel)
 		}
 	}
 }

@@ -1,0 +1,102 @@
+package ra
+
+import "repro/internal/relation"
+
+// Scratch is reusable buffer storage for the operators' parallel probe/scan
+// loops, extending internal/arena's round-scoped reclaim idiom to the
+// operator layer: buffers are leased during evaluation and reclaimed
+// wholesale by Reset at the next round boundary. Without it, runChunked's
+// fan-out allocates (and regrows) a fresh emit buffer per chunk per operator
+// per round; with it, steady-state rounds reuse the same per-task buffers
+// once they have grown to the workload's high-water mark.
+//
+// Only buffer storage is recycled. The tuples an operator emits are ordinary
+// heap values — they outlive the round inside result relations and
+// maintained views — so a Reset never invalidates query output; it only
+// unpins the previous round's rows from the recycled buffers (mirroring
+// arena.Slab.Reset's zeroing).
+//
+// A Scratch is owned by one Options (one protocol instance) and is not safe
+// for concurrent use across evaluations; within one evaluation the parallel
+// tasks write disjoint per-task buffers.
+type Scratch struct {
+	// emit holds one reusable emit buffer per parallel task, truncated
+	// between leases with capacity retained.
+	emit [][]relation.Tuple
+	// outs is the reusable chunk-merge header handed to the pool.
+	outs [][]relation.Tuple
+	// nulls caches LeftJoin's right-side NULL pad per width. Pads are
+	// immutable (operators copy them into output tuples), so they survive
+	// Reset.
+	nulls map[int]relation.Tuple
+	// busy guards against nested leases (an operator evaluated from inside
+	// another operator's loop): the inner evaluation falls back to fresh
+	// allocation instead of stomping the outer lease.
+	busy bool
+}
+
+// lease returns the chunk-merge header for nt tasks, each element pre-seeded
+// with a reusable per-task buffer (length 0, capacity retained from earlier
+// leases), or nil when the scratch is unavailable (nil, or already leased by
+// an enclosing evaluation). A non-nil return must be paired with release.
+func (s *Scratch) lease(nt int) [][]relation.Tuple {
+	if s == nil || s.busy {
+		return nil
+	}
+	s.busy = true
+	for len(s.emit) < nt {
+		s.emit = append(s.emit, nil)
+	}
+	if cap(s.outs) < nt {
+		s.outs = make([][]relation.Tuple, nt)
+	}
+	s.outs = s.outs[:nt]
+	for i := range s.outs {
+		s.outs[i] = s.emit[i][:0]
+	}
+	return s.outs
+}
+
+// release stores the (possibly regrown) per-task buffers back for the next
+// lease and ends the lease. The buffers' rows have been appended into the
+// output relation by then; the stale references they still hold are cleared
+// at the next Reset.
+func (s *Scratch) release(outs [][]relation.Tuple) {
+	for i, b := range outs {
+		s.emit[i] = b[:0]
+		outs[i] = nil
+	}
+	s.busy = false
+}
+
+// nullPad returns a shared all-NULL tuple of the given width (LeftJoin's
+// unmatched-row padding), built once per width.
+func (s *Scratch) nullPad(w int) relation.Tuple {
+	if t, ok := s.nulls[w]; ok {
+		return t
+	}
+	if s.nulls == nil {
+		s.nulls = make(map[int]relation.Tuple, 4)
+	}
+	t := make(relation.Tuple, w)
+	for i := range t {
+		t[i] = relation.Null()
+	}
+	s.nulls[w] = t
+	return t
+}
+
+// Reset reclaims every leased buffer for the next round, clearing the stale
+// tuple references held in recycled capacity so they do not pin the previous
+// round's rows.
+func (s *Scratch) Reset() {
+	if s == nil {
+		return
+	}
+	for i, b := range s.emit {
+		full := b[:cap(b)]
+		clear(full)
+		s.emit[i] = full[:0]
+	}
+	s.busy = false
+}

@@ -1,0 +1,125 @@
+package ra
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/relation"
+)
+
+// bigRel builds an n-row single-int-column relation, large enough to clear
+// any fan-out cutoff.
+func bigRel(n int) *relation.Relation {
+	r := relation.New(relation.NewSchema(relation.Column{Name: "a", Kind: relation.KindInt}))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{relation.Int(int64(i % 97))})
+	}
+	return r
+}
+
+// TestScratchReusesChunkBuffers pins the allocation contract: once the
+// per-task emit buffers have grown to an operator's high-water mark, a
+// steady-state round leases the very same backing arrays again instead of
+// allocating fresh chunk buffers.
+func TestScratchReusesChunkBuffers(t *testing.T) {
+	s := &Scratch{}
+	o := &Options{Pool: pool.New(4), MinParRows: 1, Scratch: s}
+	defer o.Pool.Shutdown()
+	r := bigRel(5000)
+	pred := Cmp{Op: LT, L: Col{Pos: 0}, R: Lit{V: relation.Int(60)}}
+
+	if got := o.Select(r, pred).Len(); got == 0 {
+		t.Fatal("warm-up select produced nothing")
+	}
+	if s.busy {
+		t.Fatal("scratch still leased after the operator returned")
+	}
+	nt := len(s.emit)
+	if nt == 0 {
+		t.Fatal("parallel select did not lease scratch buffers")
+	}
+	heads := make([]*relation.Tuple, nt)
+	caps := make([]int, nt)
+	for i, b := range s.emit {
+		full := b[:cap(b)]
+		if len(full) == 0 {
+			t.Fatalf("task %d buffer never grew", i)
+		}
+		heads[i], caps[i] = &full[0], cap(b)
+	}
+
+	// Steady state: across rounds (Reset) and within a round, the same
+	// backing arrays serve every subsequent evaluation of the same shape.
+	for round := 0; round < 3; round++ {
+		s.Reset()
+		for op := 0; op < 2; op++ {
+			o.Select(r, pred)
+			for i, b := range s.emit {
+				full := b[:cap(b)]
+				if &full[0] != heads[i] || cap(b) != caps[i] {
+					t.Fatalf("round %d op %d: task %d buffer reallocated", round, op, i)
+				}
+			}
+		}
+	}
+
+	// Reset clears recycled capacity so stale rows are not pinned.
+	s.Reset()
+	for i, b := range s.emit {
+		for j, tu := range b[:cap(b)] {
+			if tu != nil {
+				t.Fatalf("task %d slot %d still pins a tuple after Reset", i, j)
+			}
+		}
+	}
+}
+
+// TestScratchNestedLeaseFallsBack: a second lease while one is outstanding
+// must fall back to fresh allocation (nil), not stomp the outer buffers.
+func TestScratchNestedLeaseFallsBack(t *testing.T) {
+	s := &Scratch{}
+	outer := s.lease(2)
+	if outer == nil {
+		t.Fatal("first lease refused")
+	}
+	if s.lease(2) != nil {
+		t.Fatal("nested lease granted while the first is outstanding")
+	}
+	s.release(outer)
+	if again := s.lease(2); again == nil {
+		t.Fatal("lease refused after release")
+	} else {
+		s.release(again)
+	}
+	var none *Scratch
+	if none.lease(2) != nil {
+		t.Fatal("nil scratch handed out buffers")
+	}
+	none.Reset() // must not panic
+}
+
+// TestScratchNullPad: pads are cached per width, all-NULL, and shared.
+func TestScratchNullPad(t *testing.T) {
+	s := &Scratch{}
+	o := &Options{Scratch: s}
+	p3 := o.nullPad(3)
+	if len(p3) != 3 {
+		t.Fatalf("pad width %d, want 3", len(p3))
+	}
+	for i, v := range p3 {
+		if !v.IsNull() {
+			t.Fatalf("pad[%d] = %s, not NULL", i, v)
+		}
+	}
+	if &o.nullPad(3)[0] != &p3[0] {
+		t.Fatal("pad of the same width not cached")
+	}
+	if len(o.nullPad(5)) != 5 {
+		t.Fatal("second width wrong")
+	}
+	// The bare path (no scratch) still works.
+	var bare *Options
+	if len(bare.nullPad(2)) != 2 {
+		t.Fatal("nil-options pad wrong")
+	}
+}

@@ -19,13 +19,25 @@ type Bag struct {
 	total   int                   // total copies across all cells
 	ncells  int                   // distinct tuples
 	// free recycles removed cells: a steady-state churn round (remove a
-	// batch, add a batch) allocates no cells at all.
+	// batch, add a batch) allocates no cells at all. Its length is capped
+	// from the observed per-round churn history (see trimFree), so a one-off
+	// burst round does not leave an oversized freelist pinned forever.
 	free []*BagCell
+	// churn is a ring of cells freed per bulk round; churnAt is the next
+	// write position and freedIn counts frees in the current window.
+	churn   [bagChurnWindow]int
+	churnAt int
+	freedIn int
 	// Batch state (BeginBulk/EndBulk): index maintenance is deferred to one
 	// pass over the cells whose membership actually changed.
 	bulk    bool
 	touched []*BagCell
 }
+
+// bagChurnWindow is how many recent rounds of churn size the freelist: the
+// cap tracks the workload's recent high-water mark, so steady-state rounds
+// recycle every cell while a burst's surplus is released within a window.
+const bagChurnWindow = 8
 
 // BagCell is one distinct tuple of a Bag together with its current count.
 // Cells are shared with the bag's indexes; callers must not mutate them.
@@ -100,6 +112,31 @@ func (b *Bag) newCell(t Tuple, k int) *BagCell {
 func (b *Bag) freeCell(c *BagCell) {
 	c.tuple, c.n, c.mark = nil, 0, 0
 	b.free = append(b.free, c)
+	b.freedIn++
+}
+
+// trimFree closes a churn window: the frees observed since the last call
+// are recorded in the ring, and the freelist is truncated to the recent
+// high-water churn plus slack. Dropped cells are unreferenced so the GC can
+// take them.
+func (b *Bag) trimFree() {
+	b.churn[b.churnAt] = b.freedIn
+	b.churnAt = (b.churnAt + 1) % bagChurnWindow
+	b.freedIn = 0
+	max := 0
+	for _, n := range b.churn {
+		if n > max {
+			max = n
+		}
+	}
+	limit := max + max/4 + 4
+	if len(b.free) <= limit {
+		return
+	}
+	for i := limit; i < len(b.free); i++ {
+		b.free[i] = nil
+	}
+	b.free = b.free[:limit]
 }
 
 // touch records a cell's membership at batch start, once per batch.
@@ -226,6 +263,7 @@ func (b *Bag) EndBulk() {
 	}
 	b.touched = b.touched[:0]
 	b.bulk = false
+	b.trimFree()
 }
 
 // dropCell removes a cell from the hash map (the cell's count bookkeeping

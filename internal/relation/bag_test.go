@@ -192,3 +192,84 @@ func TestBagOfRelation(t *testing.T) {
 		t.Fatal("flatten does not round-trip")
 	}
 }
+
+// churnRound replaces one generation of rows with the next inside a bulk
+// batch: gen g's tuples leave (freeing their cells) and gen g+1's arrive
+// (recycling them). n is the generation size.
+func churnRound(b *Bag, gen, n int) {
+	b.BeginBulk()
+	for i := 0; i < n; i++ {
+		b.Remove(Tuple{Int(int64(gen*n + i)), Int(0)}, 1)
+	}
+	for i := 0; i < n; i++ {
+		b.Add(Tuple{Int(int64((gen+1)*n + i)), Int(0)}, 1)
+	}
+	b.EndBulk()
+}
+
+// TestBagFreelistSteadyState: once warm, per-round churn stops growing the
+// freelist — every round recycles the cells the previous round freed.
+func TestBagFreelistSteadyState(t *testing.T) {
+	const n = 32
+	b := NewBag(bagSchema())
+	b.Index([]int{0}) // maintained index exercises link/unlink on the way
+	b.BeginBulk()
+	for i := 0; i < n; i++ {
+		b.Add(Tuple{Int(int64(n + i)), Int(0)}, 1)
+	}
+	b.EndBulk()
+
+	var warm int
+	for gen := 1; gen <= 24; gen++ {
+		churnRound(b, gen, n)
+		if b.Len() != n {
+			t.Fatalf("gen %d: bag size %d, want %d", gen, b.Len(), n)
+		}
+		switch {
+		case gen == 4:
+			warm = len(b.free)
+		case gen > 4:
+			if len(b.free) > warm {
+				t.Fatalf("gen %d: freelist grew %d -> %d in steady state", gen, warm, len(b.free))
+			}
+		}
+	}
+	if warm > n+n/4+4 {
+		t.Fatalf("steady-state freelist %d exceeds churn cap for churn %d", warm, n)
+	}
+}
+
+// TestBagFreelistShrinksAfterBurst: a burst round's surplus cells are
+// released once the churn window rolls past the burst.
+func TestBagFreelistShrinksAfterBurst(t *testing.T) {
+	const burst, small = 1000, 8
+	b := NewBag(bagSchema())
+	b.BeginBulk()
+	for i := 0; i < burst; i++ {
+		b.Add(Tuple{Int(int64(i)), Int(1)}, 1)
+	}
+	b.EndBulk()
+	// The burst: drop everything, keep a small working set.
+	b.BeginBulk()
+	for i := 0; i < burst; i++ {
+		b.Remove(Tuple{Int(int64(i)), Int(1)}, 1)
+	}
+	for i := 0; i < small; i++ {
+		b.Add(Tuple{Int(int64(small + i)), Int(0)}, 1)
+	}
+	b.EndBulk()
+	if len(b.free) < burst-small {
+		t.Fatalf("freelist right after burst = %d, expected ~%d", len(b.free), burst-small)
+	}
+	for gen := 1; gen <= bagChurnWindow+1; gen++ {
+		churnRound(b, gen, small)
+	}
+	limit := small + small/4 + 4
+	if len(b.free) > limit {
+		t.Fatalf("freelist %d after the window rolled, want <= %d", len(b.free), limit)
+	}
+	// The bag itself still answers exactly.
+	if b.Len() != small {
+		t.Fatalf("bag size %d after burst cycle, want %d", b.Len(), small)
+	}
+}

@@ -439,6 +439,7 @@ func (e *Engine) commit(res *RoundResult, qualified []request.Request, victims [
 // it before the termination row lands.
 func (e *Engine) commitPlan(qualified []request.Request, aborts []abortOp, commitWrites map[int64]int) execPlan {
 	plan := execPlan{round: e.rounds}
+	e.hist.SetRound(e.rounds)
 	if len(aborts) > 0 || len(qualified) > 0 {
 		plan.steps = make([]execStep, 0, len(aborts)+len(qualified))
 	}

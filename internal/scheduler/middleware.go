@@ -813,6 +813,9 @@ func (m *Middleware) partitionedLoop() {
 		for _, ps := range pe.ShardStats() {
 			m.collector.AddPartitionRound(ps)
 		}
+		if ls, ok := pe.LoadReport(4); ok {
+			m.collector.RecordLoad(ls)
+		}
 		if m.syncMode && (len(res.Executed) > 0 || len(res.Victims) > 0) {
 			m.deliver(Completion{Round: pe.Rounds(), Executed: res.Executed, Exec: res.Stats.Exec})
 		}

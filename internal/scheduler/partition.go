@@ -1,10 +1,20 @@
 // Partitioned round loops: N engines, each owning its own protocol instance,
 // warm incremental state, pending/history stores and executor, run in
-// lockstep super-rounds. A Partitioner routes every data request to the
-// shard owning its object, so all lock state for an object lives in exactly
-// one partition and per-shard qualification needs no cross-shard data — the
-// protocols this supports declare it via protocol.ObjectDecomposable (their
-// lock and block rules join requests and history on the same object only).
+// lockstep super-rounds. A slot directory (store.Directory) routes every data
+// request to the shard owning its object — objects hash into a fixed number
+// of slots and a versioned slot→shard table owns placement — so all lock
+// state for an object lives in exactly one partition and per-shard
+// qualification needs no cross-shard data. The protocols this supports
+// declare it via protocol.ObjectDecomposable (their lock and block rules join
+// requests and history on the same object only).
+//
+// Because placement is table data rather than a fixed hash, a rebalancer
+// (rebalance.go) can move hot slots between shards — or split one across a
+// shard set — between super-rounds: the slot's pending and history rows
+// migrate store to store, emitting exact remove/add deltas on both sides so
+// the warm incremental protocols patch instead of rebuilding, and the drained
+// admission queues are re-routed against the new table before the round
+// admits them.
 //
 // Single-partition transactions — the steady-state case — touch one shard's
 // queue, stores and executor and never synchronize with other shards' data:
@@ -49,39 +59,6 @@ import (
 
 // MaxPartitions bounds the partition count: shard sets are one bitmask word.
 const MaxPartitions = 64
-
-// Partitioner maps requests to round-loop partitions by object hash, so that
-// every request touching an object — and every history row recording one —
-// lands in the same partition.
-type Partitioner struct {
-	n int
-}
-
-// NewPartitioner builds a partitioner over n shards (1 <= n <= MaxPartitions).
-func NewPartitioner(n int) (Partitioner, error) {
-	if n < 1 || n > MaxPartitions {
-		return Partitioner{}, fmt.Errorf("scheduler: partitions must be in [1,%d], got %d", MaxPartitions, n)
-	}
-	return Partitioner{n: n}, nil
-}
-
-// Partitions returns the shard count.
-func (p Partitioner) Partitions() int { return p.n }
-
-// ForObject returns the shard owning an object.
-func (p Partitioner) ForObject(obj int64) int {
-	h := uint64(obj) * 0x9E3779B97F4A7C15
-	h ^= h >> 32
-	return int(h % uint64(p.n))
-}
-
-// ForTA returns a fallback home shard for a transaction that never touched
-// an object (a bare termination).
-func (p Partitioner) ForTA(ta int64) int {
-	h := uint64(ta) * 0xFF51AFD7ED558CCD
-	h ^= h >> 32
-	return int(h % uint64(p.n))
-}
 
 // shardOp is one admission-queue entry: a request to admit, a revocation of
 // a stale duplicate copy, or a replica copy of a cross-partition
@@ -151,6 +128,11 @@ type PartitionedConfig struct {
 	// (protocol.ObjectDecomposable) when Partitions > 1 — cross-object
 	// protocols (SLA priority, wound-wait) cannot shard by object.
 	Factory func() protocol.Protocol
+	// Rebalance configures the slot directory and the online rebalancer
+	// (rebalance.go). The zero value routes by a static slot table
+	// (DefaultSlots slots, no automatic moves) — forced moves via
+	// ForceRebalance still apply.
+	Rebalance RebalanceConfig
 }
 
 // PartitionedEngine runs N partitioned round loops in lockstep super-rounds.
@@ -159,10 +141,20 @@ type PartitionedConfig struct {
 // Engine's.
 type PartitionedEngine struct {
 	cfg      Config
-	part     Partitioner
+	part     *store.Directory
 	parts    int
 	shards   []*Engine
 	affinity *store.Affinity
+
+	// reb holds the rebalancer's load accounting and policy (nil when the
+	// automatic rebalancer is disabled); forced carries externally queued
+	// slot moves, applied at the start of the next super-round.
+	reb      *rebalancer
+	forcedMu sync.Mutex
+	forced   []store.SlotMove
+	// inflight counts executor plans submitted but not yet executed; slot
+	// migration quiesces on it before moving history rows between shards.
+	inflight atomic.Int64
 
 	nextID atomic.Int64
 	queues []shardQueue
@@ -197,9 +189,8 @@ type PartitionedEngine struct {
 
 // NewPartitionedEngine validates the config and builds the shard engines.
 func NewPartitionedEngine(cfg PartitionedConfig) (*PartitionedEngine, error) {
-	part, err := NewPartitioner(cfg.Partitions)
-	if err != nil {
-		return nil, err
+	if cfg.Partitions < 1 || cfg.Partitions > MaxPartitions {
+		return nil, fmt.Errorf("scheduler: partitions must be in [1,%d], got %d", MaxPartitions, cfg.Partitions)
 	}
 	if cfg.Base.Mode == Scheduling && cfg.Factory == nil {
 		return nil, fmt.Errorf("scheduler: partitioned scheduling mode needs a protocol factory")
@@ -210,7 +201,7 @@ func NewPartitionedEngine(cfg PartitionedConfig) (*PartitionedEngine, error) {
 	}
 	pe := &PartitionedEngine{
 		cfg:         cfg.Base,
-		part:        part,
+		part:        store.NewDirectory(cfg.Rebalance.Slots, cfg.Partitions),
 		parts:       cfg.Partitions,
 		affinity:    store.NewAffinity(),
 		cross:       make(map[request.Key]*crossTxn),
@@ -236,11 +227,18 @@ func NewPartitionedEngine(cfg PartitionedConfig) (*PartitionedEngine, error) {
 		}
 		pe.shards = append(pe.shards, e)
 	}
+	if cfg.Rebalance.Trigger > 0 && cfg.Partitions > 1 {
+		pe.reb = newRebalancer(cfg.Rebalance, pe.part.Slots(), cfg.Partitions)
+	}
 	return pe, nil
 }
 
 // Partitions returns the shard count.
 func (pe *PartitionedEngine) Partitions() int { return pe.parts }
+
+// Directory exposes the slot directory (tests, experiments, metrics).
+// Routing reads are safe for concurrent use; Apply is the round loop's.
+func (pe *PartitionedEngine) Directory() *store.Directory { return pe.part }
 
 // Shard exposes one shard engine for inspection (tests, experiments).
 // Callers must not run rounds on it.
@@ -262,17 +260,32 @@ func (pe *PartitionedEngine) PendingLen() int {
 	return n
 }
 
-// MergedLog concatenates the shard execution logs in shard order. Every
-// same-object pair of requests executed in one shard (objects are
-// partitioned), so the concatenation preserves all conflict-relevant order;
-// replica copies of cross-partition terminations are excluded by the shards
-// (store.History.AppendReplica), so each request appears exactly once.
+// MergedLog merges the shard execution logs into one conflict-preserving
+// order: entries sort by the super-round they committed in (stable, so
+// within a round each shard's own order survives). Within one round all of
+// an object's requests execute on a single shard — in that shard's log
+// order — and across rounds the round stamp orders them, even when a slot
+// migration moved the object between shards mid-run. Replica copies of
+// cross-partition terminations and migrated rows are excluded by the shards
+// (store.History.AppendReplica/AppendMigrated), so each request appears
+// exactly once.
 func (pe *PartitionedEngine) MergedLog() []request.Request {
 	var out []request.Request
+	var rounds []int
 	for _, e := range pe.shards {
 		out = append(out, e.hist.Log()...)
+		rounds = append(rounds, e.hist.LogRounds()...)
 	}
-	return out
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rounds[idx[a]] < rounds[idx[b]] })
+	merged := make([]request.Request, len(out))
+	for i, j := range idx {
+		merged[i] = out[j]
+	}
+	return merged
 }
 
 // ShardStats returns the per-shard round records of the last super-round
@@ -383,7 +396,7 @@ func (pe *PartitionedEngine) forShards(shards []int, f func(s int) error) {
 // plans execute sequentially in shard order — the deterministic oracle-
 // comparable mode; RoundDeferred runs them on parallel per-shard executors.
 func (pe *PartitionedEngine) Round() (RoundResult, error) {
-	res, err := pe.schedule()
+	res, err := pe.schedule(nil)
 	if err != nil {
 		return res, err
 	}
@@ -405,10 +418,12 @@ func (pe *PartitionedEngine) Round() (RoundResult, error) {
 
 // schedule runs the scheduling stages of one super-round, leaving each
 // shard's execution plan in pe.plans. Stages: drain and admit per shard,
-// qualify per shard (parallel), then the single-threaded sequencer —
-// waiting-age bookkeeping, admission cap, cross-partition agreement, global
-// victim resolution — then commit per shard (parallel).
-func (pe *PartitionedEngine) schedule() (RoundResult, error) {
+// slot rebalancing (forced or load-triggered; usually a no-op), qualify per
+// shard (parallel), then the single-threaded sequencer — waiting-age
+// bookkeeping, admission cap, cross-partition agreement, global victim
+// resolution — then commit per shard (parallel). deliver drains executor
+// completions while a migration quiesces in-flight plans; nil in sync mode.
+func (pe *PartitionedEngine) schedule(deliver func(Completion)) (RoundResult, error) {
 	start := time.Now()
 	pe.rounds++
 	round := pe.rounds
@@ -426,6 +441,20 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 		drained += int64(len(ops))
 	}
 	pe.queued.Add(-drained)
+
+	// Rebalance between super-rounds: apply forced or load-planned slot
+	// moves and migrate the moved slots' rows between shard stores. Once
+	// the table has ever moved, re-route the drained admissions against the
+	// current table — an op pushed while a swap raced its Enqueue routing
+	// lands here un-admitted, so a stale route never becomes store state.
+	if moves := pe.pendingMoves(); len(moves) > 0 {
+		if err := pe.applyMoves(moves, deliver); err != nil {
+			return RoundResult{}, err
+		}
+	}
+	if pe.part.Version() > 0 {
+		pe.rerouteDrained()
+	}
 
 	// A shard participates when it has admissions or pending work.
 	pe.active = pe.active[:0]
@@ -587,6 +616,18 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 	seenKey := make(map[request.Key]bool)
 	dupCopies := 0
 	var commitWrites map[int64]int
+	// Committing terminations whose affinity mask names shards that hold no
+	// qualified copy: the copies were routed before a slot migration moved
+	// the transaction's rows onto a new shard, so without a late copy that
+	// shard would never release the migrated locks. The sequencer injects
+	// the missing replica copies here, after agreement — they are
+	// bookkeeping rows, not admissions, so they bypass the cap.
+	type termCommit struct {
+		r    request.Request
+		mask uint64
+	}
+	var lateCommits []termCommit
+	var present map[request.Key]uint64
 	durable := pe.cfg.Server.Durable()
 	for _, s := range pe.active {
 		for _, r := range pe.qual[s] {
@@ -594,6 +635,10 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 				continue
 			}
 			k := r.Key()
+			if present == nil {
+				present = make(map[request.Key]uint64)
+			}
+			present[k] |= 1 << uint(s)
 			if seenKey[k] {
 				dupCopies++
 				continue
@@ -615,10 +660,42 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 				res.Stats.Cross++
 				delete(pe.cross, k)
 			}
+			if r.IntraTA != victimIntra {
+				if mask := pe.affinity.ShardsOf(r.TA); mask != 0 {
+					lateCommits = append(lateCommits, termCommit{r: r, mask: mask})
+				}
+			}
 			pe.affinity.Drop(r.TA)
 		}
 	}
 	pe.crossMu.Unlock()
+	for _, c := range lateCommits {
+		k := c.r.Key()
+		for m := c.mask &^ present[k]; m != 0; m &= m - 1 {
+			s := bits.TrailingZeros64(m)
+			e := pe.shards[s]
+			if e.replicas == nil {
+				e.replicas = make(map[request.Key]bool)
+			}
+			e.replicas[k] = true
+			pe.qual[s] = append(pe.qual[s], c.r)
+			dupCopies++
+			inCommit := false
+			for _, cs := range commitShards {
+				if cs == s {
+					inCommit = true
+					break
+				}
+			}
+			if !inCommit {
+				e.rounds = round
+				commitShards = append(commitShards, s)
+			}
+		}
+	}
+	if len(lateCommits) > 0 {
+		sort.Ints(commitShards)
+	}
 
 	// Stage 4 per shard — commit: replica copies enter history without
 	// server work; victim aborts compensate shard-local writes. The
@@ -635,6 +712,10 @@ func (pe *PartitionedEngine) schedule() (RoundResult, error) {
 		sr.stats.History = e.hist.Len()
 		return nil
 	})
+
+	// Fold this round's qualified work and leftover pending occupancy into
+	// the rebalancer's per-slot and per-shard load accounts.
+	pe.foldLoads()
 
 	// Merged per-round record: counts match the single loop's (replica
 	// copies deduped from Qualified, subtracted from Pending).
@@ -868,6 +949,7 @@ func (pe *PartitionedEngine) runExecutor(s int) {
 	e := pe.shards[s]
 	for plan := range pe.jobs[s] {
 		if err := pe.Err(); err != nil {
+			pe.inflight.Add(-1)
 			pe.done <- Completion{Round: plan.round, Err: err, Partition: s}
 			continue
 		}
@@ -876,6 +958,10 @@ func (pe *PartitionedEngine) runExecutor(s int) {
 		if err != nil {
 			pe.setFatal(err)
 		}
+		// Decrement before sending: the plan's effects are fully applied, so
+		// a quiescing migration may proceed even while the completion is
+		// still in flight to the caller.
+		pe.inflight.Add(-1)
 		pe.done <- Completion{Round: plan.round, Executed: executed, Exec: time.Since(start), Err: err, Partition: s}
 	}
 }
@@ -888,7 +974,7 @@ func (pe *PartitionedEngine) RoundDeferred(deliver func(Completion)) (RoundResul
 	if err := pe.Err(); err != nil {
 		return RoundResult{}, err
 	}
-	res, err := pe.schedule()
+	res, err := pe.schedule(deliver)
 	if err != nil {
 		return res, err
 	}
@@ -896,6 +982,9 @@ func (pe *PartitionedEngine) RoundDeferred(deliver func(Completion)) (RoundResul
 		if len(pe.plans[s].steps) == 0 {
 			continue
 		}
+		// Count before sending so the migration quiesce never undercounts:
+		// the executor decrements only after applying the plan.
+		pe.inflight.Add(1)
 		for {
 			select {
 			case pe.jobs[s] <- pe.plans[s]:

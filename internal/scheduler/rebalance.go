@@ -1,0 +1,477 @@
+// The online rebalancer of the partitioned scheduler: per-slot and per-shard
+// load accounting folded out of each super-round, a max/mean trigger checked
+// on a fixed cadence, and the migration step that moves a slot's rows between
+// shard stores.
+//
+// Load is a decayed per-round account: every qualified data request adds one
+// unit to its slot and shard, every still-pending request adds a fraction
+// (blocked work occupies a shard even when nothing qualifies there), and the
+// whole account decays each round — so the trigger compares recent behaviour,
+// not lifetime totals. When the hottest shard's load exceeds Trigger× the
+// mean, the planner greedily moves the hottest slots it owns to the coldest
+// shards, and splits a slot across a shard set when that single slot
+// dominates the shard on its own (hot-key splitting: distinct objects of the
+// slot spread by sub-hash; a single object is irreducible).
+//
+// Migration is safe mid-stream because it runs between super-rounds on the
+// sequencer's goroutine: in-flight executor plans are quiesced first (undo
+// and exec steps are ordered only per shard FIFO, and migration changes the
+// shard), then the routing table swaps, then each moved slot's pending and
+// history rows are extracted from their old shards — emitting exact
+// remove-deltas — and re-admitted on their new ones — emitting add-deltas —
+// so the warm incremental protocols on both sides patch instead of
+// rebuilding. Terminations routed before the swap are healed at commit time
+// by the sequencer's late-copy injection (partition.go).
+package scheduler
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/request"
+	"repro/internal/store"
+)
+
+// RebalanceConfig parameterises the slot directory and the rebalancer.
+// The zero value disables automatic rebalancing (Trigger == 0) and uses
+// store.DefaultSlots.
+type RebalanceConfig struct {
+	// Slots is the slot-directory size (<= 0 selects store.DefaultSlots).
+	Slots int
+	// Trigger enables the automatic rebalancer: when the max/mean shard
+	// load ratio exceeds it at a check, slots move. <= 0 disables.
+	Trigger float64
+	// Every is the check cadence in super-rounds (<= 0 selects 16).
+	Every int
+	// MaxMoves caps the slot moves planned per check (<= 0 selects 8).
+	MaxMoves int
+	// SplitFactor marks a slot hot enough to split rather than move: a slot
+	// whose own load exceeds SplitFactor× the mean shard load spreads
+	// across a shard set instead of relocating whole (<= 0 selects 1.5).
+	SplitFactor float64
+	// SplitWays is the shard-set size of a split (<= 1 selects
+	// min(4, partitions)).
+	SplitWays int
+}
+
+// loadDecay is the per-round decay of the load accounts (a ~16-round
+// half-life scale: steady per-round work x accumulates to ~16x).
+const loadDecay = 1.0 / 16
+
+// pendingWeight is how much one still-pending request counts next to one
+// qualified request in the load accounts.
+const pendingWeight = 0.25
+
+// rotateCooldown is the minimum number of check intervals between two
+// rotations of an irreducible hot slot (see planMoves): rotation trades
+// migration churn for time-shared load, so it runs on a longer period than
+// ordinary gap-filling moves — each rotation lets the destination shard
+// absorb the slot for a few accounting rounds before the next hand-off.
+const rotateCooldown = 4
+
+// rebalancer holds the load accounts and policy state. All access is on the
+// round loop's goroutine.
+type rebalancer struct {
+	cfg        RebalanceConfig
+	slotWork   []float64
+	shardWork  []float64
+	lastCheck  int
+	lastRotate int
+	moves      int
+	splits     int
+}
+
+func newRebalancer(cfg RebalanceConfig, slots, parts int) *rebalancer {
+	if cfg.Every <= 0 {
+		cfg.Every = 16
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 8
+	}
+	if cfg.SplitFactor <= 0 {
+		cfg.SplitFactor = 1.5
+	}
+	if cfg.SplitWays <= 1 {
+		cfg.SplitWays = 4
+	}
+	if cfg.SplitWays > parts {
+		cfg.SplitWays = parts
+	}
+	return &rebalancer{
+		cfg:       cfg,
+		slotWork:  make([]float64, slots),
+		shardWork: make([]float64, parts),
+	}
+}
+
+// ForceRebalance queues slot moves to apply at the start of the next
+// super-round, regardless of the automatic trigger (tests, operational
+// tooling). Safe for concurrent use; invalid moves fail that round.
+func (pe *PartitionedEngine) ForceRebalance(moves ...store.SlotMove) {
+	pe.forcedMu.Lock()
+	pe.forced = append(pe.forced, moves...)
+	pe.forcedMu.Unlock()
+}
+
+// pendingMoves returns the slot moves to apply this round: externally forced
+// ones first, else the planner's when the check cadence and trigger fire.
+func (pe *PartitionedEngine) pendingMoves() []store.SlotMove {
+	pe.forcedMu.Lock()
+	moves := pe.forced
+	pe.forced = nil
+	pe.forcedMu.Unlock()
+	if len(moves) > 0 {
+		return moves
+	}
+	rb := pe.reb
+	if rb == nil || pe.rounds-rb.lastCheck < rb.cfg.Every {
+		return nil
+	}
+	rb.lastCheck = pe.rounds
+	return pe.planMoves()
+}
+
+// foldLoads folds one super-round into the load accounts: decay, then one
+// unit per qualified data request and pendingWeight per leftover pending one,
+// attributed to the request's slot and its current shard.
+func (pe *PartitionedEngine) foldLoads() {
+	rb := pe.reb
+	if rb == nil {
+		return
+	}
+	for i := range rb.slotWork {
+		rb.slotWork[i] -= rb.slotWork[i] * loadDecay
+	}
+	for i := range rb.shardWork {
+		rb.shardWork[i] -= rb.shardWork[i] * loadDecay
+	}
+	for _, s := range pe.active {
+		acc := 0.0
+		for _, r := range pe.qual[s] {
+			if r.Op.IsTermination() {
+				continue
+			}
+			rb.slotWork[pe.part.SlotOf(r.Object)]++
+			acc++
+		}
+		for _, r := range pe.shards[s].pending.Live() {
+			if r.Op.IsTermination() {
+				continue
+			}
+			rb.slotWork[pe.part.SlotOf(r.Object)] += pendingWeight
+			acc += pendingWeight
+		}
+		rb.shardWork[s] += acc
+	}
+}
+
+// planMoves is the greedy planner: while the hottest shard exceeds Trigger×
+// the mean, move its hottest slot that fits into the gap to the coldest
+// shard — or split a slot across the coldest set when that one slot alone
+// carries SplitFactor× the mean shard load (moving it whole could never
+// balance).
+func (pe *PartitionedEngine) planMoves() []store.SlotMove {
+	rb := pe.reb
+	load := append([]float64(nil), rb.shardWork...)
+	total := 0.0
+	for _, v := range load {
+		total += v
+	}
+	mean := total / float64(pe.parts)
+	if mean <= 0 {
+		return nil
+	}
+	// owner[slot] is the shard a plainly routed slot sits on; -1 marks a
+	// slot already split (its load is already spread; leave it).
+	owner := make([]int, pe.part.Slots())
+	for i := range owner {
+		r := pe.part.RouteOf(i)
+		if len(r.Split) > 0 {
+			owner[i] = -1
+		} else {
+			owner[i] = int(r.Shard)
+		}
+	}
+	var moves []store.SlotMove
+	for len(moves) < rb.cfg.MaxMoves {
+		h, c := 0, 0
+		for s := 1; s < pe.parts; s++ {
+			if load[s] > load[h] {
+				h = s
+			}
+			if load[s] < load[c] {
+				c = s
+			}
+		}
+		if h == c || load[h] <= rb.cfg.Trigger*mean {
+			break
+		}
+		gap := load[h] - load[c]
+		best, bestW := -1, 0.0   // hottest owned slot that fits the gap
+		hottest, hotW := -1, 0.0 // hottest owned slot overall
+		for slot, o := range owner {
+			if o != h {
+				continue
+			}
+			w := rb.slotWork[slot]
+			if w <= 0 {
+				continue
+			}
+			if w > hotW {
+				hottest, hotW = slot, w
+			}
+			if w < gap && w > bestW {
+				best, bestW = slot, w
+			}
+		}
+		if hottest < 0 {
+			break // the shard's heat comes from split slots; nothing to move
+		}
+		if hotW >= rb.cfg.SplitFactor*mean {
+			targets := coldestShards(load, rb.cfg.SplitWays)
+			moves = append(moves, store.SlotMove{Slot: hottest, To: targets})
+			owner[hottest] = -1
+			share := hotW / float64(len(targets))
+			load[h] -= hotW
+			for _, t := range targets {
+				load[t] += share
+			}
+			rb.splits++
+			continue
+		}
+		if best < 0 {
+			// Every owned slot overshoots the gap: the shard's heat is one
+			// irreducible slot — typically a single hot object, whose
+			// requests must collocate to keep lock semantics, so no static
+			// placement can balance it. Time-share it instead: rotate the
+			// slot to the coldest shard, so over a window the irreducible
+			// load spreads across the fleet rather than pinning one member.
+			// Rotation trades migration churn for fairness, so it runs on a
+			// cooldown much longer than the check cadence, and at most one
+			// rotation is planned per check (in the simulated account the
+			// destination becomes the hottest; further planning would just
+			// move it back).
+			if pe.rounds-rb.lastRotate >= rotateCooldown*rb.cfg.Every {
+				rb.lastRotate = pe.rounds
+				moves = append(moves, store.SlotMove{Slot: hottest, To: []int{c}})
+				owner[hottest] = c
+				load[h] -= hotW
+				load[c] += hotW
+				rb.moves++
+			}
+			break
+		}
+		moves = append(moves, store.SlotMove{Slot: best, To: []int{c}})
+		owner[best] = c
+		load[h] -= bestW
+		load[c] += bestW
+		rb.moves++
+	}
+	if len(moves) > 0 {
+		// Commit the simulated post-move placement back into the accounts:
+		// the EWMA decays over ~16 rounds, so without this the next checks
+		// would keep seeing the pre-move heat and strip the formerly hot
+		// shard far past balance (move thrash).
+		copy(rb.shardWork, load)
+	}
+	return moves
+}
+
+// coldestShards returns the k shards with the smallest loads, coldest first.
+func coldestShards(load []float64, k int) []int {
+	idx := make([]int, len(load))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if load[idx[a]] != load[idx[b]] {
+			return load[idx[a]] < load[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// applyMoves installs moves as a new routing-table version and migrates the
+// moved slots' rows from their old shards to their new ones. Sequencer
+// goroutine only.
+func (pe *PartitionedEngine) applyMoves(moves []store.SlotMove, deliver func(Completion)) error {
+	// Record the moved slots and their pre-swap placements: those are the
+	// shards rows must migrate out of.
+	movedSlots := make(map[int]bool, len(moves))
+	var sources []int
+	var seen [MaxPartitions]bool
+	var scratch []int
+	for _, m := range moves {
+		if movedSlots[m.Slot] {
+			continue
+		}
+		if m.Slot < 0 || m.Slot >= pe.part.Slots() {
+			continue // Apply below reports the error
+		}
+		movedSlots[m.Slot] = true
+		scratch = pe.part.ShardSet(m.Slot, scratch[:0])
+		for _, s := range scratch {
+			if !seen[s] {
+				seen[s] = true
+				sources = append(sources, s)
+			}
+		}
+	}
+	// In-flight executor plans may still carry exec or undo steps against
+	// the source histories; ordering is only per-shard FIFO, so quiesce
+	// before any row changes shards.
+	pe.quiesce(deliver)
+	if _, err := pe.part.Apply(moves); err != nil {
+		return err
+	}
+	sort.Ints(sources)
+	for _, s := range sources {
+		pe.migrateFrom(s, movedSlots)
+	}
+	return nil
+}
+
+// migrateFrom moves every row of the moved slots that no longer routes to
+// shard s onto its new shard, patching the affinity index and both sides'
+// delta logs.
+func (pe *PartitionedEngine) migrateFrom(s int, movedSlots map[int]bool) {
+	e := pe.shards[s]
+	match := func(obj int64) bool {
+		return movedSlots[pe.part.SlotOf(obj)] && pe.part.ForObject(obj) != s
+	}
+	e.pending.ExtractMatching(match, func(r request.Request, since int) {
+		if cur, ok := pe.affinity.RouteOf(r.Key()); ok && cur != s {
+			// A stale duplicate copy superseded by a newer submission routed
+			// elsewhere: its revocation is in flight, so drop it here rather
+			// than resurrect it on the new shard.
+			return
+		}
+		d := pe.part.ForObject(r.Object)
+		pe.affinity.Rebind(r.Key(), d)
+		de := pe.shards[d]
+		de.pending.Admit(r)
+		de.pending.MergeClock(r.TA, since)
+	})
+	for _, r := range e.hist.ExtractMatching(match) {
+		d := pe.part.ForObject(r.Object)
+		pe.affinity.Touch(r.TA, d)
+		pe.shards[d].hist.AppendMigrated(r)
+	}
+}
+
+// quiesce waits until no executor plan is in flight, delivering completions
+// through deliver meanwhile. With deliver == nil (sync rounds mixed with
+// running executors) it waits without consuming — completions stay queued
+// for their caller.
+func (pe *PartitionedEngine) quiesce(deliver func(Completion)) {
+	if pe.jobs == nil {
+		return
+	}
+	for pe.inflight.Load() > 0 {
+		if deliver == nil {
+			runtime.Gosched()
+			continue
+		}
+		c, ok := <-pe.done
+		if !ok {
+			return
+		}
+		deliver(c)
+	}
+}
+
+// rerouteDrained re-routes a drained admission batch against the current
+// routing table before it is admitted: ops pushed concurrently with a table
+// swap may carry a stale route, and once the table has ever moved every
+// drain pays this (cheap) pass so a stale route never becomes store state.
+// A re-routed key updates the affinity index like Enqueue would, revoking a
+// previously admitted copy from the shard that holds it.
+func (pe *PartitionedEngine) rerouteDrained() {
+	type routed struct {
+		op shardOp
+		to int
+	}
+	var extra []routed
+	for s := range pe.ops {
+		kept := pe.ops[s][:0]
+		for _, op := range pe.ops[s] {
+			if op.revoke || op.replica || op.req.Op.IsTermination() {
+				kept = append(kept, op)
+				continue
+			}
+			d := pe.part.ForObject(op.req.Object)
+			if d == s {
+				kept = append(kept, op)
+				continue
+			}
+			if prev, moved := pe.affinity.Route(op.req.Key(), d); moved && prev != d {
+				extra = append(extra, routed{op: shardOp{req: op.req, revoke: true}, to: prev})
+			}
+			extra = append(extra, routed{op: shardOp{req: op.req}, to: d})
+		}
+		pe.ops[s] = kept
+	}
+	for _, r := range extra {
+		pe.ops[r.to] = append(pe.ops[r.to], r.op)
+	}
+}
+
+// LoadReport snapshots the rebalancer's load accounts for metrics export:
+// per-shard loads, the max/mean imbalance, the topSlots hottest slots, and
+// the move counters. ok is false when the automatic rebalancer is disabled.
+// Round-loop goroutine only.
+func (pe *PartitionedEngine) LoadReport(topSlots int) (metrics.LoadSnapshot, bool) {
+	rb := pe.reb
+	if rb == nil {
+		return metrics.LoadSnapshot{}, false
+	}
+	ls := metrics.LoadSnapshot{
+		Shards:  append([]float64(nil), rb.shardWork...),
+		Moves:   rb.moves,
+		Splits:  rb.splits,
+		Version: pe.part.Version(),
+	}
+	total, max := 0.0, 0.0
+	for _, v := range ls.Shards {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total > 0 {
+		ls.Imbalance = max / (total / float64(len(ls.Shards)))
+	}
+	for n := 0; n < topSlots; n++ {
+		best, bestW := -1, 0.0
+		for slot, w := range rb.slotWork {
+			if w <= bestW {
+				continue
+			}
+			taken := false
+			for _, t := range ls.TopSlots {
+				if t.Slot == slot {
+					taken = true
+					break
+				}
+			}
+			if !taken {
+				best, bestW = slot, w
+			}
+		}
+		if best < 0 {
+			break
+		}
+		route := pe.part.RouteOf(best)
+		shard := int(route.Shard)
+		if len(route.Split) > 0 {
+			shard = -1 // split across a set; no single owner
+		}
+		ls.TopSlots = append(ls.TopSlots, metrics.SlotLoad{Slot: best, Shard: shard, Load: bestW})
+	}
+	return ls, true
+}

@@ -79,6 +79,38 @@ func (a *Affinity) Route(k request.Key, shard int) (prev int, moved bool) {
 	return 0, false
 }
 
+// Rebind repoints request key k at shard, marking the shard touched: the
+// slot-migration analogue of Route. Unlike Route it never reports a revocation
+// — the migration step has already moved the old shard's copy itself.
+func (a *Affinity) Rebind(k request.Key, shard int) {
+	s := a.stripe(k.TA)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ta := s.tas[k.TA]
+	if ta == nil {
+		ta = &taAffinity{keyShard: make(map[int64]int32, 4)}
+		s.tas[k.TA] = ta
+	}
+	ta.shards |= 1 << uint(shard)
+	ta.keyShard[k.IntraTA] = int32(shard)
+}
+
+// RouteOf returns the shard request key k is currently routed to, with
+// ok=false when the key is untracked. Slot migration uses it to tell a live
+// pending copy (routed here) from a stale duplicate superseded by a newer
+// submission routed elsewhere.
+func (a *Affinity) RouteOf(k request.Key) (shard int, ok bool) {
+	s := a.stripe(k.TA)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ta := s.tas[k.TA]; ta != nil {
+		if sh, found := ta.keyShard[k.IntraTA]; found {
+			return int(sh), true
+		}
+	}
+	return 0, false
+}
+
 // Touch marks shard touched by ta without placing a key (termination copies
 // are tracked by the cross-partition sequencer, not per shard).
 func (a *Affinity) Touch(ta int64, shard int) {

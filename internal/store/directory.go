@@ -1,0 +1,174 @@
+// The slot directory of the partitioned scheduler: objects hash into a fixed
+// number of slots and a versioned slot→shard routing table owns placement.
+// Routing stays a pure function of the object — every request touching an
+// object, and every history row recording one, lands in the shard the table
+// names — but the table itself is data, so a rebalancer can move a hot slot
+// to another shard (or split it across several) without changing the hash.
+//
+// The table is an immutable snapshot behind an atomic pointer: readers
+// (concurrent admission) load it wait-free; the single writer (the round
+// loop's rebalance step) builds a new table and swaps it in, bumping the
+// version. A reader racing a swap routes by one consistent table — either the
+// old or the new — and the round loop re-routes drained admissions against
+// the current table before admitting them, so a stale route never outlives
+// the drain that observes it.
+
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultSlots is the directory size when the caller does not choose one:
+// enough granularity that a single slot holds ~0.1% of a uniform key space,
+// small enough that per-slot load accounting is a cache-resident array.
+const DefaultSlots = 1024
+
+// SlotRoute is one slot's placement: its owning shard, or — for a hot slot
+// that has been split — a set of shards across which the slot's objects
+// spread by a per-object sub-hash.
+type SlotRoute struct {
+	Shard int32
+	// Split, when non-empty, overrides Shard: the slot is hot and its
+	// objects route to Split[subhash(object) % len(Split)]. A single object
+	// is irreducible (its sub-hash is constant, so all its traffic still
+	// lands on one member — lock state must be co-located), but distinct
+	// objects sharing the slot spread across the set.
+	Split []int32
+}
+
+// SlotMove is one rebalancing step: route slot Slot to To[0], or split it
+// across To when len(To) > 1.
+type SlotMove struct {
+	Slot int
+	To   []int
+}
+
+// routeTable is one immutable routing snapshot.
+type routeTable struct {
+	version uint64
+	slots   []SlotRoute
+}
+
+// Directory is the versioned slot→shard routing table. Reads are wait-free
+// and safe for concurrent use; Apply must stay on one goroutine (the round
+// loop).
+type Directory struct {
+	nslots int
+	parts  int
+	table  atomic.Pointer[routeTable]
+}
+
+// NewDirectory builds a directory of slots slots over parts shards
+// (slots <= 0 selects DefaultSlots), with slot i initially routed to shard
+// i % parts — a uniform spread of a uniform hash.
+func NewDirectory(slots, parts int) *Directory {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	d := &Directory{nslots: slots, parts: parts}
+	t := &routeTable{slots: make([]SlotRoute, slots)}
+	for i := range t.slots {
+		t.slots[i].Shard = int32(i % parts)
+	}
+	d.table.Store(t)
+	return d
+}
+
+// Slots returns the directory size.
+func (d *Directory) Slots() int { return d.nslots }
+
+// Partitions returns the shard count the directory routes over.
+func (d *Directory) Partitions() int { return d.parts }
+
+// Version returns the current table version (0 until the first Apply).
+func (d *Directory) Version() uint64 { return d.table.Load().version }
+
+// SlotOf returns the slot an object hashes into — independent of the routing
+// table, so a row's slot never changes.
+func (d *Directory) SlotOf(obj int64) int {
+	h := uint64(obj) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return int(h % uint64(d.nslots))
+}
+
+// subHash spreads the objects of a split slot across its shard set. A second,
+// independent hash: reusing the slot hash would map every object of one slot
+// to the same split member.
+func subHash(obj int64) uint64 {
+	h := uint64(obj) * 0xFF51AFD7ED558CCD
+	return h ^ h>>33
+}
+
+// ForObject returns the shard owning an object under the current table.
+func (d *Directory) ForObject(obj int64) int {
+	r := &d.table.Load().slots[d.SlotOf(obj)]
+	if len(r.Split) > 0 {
+		return int(r.Split[subHash(obj)%uint64(len(r.Split))])
+	}
+	return int(r.Shard)
+}
+
+// ForTA returns a fallback home shard for a transaction that never touched an
+// object (a bare termination). Independent of the routing table, so the
+// fallback is stable across rebalances.
+func (d *Directory) ForTA(ta int64) int {
+	h := uint64(ta) * 0xFF51AFD7ED558CCD
+	h ^= h >> 32
+	return int(h % uint64(d.parts))
+}
+
+// RouteOf returns slot's current placement. The Split slice is shared with
+// the table; callers must not mutate it.
+func (d *Directory) RouteOf(slot int) SlotRoute {
+	return d.table.Load().slots[slot]
+}
+
+// ShardSet appends the shards slot currently routes to (one for a plain slot,
+// the split set for a hot one) onto dst.
+func (d *Directory) ShardSet(slot int, dst []int) []int {
+	r := &d.table.Load().slots[slot]
+	if len(r.Split) > 0 {
+		for _, s := range r.Split {
+			dst = append(dst, int(s))
+		}
+		return dst
+	}
+	return append(dst, int(r.Shard))
+}
+
+// Apply installs the given moves as a new table version. It validates every
+// move (slot and shards in range, non-empty target set) and returns the new
+// version. Single writer only.
+func (d *Directory) Apply(moves []SlotMove) (uint64, error) {
+	old := d.table.Load()
+	next := &routeTable{
+		version: old.version + 1,
+		slots:   append([]SlotRoute(nil), old.slots...),
+	}
+	for _, m := range moves {
+		if m.Slot < 0 || m.Slot >= d.nslots {
+			return old.version, fmt.Errorf("store: directory: slot %d out of range [0,%d)", m.Slot, d.nslots)
+		}
+		if len(m.To) == 0 {
+			return old.version, fmt.Errorf("store: directory: slot %d move has no target", m.Slot)
+		}
+		for _, s := range m.To {
+			if s < 0 || s >= d.parts {
+				return old.version, fmt.Errorf("store: directory: slot %d target shard %d out of range [0,%d)", m.Slot, s, d.parts)
+			}
+		}
+		if len(m.To) == 1 {
+			next.slots[m.Slot] = SlotRoute{Shard: int32(m.To[0])}
+			continue
+		}
+		split := make([]int32, len(m.To))
+		for i, s := range m.To {
+			split[i] = int32(s)
+		}
+		next.slots[m.Slot] = SlotRoute{Shard: split[0], Split: split}
+	}
+	d.table.Store(next)
+	return next.version, nil
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/request"
+)
+
+// TestDirectoryRouting pins the slot directory's contract: stable slot
+// hashing, in-range initial routes, move and split semantics, version bumps,
+// and validation errors that leave the table untouched.
+func TestDirectoryRouting(t *testing.T) {
+	d := NewDirectory(0, 4)
+	if d.Slots() != DefaultSlots {
+		t.Fatalf("Slots() = %d, want %d", d.Slots(), DefaultSlots)
+	}
+	if d.Version() != 0 {
+		t.Fatalf("fresh directory version = %d, want 0", d.Version())
+	}
+	for o := int64(0); o < 1000; o++ {
+		slot := d.SlotOf(o)
+		if slot < 0 || slot >= d.Slots() {
+			t.Fatalf("SlotOf(%d) = %d out of range", o, slot)
+		}
+		if again := d.SlotOf(o); again != slot {
+			t.Fatalf("SlotOf(%d) unstable: %d then %d", o, slot, again)
+		}
+		s := d.ForObject(o)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ForObject(%d) = %d out of range", o, s)
+		}
+		if want := int(d.RouteOf(slot).Shard); s != want {
+			t.Fatalf("ForObject(%d) = %d but its slot %d routes to %d", o, s, slot, want)
+		}
+	}
+
+	// A move redirects every object of the slot; other slots are untouched.
+	obj := int64(42)
+	slot := d.SlotOf(obj)
+	from := d.ForObject(obj)
+	to := (from + 1) % 4
+	v, err := d.Apply([]SlotMove{{Slot: slot, To: []int{to}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || d.Version() != 1 {
+		t.Fatalf("version after one Apply = %d/%d, want 1", v, d.Version())
+	}
+	if got := d.ForObject(obj); got != to {
+		t.Fatalf("ForObject(%d) = %d after move, want %d", obj, got, to)
+	}
+	other := int64(43)
+	for d.SlotOf(other) == slot {
+		other++
+	}
+	if got := d.ForObject(other); got != int(d.RouteOf(d.SlotOf(other)).Shard) {
+		t.Fatalf("unmoved slot rerouted: object %d -> %d", other, got)
+	}
+
+	// A split spreads the slot over the target set only, and ShardSet
+	// reports the set.
+	if _, err := d.Apply([]SlotMove{{Slot: slot, To: []int{1, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	set := d.ShardSet(slot, nil)
+	if len(set) != 2 || set[0] != 1 || set[1] != 3 {
+		t.Fatalf("ShardSet after split = %v, want [1 3]", set)
+	}
+	seen := map[int]bool{}
+	for o := int64(0); o < 100000; o++ {
+		if d.SlotOf(o) != slot {
+			continue
+		}
+		s := d.ForObject(o)
+		if s != 1 && s != 3 {
+			t.Fatalf("split slot routed object %d to shard %d outside {1,3}", o, s)
+		}
+		if again := d.ForObject(o); again != s {
+			t.Fatalf("split routing unstable for object %d", o)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("split only ever used shards %v of {1,3}", seen)
+	}
+
+	// Invalid moves fail without touching the table or the version.
+	before := d.Version()
+	for _, bad := range [][]SlotMove{
+		{{Slot: -1, To: []int{0}}},
+		{{Slot: d.Slots(), To: []int{0}}},
+		{{Slot: 0, To: nil}},
+		{{Slot: 0, To: []int{4}}},
+		{{Slot: 0, To: []int{1, -1}}},
+	} {
+		if _, err := d.Apply(bad); err == nil {
+			t.Fatalf("Apply(%v) accepted", bad)
+		}
+	}
+	if d.Version() != before {
+		t.Fatalf("failed Apply bumped version: %d -> %d", before, d.Version())
+	}
+	if got := d.ShardSet(slot, nil); len(got) != 2 {
+		t.Fatalf("failed Apply changed routes: %v", got)
+	}
+
+	// ForTA is table-independent: stable across every rebalance above.
+	for ta := int64(0); ta < 100; ta++ {
+		s := d.ForTA(ta)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ForTA(%d) = %d out of range", ta, s)
+		}
+	}
+}
+
+// TestDirectoryConcurrentReaders races wait-free readers against the single
+// writer swapping tables (-race coverage): every read must return an
+// in-range shard from one consistent table version.
+func TestDirectoryConcurrentReaders(t *testing.T) {
+	d := NewDirectory(128, 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := int64(g*100003 + i)
+				if s := d.ForObject(o); s < 0 || s >= 8 {
+					t.Errorf("ForObject(%d) = %d out of range", o, s)
+					return
+				}
+				d.ShardSet(d.SlotOf(o), nil)
+				d.Version()
+			}
+		}(g)
+	}
+	for i := 0; i < 2000; i++ {
+		move := SlotMove{Slot: i % 128, To: []int{i % 8}}
+		if i%3 == 0 {
+			move.To = []int{i % 8, (i + 3) % 8}
+		}
+		if _, err := d.Apply([]SlotMove{move}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAffinityConcurrentRouteDrop races Route, Rebind, Touch, ShardsOf,
+// RouteOf and Drop across goroutines (-race coverage of the striped index):
+// after the dust settles, every surviving key must report the shard its last
+// Route/Rebind named, and dropped transactions must be gone.
+func TestAffinityConcurrentRouteDrop(t *testing.T) {
+	a := NewAffinity()
+	const tas = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ta := int64((g*500 + i) % tas)
+				k := request.Key{TA: ta, IntraTA: int64(i % 4)}
+				switch i % 5 {
+				case 0:
+					a.Route(k, g%4)
+				case 1:
+					a.Rebind(k, (g+1)%4)
+				case 2:
+					a.Touch(ta, g%4)
+				case 3:
+					a.ShardsOf(ta)
+					a.RouteOf(k)
+				case 4:
+					if i%25 == 4 {
+						a.Drop(ta)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Sequential aftermath: the index still works exactly.
+	a.Drop(7)
+	if got := a.ShardsOf(7); got != 0 {
+		t.Fatalf("dropped transaction still has mask %b", got)
+	}
+	k := request.Key{TA: 7, IntraTA: 0}
+	if _, ok := a.RouteOf(k); ok {
+		t.Fatal("dropped transaction still routes a key")
+	}
+	if prev, moved := a.Route(k, 2); moved {
+		t.Fatalf("fresh route reported a stale previous shard %d", prev)
+	}
+	if s, ok := a.RouteOf(k); !ok || s != 2 {
+		t.Fatalf("RouteOf = %d,%v after Route(2)", s, ok)
+	}
+	if prev, moved := a.Route(k, 3); !moved || prev != 2 {
+		t.Fatalf("rerouting reported prev=%d moved=%v, want 2,true", prev, moved)
+	}
+	a.Rebind(k, 1)
+	if s, _ := a.RouteOf(k); s != 1 {
+		t.Fatalf("RouteOf = %d after Rebind(1)", s)
+	}
+	if mask := a.ShardsOf(7); mask&(1<<1) == 0 || mask&(1<<2) == 0 || mask&(1<<3) == 0 {
+		t.Fatalf("mask %b lost touched shards", mask)
+	}
+}

@@ -39,9 +39,25 @@ type History struct {
 	// append in place and the protocols never see the no-op pair. Request
 	// IDs are the paper's globally unique consecutive request numbers.
 	appendedAt map[int64]int32
+	// removedAt is the mirror image for the opposite chronology: slot
+	// migration can move a row out and back in (the slot bounced between
+	// shards) before this shard's window is consumed — net present — and a
+	// removal followed by a re-append must likewise cancel in place. Left
+	// uncancelled, the pair reads as net absent to the protocols (their
+	// incremental engines apply inserts before deletes), silently dropping
+	// a live lock row.
+	removedAt map[int64]int32
 
 	keepLog bool
 	log     []request.Request
+	// logRound stamps each log entry with the round it was committed in
+	// (the engine sets the clock via SetRound). Slot migration can move an
+	// object's later executions to another shard, so merging per-shard logs
+	// back into one conflict-preserving order needs the round: within one
+	// round an object's requests execute on a single shard in log order,
+	// across rounds the stamp orders them.
+	logRound []int
+	round    int
 }
 
 // NewHistory creates a store. With keepLog, every appended request is also
@@ -53,6 +69,7 @@ func NewHistory(keepLog bool) *History {
 		finished:   make(map[int64]bool),
 		keepLog:    keepLog,
 		appendedAt: make(map[int64]int32),
+		removedAt:  make(map[int64]int32),
 	}
 }
 
@@ -72,10 +89,31 @@ func (s *History) Append(rs ...request.Request) {
 		}
 		if s.keepLog {
 			s.log = append(s.log, r)
+			s.logRound = append(s.logRound, s.round)
 		}
-		s.appendedAt[r.ID] = int32(len(s.deltas.HistoryAppended))
-		s.deltas.HistoryAppended = append(s.deltas.HistoryAppended, r)
+		s.logAppend(r)
 	}
+}
+
+// logAppend records r's append in the change log. An append of a request
+// removed within the same window cancels the removal instead (migration
+// bounced the row out and back in — net present).
+func (s *History) logAppend(r request.Request) {
+	if pos, ok := s.removedAt[r.ID]; ok {
+		delete(s.removedAt, r.ID)
+		rm := s.deltas.HistoryRemoved
+		last := int32(len(rm) - 1)
+		if pos != last {
+			moved := rm[last]
+			rm[pos] = moved
+			s.removedAt[moved.ID] = pos
+		}
+		rm[last] = request.Request{}
+		s.deltas.HistoryRemoved = rm[:last]
+		return
+	}
+	s.appendedAt[r.ID] = int32(len(s.deltas.HistoryAppended))
+	s.deltas.HistoryAppended = append(s.deltas.HistoryAppended, r)
 }
 
 // AppendReplica records a replica copy of a cross-partition termination: the
@@ -90,13 +128,83 @@ func (s *History) AppendReplica(r request.Request) {
 	s.keepLog = keep
 }
 
+// AppendMigrated records rows moved in from another shard by slot migration:
+// they are live history here (the locks they hold now release on this shard,
+// and the protocols see them via the change log) but are kept out of the
+// execution log — each request executed once, on the shard that admitted it,
+// and merged per-shard logs must contain it exactly once.
+func (s *History) AppendMigrated(rs ...request.Request) {
+	keep := s.keepLog
+	s.keepLog = false
+	s.Append(rs...)
+	s.keepLog = keep
+}
+
+// ExtractMatching removes every live row whose object satisfies match,
+// logging each as HistoryRemoved, and returns the removed rows. The execution
+// log is unaffected. The slot-migration path: the removals feed this shard's
+// protocol the exact remove-delta, and the caller appends the rows (via
+// AppendMigrated) on the destination shard. Rows of finished transactions
+// never match — their locks were already released here by the termination
+// row, the destination never saw that termination, and the local GC queue
+// still owns them — nor do termination rows themselves (they carry no
+// object and must stay where the transaction's finished mark lives).
+func (s *History) ExtractMatching(match func(obj int64) bool) []request.Request {
+	var taken []request.Request
+	for _, r := range s.live {
+		if r.Op.IsTermination() || s.finished[r.TA] || !match(r.Object) {
+			continue
+		}
+		taken = append(taken, r)
+	}
+	for _, r := range taken {
+		s.removeRow(r)
+	}
+	return taken
+}
+
+// removeRow drops one specific live row (matched by request ID), fixing up
+// the per-transaction index like removeTA does for whole transactions.
+func (s *History) removeRow(r request.Request) {
+	positions := s.byTA[r.TA]
+	for i, pos := range positions {
+		if s.live[pos].ID != r.ID {
+			continue
+		}
+		positions[i] = positions[len(positions)-1]
+		positions = positions[:len(positions)-1]
+		if len(positions) == 0 {
+			delete(s.byTA, r.TA)
+		} else {
+			s.byTA[r.TA] = positions
+		}
+		s.logRemoval(r)
+		last := int32(len(s.live) - 1)
+		if pos != last {
+			moved := s.live[last]
+			s.live[pos] = moved
+			s.repoint(moved.TA, last, pos)
+		}
+		s.live[last] = request.Request{} // do not pin the removed request
+		s.live = s.live[:last]
+		return
+	}
+}
+
 // Live returns the live history slice (order unspecified — removal compacts
 // by swapping). Callers must not mutate it, and must not retain it across
 // store mutations. The execution-ordered view is Log.
 func (s *History) Live() []request.Request { return s.live }
 
+// SetRound sets the round clock stamped onto subsequent log entries.
+func (s *History) SetRound(round int) { s.round = round }
+
 // Log returns the full execution log (nil unless keepLog).
 func (s *History) Log() []request.Request { return s.log }
+
+// LogRounds returns the per-entry round stamps of the execution log,
+// parallel to Log.
+func (s *History) LogRounds() []int { return s.logRound }
 
 // Len returns the live history size.
 func (s *History) Len() int { return len(s.live) }
@@ -177,6 +285,7 @@ func (s *History) removeTA(ta int64) int {
 func (s *History) logRemoval(r request.Request) {
 	pos, ok := s.appendedAt[r.ID]
 	if !ok {
+		s.removedAt[r.ID] = int32(len(s.deltas.HistoryRemoved))
 		s.deltas.HistoryRemoved = append(s.deltas.HistoryRemoved, r)
 		return
 	}
@@ -229,4 +338,5 @@ func (s *History) ResetDeltas() {
 	s.deltas.HistoryAppended = s.deltas.HistoryAppended[:0]
 	s.deltas.HistoryRemoved = s.deltas.HistoryRemoved[:0]
 	clear(s.appendedAt)
+	clear(s.removedAt)
 }

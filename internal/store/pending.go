@@ -188,6 +188,50 @@ func (p *Pending) dropTAKey(ta int64, k request.Key) {
 	}
 }
 
+// ExtractMatching removes every pending request whose object satisfies match
+// (terminations never match — they carry no object and are owned by the
+// cross-partition sequencer), logging each as PendingRemoved, and hands each
+// to visit together with its transaction's waiting-age clock at extraction
+// time (-1 when the clock had not started). The slot-migration path: the
+// removals feed this shard's protocol the exact remove-delta, and the caller
+// re-admits the rows (with MergeClock) on the destination shard.
+func (p *Pending) ExtractMatching(match func(obj int64) bool, visit func(r request.Request, since int)) int {
+	var taken []request.Request
+	for _, r := range p.reqs {
+		if r.Op.IsTermination() || !match(r.Object) {
+			continue
+		}
+		taken = append(taken, r)
+	}
+	for _, r := range taken {
+		since, ok := p.blockedSince[r.TA]
+		if !ok {
+			since = -1
+		}
+		p.Remove(r.Key())
+		visit(r, since)
+	}
+	return len(taken)
+}
+
+// MergeClock folds a migrated-in waiting-age clock into ta's: the oracle has
+// one clock per transaction, the shards hold per-shard copies whose minimum
+// matches it, so the destination takes the older (smaller) of the two. -1
+// means "not started" and acts as +infinity. No-op when ta has no pending
+// rows here.
+func (p *Pending) MergeClock(ta int64, since int) {
+	if since < 0 {
+		return
+	}
+	cur, ok := p.blockedSince[ta]
+	if !ok {
+		return
+	}
+	if cur < 0 || since < cur {
+		p.blockedSince[ta] = since
+	}
+}
+
 // ObserveRound advances the waiting-age clocks after a qualification:
 // transactions that progressed this round (or whose clock had not started)
 // restart their clock at round; the rest keep their first blocked round.

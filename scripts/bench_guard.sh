@@ -129,4 +129,31 @@ elif ! awk -v cold="${cold_ns}" -v bulk="${bulk_ns}" -v m="${SPEEDUP_MIN}" 'BEGI
     fail=1
 fi
 
+# Relative gate: under the 80%/8-key hot-read workload at 8 shards, the
+# rebalanced slot table must keep super-rounds at least REBALANCE_MIN times
+# faster than the static table — the structural win of load-aware
+# partitioning (slot migration spreads the hot slots one per shard, so the
+# parallel qualification stops waiting on the one hot shard).
+REBALANCE_MIN="${REBALANCE_MIN:-1.5}"
+raw=$(go test -run='^$' -bench='^BenchmarkMiddlewareRoundPartitionedHotKey$' -benchmem -benchtime="${BENCHTIME:-1s}" .)
+echo "${raw}"
+static_ns=$(echo "${raw}" | awk '/PartitionedHotKey\/partitions=8\/static/ {
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+}' | head -1)
+rebal_ns=$(echo "${raw}" | awk '/PartitionedHotKey\/partitions=8\/rebalanced/ {
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+}' | head -1)
+if [ -z "${static_ns}" ] || [ -z "${rebal_ns}" ]; then
+    echo "bench_guard: hot-key rebalance gate produced no static/rebalanced ns/op lines"
+    fail=1
+elif ! awk -v static="${static_ns}" -v rebal="${rebal_ns}" -v m="${REBALANCE_MIN}" 'BEGIN {
+    if (rebal * m > static) {
+        printf "bench_guard: FAIL — rebalanced hot-key round %.0f ns/op is not %sx faster than static %.0f ns/op (%.2fx)\n", rebal, m, static, static / rebal
+        exit 1
+    }
+    printf "bench_guard: OK — rebalanced hot-key round %.2fx faster than static (gate %sx)\n", static / rebal, m
+}'; then
+    fail=1
+fi
+
 exit "${fail}"

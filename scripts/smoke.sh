@@ -29,8 +29,10 @@ run "${bin}/declsched" -clients 4 -txns 2 -reads 2 -writes 2 -objects 64 -check
 run "${bin}/declsched" -protocol ss2pl-sql -clients 4 -txns 2 -reads 2 -writes 2 -objects 64
 run "${bin}/declsched" -protocol fcfs -passthrough -clients 2 -txns 1 -reads 1 -writes 1 -objects 16
 # The partitioned round loop: sharded scheduler over a hot-key workload, with
-# the merged-log serializability check on.
+# the merged-log serializability check on — once on the static slot table and
+# once with the online rebalancer moving hot slots mid-run.
 run "${bin}/declsched" -partitions 4 -clients 4 -txns 2 -reads 2 -writes 2 -objects 64 -hotkeys 8 -check
+run "${bin}/declsched" -partitions 4 -rebalance 1.1 -rebalance-every 2 -clients 4 -txns 2 -reads 2 -writes 2 -objects 64 -hotkeys 8 -check
 
 # dlrun: a two-fact Datalog program, and Listing 1 shaped mini-SQL.
 prog="${bin}/prog.dl"
@@ -52,9 +54,12 @@ echo "SELECT r.id, r.ta FROM requests r ORDER BY id" > "${sql}"
 run "${bin}/dlrun" -sql -rel "requests=${reqs}" "${sql}"
 
 # experiments: the static tables are instant; the timed harnesses are covered
-# by the benchmarks.
+# by the benchmarks. The partition-skew sweep runs at toy scale so the
+# static-vs-rebalanced slot-table paths (migration between super-rounds
+# included) are exercised end to end on every CI run.
 run "${bin}/experiments" -run table1
 run "${bin}/experiments" -run table2
+run "${bin}/experiments" -run partitionskew -clients 8
 
 # schedserver + netproto client: bring the network front end up (pipelined
 # rounds by default, then the -sync serialized loop), drive it over the wire
